@@ -1,0 +1,127 @@
+"""Ablation — equi-depth vs the general equi-FP (Theorem 1) partitioner.
+
+Theorem 2 justifies equi-depth *for power-law data*.  This ablation runs
+both partitioners on (a) the power-law corpus, where they should be close
+in both cost-model terms and measured accuracy, and (b) a uniform-size
+corpus, where equi-depth loses its theoretical backing and the direct
+equi-FP construction should hold a cost edge — the case a downstream user
+hits when their data is not web-shaped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.common import NUM_PERM, PAPER_DEFAULT_THRESHOLD, emit
+from repro.core.cost_model import partitioning_cost
+from repro.core.ensemble import LSHEnsemble
+from repro.core.partitioner import equi_depth_partitions, optimal_partitions
+from repro.datagen.corpus import DomainCorpus
+from repro.datagen.queries import sample_queries
+from repro.eval.harness import AccuracyExperiment
+from repro.eval.reports import format_table
+
+NUM_PARTITIONS = 16
+
+
+def _uniform_corpus(num_domains: int = 600, seed: int = 5) -> DomainCorpus:
+    """Uniform domain sizes: the non-power-law regime."""
+    rng = np.random.default_rng(seed)
+    domains = {}
+    for i in range(num_domains):
+        size = int(rng.integers(10, 2000))
+        offset = int(rng.integers(0, 500))
+        topic = int(rng.integers(0, 20))
+        domains["u%05d" % i] = frozenset(
+            "t%d:%d" % (topic, v) for v in range(offset, offset + size)
+        )
+    return DomainCorpus(domains)
+
+
+def _accuracy(corpus, partitioner) -> tuple[float, float]:
+    queries = sample_queries(corpus, 30, seed=9)
+    experiment = AccuracyExperiment(corpus, queries, num_perm=NUM_PERM)
+    experiment.prepare()
+    index = LSHEnsemble(num_perm=NUM_PERM, num_partitions=NUM_PARTITIONS,
+                        partitioner=partitioner)
+    index.index(experiment.entries())
+    from repro.eval.metrics import aggregate, evaluate_query
+
+    evaluations = []
+    for key in experiment.query_keys:
+        found = index.query(experiment.signatures[key],
+                            size=corpus.size_of(key),
+                            threshold=PAPER_DEFAULT_THRESHOLD)
+        truth = experiment.ground_truth(key, PAPER_DEFAULT_THRESHOLD)
+        evaluations.append(evaluate_query(found, truth))
+    acc = aggregate(evaluations)
+    return acc.precision, acc.recall
+
+
+@pytest.fixture(scope="module")
+def ablation_rows(bench_corpus):
+    rows = []
+    for corpus_label, corpus in (
+        ("power-law", bench_corpus),
+        ("uniform", _uniform_corpus()),
+    ):
+        sizes = corpus.size_array()
+        for part_label, partitioner in (
+            ("equi-depth", equi_depth_partitions),
+            ("equi-FP (optimal)", optimal_partitions),
+        ):
+            parts = partitioner(sizes, NUM_PARTITIONS)
+            cost = partitioning_cost(sizes,
+                                     [(p.lower, p.upper) for p in parts])
+            precision, recall = _accuracy(corpus, partitioner)
+            rows.append((corpus_label, part_label, len(parts), cost,
+                         precision, recall))
+    return rows
+
+
+def _report(ablation_rows) -> str:
+    rows = [
+        [c, p, n, "%.1f" % cost, prec, rec]
+        for c, p, n, cost, prec, rec in ablation_rows
+    ]
+    return format_table(
+        ["corpus", "partitioner", "partitions", "cost (max M_i)",
+         "Precision", "Recall"],
+        rows,
+        title="Ablation: equi-depth vs direct equi-FP partitioning "
+              "(n = %d, t* = %.1f)" % (NUM_PARTITIONS,
+                                       PAPER_DEFAULT_THRESHOLD),
+    )
+
+
+def test_ablation_partitioner_report(benchmark, bench_corpus,
+                                     ablation_rows):
+    """Regenerate the ablation table; benchmark the optimal partitioner."""
+    sizes = bench_corpus.size_array()
+    benchmark(optimal_partitions, sizes, NUM_PARTITIONS)
+    emit("ablation_optimal_partitioner", _report(ablation_rows))
+
+
+def test_ablation_optimal_never_costs_more(benchmark, ablation_rows):
+    """The direct construction must win (or tie) the cost model everywhere."""
+
+    def check():
+        by_corpus = {}
+        for corpus, part, _, cost, *_ in ablation_rows:
+            by_corpus.setdefault(corpus, {})[part] = cost
+        return all(
+            costs["equi-FP (optimal)"] <= costs["equi-depth"] * (1 + 1e-9)
+            for costs in by_corpus.values()
+        )
+
+    assert benchmark(check)
+
+
+def test_ablation_recall_comparable(benchmark, ablation_rows):
+    """Swapping partitioners must not sacrifice recall."""
+
+    def min_recall():
+        return min(rec for *_, rec in ablation_rows)
+
+    assert benchmark(min_recall) > 0.7

@@ -1,0 +1,64 @@
+"""Figure 2 — the containment-to-Jaccard transform curves.
+
+The paper plots ``ŝ_{x,q}(t)`` and ``ŝ_{u,q}(t)`` with ``u = 3, x = 1,
+q = 1``, illustrating how filtering with the conservative (u-based)
+threshold admits domains whose true containment lies in ``[t_x, t*)``.
+We print both curves and the derived ``t_x`` for the paper's ``t* = 0.5``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.common import emit
+from repro.core.containment import (
+    containment_to_jaccard,
+    conservative_jaccard_threshold,
+    effective_containment_threshold,
+)
+from repro.eval.reports import format_table
+
+X, U, Q = 1, 3, 1
+T_STAR = 0.5
+
+
+def _report() -> str:
+    ts = np.linspace(0.0, 1.0, 21)
+    s_x = containment_to_jaccard(ts, X, Q)
+    s_u = containment_to_jaccard(ts, U, Q)
+    rows = [
+        ["%.2f" % t, float(sx), float(su)]
+        for t, sx, su in zip(ts, s_x, s_u)
+    ]
+    table = format_table(
+        ["t", "s_hat_{x,q}(t)  (x=%d)" % X, "s_hat_{u,q}(t)  (u=%d)" % U],
+        rows,
+        title="Figure 2: transform curves (q=%d)" % Q,
+    )
+    s_star = conservative_jaccard_threshold(T_STAR, U, Q)
+    t_x = effective_containment_threshold(T_STAR, X, U, Q)
+    notes = (
+        "t* = %.2f  ->  s* = s_hat_{u,q}(t*) = %.4f\n"
+        "effective threshold t_x for x=%d: %.4f (false-positive window "
+        "[t_x, t*) = [%.4f, %.2f))" % (T_STAR, s_star, X, t_x, t_x, T_STAR)
+    )
+    return table + "\n\n" + notes
+
+
+def test_figure2_report(benchmark):
+    """Regenerate the Figure 2 curves (benchmarks the transform)."""
+    ts = np.linspace(0.0, 1.0, 1000)
+    benchmark(containment_to_jaccard, ts, U, Q)
+    emit("figure02_threshold_transform", _report())
+
+
+def test_figure2_conservative_ordering(benchmark):
+    """s_hat_{u,q}(t) <= s_hat_{x,q}(t) for u >= x — the zero-new-FN rule."""
+    ts = np.linspace(0.0, 1.0, 201)
+
+    def check():
+        s_x = containment_to_jaccard(ts, X, Q)
+        s_u = containment_to_jaccard(ts, U, Q)
+        return bool(np.all(s_u <= s_x + 1e-12))
+
+    assert benchmark(check)

@@ -1,0 +1,47 @@
+"""Figure 3 — candidate probability vs containment, with FP/FN areas.
+
+The paper plots ``P(t | x, q, b, r)`` for ``x = 10, q = 5, b = 256,
+r = 4`` with the containment threshold ``t* = 0.5`` marked, shading the
+false-positive area below ``t*`` and the false-negative area above it.
+We print the curve and the two integral masses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.common import emit
+from repro.core.containment import candidate_probability_containment
+from repro.core.tuning import fp_fn_mass
+from repro.eval.reports import format_series
+
+X, Q, B, R = 10, 5, 256, 4
+T_STAR = 0.5
+
+
+def _report() -> str:
+    ts = np.linspace(0.0, 1.0, 21)
+    probs = candidate_probability_containment(ts, X, Q, B, R)
+    series = [("%.2f" % t, float(p)) for t, p in zip(ts, probs)]
+    table = format_series(
+        series, "t (containment)", "P(candidate)",
+        title="Figure 3: P(t | x=%d, q=%d, b=%d, r=%d), t* = %.1f"
+              % (X, Q, B, R, T_STAR),
+    )
+    fp, fn = fp_fn_mass(X, Q, T_STAR, B, R)
+    notes = ("average FP probability over [0, t*):   %.4f\n"
+             "average FN probability over [t*, x/q]: %.4f" % (fp, fn))
+    return table + "\n\n" + notes
+
+
+def test_figure3_report(benchmark):
+    """Regenerate the Figure 3 curve (benchmarks the probability eval)."""
+    ts = np.linspace(0.0, 1.0, 500)
+    benchmark(candidate_probability_containment, ts, X, Q, B, R)
+    emit("figure03_candidate_probability", _report())
+
+
+def test_figure3_fp_fn_integration(benchmark):
+    """Benchmark one FP/FN mass evaluation (the tuner's inner loop)."""
+    fp, fn = benchmark(fp_fn_mass, X, Q, T_STAR, B, R)
+    assert fp >= 0 and fn >= 0

@@ -1,0 +1,91 @@
+"""Figure 4 — precision / recall / F1 / F0.5 vs containment threshold.
+
+The paper's headline accuracy experiment on the Canadian Open Data corpus:
+MinHash LSH (Baseline), Asymmetric Minwise Hashing (Asym), and LSH
+Ensembles with 8, 16 and 32 partitions, swept over containment thresholds.
+
+Expected shape (paper, Section 6.1): partitioning lifts precision over the
+baseline at every threshold, precision rises with partition count with
+diminishing returns, recall drops ~0.02 per partition doubling, and Asym
+matches ensemble precision but collapses in recall with mostly-empty
+results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import (
+    NUM_PERM,
+    PAPER_DEFAULT_THRESHOLD,
+    PAPER_PARTITION_COUNTS,
+    THRESHOLD_STEP,
+    emit,
+)
+from repro.core.ensemble import LSHEnsemble
+from repro.eval.harness import default_thresholds, standard_methods
+from repro.eval.reports import format_accuracy_results
+
+
+@pytest.fixture(scope="module")
+def figure4_results(bench_experiment):
+    methods = standard_methods(num_perm=NUM_PERM,
+                               partition_counts=PAPER_PARTITION_COUNTS)
+    return bench_experiment.run(methods,
+                                thresholds=default_thresholds(THRESHOLD_STEP))
+
+
+def _report(results) -> str:
+    blocks = [
+        format_accuracy_results(results, metric,
+                                title="Figure 4 [%s]" % label)
+        for metric, label in (
+            ("precision", "Precision"),
+            ("recall", "Recall"),
+            ("f1", "F-1 score"),
+            ("f05", "F-0.5 score"),
+        )
+    ]
+    return "\n\n".join(blocks)
+
+
+def test_figure4_report(benchmark, bench_experiment, figure4_results):
+    """Regenerate all four Figure 4 panels; benchmark one ensemble query."""
+    index = LSHEnsemble(num_perm=NUM_PERM, num_partitions=32)
+    index.index(bench_experiment.entries())
+    key = bench_experiment.query_keys[0]
+    sig = bench_experiment.signatures[key]
+    size = bench_experiment.corpus.size_of(key)
+    benchmark(index.query, sig, size, PAPER_DEFAULT_THRESHOLD)
+    emit("figure04_accuracy_vs_threshold", _report(figure4_results))
+
+
+def test_figure4_shape_partitioning_beats_baseline(benchmark,
+                                                   figure4_results):
+    """Paper claim: precision(Ensemble) >= precision(Baseline) everywhere."""
+
+    def check():
+        violations = 0
+        for t in figure4_results.thresholds():
+            base = figure4_results.table["Baseline"][t].precision
+            for n in PAPER_PARTITION_COUNTS:
+                ens = figure4_results.table["LSH Ensemble (%d)" % n][t]
+                if ens.precision < base - 0.05:
+                    violations += 1
+        return violations
+
+    assert benchmark(check) == 0
+
+
+def test_figure4_shape_asym_recall_collapse(benchmark, figure4_results):
+    """Paper claim: Asym trails every ensemble badly in recall."""
+
+    def worst_gap():
+        gaps = []
+        for t in figure4_results.thresholds():
+            asym = figure4_results.table["Asym"][t].recall
+            ens = figure4_results.table["LSH Ensemble (8)"][t].recall
+            gaps.append(ens - asym)
+        return min(gaps)
+
+    assert benchmark(worst_gap) > 0.2

@@ -1,0 +1,99 @@
+"""Figure 5 — accuracy vs domain-size skewness.
+
+The paper builds 20 nested subsets of the Canadian Open Data corpus with
+widening domain-size intervals (hence increasing skewness, Eq. 29) and
+measures each method at the default threshold.
+
+Expected shape: precision of every method decays with skew, the ensemble
+decays slowest (and improves with partition count); Asym's recall starts
+healthy at low skew and collapses as skew rises — the padding pathology.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import (
+    NUM_PERM,
+    NUM_QUERIES,
+    PAPER_DEFAULT_THRESHOLD,
+    emit,
+)
+from repro.datagen.corpus import generate_skew_series
+from repro.datagen.queries import sample_queries
+from repro.eval.harness import AccuracyExperiment, standard_methods
+from repro.eval.reports import format_table
+from repro.stats.skewness import skewness
+
+NUM_SUBSETS = 8
+METHOD_NAMES = ("Baseline", "Asym", "LSH Ensemble (8)",
+                "LSH Ensemble (16)", "LSH Ensemble (32)")
+
+
+@pytest.fixture(scope="module")
+def skew_sweep(bench_corpus):
+    subsets = generate_skew_series(bench_corpus, num_subsets=NUM_SUBSETS)
+    methods = standard_methods(num_perm=NUM_PERM)
+    rows = []
+    for corpus in subsets:
+        if len(corpus) < 20:
+            continue
+        queries = sample_queries(corpus, min(NUM_QUERIES, len(corpus) // 2),
+                                 seed=7)
+        experiment = AccuracyExperiment(corpus, queries, num_perm=NUM_PERM)
+        experiment.prepare()
+        results = experiment.run(methods,
+                                 thresholds=[PAPER_DEFAULT_THRESHOLD])
+        rows.append((
+            skewness(corpus.size_array()),
+            {name: results.table[name][PAPER_DEFAULT_THRESHOLD]
+             for name in METHOD_NAMES},
+        ))
+    return rows
+
+
+def _report(skew_sweep) -> str:
+    blocks = []
+    for metric, label in (("precision", "Precision"), ("recall", "Recall"),
+                          ("f1", "F-1 score"), ("f05", "F-0.5 score")):
+        rows = [
+            ["%.2f" % skew] + [getattr(acc[name], metric)
+                               for name in METHOD_NAMES]
+            for skew, acc in skew_sweep
+        ]
+        blocks.append(format_table(
+            ["skewness"] + list(METHOD_NAMES), rows,
+            title="Figure 5 [%s] (t* = %.1f)" % (label,
+                                                 PAPER_DEFAULT_THRESHOLD),
+        ))
+    return "\n\n".join(blocks)
+
+
+def test_figure5_report(benchmark, skew_sweep):
+    """Regenerate the Figure 5 series (benchmarks the skewness measure)."""
+    import numpy as np
+
+    data = np.random.default_rng(1).pareto(2.0, size=10_000)
+    benchmark(skewness, data)
+    emit("figure05_accuracy_vs_skewness", _report(skew_sweep))
+
+
+def test_figure5_shape_asym_recall_drops_with_skew(benchmark, skew_sweep):
+    """Asym recall at the highest skew must sit far below its best."""
+
+    def gap():
+        recalls = [acc["Asym"].recall for _, acc in skew_sweep]
+        return max(recalls) - recalls[-1]
+
+    assert benchmark(gap) > 0.2
+
+
+def test_figure5_shape_ensemble_beats_baseline_under_skew(benchmark,
+                                                          skew_sweep):
+    """At the most skewed subset the ensemble keeps a precision edge."""
+
+    def edge():
+        _, acc = skew_sweep[-1]
+        return acc["LSH Ensemble (32)"].precision - acc["Baseline"].precision
+
+    assert benchmark(edge) > 0.0

@@ -1,0 +1,104 @@
+"""Figure 6 — accuracy for queries from the largest size decile.
+
+Large queries break the ``u >> q`` assumption behind the query-independent
+partitioning, so the paper measures them separately.  Expected shape:
+precision is lower than in the all-queries experiment, but still increases
+with partition count, and recall stays high.  (Asym is omitted, matching
+the paper's Figure 6, which plots Baseline and the ensembles only.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import (
+    NUM_PERM,
+    NUM_QUERIES,
+    PAPER_PARTITION_COUNTS,
+    THRESHOLD_STEP,
+    emit,
+)
+from repro.core.ensemble import LSHEnsemble
+from repro.datagen.queries import largest_decile_queries
+from repro.eval.harness import (
+    AccuracyExperiment,
+    default_thresholds,
+)
+from repro.eval.reports import format_accuracy_results
+
+
+def _methods():
+    methods = {
+        "Baseline": lambda: LSHEnsemble(num_perm=NUM_PERM,
+                                        num_partitions=1),
+    }
+    for n in PAPER_PARTITION_COUNTS:
+        methods["LSH Ensemble (%d)" % n] = (
+            lambda n=n: LSHEnsemble(num_perm=NUM_PERM, num_partitions=n)
+        )
+    return methods
+
+
+@pytest.fixture(scope="module")
+def figure6_results(bench_corpus):
+    queries = largest_decile_queries(bench_corpus, NUM_QUERIES, seed=11)
+    experiment = AccuracyExperiment(bench_corpus, queries,
+                                    num_perm=NUM_PERM)
+    experiment.prepare()
+    return experiment.run(_methods(),
+                          thresholds=default_thresholds(THRESHOLD_STEP))
+
+
+def _report(results) -> str:
+    blocks = [
+        format_accuracy_results(
+            results, metric,
+            title="Figure 6 [%s] (largest-10%% queries)" % label,
+        )
+        for metric, label in (
+            ("precision", "Precision"), ("recall", "Recall"),
+            ("f1", "F-1 score"), ("f05", "F-0.5 score"),
+        )
+    ]
+    return "\n\n".join(blocks)
+
+
+def test_figure6_report(benchmark, bench_corpus, figure6_results):
+    """Regenerate Figure 6; benchmark a large-domain query."""
+    queries = largest_decile_queries(bench_corpus, 1, seed=11)
+    experiment = AccuracyExperiment(bench_corpus, queries,
+                                    num_perm=NUM_PERM)
+    experiment.prepare()
+    index = LSHEnsemble(num_perm=NUM_PERM, num_partitions=16)
+    index.index(experiment.entries())
+    key = queries[0]
+    benchmark(index.query, experiment.signatures[key],
+              bench_corpus.size_of(key), 0.5)
+    emit("figure06_large_queries", _report(figure6_results))
+
+
+def test_figure6_shape_partitioning_still_helps(benchmark, figure6_results):
+    """Even for large queries, more partitions -> more precision."""
+
+    def check():
+        wins = 0
+        total = 0
+        for t in figure6_results.thresholds():
+            base = figure6_results.table["Baseline"][t].precision
+            ens = figure6_results.table["LSH Ensemble (32)"][t].precision
+            total += 1
+            if ens >= base - 0.02:
+                wins += 1
+        return wins / total
+
+    assert benchmark(check) > 0.7
+
+
+def test_figure6_shape_recall_stays_high(benchmark, figure6_results):
+    def min_recall():
+        return min(
+            figure6_results.table["LSH Ensemble (8)"][t].recall
+            for t in figure6_results.thresholds()
+        )
+
+    assert benchmark(min_recall) > 0.6

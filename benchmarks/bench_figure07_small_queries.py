@@ -1,0 +1,96 @@
+"""Figure 7 — accuracy for queries from the smallest size decile.
+
+Small queries satisfy the ``u >> q`` assumption comfortably, so the paper
+observes results close to the all-queries experiment (Figure 4): clear
+precision gains from partitioning at sustained recall.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import (
+    NUM_PERM,
+    NUM_QUERIES,
+    PAPER_PARTITION_COUNTS,
+    THRESHOLD_STEP,
+    emit,
+)
+from repro.core.ensemble import LSHEnsemble
+from repro.datagen.queries import smallest_decile_queries
+from repro.eval.harness import AccuracyExperiment, default_thresholds
+from repro.eval.reports import format_accuracy_results
+
+
+def _methods():
+    methods = {
+        "Baseline": lambda: LSHEnsemble(num_perm=NUM_PERM,
+                                        num_partitions=1),
+    }
+    for n in PAPER_PARTITION_COUNTS:
+        methods["LSH Ensemble (%d)" % n] = (
+            lambda n=n: LSHEnsemble(num_perm=NUM_PERM, num_partitions=n)
+        )
+    return methods
+
+
+@pytest.fixture(scope="module")
+def figure7_results(bench_corpus):
+    queries = smallest_decile_queries(bench_corpus, NUM_QUERIES, seed=12)
+    experiment = AccuracyExperiment(bench_corpus, queries,
+                                    num_perm=NUM_PERM)
+    experiment.prepare()
+    return experiment.run(_methods(),
+                          thresholds=default_thresholds(THRESHOLD_STEP))
+
+
+def _report(results) -> str:
+    blocks = [
+        format_accuracy_results(
+            results, metric,
+            title="Figure 7 [%s] (smallest-10%% queries)" % label,
+        )
+        for metric, label in (
+            ("precision", "Precision"), ("recall", "Recall"),
+            ("f1", "F-1 score"), ("f05", "F-0.5 score"),
+        )
+    ]
+    return "\n\n".join(blocks)
+
+
+def test_figure7_report(benchmark, bench_corpus, figure7_results):
+    """Regenerate Figure 7; benchmark a small-domain query."""
+    queries = smallest_decile_queries(bench_corpus, 1, seed=12)
+    experiment = AccuracyExperiment(bench_corpus, queries,
+                                    num_perm=NUM_PERM)
+    experiment.prepare()
+    index = LSHEnsemble(num_perm=NUM_PERM, num_partitions=16)
+    index.index(experiment.entries())
+    key = queries[0]
+    benchmark(index.query, experiment.signatures[key],
+              bench_corpus.size_of(key), 0.5)
+    emit("figure07_small_queries", _report(figure7_results))
+
+
+def test_figure7_shape_matches_figure4(benchmark, figure7_results):
+    """Small queries reproduce the main result: partitioning helps."""
+
+    def precision_gain():
+        gains = []
+        for t in figure7_results.thresholds():
+            base = figure7_results.table["Baseline"][t].precision
+            ens = figure7_results.table["LSH Ensemble (32)"][t].precision
+            gains.append(ens - base)
+        return sum(gains) / len(gains)
+
+    assert benchmark(precision_gain) > 0.0
+
+
+def test_figure7_shape_recall_high(benchmark, figure7_results):
+    def min_recall():
+        return min(
+            figure7_results.table["LSH Ensemble (8)"][t].recall
+            for t in figure7_results.thresholds()
+        )
+
+    assert benchmark(min_recall) > 0.7

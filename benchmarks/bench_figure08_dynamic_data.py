@@ -1,0 +1,89 @@
+"""Figure 8 — accuracy vs standard deviation of partition sizes.
+
+The paper simulates distribution drift on dynamic data by morphing the
+partitioning from equi-depth towards equi-width and measuring accuracy
+against the standard deviation of partition sizes.  Expected shape:
+precision holds nearly flat until the deviation grows several times the
+equi-depth partition size, then degrades; recall stays high throughout —
+i.e. the index survives substantial drift before a rebuild pays off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import NUM_PERM, PAPER_DEFAULT_THRESHOLD, emit
+from repro.core.ensemble import LSHEnsemble
+from repro.core.partitioner import blended_partitions, partition_size_std
+from repro.eval.metrics import aggregate, evaluate_query
+from repro.eval.reports import format_table
+
+NUM_PARTITIONS = 16
+ALPHAS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+@pytest.fixture(scope="module")
+def drift_sweep(bench_experiment):
+    sizes = bench_experiment.corpus.size_array()
+    rows = []
+    for alpha in ALPHAS:
+        partitions = blended_partitions(sizes, NUM_PARTITIONS, alpha)
+        index = LSHEnsemble(num_perm=NUM_PERM,
+                            num_partitions=NUM_PARTITIONS)
+        index.index(bench_experiment.entries(), partitions=partitions)
+        evaluations = []
+        for key in bench_experiment.query_keys:
+            found = index.query(
+                bench_experiment.signatures[key],
+                size=bench_experiment.corpus.size_of(key),
+                threshold=PAPER_DEFAULT_THRESHOLD,
+            )
+            truth = bench_experiment.ground_truth(
+                key, PAPER_DEFAULT_THRESHOLD)
+            evaluations.append(evaluate_query(found, truth))
+        rows.append((
+            alpha,
+            partition_size_std(sizes, partitions),
+            aggregate(evaluations),
+        ))
+    return rows
+
+
+def _report(drift_sweep) -> str:
+    rows = [
+        ["%.1f" % alpha, "%.0f" % std, acc.precision, acc.recall, acc.f1,
+         acc.f05]
+        for alpha, std, acc in drift_sweep
+    ]
+    return format_table(
+        ["alpha (0=equi-depth)", "std dev of partition sizes",
+         "Precision", "Recall", "F1", "F0.5"],
+        rows,
+        title="Figure 8: accuracy vs partition-size deviation "
+              "(n = %d, t* = %.1f)" % (NUM_PARTITIONS,
+                                       PAPER_DEFAULT_THRESHOLD),
+    )
+
+
+def test_figure8_report(benchmark, bench_experiment, drift_sweep):
+    """Regenerate Figure 8; benchmark partitioning itself."""
+    sizes = bench_experiment.corpus.size_array()
+    benchmark(blended_partitions, sizes, NUM_PARTITIONS, 0.5)
+    emit("figure08_dynamic_data", _report(drift_sweep))
+
+
+def test_figure8_shape_std_grows(benchmark, drift_sweep):
+    def monotone():
+        stds = [std for _, std, __ in drift_sweep]
+        return stds[-1] > stds[0]
+
+    assert benchmark(monotone)
+
+
+def test_figure8_shape_recall_robust(benchmark, drift_sweep):
+    """Recall must survive the whole sweep (the paper's key observation)."""
+
+    def min_recall():
+        return min(acc.recall for _, __, acc in drift_sweep)
+
+    assert benchmark(min_recall) > 0.7

@@ -1,0 +1,141 @@
+"""Figure 9 — indexing time and mean query time vs number of domains.
+
+The paper indexes 52M-262M WDC domains on a 5-node cluster and plots
+indexing time (left, linear in corpus size and independent of partition
+count) and mean query time (right, growing with corpus size, shrinking
+with partitions).  We regenerate both series at laptop scale on a
+power-law corpus with real value overlap; query time uses the paper's
+concurrent-partition deployment model (max per-partition probe — the
+regime Eq. 9's cost function is designed for), measured per partition
+since Python threads cannot parallelise CPU-bound probes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.common import SCALE_MAX, emit
+from repro.core.ensemble import LSHEnsemble
+from repro.datagen.corpus import generate_corpus
+from repro.eval.reports import format_table
+
+SCALE_NUM_PERM = 128
+SCALE_FRACTIONS = (0.25, 0.5, 1.0)
+PARTITION_COUNTS = (1, 8, 16, 32)
+NUM_SCALE_QUERIES = 25
+THRESHOLD = 0.5
+
+
+@pytest.fixture(scope="module")
+def scale_entries():
+    """Entries for the largest scale; smaller scales take prefixes."""
+    corpus = generate_corpus(num_domains=SCALE_MAX, alpha=2.0,
+                             min_size=10, max_size=5_000,
+                             num_topics=15, seed=31)
+    signatures = corpus.signatures(num_perm=SCALE_NUM_PERM, seed=1)
+    return corpus.entries(signatures)
+
+
+def _measure(entries, num_partitions: int):
+    """(indexing s, parallel-model query s, mean candidates)."""
+    index = LSHEnsemble(num_perm=SCALE_NUM_PERM,
+                        num_partitions=num_partitions)
+    t0 = time.perf_counter()
+    index.index(entries)
+    build = time.perf_counter() - t0
+    rng = np.random.default_rng(5)
+    picks = rng.choice(len(entries), size=NUM_SCALE_QUERIES, replace=False)
+    parallel_total = 0.0
+    candidates = 0
+    for i in picks:
+        _, sig, size = entries[i]
+        found, reports = index.query_with_report(sig, size=size,
+                                                 threshold=THRESHOLD)
+        probes = [r.elapsed_seconds for r in reports if not r.pruned]
+        parallel_total += max(probes) if probes else 0.0
+        candidates += len(found)
+    return (build, parallel_total / NUM_SCALE_QUERIES,
+            candidates / NUM_SCALE_QUERIES)
+
+
+@pytest.fixture(scope="module")
+def scaling_sweep(scale_entries):
+    rows = []
+    for fraction in SCALE_FRACTIONS:
+        num_domains = int(len(scale_entries) * fraction)
+        entries = scale_entries[:num_domains]
+        for n in PARTITION_COUNTS:
+            build, query, cands = _measure(entries, n)
+            rows.append((num_domains, n, build, query, cands))
+    return rows
+
+
+def _report(scaling_sweep) -> str:
+    rows = [
+        [nd, n, "%.2f" % build, "%.5f" % query, "%.0f" % cands]
+        for nd, n, build, query, cands in scaling_sweep
+    ]
+    return format_table(
+        ["num domains", "partitions", "indexing time (s)",
+         "mean query time, parallel model (s)", "mean candidates"],
+        rows,
+        title="Figure 9: indexing and mean query cost "
+              "(power-law corpus, m = %d, t* = %.1f)"
+              % (SCALE_NUM_PERM, THRESHOLD),
+    )
+
+
+def test_figure9_report(benchmark, scale_entries, scaling_sweep):
+    """Regenerate the Figure 9 series; benchmark an ensemble query."""
+    index = LSHEnsemble(num_perm=SCALE_NUM_PERM, num_partitions=32)
+    index.index(scale_entries[: len(scale_entries) // 4])
+    _, sig, size = scale_entries[7]
+    benchmark(index.query, sig, size, THRESHOLD)
+    emit("figure09_scalability", _report(scaling_sweep))
+
+
+def test_figure9_shape_indexing_linear(benchmark, scaling_sweep):
+    """Indexing time grows at most ~linearly with corpus size."""
+
+    def growth_ratio():
+        by_n = {}
+        for nd, n, build, _, __ in scaling_sweep:
+            by_n.setdefault(n, []).append((nd, build))
+        worst = 0.0
+        for series in by_n.values():
+            series.sort()
+            (d0, b0), (d1, b1) = series[0], series[-1]
+            worst = max(worst, (b1 / b0) / (d1 / d0))
+        return worst
+
+    assert benchmark(growth_ratio) < 2.0
+
+
+def test_figure9_shape_partitions_speed_up_queries(benchmark,
+                                                   scaling_sweep):
+    """At the largest scale, Ensemble(32) must beat the 1-partition
+    baseline in the concurrent-partition deployment."""
+
+    def speedup():
+        largest = max(nd for nd, *_ in scaling_sweep)
+        at_scale = {n: q for nd, n, _, q, __ in scaling_sweep
+                    if nd == largest}
+        return at_scale[1] / at_scale[32]
+
+    assert benchmark(speedup) > 1.0
+
+
+def test_figure9_shape_partitions_shrink_candidates(benchmark,
+                                                    scaling_sweep):
+    """More partitions -> fewer candidates returned per query."""
+
+    def ratio():
+        largest = max(nd for nd, *_ in scaling_sweep)
+        at_scale = {n: c for nd, n, _, __, c in scaling_sweep
+                    if nd == largest}
+        return at_scale[1] / max(at_scale[32], 1.0)
+
+    assert benchmark(ratio) > 1.2

@@ -1,0 +1,34 @@
+"""Session-scoped fixtures shared by all benchmark modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import (
+    CORPUS_SEED,
+    NUM_DOMAINS,
+    NUM_PERM,
+    NUM_QUERIES,
+    QUERY_SEED,
+)
+from repro.datagen.corpus import generate_corpus
+from repro.datagen.queries import sample_queries
+from repro.eval.harness import AccuracyExperiment
+
+
+@pytest.fixture(scope="session")
+def bench_corpus():
+    """The scaled-down stand-in for the Canadian Open Data corpus."""
+    return generate_corpus(num_domains=NUM_DOMAINS, alpha=2.0,
+                           min_size=10, max_size=100_000,
+                           seed=CORPUS_SEED)
+
+
+@pytest.fixture(scope="session")
+def bench_experiment(bench_corpus):
+    """Prepared experiment: signatures + exact ground-truth scores."""
+    queries = sample_queries(bench_corpus, NUM_QUERIES, seed=QUERY_SEED)
+    experiment = AccuracyExperiment(bench_corpus, queries,
+                                    num_perm=NUM_PERM)
+    experiment.prepare()
+    return experiment

@@ -1,0 +1,99 @@
+"""Dynamic data: streaming inserts and distribution drift (Section 6.2).
+
+Open data grows continuously.  The LSH Ensemble accepts new domains after
+the initial build — they are routed into the existing size partitions —
+but if the incoming size distribution drifts far from the one the
+partitions were built for, the equi-depth optimality erodes (the paper's
+Figure 8).  This example:
+
+1. builds an index on an initial corpus;
+2. streams in a second corpus whose sizes skew much larger;
+3. measures accuracy before and after, and after a rebuild,
+   demonstrating when re-partitioning pays off.
+
+Run:  python examples/dynamic_corpus.py
+"""
+
+from repro import InvertedIndex, LSHEnsemble
+from repro.datagen import generate_corpus, sample_queries
+from repro.eval import aggregate, evaluate_query
+
+NUM_PERM = 128
+THRESHOLD = 0.5
+NUM_PARTITIONS = 16
+
+
+def measure(index, corpus, signatures, queries, exact):
+    evaluations = []
+    for key in queries:
+        found = index.query(signatures[key], size=corpus.size_of(key),
+                            threshold=THRESHOLD)
+        truth = {
+            k for k, t in exact.containment_scores(corpus[key]).items()
+            if t >= THRESHOLD
+        }
+        evaluations.append(evaluate_query(found, truth))
+    return aggregate(evaluations)
+
+
+# ---------------------------------------------------------------------- #
+# 1. Initial corpus: small domains dominate.
+# ---------------------------------------------------------------------- #
+
+initial = generate_corpus(num_domains=800, min_size=10, max_size=2_000,
+                          seed=21)
+# Drifted batch: much larger domains (new publisher joined the portal).
+drift = generate_corpus(num_domains=800, min_size=500, max_size=50_000,
+                        num_topics=30, seed=22)
+
+merged = dict(initial)
+merged.update({"new_%s" % k: v for k, v in drift.items()})
+from repro.datagen import DomainCorpus
+
+combined = DomainCorpus(merged)
+signatures = combined.signatures(num_perm=NUM_PERM)
+exact = InvertedIndex.from_domains(combined)
+queries = sample_queries(combined, 40, seed=5)
+
+# ---------------------------------------------------------------------- #
+# 2. Build on the initial distribution only.
+# ---------------------------------------------------------------------- #
+
+index = LSHEnsemble(threshold=THRESHOLD, num_perm=NUM_PERM,
+                    num_partitions=NUM_PARTITIONS)
+index.index(
+    (key, signatures[key], initial.size_of(key)) for key in initial
+)
+print("built on initial corpus: %d domains, partitions %s"
+      % (len(index), [(p.lower, p.upper) for p in index.partitions[:4]]))
+
+# ---------------------------------------------------------------------- #
+# 3. Stream in the drifted batch (sizes clamp into the old partitions).
+# ---------------------------------------------------------------------- #
+
+for key in drift:
+    index.insert("new_%s" % key, signatures["new_%s" % key],
+                 drift.size_of(key))
+print("after streaming %d drifted domains: %d indexed"
+      % (len(drift), len(index)))
+
+stale = measure(index, combined, signatures, queries, exact)
+print("stale partitions:   precision %.3f, recall %.3f, F1 %.3f"
+      % (stale.precision, stale.recall, stale.f1))
+
+# ---------------------------------------------------------------------- #
+# 4. Rebuild with partitions fitted to the combined distribution.
+# ---------------------------------------------------------------------- #
+
+rebuilt = LSHEnsemble(threshold=THRESHOLD, num_perm=NUM_PERM,
+                      num_partitions=NUM_PARTITIONS)
+rebuilt.index(
+    (key, signatures[key], combined.size_of(key)) for key in combined
+)
+fresh = measure(rebuilt, combined, signatures, queries, exact)
+print("rebuilt partitions: precision %.3f, recall %.3f, F1 %.3f"
+      % (fresh.precision, fresh.recall, fresh.f1))
+
+print("\nThe paper's Section 6.2 finding: recall survives drift (no new "
+      "false negatives\nby construction), and precision only erodes once "
+      "the drift is extreme —\nrebuilds are rare maintenance, not routine.")

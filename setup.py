@@ -1,0 +1,10 @@
+"""Thin shim so `pip install -e .` works on environments without `wheel`.
+
+All metadata lives in pyproject.toml; this file only exists because the
+offline build environment lacks the `wheel` package that PEP 660 editable
+installs require.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""LSH Ensemble: Internet-Scale Domain Search — full reproduction.
+
+Reproduces Zhu, Nargesian, Pu & Miller, *LSH Ensemble: Internet-Scale
+Domain Search*, PVLDB 9(12), 2016.  The package implements the paper's
+index (:class:`~repro.core.ensemble.LSHEnsemble`) and every substrate it
+rests on: minwise hashing, classic and dynamic (forest) LSH, the
+Asymmetric Minwise Hashing baseline, exact ground-truth search, synthetic
+open-data corpora, and the evaluation harness regenerating each figure
+and table of the paper.
+
+Quickstart::
+
+    from repro import LSHEnsemble, MinHash
+
+    index = LSHEnsemble(threshold=0.5, num_partitions=16)
+    index.index(
+        (name, MinHash.from_values(values), len(values))
+        for name, values in domains.items()
+    )
+    matches = index.query(MinHash.from_values(query), size=len(query))
+"""
+
+from repro.asym import AsymmetricMinHashLSH
+from repro.core import (
+    LSHEnsemble,
+    Partition,
+    blended_partitions,
+    equi_depth_partitions,
+    equi_width_partitions,
+    estimate_containment,
+    optimal_partitions,
+    rank_candidates,
+)
+from repro.exact import InvertedIndex
+from repro.forest import MinHashLSHForest, PrefixForest
+from repro.join import JoinCandidate, JoinDiscovery
+from repro.lsh import MinHashLSH
+from repro.minhash import (
+    BottomKSketch,
+    LeanMinHash,
+    MinHash,
+    SignatureFactory,
+)
+from repro.parallel import ShardedEnsemble
+from repro.persistence import load_ensemble, save_ensemble
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LSHEnsemble",
+    "MinHash",
+    "LeanMinHash",
+    "BottomKSketch",
+    "SignatureFactory",
+    "MinHashLSH",
+    "PrefixForest",
+    "MinHashLSHForest",
+    "AsymmetricMinHashLSH",
+    "InvertedIndex",
+    "ShardedEnsemble",
+    "Partition",
+    "equi_depth_partitions",
+    "equi_width_partitions",
+    "blended_partitions",
+    "optimal_partitions",
+    "estimate_containment",
+    "rank_candidates",
+    "save_ensemble",
+    "load_ensemble",
+    "JoinDiscovery",
+    "JoinCandidate",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Asymmetric Minwise Hashing baseline (Shrivastava & Li 2015)."""
+
+from repro.asym.index import AsymmetricMinHashLSH
+from repro.asym.padding import (
+    min_hash_functions_required,
+    pad_signature,
+    padded_jaccard,
+    selection_probability,
+)
+
+__all__ = [
+    "AsymmetricMinHashLSH",
+    "pad_signature",
+    "padded_jaccard",
+    "selection_probability",
+    "min_hash_functions_required",
+]

@@ -1,0 +1,113 @@
+"""Asymmetric transformation: signature padding (Shrivastava & Li 2015).
+
+Asymmetric Minwise Hashing pads every *indexed* domain with fresh values
+until it reaches the corpus-wide maximum size ``M``; queries stay unpadded.
+Containment is unchanged by padding (fresh values overlap nothing), and the
+Jaccard similarity of an unpadded query against a padded domain is
+monotone in containment (Eq. 31), so a similarity index then supports
+containment search.
+
+Following the paper (and footnote 1), padding is applied to the *MinHash
+signature*, not the value set: each of the ``m`` minimum hash values of
+``k`` fresh uniform values is an order statistic ``min(U_1..U_k)`` with CDF
+``1 - (1 - v)^k``, sampled exactly by inverse transform — no values are
+materialised, so padding a domain to ``M = 10^6`` costs ``O(m)``.
+
+The padding is deterministic per ``(seed, key)`` so rebuilding an index
+yields identical signatures.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+
+import numpy as np
+
+from repro.minhash.hashfunc import MAX_HASH_32
+from repro.minhash.lean import LeanMinHash
+
+__all__ = [
+    "pad_signature",
+    "padded_jaccard",
+    "selection_probability",
+    "min_hash_functions_required",
+]
+
+
+def _domain_rng(seed: int, key: object) -> np.random.Generator:
+    """Deterministic RNG for one domain's padding values."""
+    key_hash = zlib.crc32(repr(key).encode("utf-8"))
+    return np.random.default_rng((seed & 0xFFFFFFFF, key_hash))
+
+
+def pad_signature(signature: LeanMinHash, domain_size: int, max_size: int,
+                  key: object, pad_seed: int = 7) -> LeanMinHash:
+    """Pad ``signature`` as if ``max_size - domain_size`` fresh values joined.
+
+    Returns a new :class:`LeanMinHash`; the original is untouched.  When the
+    domain is already at ``max_size``, the signature is returned unchanged.
+    """
+    if domain_size < 1:
+        raise ValueError("domain_size must be >= 1")
+    if max_size < domain_size:
+        raise ValueError(
+            "max_size %d is smaller than domain_size %d"
+            % (max_size, domain_size)
+        )
+    pad_count = max_size - domain_size
+    if pad_count == 0:
+        return signature
+    rng = _domain_rng(pad_seed, key)
+    u = rng.random(signature.num_perm)
+    # Minimum of pad_count uniforms on [0, 1]: inverse CDF is 1 - U^(1/k).
+    pad_mins = (1.0 - np.power(u, 1.0 / pad_count)) * MAX_HASH_32
+    padded = np.minimum(signature.hashvalues,
+                        pad_mins.astype(np.uint64))
+    return LeanMinHash(seed=signature.seed, hashvalues=padded)
+
+
+def padded_jaccard(t: float, max_size: int, query_size: int) -> float:
+    """``ŝ_{M,q}(t) = t / (M/q + 1 - t)`` — Eq. 31.
+
+    Jaccard similarity of an unpadded query of size ``q`` against a padded
+    domain, as a function of their containment ``t``.  Monotone in ``t``,
+    which is the property that makes the scheme work at all.
+    """
+    if max_size <= 0 or query_size <= 0:
+        raise ValueError("sizes must be positive")
+    if not 0.0 <= t <= 1.0:
+        raise ValueError("containment must be in [0, 1]")
+    denom = max_size / query_size + 1.0 - t
+    return t / denom if denom > 0 else 1.0
+
+
+def selection_probability(max_size: int, query_size: int, b: int,
+                          r: int) -> float:
+    """``P(t=1 | M, q, b, r) = 1 - (1 - (q/M)^r)^b`` — Eq. 32.
+
+    The probability that a *fully containing* domain becomes a candidate
+    after padding.  Figure 10 (left) plots its collapse as ``M`` grows —
+    the paper's explanation of Asym's recall failure under skew.
+    """
+    if max_size < query_size:
+        raise ValueError("max_size must be >= query_size")
+    s = padded_jaccard(1.0, max_size, query_size)
+    return 1.0 - (1.0 - s ** r) ** b
+
+
+def min_hash_functions_required(max_size: int, query_size: int,
+                                target: float = 0.5) -> int:
+    """Minimum ``m*`` keeping ``P(t=1)`` above ``target`` — Figure 10 (right).
+
+    Uses the probability-maximising configuration ``r = 1, b = m`` so that
+    ``P = 1 - (1 - q/M)^m``; solving for ``m`` shows the requirement grows
+    linearly with ``M``, which is why padding cannot be rescued by just
+    adding hash functions.
+    """
+    if not 0.0 < target < 1.0:
+        raise ValueError("target must be in (0, 1)")
+    s = padded_jaccard(1.0, max_size, query_size)
+    if s >= 1.0:
+        return 1
+    return int(math.ceil(math.log(1.0 - target) / math.log(1.0 - s)))

@@ -1,0 +1,168 @@
+"""Command-line interface for domain search.
+
+Build, persist, and query LSH Ensemble indexes from the shell::
+
+    # corpus.json: {"domain-name": ["value", ...], ...}
+    python -m repro.cli build corpus.json index.lshe --partitions 16
+    python -m repro.cli query index.lshe --values a b c --threshold 0.6
+    python -m repro.cli query index.lshe --query-file q.json --top-k 5
+    python -m repro.cli info  index.lshe
+
+The JSON corpus format is deliberately simple: one object whose keys are
+domain names and whose values are arrays of (string or numeric) domain
+values.  Duplicate values are collapsed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.ensemble import LSHEnsemble
+from repro.minhash.generator import SignatureFactory
+from repro.persistence import load_ensemble, save_ensemble
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LSH Ensemble domain search (VLDB 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_build = sub.add_parser("build", help="index a JSON corpus")
+    p_build.add_argument("corpus", type=Path,
+                         help="JSON file: {name: [values...]}")
+    p_build.add_argument("index", type=Path, help="output index path")
+    p_build.add_argument("--partitions", type=int, default=16)
+    p_build.add_argument("--num-perm", type=int, default=256)
+    p_build.add_argument("--threshold", type=float, default=0.8,
+                         help="default containment threshold")
+
+    p_query = sub.add_parser("query", help="search a built index")
+    p_query.add_argument("index", type=Path)
+    group = p_query.add_mutually_exclusive_group(required=True)
+    group.add_argument("--values", nargs="+",
+                       help="query domain values inline")
+    group.add_argument("--query-file", type=Path,
+                       help="JSON array of values, or {name: [values...]}"
+                            " (each entry queried separately)")
+    p_query.add_argument("--threshold", type=float, default=None)
+    p_query.add_argument("--top-k", type=int, default=None,
+                         help="return the k best by estimated containment"
+                              " instead of thresholding")
+
+    p_info = sub.add_parser("info", help="describe a built index")
+    p_info.add_argument("index", type=Path)
+    return parser
+
+
+def _load_corpus(path: Path) -> dict[str, set]:
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SystemExit("error: %s is not valid JSON (%s)" % (path, exc))
+    if not isinstance(data, dict) or not data:
+        raise SystemExit("error: corpus must be a non-empty JSON object")
+    corpus = {}
+    for name, values in data.items():
+        if not isinstance(values, list) or not values:
+            raise SystemExit(
+                "error: domain %r must be a non-empty array" % name)
+        corpus[name] = set(values)
+    return corpus
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    corpus = _load_corpus(args.corpus)
+    factory = SignatureFactory(num_perm=args.num_perm)
+    index = LSHEnsemble(threshold=args.threshold, num_perm=args.num_perm,
+                        num_partitions=args.partitions)
+    t0 = time.perf_counter()
+    index.index(
+        (name, factory.lean(values), len(values))
+        for name, values in corpus.items()
+    )
+    save_ensemble(index, args.index)
+    print("indexed %d domains (%d distinct values) in %.2fs -> %s"
+          % (len(index), factory.cache_size(),
+             time.perf_counter() - t0, args.index))
+    return 0
+
+
+def _run_one_query(index: LSHEnsemble, name: str, values: set,
+                   threshold: float | None, top_k: int | None) -> None:
+    factory = SignatureFactory(num_perm=index.num_perm)
+    sig = factory.lean(values)
+    if top_k is not None:
+        ranked = index.query_top_k(sig, top_k, size=len(values))
+        print("%s: top %d by estimated containment" % (name, top_k))
+        for key, score in ranked:
+            print("  %-40s ~t = %.3f" % (key, score))
+    else:
+        found = index.query(sig, size=len(values), threshold=threshold)
+        print("%s: %d candidates%s" % (
+            name, len(found),
+            "" if threshold is None else " at t* >= %.2f" % threshold))
+        for key in sorted(found, key=str):
+            print("  %s" % (key,))
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    index = load_ensemble(args.index)
+    if args.values is not None:
+        _run_one_query(index, "query", set(args.values), args.threshold,
+                       args.top_k)
+        return 0
+    data = json.loads(args.query_file.read_text(encoding="utf-8"))
+    if isinstance(data, list):
+        _run_one_query(index, str(args.query_file), set(data),
+                       args.threshold, args.top_k)
+    elif isinstance(data, dict):
+        for name, values in data.items():
+            _run_one_query(index, name, set(values), args.threshold,
+                           args.top_k)
+    else:
+        raise SystemExit("error: query file must be a JSON array or object")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    index = load_ensemble(args.index)
+    sizes = sorted(index.size_of(k) for k in index.keys())
+    print("domains:        %d" % len(index))
+    print("num_perm:       %d" % index.num_perm)
+    print("threshold:      %.2f (default)" % index.threshold)
+    print("forest shape:   %d trees x depth %d"
+          % (index.num_trees, index.max_depth))
+    print("domain sizes:   min %d, median %d, max %d"
+          % (sizes[0], sizes[len(sizes) // 2], sizes[-1]))
+    lo = index.partitions[0].lower
+    hi = index.partitions[-1].upper - 1
+    print("partitions (%d):" % len(index.partitions))
+    for p in index.partitions:
+        count = sum(
+            1 for k in index.keys()
+            if min(max(index.size_of(k), lo), hi) in p
+        )
+        print("  [%8d, %8d)  %d domains" % (p.lower, p.upper, count))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "build": _cmd_build,
+        "query": _cmd_query,
+        "info": _cmd_info,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

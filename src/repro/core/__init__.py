@@ -1,0 +1,61 @@
+"""The paper's primary contribution: LSH Ensemble and its supporting theory."""
+
+from repro.core.containment import (
+    candidate_probability_containment,
+    conservative_jaccard_threshold,
+    containment,
+    containment_to_jaccard,
+    effective_containment_threshold,
+    jaccard,
+    jaccard_to_containment,
+)
+from repro.core.cost_model import (
+    expected_false_positives,
+    false_positive_probability,
+    false_positive_upper_bound,
+    partition_cost,
+    partitioning_cost,
+)
+from repro.core.ensemble import LSHEnsemble, PartitionQueryReport
+from repro.core.estimation import estimate_containment, rank_candidates
+from repro.core.partitioner import (
+    Partition,
+    assign_partition,
+    blended_partitions,
+    equi_depth_partitions,
+    equi_width_partitions,
+    optimal_partitions,
+    partition_counts,
+    partition_size_std,
+)
+from repro.core.tuning import TuningResult, fp_fn_mass, tune_params
+
+__all__ = [
+    "LSHEnsemble",
+    "PartitionQueryReport",
+    "estimate_containment",
+    "rank_candidates",
+    "Partition",
+    "equi_depth_partitions",
+    "equi_width_partitions",
+    "blended_partitions",
+    "optimal_partitions",
+    "partition_counts",
+    "partition_size_std",
+    "assign_partition",
+    "tune_params",
+    "fp_fn_mass",
+    "TuningResult",
+    "containment",
+    "jaccard",
+    "containment_to_jaccard",
+    "jaccard_to_containment",
+    "conservative_jaccard_threshold",
+    "effective_containment_threshold",
+    "candidate_probability_containment",
+    "false_positive_probability",
+    "expected_false_positives",
+    "false_positive_upper_bound",
+    "partition_cost",
+    "partitioning_cost",
+]

@@ -1,0 +1,103 @@
+"""The false-positive cost model of Section 5.3 (Propositions 1 and 2).
+
+Filtering a partition ``[l, u)`` with the conservative Jaccard threshold of
+Eq. 7 admits domains whose true containment lies in ``[t_x, t*)`` — false
+positives of the *threshold conversion* (distinct from the LSH
+approximation errors handled in :mod:`repro.core.tuning`).  Assuming the
+containment of an arbitrary domain is uniform on ``[0, 1]``:
+
+    P(X is FP | x)  =  (t* - t_x) / t*   =  1 - (x + q) / (u + q)   (Eq. 11)
+
+and, under a uniform domain-size distribution inside the partition, the
+expected FP count is bounded by (Prop. 2):
+
+    N^FP_{l,u}  <=  N_{l,u} * (u - l + 1) / (2u)                    (Eq. 13)
+
+The partitioning cost to minimise is ``max_i N^FP_i`` (Eq. 9).  Under the
+paper's large-domain assumption ``u >> q``, the bound ``M_i`` (Eq. 16) is
+query independent, which is what makes offline partitioning possible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.containment import effective_containment_threshold
+
+__all__ = [
+    "false_positive_probability",
+    "expected_false_positives",
+    "false_positive_upper_bound",
+    "partition_cost",
+    "partitioning_cost",
+]
+
+
+def false_positive_probability(x: float, q: float, u: float,
+                               t_star: float) -> float:
+    """P(domain of size ``x`` is a conversion false positive) — Eq. 11.
+
+    Handles the case split of Proposition 2's proof: a domain's containment
+    cannot exceed ``min(1, x/q)``, so the FP window is clipped accordingly.
+    """
+    if t_star <= 0.0:
+        return 0.0
+    t_x = effective_containment_threshold(t_star, x, u, q)
+    # Maximum achievable containment for a domain of size x.
+    t_max = min(1.0, x / q)
+    if t_max <= t_x:
+        # Even the best case cannot pass the effective threshold (case 5).
+        return 0.0
+    if t_max >= t_star:
+        # Full window [t_x, t*) is reachable (case 1).
+        return (t_star - t_x) / t_star
+    # Window clipped by the size ratio (cases 2-4): containment uniform on
+    # [0, t_max], FP when in [t_x, t_max).
+    return (t_max - t_x) / t_max
+
+
+def expected_false_positives(sizes: Sequence[float] | np.ndarray, q: float,
+                             l: float, u: float, t_star: float) -> float:
+    """Exact-model expected FP count for the sizes falling in ``[l, u)``.
+
+    Sums Eq. 11 over the actual empirical sizes rather than assuming a
+    uniform in-partition distribution — used to validate Prop. 2's bound.
+    """
+    sizes_arr = np.asarray(sizes, dtype=np.float64)
+    in_part = sizes_arr[(sizes_arr >= l) & (sizes_arr < u)]
+    return float(
+        sum(false_positive_probability(x, q, u, t_star) for x in in_part)
+    )
+
+
+def false_positive_upper_bound(count: int, l: float, u: float) -> float:
+    """``M = N_{l,u} (u - l + 1) / (2u)`` — Eq. 13 / Eq. 16.
+
+    Query independent under the ``u >> q`` assumption; this is the quantity
+    the equi-``M_i`` partitioner balances.
+    """
+    if u <= 0:
+        raise ValueError("u must be positive")
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if u <= l:
+        raise ValueError("partition upper bound must exceed lower bound")
+    return count * (u - l + 1.0) / (2.0 * u)
+
+
+def partition_cost(sizes: Sequence[float] | np.ndarray, l: float,
+                   u: float) -> float:
+    """Eq. 16's ``M_i`` computed from the empirical sizes in ``[l, u)``."""
+    sizes_arr = np.asarray(sizes, dtype=np.float64)
+    count = int(np.count_nonzero((sizes_arr >= l) & (sizes_arr < u)))
+    return false_positive_upper_bound(count, l, u)
+
+
+def partitioning_cost(sizes: Sequence[float] | np.ndarray,
+                      boundaries: Sequence[tuple[float, float]]) -> float:
+    """``cost(Π) = max_i M_i`` — Eq. 9 with the Prop. 2 bound plugged in."""
+    if not boundaries:
+        raise ValueError("boundaries must contain at least one partition")
+    return max(partition_cost(sizes, l, u) for l, u in boundaries)

@@ -1,0 +1,393 @@
+"""LSH Ensemble — the paper's primary contribution (Section 5).
+
+The index partitions domains by cardinality and keeps one dynamic LSH
+(:class:`~repro.forest.prefix_forest.PrefixForest`) per partition.  A
+containment query ``(Q, t*)`` is answered per partition (Algorithm 1):
+
+1. estimate the query size ``q`` from its signature (``approx(|Q|)``);
+2. convert ``t*`` to that partition's conservative Jaccard threshold using
+   the partition's size upper bound ``u_i`` (Eq. 7) — realised here by
+   tuning ``(b_i, r_i)`` directly against the containment-space objective
+   (Eq. 26);
+3. query the partition's forest at ``(b_i, r_i)``;
+
+and the union of the partition results is returned
+(``Partitioned-Containment-Search``).  Partitions whose largest possible
+containment ``u_i / q`` is below ``t*`` cannot hold a true positive and
+are pruned outright.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Hashable, Iterable, Sequence
+
+from repro.core.partitioner import (
+    Partition,
+    assign_partition,
+    equi_depth_partitions,
+)
+from repro.core.tuning import TuningResult, tune_params_quantized
+from repro.forest.prefix_forest import PrefixForest, default_forest_shape
+from repro.lsh.storage import DictHashTableStorage
+from repro.minhash.lean import LeanMinHash
+from repro.minhash.minhash import MinHash
+
+__all__ = ["LSHEnsemble", "PartitionQueryReport"]
+
+
+class PartitionQueryReport:
+    """Diagnostics for one partition's contribution to a query.
+
+    ``elapsed_seconds`` is the wall time of this partition's probe.  The
+    paper evaluates partitions concurrently (Eq. 9 minimises the *max*
+    per-partition cost for exactly that reason), so the parallel-model
+    query time of a whole ensemble query is ``max`` over these, while the
+    single-worker time is their sum.
+    """
+
+    __slots__ = ("partition", "tuning", "num_candidates", "pruned",
+                 "elapsed_seconds")
+
+    def __init__(self, partition: Partition, tuning: TuningResult | None,
+                 num_candidates: int, pruned: bool,
+                 elapsed_seconds: float = 0.0) -> None:
+        self.partition = partition
+        self.tuning = tuning
+        self.num_candidates = num_candidates
+        self.pruned = pruned
+        self.elapsed_seconds = elapsed_seconds
+
+    def __repr__(self) -> str:
+        if self.pruned:
+            return "PartitionQueryReport([%d, %d), pruned)" % (
+                self.partition.lower, self.partition.upper)
+        return ("PartitionQueryReport([%d, %d), b=%d, r=%d, candidates=%d)"
+                % (self.partition.lower, self.partition.upper,
+                   self.tuning.b, self.tuning.r, self.num_candidates))
+
+
+def _as_lean(signature: MinHash | LeanMinHash) -> LeanMinHash:
+    if isinstance(signature, LeanMinHash):
+        return signature
+    if isinstance(signature, MinHash):
+        return LeanMinHash(signature)
+    raise TypeError(
+        "expected MinHash or LeanMinHash, got %r" % type(signature).__name__
+    )
+
+
+class LSHEnsemble:
+    """Containment-search index over domains with skewed cardinalities.
+
+    Parameters
+    ----------
+    threshold:
+        Default containment threshold ``t*``; can be overridden per query.
+    num_perm:
+        Signature length ``m`` (paper default 256).
+    num_partitions:
+        Number of cardinality partitions ``n`` (paper evaluates 8/16/32).
+    num_trees, max_depth:
+        Per-partition forest shape ``(B, K)``; defaults to the balanced
+        shape for ``num_perm`` (32 trees of depth 8 at ``m = 256``).
+    partitioner:
+        Callable ``(sizes, n) -> list[Partition]`` used by :meth:`index`;
+        defaults to equi-depth (Theorem 2).  Pass
+        :func:`~repro.core.partitioner.optimal_partitions` for non-power-law
+        data, or a custom callable.
+    storage_factory:
+        Bucket backend for the underlying forests.
+
+    The index is built in one shot with :meth:`index` (partition bounds are
+    derived from the data, as in the paper), after which new domains can
+    still be added with :meth:`insert` — they are routed to the existing
+    partition covering their size (the Figure 8 dynamic-data regime).
+    """
+
+    def __init__(self, threshold: float = 0.8, num_perm: int = 256,
+                 num_partitions: int = 8,
+                 num_trees: int | None = None, max_depth: int | None = None,
+                 partitioner=equi_depth_partitions,
+                 storage_factory=DictHashTableStorage) -> None:
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        if num_perm < 2:
+            raise ValueError("num_perm must be at least 2")
+        self.threshold = float(threshold)
+        self.num_perm = int(num_perm)
+        self.num_partitions = int(num_partitions)
+        if num_trees is None or max_depth is None:
+            auto_trees, auto_depth = default_forest_shape(num_perm)
+            num_trees = num_trees if num_trees is not None else auto_trees
+            max_depth = max_depth if max_depth is not None else auto_depth
+        if num_trees * max_depth > num_perm:
+            raise ValueError(
+                "num_trees * max_depth = %d exceeds num_perm = %d"
+                % (num_trees * max_depth, num_perm)
+            )
+        self.num_trees = int(num_trees)
+        self.max_depth = int(max_depth)
+        self._partitioner = partitioner
+        self._storage_factory = storage_factory
+        self._partitions: list[Partition] = []
+        self._forests: list[PrefixForest] = []
+        self._sizes: dict[Hashable, int] = {}
+        # Largest *true* size routed into each partition.  Clamped inserts
+        # (sizes beyond the built range, Section 6.2's drift regime) can
+        # exceed the partition's nominal upper bound; queries must use the
+        # larger of the two or pruning/tuning would lose those domains.
+        self._partition_max_size: list[int] = []
+
+    # ------------------------------------------------------------------ #
+    # Build
+    # ------------------------------------------------------------------ #
+
+    def index(self, entries: Iterable[tuple[Hashable, MinHash | LeanMinHash,
+                                            int]],
+              partitions: Sequence[Partition] | None = None) -> None:
+        """Bulk-build the index from ``(key, signature, size)`` triples.
+
+        Partition bounds come from the configured partitioner applied to
+        the observed sizes, unless explicit ``partitions`` are supplied
+        (used by the Figure 8 sweep to impose blended partitionings).
+        """
+        if self._forests:
+            raise RuntimeError("index() may only be called on an empty index")
+        staged = list(entries)
+        if not staged:
+            raise ValueError("cannot index an empty collection of domains")
+        sizes = [size for _, __, size in staged]
+        if min(sizes) < 1:
+            raise ValueError("all domain sizes must be >= 1")
+        if partitions is not None:
+            self._partitions = list(partitions)
+        else:
+            self._partitions = self._partitioner(sizes, self.num_partitions)
+        self._forests = [
+            PrefixForest(self.num_perm, self.num_trees, self.max_depth,
+                         storage_factory=self._storage_factory)
+            for _ in self._partitions
+        ]
+        self._partition_max_size = [0] * len(self._partitions)
+        for key, signature, size in staged:
+            self._route(key, signature, size)
+
+    def insert(self, key: Hashable, signature: MinHash | LeanMinHash,
+               size: int) -> None:
+        """Add one domain to an already-built index.
+
+        Sizes beyond the built range are clamped into the boundary
+        partitions; heavy drift degrades the equi-depth optimality (the
+        paper's Section 6.2) but never correctness of what is stored.
+        """
+        if not self._forests:
+            raise RuntimeError("call index() before insert()")
+        if size < 1:
+            raise ValueError("domain size must be >= 1")
+        self._route(key, signature, size)
+
+    def _route(self, key: Hashable, signature: MinHash | LeanMinHash,
+               size: int) -> None:
+        if key in self._sizes:
+            raise ValueError("key %r is already in the index" % (key,))
+        clamped = min(max(size, self._partitions[0].lower),
+                      self._partitions[-1].upper - 1)
+        i = assign_partition(clamped, self._partitions)
+        self._forests[i].insert(key, _as_lean(signature))
+        self._sizes[key] = size
+        if size > self._partition_max_size[i]:
+            self._partition_max_size[i] = size
+
+    def remove(self, key: Hashable) -> None:
+        """Remove a domain from the index."""
+        size = self._sizes.pop(key, None)
+        if size is None:
+            raise KeyError(key)
+        clamped = min(max(size, self._partitions[0].lower),
+                      self._partitions[-1].upper - 1)
+        self._forests[assign_partition(clamped, self._partitions)].remove(key)
+
+    # ------------------------------------------------------------------ #
+    # Query
+    # ------------------------------------------------------------------ #
+
+    def query(self, signature: MinHash | LeanMinHash,
+              size: int | None = None,
+              threshold: float | None = None) -> set:
+        """All keys whose domains likely contain ``>= t*`` of the query.
+
+        Parameters
+        ----------
+        signature:
+            MinHash of the query domain ``Q``.
+        size:
+            ``|Q|`` if known; otherwise estimated from the signature
+            (Algorithm 1's ``approx(|Q|)``).
+        threshold:
+            Per-query ``t*``; defaults to the constructor threshold.
+        """
+        results, _ = self.query_with_report(signature, size, threshold)
+        return results
+
+    def query_with_report(self, signature: MinHash | LeanMinHash,
+                          size: int | None = None,
+                          threshold: float | None = None,
+                          ) -> tuple[set, list[PartitionQueryReport]]:
+        """:meth:`query` plus per-partition tuning diagnostics."""
+        if not self._forests:
+            raise RuntimeError("the index is empty; call index() first")
+        lean = _as_lean(signature)
+        t_star = self.threshold if threshold is None else float(threshold)
+        if not 0.0 <= t_star <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        q = int(size) if size is not None else max(1, lean.count())
+        if q < 1:
+            raise ValueError("query size must be >= 1")
+        results: set = set()
+        reports: list[PartitionQueryReport] = []
+        for i, (partition, forest) in enumerate(
+                zip(self._partitions, self._forests)):
+            # Clamped inserts can exceed the nominal bound; stay
+            # conservative (remove() never shrinks the tracked max).
+            u = max(partition.upper - 1, self._partition_max_size[i])
+            if forest.is_empty():
+                reports.append(PartitionQueryReport(partition, None, 0, True))
+                continue
+            if t_star > 0 and u < t_star * q:
+                # No domain this small can contain t* of the query.
+                reports.append(PartitionQueryReport(partition, None, 0, True))
+                continue
+            t0 = time.perf_counter()
+            tuning = tune_params_quantized(u, q, t_star, self.num_trees,
+                                           self.max_depth, self.num_perm)
+            found = forest.query(lean, tuning.b, tuning.r)
+            elapsed = time.perf_counter() - t0
+            results |= found
+            reports.append(
+                PartitionQueryReport(partition, tuning, len(found), False,
+                                     elapsed)
+            )
+        return results, reports
+
+    def query_top_k(self, signature: MinHash | LeanMinHash, k: int,
+                    size: int | None = None, min_threshold: float = 0.05,
+                    ) -> list[tuple[Hashable, float]]:
+        """The ``k`` domains with the highest *estimated* containment.
+
+        The paper (Section 2) notes the top-k formulation is
+        complementary to threshold search; this extension implements it
+        on top of the threshold machinery: walk a descending threshold
+        ladder until at least ``k`` candidates accumulate (or
+        ``min_threshold`` is reached), then rank candidates by
+        signature-estimated containment (Eq. 6 inverted).
+
+        Returns ``(key, estimated_containment)`` pairs, best first.  The
+        estimates are approximate — a verification pass over raw values
+        is still advisable before acting on fine-grained ordering.
+        """
+        from repro.core.estimation import rank_candidates
+
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if not 0.0 < min_threshold <= 1.0:
+            raise ValueError("min_threshold must be in (0, 1]")
+        lean = _as_lean(signature)
+        q = int(size) if size is not None else max(1, lean.count())
+        candidates: set = set()
+        threshold = 0.95
+        while True:
+            candidates |= self.query(lean, size=q, threshold=threshold)
+            if len(candidates) >= k or threshold <= min_threshold:
+                break
+            threshold = max(min_threshold, threshold - 0.15)
+        pool = {key: self._signature_of(key) for key in candidates}
+        ranked = rank_candidates(lean, pool, query_size=q,
+                                 sizes={key: self._sizes[key]
+                                        for key in candidates})
+        return ranked[:k]
+
+    def _signature_of(self, key: Hashable) -> LeanMinHash:
+        clamped = min(max(self._sizes[key], self._partitions[0].lower),
+                      self._partitions[-1].upper - 1)
+        forest = self._forests[assign_partition(clamped, self._partitions)]
+        return forest.get_signature(key)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def get_signature(self, key: Hashable) -> LeanMinHash:
+        """The stored signature for ``key`` (KeyError when absent)."""
+        if key not in self._sizes:
+            raise KeyError(key)
+        return self._signature_of(key)
+
+    def stats(self) -> dict:
+        """Operational statistics: partition fill and size spread.
+
+        Returns a dict with one entry per partition: bounds, domain
+        count, and the min/max stored size routed there — the numbers an
+        operator watches to decide when distribution drift warrants a
+        rebuild (Section 6.2).
+        """
+        if not self._forests:
+            raise RuntimeError("the index is empty; call index() first")
+        lo = self._partitions[0].lower
+        hi = self._partitions[-1].upper - 1
+        per_partition: list[dict] = [
+            {
+                "lower": p.lower,
+                "upper": p.upper,
+                "count": 0,
+                "min_size": None,
+                "max_size": None,
+            }
+            for p in self._partitions
+        ]
+        for key, size in self._sizes.items():
+            clamped = min(max(size, lo), hi)
+            i = assign_partition(clamped, self._partitions)
+            entry = per_partition[i]
+            entry["count"] += 1
+            if entry["min_size"] is None or size < entry["min_size"]:
+                entry["min_size"] = size
+            if entry["max_size"] is None or size > entry["max_size"]:
+                entry["max_size"] = size
+        counts = [e["count"] for e in per_partition]
+        mean = sum(counts) / len(counts)
+        variance = sum((c - mean) ** 2 for c in counts) / len(counts)
+        return {
+            "num_domains": len(self._sizes),
+            "num_partitions": len(self._partitions),
+            "partition_count_std": variance ** 0.5,
+            "partitions": per_partition,
+        }
+
+    @property
+    def partitions(self) -> list[Partition]:
+        """The partition intervals the index was built with."""
+        return list(self._partitions)
+
+    def size_of(self, key: Hashable) -> int:
+        """The recorded domain size for ``key``."""
+        return self._sizes[key]
+
+    def keys(self) -> Iterable[Hashable]:
+        return self._sizes.keys()
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._sizes
+
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+    def is_empty(self) -> bool:
+        return not self._sizes
+
+    def __repr__(self) -> str:
+        return ("LSHEnsemble(threshold=%.2f, num_perm=%d, partitions=%d, "
+                "keys=%d)" % (self.threshold, self.num_perm,
+                              len(self._partitions), len(self._sizes)))

@@ -1,0 +1,268 @@
+"""Domain-size partitioning strategies (Section 5.4 of the paper).
+
+A partitioning ``Π = <[l_i, u_i)>`` splits the indexed domains by
+cardinality.  Theorem 1 shows an optimal partitioning equalises the
+false-positive bound ``M_i`` across partitions; Theorem 2 shows that for
+power-law size distributions *equi-depth* (equal domain counts) is an
+equi-``M_i`` partitioning, which is what the paper deploys.
+
+This module provides:
+
+* :func:`equi_depth_partitions` — the paper's production strategy.
+* :func:`equi_width_partitions` — equal-size intervals; the degenerate end
+  of the Figure 8 sweep.
+* :func:`blended_partitions` — a convex morph between the two, driving the
+  dynamic-data robustness experiment (Figure 8).
+* :func:`optimal_partitions` — a direct equi-``M_i`` construction for
+  *arbitrary* (non-power-law) size distributions, via binary search on the
+  bound with a greedy feasibility sweep; this realises Theorem 1 without
+  the power-law shortcut.
+
+All partitionings cover ``[min size, max size + 1)`` with half-open,
+contiguous intervals, so every indexed domain lands in exactly one
+partition.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cost_model import false_positive_upper_bound
+
+__all__ = [
+    "Partition",
+    "equi_depth_partitions",
+    "equi_width_partitions",
+    "blended_partitions",
+    "optimal_partitions",
+    "partition_counts",
+    "partition_size_std",
+    "assign_partition",
+]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A half-open domain-size interval ``[lower, upper)``."""
+
+    lower: int
+    upper: int
+
+    def __post_init__(self) -> None:
+        if self.lower < 1:
+            raise ValueError("partition lower bound must be >= 1")
+        if self.upper <= self.lower:
+            raise ValueError(
+                "partition upper bound %d must exceed lower bound %d"
+                % (self.upper, self.lower)
+            )
+
+    def __contains__(self, size: int) -> bool:
+        return self.lower <= size < self.upper
+
+    @property
+    def width(self) -> int:
+        return self.upper - self.lower
+
+
+def _validate_sizes(sizes: Sequence[int] | np.ndarray) -> np.ndarray:
+    arr = np.asarray(sizes, dtype=np.int64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("sizes must be a non-empty 1-D sequence")
+    if arr.min() < 1:
+        raise ValueError("domain sizes must be >= 1")
+    return arr
+
+
+def _partitions_from_boundaries(boundaries: Sequence[int]) -> list[Partition]:
+    """Turn a strictly increasing boundary list into Partition objects."""
+    return [
+        Partition(int(boundaries[i]), int(boundaries[i + 1]))
+        for i in range(len(boundaries) - 1)
+    ]
+
+
+def equi_depth_partitions(sizes: Sequence[int] | np.ndarray,
+                          num_partitions: int) -> list[Partition]:
+    """Equal-count partitioning (Theorem 2's approximation of the optimum).
+
+    Domains of equal size cannot be separated (partitions are size
+    intervals), so boundaries snap to the nearest distinct size; the result
+    may therefore have fewer than ``num_partitions`` partitions when the
+    distinct sizes are few.
+    """
+    arr = _validate_sizes(sizes)
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be >= 1")
+    lo, hi = int(arr.min()), int(arr.max()) + 1
+    if num_partitions == 1:
+        return [Partition(lo, hi)]
+    sorted_sizes = np.sort(arr)
+    boundaries = [lo]
+    for i in range(1, num_partitions):
+        # The size at the i-th n-quantile of the empirical distribution.
+        cut = int(sorted_sizes[min(len(sorted_sizes) - 1,
+                                   (i * len(sorted_sizes)) // num_partitions)])
+        if cut > boundaries[-1]:
+            boundaries.append(cut)
+    if boundaries[-1] >= hi:
+        boundaries = boundaries[:-1]
+    boundaries.append(hi)
+    return _partitions_from_boundaries(boundaries)
+
+
+def equi_width_partitions(sizes: Sequence[int] | np.ndarray,
+                          num_partitions: int) -> list[Partition]:
+    """Equal-interval partitioning of ``[min, max + 1)``."""
+    arr = _validate_sizes(sizes)
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be >= 1")
+    lo, hi = int(arr.min()), int(arr.max()) + 1
+    span = hi - lo
+    if num_partitions >= span:
+        num_partitions = span
+    boundaries = [lo]
+    for i in range(1, num_partitions):
+        cut = lo + (i * span) // num_partitions
+        if cut > boundaries[-1]:
+            boundaries.append(cut)
+    boundaries.append(hi)
+    return _partitions_from_boundaries(boundaries)
+
+
+def blended_partitions(sizes: Sequence[int] | np.ndarray,
+                       num_partitions: int, alpha: float) -> list[Partition]:
+    """Morph between equi-depth (``alpha = 0``) and equi-width (``alpha = 1``).
+
+    Used by the Figure 8 experiment: as ``alpha`` grows the partition
+    counts drift apart (their standard deviation rises), simulating an
+    index whose data distribution has drifted away from the equi-depth
+    assumption under which it was built.
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError("alpha must be in [0, 1]")
+    arr = _validate_sizes(sizes)
+    depth = equi_depth_partitions(arr, num_partitions)
+    width = equi_width_partitions(arr, num_partitions)
+
+    def boundary_list(parts: list[Partition], n: int) -> list[int]:
+        # Re-express as exactly n+1 boundaries by repeating the last upper
+        # bound when snapping produced fewer partitions.
+        bounds = [p.lower for p in parts] + [parts[-1].upper]
+        while len(bounds) < n + 1:
+            bounds.insert(-1, bounds[-2])
+        return bounds
+
+    db = boundary_list(depth, num_partitions)
+    wb = boundary_list(width, num_partitions)
+    lo, hi = int(arr.min()), int(arr.max()) + 1
+    blended = [lo]
+    for i in range(1, num_partitions):
+        cut = int(round((1.0 - alpha) * db[i] + alpha * wb[i]))
+        if cut > blended[-1] and cut < hi:
+            blended.append(cut)
+    blended.append(hi)
+    return _partitions_from_boundaries(blended)
+
+
+def optimal_partitions(sizes: Sequence[int] | np.ndarray,
+                       num_partitions: int,
+                       tolerance: float = 1e-6) -> list[Partition]:
+    """Equi-``M_i`` partitioning for an arbitrary size distribution.
+
+    Realises Theorem 1 directly: binary search on the cost target ``C``;
+    a greedy left-to-right sweep checks whether the distinct sizes can be
+    covered by at most ``num_partitions`` intervals each with
+    ``M_i = N_i (u_i - l_i + 1) / (2 u_i) <= C``.  ``M_i`` is
+    non-decreasing as an interval extends rightward (both the count and
+    the width factor grow), so the greedy sweep is exact.
+    """
+    arr = _validate_sizes(sizes)
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be >= 1")
+    distinct, counts = np.unique(arr, return_counts=True)
+    hi = int(distinct[-1]) + 1
+    if num_partitions == 1:
+        return [Partition(int(distinct[0]), hi)]
+    if len(distinct) <= num_partitions:
+        # Few distinct sizes: one tight partition per distinct size is the
+        # cheapest possible cover.
+        bounds = [int(distinct[0])] + [int(v) + 1 for v in distinct]
+        return _partitions_from_boundaries(sorted(set(bounds)))
+    cum = np.concatenate(([0], np.cumsum(counts)))
+
+    def sweep(cost_cap: float) -> list[int] | None:
+        """Greedy cover; returns boundaries or None if > n partitions.
+
+        Every emitted partition closes *tightly* above its largest member
+        (upper bound ``distinct[end] + 1``), so the bound checked while
+        extending is exactly the realised partition cost.  ``M`` grows
+        monotonically as a partition extends rightward, which makes
+        maximal greedy extension optimal for a given cap.
+        """
+        boundaries = [int(distinct[0])]
+        start = 0  # index into `distinct` where the current partition opens
+        while start < len(distinct):
+            if len(boundaries) > num_partitions:
+                return None
+            cur_lo = boundaries[-1]
+            end = start
+            while end + 1 < len(distinct):
+                n_in = int(cum[end + 2] - cum[start])
+                m = false_positive_upper_bound(
+                    n_in, cur_lo, int(distinct[end + 1]) + 1
+                )
+                if m > cost_cap:
+                    break
+                end += 1
+            boundaries.append(int(distinct[end]) + 1)
+            start = end + 1
+        return boundaries if len(boundaries) - 1 <= num_partitions else None
+
+    # Bracket the optimum: the whole-range cost is always feasible.
+    hi_cost = false_positive_upper_bound(int(arr.size), int(distinct[0]), hi)
+    lo_cost = 0.0
+    best = sweep(hi_cost)
+    assert best is not None
+    for _ in range(64):
+        if hi_cost - lo_cost <= tolerance * max(1.0, hi_cost):
+            break
+        mid = 0.5 * (lo_cost + hi_cost)
+        attempt = sweep(mid)
+        if attempt is None:
+            lo_cost = mid
+        else:
+            hi_cost = mid
+            best = attempt
+    return _partitions_from_boundaries(best)
+
+
+def partition_counts(sizes: Sequence[int] | np.ndarray,
+                     partitions: Sequence[Partition]) -> list[int]:
+    """Number of domains falling in each partition."""
+    arr = _validate_sizes(sizes)
+    return [
+        int(np.count_nonzero((arr >= p.lower) & (arr < p.upper)))
+        for p in partitions
+    ]
+
+
+def partition_size_std(sizes: Sequence[int] | np.ndarray,
+                       partitions: Sequence[Partition]) -> float:
+    """Standard deviation of partition counts — Figure 8's x-axis."""
+    counts = partition_counts(sizes, partitions)
+    return float(np.std(counts))
+
+
+def assign_partition(size: int, partitions: Sequence[Partition]) -> int:
+    """Index of the partition containing ``size`` (ValueError if none)."""
+    for i, p in enumerate(partitions):
+        if size in p:
+            return i
+    raise ValueError(
+        "size %d is outside all partitions [%d, %d)"
+        % (size, partitions[0].lower, partitions[-1].upper)
+    )

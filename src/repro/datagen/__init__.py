@@ -1,0 +1,39 @@
+"""Synthetic data: power-law corpora, relational tables, query samplers."""
+
+from repro.datagen.corpus import (
+    DomainCorpus,
+    generate_corpus,
+    generate_skew_series,
+)
+from repro.datagen.distributions import (
+    power_law_sizes,
+    truncated_geometric,
+    zipf_ranks,
+)
+from repro.datagen.queries import (
+    largest_decile_queries,
+    sample_queries,
+    smallest_decile_queries,
+)
+from repro.datagen.tables import (
+    ATTRIBUTE_POOLS,
+    Table,
+    TableCorpus,
+    generate_tables,
+)
+
+__all__ = [
+    "DomainCorpus",
+    "generate_corpus",
+    "generate_skew_series",
+    "power_law_sizes",
+    "truncated_geometric",
+    "zipf_ranks",
+    "sample_queries",
+    "smallest_decile_queries",
+    "largest_decile_queries",
+    "Table",
+    "TableCorpus",
+    "generate_tables",
+    "ATTRIBUTE_POOLS",
+]

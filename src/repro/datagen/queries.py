@@ -1,0 +1,61 @@
+"""Query sampling rules used by the evaluation (Section 6.1).
+
+The paper samples 3,000 indexed domains uniformly as queries, and
+separately studies queries from the smallest and largest size deciles
+(Figures 6 and 7).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+import numpy as np
+
+from repro.datagen.corpus import DomainCorpus
+
+__all__ = [
+    "sample_queries",
+    "smallest_decile_queries",
+    "largest_decile_queries",
+]
+
+
+def sample_queries(corpus: DomainCorpus, num_queries: int,
+                   seed: int = 13) -> list[Hashable]:
+    """Uniform sample of domain keys to use as query domains."""
+    if num_queries < 1:
+        raise ValueError("num_queries must be >= 1")
+    keys = sorted(corpus, key=str)
+    rng = np.random.default_rng(seed)
+    if num_queries >= len(keys):
+        return keys
+    picks = rng.choice(len(keys), size=num_queries, replace=False)
+    return [keys[i] for i in picks]
+
+
+def _decile_keys(corpus: DomainCorpus, lowest: bool) -> list[Hashable]:
+    ranked = sorted(corpus, key=lambda k: (corpus.size_of(k), str(k)))
+    cut = max(1, len(ranked) // 10)
+    return ranked[:cut] if lowest else ranked[-cut:]
+
+
+def smallest_decile_queries(corpus: DomainCorpus, num_queries: int,
+                            seed: int = 13) -> list[Hashable]:
+    """Queries drawn from the smallest 10% of domains (Figure 7)."""
+    pool = _decile_keys(corpus, lowest=True)
+    rng = np.random.default_rng(seed)
+    if num_queries >= len(pool):
+        return pool
+    picks = rng.choice(len(pool), size=num_queries, replace=False)
+    return [pool[i] for i in picks]
+
+
+def largest_decile_queries(corpus: DomainCorpus, num_queries: int,
+                           seed: int = 13) -> list[Hashable]:
+    """Queries drawn from the largest 10% of domains (Figure 6)."""
+    pool = _decile_keys(corpus, lowest=False)
+    rng = np.random.default_rng(seed)
+    if num_queries >= len(pool):
+        return pool
+    picks = rng.choice(len(pool), size=num_queries, replace=False)
+    return [pool[i] for i in picks]

@@ -1,0 +1,131 @@
+"""Relational table generator — the open-data scenario of Section 1.1.
+
+The paper's motivating use case is finding tables that *join* with a given
+table on an attribute (e.g. ``NSERC_GRANT_PARTNER_2011.Partner``).  This
+module fabricates corpora of relational tables whose attribute domains have
+realistic open-data shapes: categorical attributes drawn from shared value
+pools (so joins exist to be found), plus identifier attributes that are
+unique per table (so not everything joins).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datagen.corpus import DomainCorpus
+from repro.datagen.distributions import power_law_sizes, zipf_ranks
+
+__all__ = ["Table", "TableCorpus", "generate_tables", "ATTRIBUTE_POOLS"]
+
+# Shared value pools modelling common open-data attribute families.  Pools
+# are generated lazily at module import; values are short strings like the
+# categorical values real open data contains.
+_POOL_SPECS = {
+    "province": 13,
+    "country": 195,
+    "city": 1_200,
+    "department": 300,
+    "fiscal_year": 40,
+    "partner_org": 5_000,
+    "program": 800,
+    "status": 8,
+    "industry_code": 2_000,
+    "region": 60,
+}
+
+
+def _build_pools() -> dict[str, list[str]]:
+    return {
+        name: ["%s_%04d" % (name, i) for i in range(size)]
+        for name, size in _POOL_SPECS.items()
+    }
+
+
+ATTRIBUTE_POOLS = _build_pools()
+
+
+@dataclass
+class Table:
+    """A relational table characterised by its attribute domains."""
+
+    name: str
+    domains: dict[str, frozenset] = field(default_factory=dict)
+
+    @property
+    def attributes(self) -> list[str]:
+        return list(self.domains)
+
+    def domain(self, attribute: str) -> frozenset:
+        return self.domains[attribute]
+
+    def __repr__(self) -> str:
+        return "Table(%s, %d attributes)" % (self.name, len(self.domains))
+
+
+class TableCorpus:
+    """A collection of tables plus the flat domain view indexes consume."""
+
+    def __init__(self, tables: list[Table]) -> None:
+        self.tables = list(tables)
+        flat: dict[Hashable, frozenset] = {}
+        for table in self.tables:
+            for attr, values in table.domains.items():
+                flat[(table.name, attr)] = values
+        self._corpus = DomainCorpus(flat)
+
+    @property
+    def domains(self) -> DomainCorpus:
+        """Every ``(table, attribute)`` domain as a :class:`DomainCorpus`."""
+        return self._corpus
+
+    def table(self, name: str) -> Table:
+        for t in self.tables:
+            if t.name == name:
+                return t
+        raise KeyError(name)
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+
+def generate_tables(num_tables: int = 200, seed: int = 7,
+                    id_fraction: float = 0.3) -> TableCorpus:
+    """Fabricate ``num_tables`` open-data-like tables.
+
+    Each table gets 2-6 categorical attributes sampled from the shared
+    pools (Zipf-weighted, so provinces/years recur across tables the way
+    they do in real portals) and, with probability ``id_fraction``, one
+    table-unique identifier attribute.  Categorical domains are random
+    subsets of their pool with power-law sizes, so cross-table containment
+    spans the full range.
+    """
+    if num_tables < 1:
+        raise ValueError("num_tables must be >= 1")
+    rng = np.random.default_rng(seed)
+    pool_names = list(ATTRIBUTE_POOLS)
+    tables: list[Table] = []
+    for i in range(num_tables):
+        table_name = "table_%04d" % i
+        num_attrs = int(rng.integers(2, 7))
+        picks = zipf_ranks(num_attrs, len(pool_names), exponent=1.0, rng=rng)
+        domains: dict[str, frozenset] = {}
+        for j, pick in enumerate(dict.fromkeys(int(p) for p in picks)):
+            pool_name = pool_names[pick]
+            pool = ATTRIBUTE_POOLS[pool_name]
+            max_take = len(pool)
+            want = int(power_law_sizes(1, alpha=1.8, min_size=2,
+                                       max_size=max_take, rng=rng)[0])
+            take = min(want, max_take)
+            values = rng.choice(len(pool), size=take, replace=False)
+            attr = "%s_%d" % (pool_name, j)
+            domains[attr] = frozenset(pool[v] for v in values)
+        if rng.random() < id_fraction:
+            rows = int(rng.integers(50, 5_000))
+            domains["record_id"] = frozenset(
+                "%s_id_%06d" % (table_name, r) for r in range(rows)
+            )
+        tables.append(Table(table_name, domains))
+    return TableCorpus(tables)

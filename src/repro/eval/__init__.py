@@ -1,0 +1,39 @@
+"""Evaluation: metrics (Eq. 27-28), experiment harness, report rendering."""
+
+from repro.eval.harness import (
+    AccuracyExperiment,
+    AccuracyResults,
+    default_thresholds,
+    standard_methods,
+)
+from repro.eval.metrics import (
+    MeanAccuracy,
+    QueryEvaluation,
+    aggregate,
+    evaluate_query,
+    f_beta,
+    precision,
+    recall,
+)
+from repro.eval.reports import (
+    format_accuracy_results,
+    format_series,
+    format_table,
+)
+
+__all__ = [
+    "AccuracyExperiment",
+    "AccuracyResults",
+    "standard_methods",
+    "default_thresholds",
+    "precision",
+    "recall",
+    "f_beta",
+    "QueryEvaluation",
+    "evaluate_query",
+    "MeanAccuracy",
+    "aggregate",
+    "format_table",
+    "format_accuracy_results",
+    "format_series",
+]

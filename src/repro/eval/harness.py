@@ -1,0 +1,186 @@
+"""Experiment harness: build indexes, sweep thresholds, score accuracy.
+
+This is the machinery behind every accuracy figure (4, 5, 6, 7, 8): take a
+corpus, sample queries, compute exact ground truth once per query via the
+inverted index, then evaluate each method's candidate sets across a
+containment-threshold sweep.
+
+Methods are supplied as factories returning any object with the common
+index protocol::
+
+    index.index(entries)                          # bulk build
+    index.query(signature, size, threshold) -> set
+
+which :class:`~repro.core.ensemble.LSHEnsemble` (the ensemble *and* the
+single-partition baseline) and
+:class:`~repro.asym.index.AsymmetricMinHashLSH` both satisfy.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Hashable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.asym.index import AsymmetricMinHashLSH
+from repro.core.ensemble import LSHEnsemble
+from repro.datagen.corpus import DomainCorpus
+from repro.eval.metrics import MeanAccuracy, aggregate, evaluate_query
+from repro.exact.inverted import InvertedIndex
+from repro.minhash.lean import LeanMinHash
+
+__all__ = [
+    "AccuracyExperiment",
+    "AccuracyResults",
+    "standard_methods",
+    "default_thresholds",
+]
+
+
+def default_thresholds(step: float = 0.1) -> list[float]:
+    """The paper's sweep: thresholds from ``step`` to 1.0 inclusive."""
+    if not 0.0 < step <= 1.0:
+        raise ValueError("step must be in (0, 1]")
+    count = int(round(1.0 / step))
+    return [round(step * i, 10) for i in range(1, count + 1)]
+
+
+def standard_methods(num_perm: int = 256,
+                     partition_counts: Sequence[int] = (8, 16, 32),
+                     ) -> dict[str, Callable[[], object]]:
+    """The paper's five contenders, as index factories.
+
+    ``Baseline`` is MinHash LSH run through the same dynamic-LSH
+    containment machinery with a single partition, exactly as Section 6.1
+    describes the fair-comparison setup.
+    """
+    methods: dict[str, Callable[[], object]] = {
+        "Baseline": lambda: LSHEnsemble(num_perm=num_perm, num_partitions=1),
+        "Asym": lambda: AsymmetricMinHashLSH(num_perm=num_perm),
+    }
+    for n in partition_counts:
+        methods["LSH Ensemble (%d)" % n] = (
+            lambda n=n: LSHEnsemble(num_perm=num_perm, num_partitions=n)
+        )
+    return methods
+
+
+@dataclass
+class AccuracyResults:
+    """``method -> threshold -> MeanAccuracy`` plus build/query timings."""
+
+    table: dict[str, dict[float, MeanAccuracy]] = field(default_factory=dict)
+    build_seconds: dict[str, float] = field(default_factory=dict)
+    query_seconds: dict[str, float] = field(default_factory=dict)
+
+    def methods(self) -> list[str]:
+        return list(self.table)
+
+    def thresholds(self) -> list[float]:
+        first = next(iter(self.table.values()), {})
+        return sorted(first)
+
+    def series(self, method: str, metric: str) -> list[tuple[float, float]]:
+        """``(threshold, value)`` pairs for one method and metric name."""
+        if metric not in ("precision", "recall", "f1", "f05"):
+            raise ValueError("unknown metric %r" % metric)
+        by_threshold = self.table[method]
+        return [
+            (t, getattr(by_threshold[t], metric))
+            for t in sorted(by_threshold)
+        ]
+
+
+class AccuracyExperiment:
+    """One corpus + one query sample, reusable across method sets.
+
+    Signature construction and exact scoring are done once in
+    :meth:`prepare`; each :meth:`run` then measures only the methods under
+    test.
+    """
+
+    def __init__(self, corpus: DomainCorpus, query_keys: Sequence[Hashable],
+                 num_perm: int = 256, seed: int = 1) -> None:
+        if not query_keys:
+            raise ValueError("need at least one query key")
+        missing = [k for k in query_keys if k not in corpus]
+        if missing:
+            raise ValueError(
+                "query keys %r are not in the corpus" % missing[:3]
+            )
+        self.corpus = corpus
+        self.query_keys = list(query_keys)
+        self.num_perm = int(num_perm)
+        self.seed = int(seed)
+        self._signatures: dict[Hashable, LeanMinHash] | None = None
+        self._exact_scores: dict[Hashable, dict[Hashable, float]] | None = None
+
+    # ------------------------------------------------------------------ #
+    # One-time preparation
+    # ------------------------------------------------------------------ #
+
+    def prepare(self) -> None:
+        """Build signatures and exact containment scores (idempotent)."""
+        if self._signatures is None:
+            self._signatures = self.corpus.signatures(self.num_perm,
+                                                      self.seed)
+        if self._exact_scores is None:
+            inverted = InvertedIndex.from_domains(self.corpus)
+            self._exact_scores = {
+                key: inverted.containment_scores(self.corpus[key])
+                for key in self.query_keys
+            }
+
+    @property
+    def signatures(self) -> dict[Hashable, LeanMinHash]:
+        self.prepare()
+        assert self._signatures is not None
+        return self._signatures
+
+    def ground_truth(self, query_key: Hashable, threshold: float) -> set:
+        """Exact ``{X : t(Q, X) >= t*}`` for one sampled query."""
+        self.prepare()
+        assert self._exact_scores is not None
+        if threshold == 0.0:
+            return set(self.corpus)
+        scores = self._exact_scores[query_key]
+        return {key for key, t in scores.items() if t >= threshold}
+
+    def entries(self) -> list[tuple[Hashable, LeanMinHash, int]]:
+        """Index-builder input for the whole corpus."""
+        sigs = self.signatures
+        return [(key, sigs[key], self.corpus.size_of(key))
+                for key in self.corpus]
+
+    # ------------------------------------------------------------------ #
+    # Method evaluation
+    # ------------------------------------------------------------------ #
+
+    def run(self, methods: Mapping[str, Callable[[], object]],
+            thresholds: Sequence[float] | None = None) -> AccuracyResults:
+        """Evaluate every method across the threshold sweep."""
+        self.prepare()
+        if thresholds is None:
+            thresholds = default_thresholds()
+        results = AccuracyResults()
+        entries = self.entries()
+        sigs = self.signatures
+        for name, factory in methods.items():
+            index = factory()
+            t0 = time.perf_counter()
+            index.index(entries)
+            results.build_seconds[name] = time.perf_counter() - t0
+            per_threshold: dict[float, MeanAccuracy] = {}
+            t0 = time.perf_counter()
+            for threshold in thresholds:
+                evaluations = []
+                for key in self.query_keys:
+                    result = index.query(sigs[key],
+                                         size=self.corpus.size_of(key),
+                                         threshold=threshold)
+                    truth = self.ground_truth(key, threshold)
+                    evaluations.append(evaluate_query(result, truth))
+                per_threshold[float(threshold)] = aggregate(evaluations)
+            results.query_seconds[name] = time.perf_counter() - t0
+            results.table[name] = per_threshold
+        return results

@@ -1,0 +1,124 @@
+"""Accuracy metrics with the paper's conventions (Section 6.1, Eq. 27-28).
+
+Set-overlap precision and recall against exact ground truth, plus the
+F-beta score with the paper's two betas (1 and 0.5 — the precision-biased
+variant that is "fairer" to the recall-biased ensemble).
+
+Averaging conventions (taken verbatim from the paper):
+
+* an *empty result set* has precision 1.0, but such queries are **excluded**
+  when averaging precision;
+* a query with empty ground truth has recall 1.0 (there was nothing to
+  find) — the natural completion the paper leaves implicit.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+__all__ = [
+    "precision",
+    "recall",
+    "f_beta",
+    "QueryEvaluation",
+    "evaluate_query",
+    "MeanAccuracy",
+    "aggregate",
+]
+
+
+def precision(result: set, truth: set) -> float:
+    """``|A ∩ T| / |A|``; empty results score 1.0 by convention."""
+    if not result:
+        return 1.0
+    return len(result & truth) / len(result)
+
+
+def recall(result: set, truth: set) -> float:
+    """``|A ∩ T| / |T|``; empty ground truth scores 1.0 by convention."""
+    if not truth:
+        return 1.0
+    return len(result & truth) / len(truth)
+
+
+def f_beta(prec: float, rec: float, beta: float = 1.0) -> float:
+    """Eq. 28; 0.0 when both inputs are 0 (the limit of the formula)."""
+    if beta <= 0:
+        raise ValueError("beta must be positive")
+    denom = beta * beta * prec + rec
+    if denom == 0.0:
+        return 0.0
+    return (1.0 + beta * beta) * prec * rec / denom
+
+
+@dataclass(frozen=True)
+class QueryEvaluation:
+    """Scores for one query at one threshold."""
+
+    precision: float
+    recall: float
+    empty_result: bool
+    empty_truth: bool
+
+    @property
+    def f1(self) -> float:
+        return f_beta(self.precision, self.recall, 1.0)
+
+    @property
+    def f05(self) -> float:
+        return f_beta(self.precision, self.recall, 0.5)
+
+
+def evaluate_query(result: set, truth: set) -> QueryEvaluation:
+    """Score one query's result set against its ground truth."""
+    return QueryEvaluation(
+        precision=precision(result, truth),
+        recall=recall(result, truth),
+        empty_result=not result,
+        empty_truth=not truth,
+    )
+
+
+@dataclass(frozen=True)
+class MeanAccuracy:
+    """Averages over a batch of queries, paper conventions applied."""
+
+    precision: float
+    recall: float
+    f1: float
+    f05: float
+    num_queries: int
+    num_empty_results: int
+
+    def as_row(self) -> tuple[float, float, float, float]:
+        return (self.precision, self.recall, self.f1, self.f05)
+
+
+def aggregate(evaluations: Sequence[QueryEvaluation]) -> MeanAccuracy:
+    """Mean accuracy over queries.
+
+    Precision is averaged over queries with non-empty results only (the
+    paper's convention for the Asym baseline's mostly-empty answers);
+    recall, F1 and F0.5 average over all queries.  When *every* result is
+    empty, precision falls back to 1.0 (all empty answers are vacuously
+    precise).
+    """
+    if not evaluations:
+        raise ValueError("cannot aggregate zero evaluations")
+    non_empty = [e for e in evaluations if not e.empty_result]
+    if non_empty:
+        mean_prec = sum(e.precision for e in non_empty) / len(non_empty)
+    else:
+        mean_prec = 1.0
+    mean_rec = sum(e.recall for e in evaluations) / len(evaluations)
+    mean_f1 = sum(e.f1 for e in evaluations) / len(evaluations)
+    mean_f05 = sum(e.f05 for e in evaluations) / len(evaluations)
+    return MeanAccuracy(
+        precision=mean_prec,
+        recall=mean_rec,
+        f1=mean_f1,
+        f05=mean_f05,
+        num_queries=len(evaluations),
+        num_empty_results=sum(1 for e in evaluations if e.empty_result),
+    )

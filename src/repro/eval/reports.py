@@ -1,0 +1,61 @@
+"""Plain-text report rendering for experiment output.
+
+Benchmarks print the same rows/series the paper's tables and figures show;
+these helpers keep that formatting in one place so every bench reads the
+same way.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "format_accuracy_results", "format_series"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """A fixed-width ASCII table; floats rendered with 4 decimals."""
+
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            return "%.4f" % v
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width %d != header width %d"
+                             % (len(row), len(headers)))
+        for i, v in enumerate(row):
+            widths[i] = max(widths[i], len(v))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_accuracy_results(results, metric: str,
+                            title: str | None = None) -> str:
+    """One metric of an :class:`AccuracyResults` as threshold-by-method rows."""
+    methods = results.methods()
+    thresholds = results.thresholds()
+    headers = ["t*"] + methods
+    rows = []
+    for t in thresholds:
+        row: list[object] = ["%.2f" % t]
+        for m in methods:
+            row.append(getattr(results.table[m][t], metric))
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_series(pairs: Sequence[tuple[object, object]], x_label: str,
+                  y_label: str, title: str | None = None) -> str:
+    """A two-column series (one figure line) as an ASCII table."""
+    return format_table([x_label, y_label], list(pairs), title=title)

@@ -1,0 +1,5 @@
+"""Exact search substrate: the ground-truth oracle for all experiments."""
+
+from repro.exact.inverted import InvertedIndex
+
+__all__ = ["InvertedIndex"]

@@ -1,0 +1,184 @@
+"""Dynamic LSH via prefix trees (LSH Forest, Bawa et al. 2005).
+
+Section 5.5 of the paper needs the banding parameters ``(b, r)`` to change
+*per query*: the optimal trade-off between false positives and false
+negatives depends on the query size ``q`` and threshold ``t*``.  A static
+:class:`~repro.lsh.lsh.MinHashLSH` bakes ``(b, r)`` into its buckets, so the
+paper instead stores each band as a *prefix tree* over its ``K`` hash
+values:
+
+* the effective ``r`` is chosen at query time by how deep each tree is
+  traversed (any ``r <= K``), and
+* the effective ``b`` by how many trees are visited (any ``b <= B``).
+
+Following the standard hashtable realisation of LSH Forest, each tree keeps
+one hash table per depth ``d`` keyed by the length-``d`` prefix of the band,
+so a query at ``(b, r)`` is ``b`` exact bucket lookups — no tree walking.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from repro.lsh.storage import DictHashTableStorage
+from repro.minhash.lean import LeanMinHash
+from repro.minhash.minhash import MinHash
+
+__all__ = ["PrefixForest", "default_forest_shape"]
+
+
+def default_forest_shape(num_perm: int) -> tuple[int, int]:
+    """A balanced ``(B, K)`` with ``B * K == num_perm`` and ``K`` near 8.
+
+    With the paper's ``m = 256`` this yields 32 trees of depth 8, giving the
+    tuner the grid ``b <= 32, r <= 8``.
+    """
+    if num_perm < 2:
+        raise ValueError("num_perm must be at least 2")
+    for depth in (8, 7, 6, 5, 4, 3, 2, 1):
+        if num_perm % depth == 0:
+            return num_perm // depth, depth
+    return num_perm, 1
+
+
+def _as_lean(signature: MinHash | LeanMinHash) -> LeanMinHash:
+    if isinstance(signature, LeanMinHash):
+        return signature
+    if isinstance(signature, MinHash):
+        return LeanMinHash(signature)
+    raise TypeError(
+        "expected MinHash or LeanMinHash, got %r" % type(signature).__name__
+    )
+
+
+class PrefixForest:
+    """A forest of ``num_trees`` prefix trees of depth ``max_depth``.
+
+    Parameters
+    ----------
+    num_perm:
+        Signature length ``m``; must satisfy ``num_trees * max_depth <= m``.
+    num_trees:
+        Upper bound ``B`` on the per-query band count ``b``.
+    max_depth:
+        Upper bound ``K`` on the per-query rows-per-band ``r``.
+    storage_factory:
+        Bucket backend, shared with :mod:`repro.lsh.storage`.
+    """
+
+    def __init__(self, num_perm: int = 256, num_trees: int | None = None,
+                 max_depth: int | None = None,
+                 storage_factory=DictHashTableStorage) -> None:
+        if num_perm < 2:
+            raise ValueError("num_perm must be at least 2")
+        if num_trees is None or max_depth is None:
+            auto_trees, auto_depth = default_forest_shape(num_perm)
+            num_trees = num_trees if num_trees is not None else auto_trees
+            max_depth = max_depth if max_depth is not None else auto_depth
+        if num_trees <= 0 or max_depth <= 0:
+            raise ValueError("num_trees and max_depth must be positive")
+        if num_trees * max_depth > num_perm:
+            raise ValueError(
+                "num_trees * max_depth = %d exceeds num_perm = %d"
+                % (num_trees * max_depth, num_perm)
+            )
+        self.num_perm = int(num_perm)
+        self.num_trees = int(num_trees)
+        self.max_depth = int(max_depth)
+        # _tables[tree][depth-1] maps the length-`depth` prefix of the
+        # tree's band to the set of keys stored under it.
+        self._tables = [
+            [storage_factory() for _ in range(self.max_depth)]
+            for _ in range(self.num_trees)
+        ]
+        self._keys: dict[Hashable, LeanMinHash] = {}
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def insert(self, key: Hashable, signature: MinHash | LeanMinHash) -> None:
+        """Index ``signature`` under ``key`` in every tree at every depth."""
+        lean = _as_lean(signature)
+        if lean.num_perm != self.num_perm:
+            raise ValueError(
+                "signature num_perm %d does not match forest num_perm %d"
+                % (lean.num_perm, self.num_perm)
+            )
+        if key in self._keys:
+            raise ValueError("key %r is already in the forest" % (key,))
+        self._keys[key] = lean
+        for tree in range(self.num_trees):
+            start = tree * self.max_depth
+            band = lean.band(start, start + self.max_depth)
+            tables = self._tables[tree]
+            for depth in range(1, self.max_depth + 1):
+                tables[depth - 1].insert(band[:depth], key)
+
+    def remove(self, key: Hashable) -> None:
+        """Remove ``key`` from every tree and depth."""
+        lean = self._keys.pop(key, None)
+        if lean is None:
+            raise KeyError(key)
+        for tree in range(self.num_trees):
+            start = tree * self.max_depth
+            band = lean.band(start, start + self.max_depth)
+            tables = self._tables[tree]
+            for depth in range(1, self.max_depth + 1):
+                tables[depth - 1].remove(band[:depth], key)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def query(self, signature: MinHash | LeanMinHash, b: int, r: int) -> set:
+        """Candidates at query-time parameters ``(b, r)``.
+
+        ``b`` trees are consulted; in each, the bucket holding keys that
+        agree with the query on the first ``r`` hash values of that tree's
+        band is unioned into the result.
+        """
+        lean = _as_lean(signature)
+        if lean.num_perm != self.num_perm:
+            raise ValueError(
+                "signature num_perm %d does not match forest num_perm %d"
+                % (lean.num_perm, self.num_perm)
+            )
+        if not 1 <= b <= self.num_trees:
+            raise ValueError(
+                "b must be in [1, %d], got %d" % (self.num_trees, b)
+            )
+        if not 1 <= r <= self.max_depth:
+            raise ValueError(
+                "r must be in [1, %d], got %d" % (self.max_depth, r)
+            )
+        out: set = set()
+        for tree in range(b):
+            start = tree * self.max_depth
+            prefix = lean.band(start, start + r)
+            # get_view avoids one bucket copy per probe; the union below
+            # copies the members into the fresh result set.
+            out |= self._tables[tree][r - 1].get_view(prefix)
+        return out
+
+    def get_signature(self, key: Hashable) -> LeanMinHash:
+        """The stored signature for ``key`` (KeyError when absent)."""
+        return self._keys[key]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._keys
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def is_empty(self) -> bool:
+        return not self._keys
+
+    def __repr__(self) -> str:
+        return ("PrefixForest(num_perm=%d, num_trees=%d, max_depth=%d, "
+                "keys=%d)" % (self.num_perm, self.num_trees, self.max_depth,
+                              len(self._keys)))

@@ -1,0 +1,5 @@
+"""Joinable-table discovery on top of LSH Ensemble (the paper's use case)."""
+
+from repro.join.discovery import JoinCandidate, JoinDiscovery
+
+__all__ = ["JoinDiscovery", "JoinCandidate"]

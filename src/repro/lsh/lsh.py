@@ -1,0 +1,145 @@
+"""Classic MinHash LSH (Indyk & Motwani 1998, Section 3.2 of the paper).
+
+The index splits each ``m``-value signature into ``b`` bands of ``r`` rows.
+Two domains land in the same bucket of band ``i`` exactly when their
+signatures agree on all ``r`` rows of that band, which happens with
+probability ``s^r``; over ``b`` bands the candidate probability is
+``1 - (1 - s^r)^b`` (Eq. 5).
+
+This class is both a substrate (LSH Ensemble builds per-partition dynamic
+variants on the same banding idea) and the paper's *Baseline* when wrapped
+with the containment-threshold conversion of Section 5.1.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from repro.lsh.params import optimal_params
+from repro.lsh.storage import BandedStorage, DictHashTableStorage
+from repro.minhash.lean import LeanMinHash
+from repro.minhash.minhash import MinHash
+
+__all__ = ["MinHashLSH"]
+
+
+def _as_lean(signature: MinHash | LeanMinHash) -> LeanMinHash:
+    if isinstance(signature, LeanMinHash):
+        return signature
+    if isinstance(signature, MinHash):
+        return LeanMinHash(signature)
+    raise TypeError(
+        "expected MinHash or LeanMinHash, got %r" % type(signature).__name__
+    )
+
+
+class MinHashLSH:
+    """A static-threshold MinHash LSH index.
+
+    Parameters
+    ----------
+    threshold:
+        Jaccard similarity threshold ``s*`` the index is tuned for.
+    num_perm:
+        Signature length; inserted/queried signatures must match.
+    params:
+        Optional explicit ``(b, r)``; overrides threshold-based tuning.
+    fp_weight, fn_weight:
+        Penalty weights handed to the tuner (ignored when ``params`` given).
+    storage_factory:
+        Bucket backend constructor, by default in-memory dicts.
+    """
+
+    def __init__(self, threshold: float = 0.9, num_perm: int = 256,
+                 params: tuple[int, int] | None = None,
+                 fp_weight: float = 0.5, fn_weight: float = 0.5,
+                 storage_factory=DictHashTableStorage) -> None:
+        if num_perm < 2:
+            raise ValueError("num_perm must be at least 2")
+        self.num_perm = int(num_perm)
+        self.threshold = float(threshold)
+        if params is not None:
+            b, r = params
+            if b * r > num_perm:
+                raise ValueError(
+                    "b * r = %d exceeds num_perm = %d" % (b * r, num_perm)
+                )
+        else:
+            b, r = optimal_params(self.threshold, self.num_perm,
+                                  fp_weight, fn_weight)
+        self.b = int(b)
+        self.r = int(r)
+        self._storage = BandedStorage(self.b, storage_factory)
+        self._keys: dict[Hashable, LeanMinHash] = {}
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def insert(self, key: Hashable, signature: MinHash | LeanMinHash) -> None:
+        """Index ``signature`` under ``key``.
+
+        Keys are unique; re-inserting an existing key raises ``ValueError``
+        (remove first), matching the append-only build the paper assumes.
+        """
+        lean = _as_lean(signature)
+        if lean.num_perm != self.num_perm:
+            raise ValueError(
+                "signature num_perm %d does not match index num_perm %d"
+                % (lean.num_perm, self.num_perm)
+            )
+        if key in self._keys:
+            raise ValueError("key %r is already in the index" % (key,))
+        self._keys[key] = lean
+        for i in range(self.b):
+            self._storage.insert(i, lean.band(i * self.r, (i + 1) * self.r),
+                                 key)
+
+    def remove(self, key: Hashable) -> None:
+        """Remove a key and all its bucket entries."""
+        lean = self._keys.pop(key, None)
+        if lean is None:
+            raise KeyError(key)
+        for i in range(self.b):
+            self._storage.remove(i, lean.band(i * self.r, (i + 1) * self.r),
+                                 key)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def query(self, signature: MinHash | LeanMinHash) -> set:
+        """Keys whose signatures collide with the query in >= 1 band."""
+        lean = _as_lean(signature)
+        if lean.num_perm != self.num_perm:
+            raise ValueError(
+                "signature num_perm %d does not match index num_perm %d"
+                % (lean.num_perm, self.num_perm)
+            )
+        out: set = set()
+        for i in range(self.b):
+            band = lean.band(i * self.r, (i + 1) * self.r)
+            out |= self._storage.tables[i].get_view(band)
+        return out
+
+    def get_signature(self, key: Hashable) -> LeanMinHash:
+        """The stored signature for ``key`` (KeyError when absent)."""
+        return self._keys[key]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._keys
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def is_empty(self) -> bool:
+        return not self._keys
+
+    def __repr__(self) -> str:
+        return ("MinHashLSH(threshold=%.3f, num_perm=%d, b=%d, r=%d, keys=%d)"
+                % (self.threshold, self.num_perm, self.b, self.r,
+                   len(self._keys)))

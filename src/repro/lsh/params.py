@@ -1,0 +1,97 @@
+"""Static LSH parameter selection for a Jaccard similarity threshold.
+
+A banding scheme with ``b`` bands of ``r`` rows turns Jaccard similarity
+``s`` into a candidate probability ``P(s) = 1 - (1 - s^r)^b`` (Eq. 5).
+Given a similarity threshold ``s*``, the classic tuning picks ``(b, r)``
+with ``b * r <= m`` minimising a weighted sum of
+
+* the false-positive mass ``∫_0^{s*} P(s) ds`` and
+* the false-negative mass ``∫_{s*}^1 (1 - P(s)) ds``.
+
+This is the *static* tuner used by the plain MinHash LSH baseline; LSH
+Ensemble replaces it with the containment-aware dynamic tuner in
+:mod:`repro.core.tuning`.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+_trapezoid = getattr(np, "trapezoid", None) or np.trapz  # numpy 1.x fallback
+
+__all__ = [
+    "candidate_probability",
+    "false_positive_weight",
+    "false_negative_weight",
+    "optimal_params",
+    "threshold_for_params",
+]
+
+_INTEGRATION_POINTS = 256
+
+
+def candidate_probability(s, b: int, r: int):
+    """``P(s | b, r) = 1 - (1 - s^r)^b`` — Eq. 5.  Vectorised over ``s``."""
+    s = np.asarray(s, dtype=np.float64)
+    return 1.0 - np.power(1.0 - np.power(s, r), b)
+
+
+def false_positive_weight(threshold: float, b: int, r: int) -> float:
+    """Probability mass of candidates below the similarity threshold."""
+    xs = np.linspace(0.0, threshold, _INTEGRATION_POINTS)
+    return float(_trapezoid(candidate_probability(xs, b, r), xs))
+
+
+def false_negative_weight(threshold: float, b: int, r: int) -> float:
+    """Probability mass of non-candidates above the similarity threshold."""
+    xs = np.linspace(threshold, 1.0, _INTEGRATION_POINTS)
+    return float(_trapezoid(1.0 - candidate_probability(xs, b, r), xs))
+
+
+@lru_cache(maxsize=4096)
+def optimal_params(threshold: float, num_perm: int,
+                   fp_weight: float = 0.5,
+                   fn_weight: float = 0.5) -> tuple[int, int]:
+    """The ``(b, r)`` pair minimising weighted FP+FN mass for ``threshold``.
+
+    Parameters
+    ----------
+    threshold:
+        Target Jaccard similarity threshold ``s*`` in ``[0, 1]``.
+    num_perm:
+        Number of minwise hash functions ``m``; the search covers every
+        integer pair with ``b * r <= m``.
+    fp_weight, fn_weight:
+        Relative penalties; they must sum to a positive value.
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError("threshold must be in [0, 1], got %r" % threshold)
+    if num_perm < 2:
+        raise ValueError("num_perm must be at least 2")
+    if fp_weight < 0 or fn_weight < 0 or fp_weight + fn_weight == 0:
+        raise ValueError("weights must be non-negative and not both zero")
+    best = None
+    best_error = float("inf")
+    for b in range(1, num_perm + 1):
+        max_r = num_perm // b
+        for r in range(1, max_r + 1):
+            error = (fp_weight * false_positive_weight(threshold, b, r)
+                     + fn_weight * false_negative_weight(threshold, b, r))
+            if error < best_error:
+                best_error = error
+                best = (b, r)
+    assert best is not None
+    return best
+
+
+def threshold_for_params(b: int, r: int) -> float:
+    """Approximate inherent threshold of a ``(b, r)`` scheme: ``(1/b)^(1/r)``.
+
+    This is Eq. 21 — the similarity at which the candidate probability
+    curve has its steepest rise.
+    """
+    if b <= 0 or r <= 0:
+        raise ValueError("b and r must be positive")
+    return float((1.0 / b) ** (1.0 / r))

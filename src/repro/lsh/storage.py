@@ -1,0 +1,111 @@
+"""Bucket storage for LSH indexes.
+
+LSH maps a band of a signature to a bucket key and appends the domain key to
+that bucket.  The paper's deployment spreads buckets over a cluster; here
+storage is a small abstraction so the index code never touches a concrete
+dict directly — swapping in a different backend (shared memory, disk) only
+requires implementing :class:`HashTableStorage`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator
+
+__all__ = ["HashTableStorage", "DictHashTableStorage", "BandedStorage"]
+
+
+class HashTableStorage:
+    """Interface: a multimap from bucket key to a set of domain keys."""
+
+    def insert(self, bucket_key: Hashable, key: Hashable) -> None:
+        raise NotImplementedError
+
+    def get(self, bucket_key: Hashable) -> frozenset:
+        raise NotImplementedError
+
+    def get_view(self, bucket_key: Hashable):
+        """Read-only view of a bucket for the query hot path.
+
+        Unlike :meth:`get`, the returned collection may alias internal
+        state and MUST NOT be mutated or retained across mutations of the
+        storage; it exists to avoid one copy per bucket probe.
+        """
+        raise NotImplementedError
+
+    def remove(self, bucket_key: Hashable, key: Hashable) -> None:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def keys(self) -> Iterator[Hashable]:
+        raise NotImplementedError
+
+
+class DictHashTableStorage(HashTableStorage):
+    """In-memory dict-of-sets storage — the default backend."""
+
+    __slots__ = ("_table",)
+
+    def __init__(self) -> None:
+        self._table: dict[Hashable, set] = {}
+
+    def insert(self, bucket_key: Hashable, key: Hashable) -> None:
+        bucket = self._table.get(bucket_key)
+        if bucket is None:
+            self._table[bucket_key] = {key}
+        else:
+            bucket.add(key)
+
+    def get(self, bucket_key: Hashable) -> frozenset:
+        bucket = self._table.get(bucket_key)
+        return frozenset(bucket) if bucket else frozenset()
+
+    _EMPTY: frozenset = frozenset()
+
+    def get_view(self, bucket_key: Hashable):
+        return self._table.get(bucket_key) or DictHashTableStorage._EMPTY
+
+    def remove(self, bucket_key: Hashable, key: Hashable) -> None:
+        bucket = self._table.get(bucket_key)
+        if bucket is None:
+            return
+        bucket.discard(key)
+        if not bucket:
+            del self._table[bucket_key]
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def keys(self) -> Iterator[Hashable]:
+        return iter(self._table)
+
+    def bucket_sizes(self) -> list[int]:
+        """Sizes of all buckets (diagnostics: collision profile)."""
+        return [len(b) for b in self._table.values()]
+
+
+class BandedStorage:
+    """One hash table per LSH band, b tables total."""
+
+    __slots__ = ("tables",)
+
+    def __init__(self, num_bands: int,
+                 storage_factory=DictHashTableStorage) -> None:
+        if num_bands <= 0:
+            raise ValueError("num_bands must be positive")
+        self.tables = [storage_factory() for _ in range(num_bands)]
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    def insert(self, band_index: int, bucket_key: Hashable,
+               key: Hashable) -> None:
+        self.tables[band_index].insert(bucket_key, key)
+
+    def get(self, band_index: int, bucket_key: Hashable) -> frozenset:
+        return self.tables[band_index].get(bucket_key)
+
+    def remove(self, band_index: int, bucket_key: Hashable,
+               key: Hashable) -> None:
+        self.tables[band_index].remove(bucket_key, key)

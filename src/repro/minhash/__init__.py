@@ -1,0 +1,35 @@
+"""Minwise hashing substrate: signatures, frozen signatures, bulk builders."""
+
+from repro.minhash.hashfunc import (
+    MAX_HASH_32,
+    MAX_HASH_64,
+    canonical_bytes,
+    hash_value32,
+    hash_value64,
+    sha1_hash32,
+    sha1_hash64,
+)
+from repro.minhash.bottomk import BottomKSketch
+from repro.minhash.generator import (
+    SignatureFactory,
+    build_signatures,
+    sample_signatures,
+)
+from repro.minhash.lean import LeanMinHash
+from repro.minhash.minhash import MinHash
+
+__all__ = [
+    "MinHash",
+    "LeanMinHash",
+    "BottomKSketch",
+    "SignatureFactory",
+    "build_signatures",
+    "sample_signatures",
+    "sha1_hash32",
+    "sha1_hash64",
+    "hash_value32",
+    "hash_value64",
+    "canonical_bytes",
+    "MAX_HASH_32",
+    "MAX_HASH_64",
+]

@@ -1,0 +1,142 @@
+"""Bottom-k sketches (Cohen & Kaplan 2007) — the paper's reference [10].
+
+Algorithm 1's ``approx(|Q|)`` cites bottom-k sketches for constant-time
+cardinality estimation from a signature.  A bottom-k sketch keeps the
+``k`` smallest hash values of a domain under a *single* hash function
+(contrast MinHash: one minimum under each of ``m`` functions).  It
+supports:
+
+* unbiased cardinality estimation ``(k - 1) / v_k`` with ``v_k`` the
+  k-th smallest normalised hash;
+* Jaccard estimation by coordinated sampling: the fraction of the
+  union-sketch members present in both sketches;
+* exact union composition (merge the value sets, keep the k smallest).
+
+The ensemble itself uses the MinHash-based estimator (the signatures are
+already there); this module completes the cited substrate and serves as
+an independent cross-check in tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable
+
+from repro.minhash.hashfunc import MAX_HASH_64, hash_value64
+
+__all__ = ["BottomKSketch"]
+
+
+class BottomKSketch:
+    """The ``k`` smallest 64-bit value hashes of a domain."""
+
+    __slots__ = ("k", "_heap", "_members")
+
+    def __init__(self, k: int = 256) -> None:
+        if k < 2:
+            raise ValueError("k must be >= 2 for the estimator to work")
+        self.k = int(k)
+        # Max-heap via negation: the root is the largest kept hash, so a
+        # new smaller hash can evict it in O(log k).
+        self._heap: list[int] = []
+        self._members: set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+
+    def update(self, value: object) -> None:
+        """Fold one domain value into the sketch."""
+        hv = hash_value64(value)
+        if hv in self._members:
+            return
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, -hv)
+            self._members.add(hv)
+        elif hv < -self._heap[0]:
+            evicted = -heapq.heappushpop(self._heap, -hv)
+            self._members.discard(evicted)
+            self._members.add(hv)
+
+    def update_batch(self, values: Iterable[object]) -> None:
+        for v in values:
+            self.update(v)
+
+    @classmethod
+    def from_values(cls, values: Iterable[object], k: int = 256,
+                    ) -> "BottomKSketch":
+        sketch = cls(k=k)
+        sketch.update_batch(values)
+        return sketch
+
+    # ------------------------------------------------------------------ #
+    # Estimators
+    # ------------------------------------------------------------------ #
+
+    def count(self) -> int:
+        """Estimate the number of distinct values folded in.
+
+        With fewer than ``k`` members the sketch is exact.  Otherwise the
+        k-th order statistic of uniform hashes yields the unbiased
+        estimator ``(k - 1) / v_k`` (hashes normalised to ``(0, 1]``).
+        """
+        if len(self._heap) < self.k:
+            return len(self._members)
+        v_k = (-self._heap[0] + 1) / (MAX_HASH_64 + 1)
+        return int(round((self.k - 1) / v_k))
+
+    def jaccard(self, other: "BottomKSketch") -> float:
+        """Coordinated-sampling Jaccard estimate.
+
+        The bottom-k of the union is a uniform sample of the union; the
+        fraction of that sample present in both sketches estimates
+        ``|A ∩ B| / |A ∪ B|``.
+        """
+        if self.k != other.k:
+            raise ValueError("cannot compare sketches with different k")
+        union_sample = heapq.nsmallest(
+            self.k, self._members | other._members
+        )
+        if not union_sample:
+            return 1.0  # two empty domains
+        both = sum(1 for hv in union_sample
+                   if hv in self._members and hv in other._members)
+        return both / len(union_sample)
+
+    def containment_in(self, other: "BottomKSketch") -> float:
+        """Estimate ``t(self, other) = |A ∩ B| / |A|`` (Eq. 1).
+
+        Uses the Jaccard estimate plus both cardinality estimates via
+        inclusion-exclusion — the sketch analogue of Eq. 6.
+        """
+        a = self.count()
+        if a == 0:
+            raise ValueError("cannot compute containment of an empty domain")
+        b = other.count()
+        s = self.jaccard(other)
+        if 1.0 + s == 0.0:
+            return 0.0
+        # t = s (a + b) / (a (1 + s)), clipped to the valid range.
+        t = s * (a + b) / (a * (1.0 + s))
+        return min(1.0, max(0.0, t))
+
+    # ------------------------------------------------------------------ #
+    # Composition
+    # ------------------------------------------------------------------ #
+
+    def merge(self, other: "BottomKSketch") -> None:
+        """In-place union: afterwards the sketch represents A ∪ B."""
+        if self.k != other.k:
+            raise ValueError("cannot merge sketches with different k")
+        merged = heapq.nsmallest(self.k, self._members | other._members)
+        self._heap = [-hv for hv in merged]
+        heapq.heapify(self._heap)
+        self._members = set(merged)
+
+    def __len__(self) -> int:
+        """Number of hash values currently retained (<= k)."""
+        return len(self._members)
+
+    def __repr__(self) -> str:
+        return "BottomKSketch(k=%d, retained=%d)" % (self.k,
+                                                     len(self._members))

@@ -1,0 +1,76 @@
+"""Value hashing for minwise hashing.
+
+Domains are sets of arbitrary values (strings, numbers, bytes).  Minwise
+hashing needs every value mapped to an integer drawn near-uniformly from a
+fixed range.  The paper's open-world requirement means we cannot enumerate a
+vocabulary up front, so we hash raw bytes with SHA1 and truncate, exactly as
+common MinHash implementations do.
+
+Two widths are provided:
+
+* :func:`sha1_hash32` — 32-bit hashes, the default used by :class:`~repro.minhash.minhash.MinHash`.
+* :func:`sha1_hash64` — 64-bit hashes for callers that need a larger space.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+__all__ = [
+    "sha1_hash32",
+    "sha1_hash64",
+    "canonical_bytes",
+    "hash_value32",
+    "hash_value64",
+]
+
+# Upper bounds (inclusive) of the two hash ranges.
+MAX_HASH_32 = (1 << 32) - 1
+MAX_HASH_64 = (1 << 64) - 1
+
+
+def sha1_hash32(data: bytes) -> int:
+    """Hash ``data`` to a 32-bit unsigned integer with SHA1.
+
+    The first four digest bytes are interpreted as a little-endian unsigned
+    integer.  SHA1's avalanche behaviour makes the truncation uniform enough
+    for minwise hashing.
+    """
+    return struct.unpack("<I", hashlib.sha1(data).digest()[:4])[0]
+
+
+def sha1_hash64(data: bytes) -> int:
+    """Hash ``data`` to a 64-bit unsigned integer with SHA1."""
+    return struct.unpack("<Q", hashlib.sha1(data).digest()[:8])[0]
+
+
+def canonical_bytes(value: object) -> bytes:
+    """Convert an arbitrary domain value to a canonical byte string.
+
+    Values of different Python types that print identically (e.g. ``1`` and
+    ``"1"``) are deliberately kept distinct by prefixing a type tag, so a
+    domain mixing types does not silently collapse values.
+    """
+    if isinstance(value, bytes):
+        return b"b:" + value
+    if isinstance(value, str):
+        return b"s:" + value.encode("utf-8")
+    if isinstance(value, bool):
+        # bool is a subclass of int; tag it separately so True != 1.
+        return b"o:" + str(value).encode("ascii")
+    if isinstance(value, int):
+        return b"i:" + str(value).encode("ascii")
+    if isinstance(value, float):
+        return b"f:" + repr(value).encode("ascii")
+    return b"r:" + repr(value).encode("utf-8")
+
+
+def hash_value32(value: object) -> int:
+    """Hash an arbitrary domain value to 32 bits (canonicalise, then SHA1)."""
+    return sha1_hash32(canonical_bytes(value))
+
+
+def hash_value64(value: object) -> int:
+    """Hash an arbitrary domain value to 64 bits (canonicalise, then SHA1)."""
+    return sha1_hash64(canonical_bytes(value))

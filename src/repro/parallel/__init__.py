@@ -1,0 +1,5 @@
+"""Distributed deployment, simulated: sharding and parallel query fan-out."""
+
+from repro.parallel.sharded import ShardedEnsemble
+
+__all__ = ["ShardedEnsemble"]

@@ -1,0 +1,112 @@
+"""Sharded deployment of LSH Ensemble — the paper's 5-node cluster, simulated.
+
+At 262 million domains the paper splits the corpus into equal chunks, one
+index per node, fans a query out to all nodes in parallel and unions the
+results (Section 6.3).  :class:`ShardedEnsemble` reproduces that topology
+in-process: round-robin sharding, a thread pool for the fan-out, and a
+plain set-union of per-shard answers.  Result semantics are identical to a
+single ensemble over the full corpus built with per-shard partitioning.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.ensemble import LSHEnsemble
+from repro.minhash.lean import LeanMinHash
+from repro.minhash.minhash import MinHash
+
+__all__ = ["ShardedEnsemble"]
+
+
+class ShardedEnsemble:
+    """Round-robin sharded LSH Ensemble with parallel query fan-out.
+
+    Parameters
+    ----------
+    num_shards:
+        Number of simulated nodes (the paper uses 5).
+    ensemble_factory:
+        Zero-argument callable building one shard's
+        :class:`~repro.core.ensemble.LSHEnsemble`; lets callers control
+        partitions/num_perm per shard.
+    parallel:
+        When False, shards are queried sequentially (useful for timing the
+        pure algorithmic cost without thread overhead).
+    """
+
+    def __init__(self, num_shards: int = 5,
+                 ensemble_factory=None, parallel: bool = True) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.num_shards = int(num_shards)
+        self._factory = ensemble_factory or (lambda: LSHEnsemble())
+        self.parallel = bool(parallel)
+        self._shards: list[LSHEnsemble] = []
+        self._executor: ThreadPoolExecutor | None = None
+
+    def index(self, entries: Iterable[tuple[Hashable, MinHash | LeanMinHash,
+                                            int]]) -> None:
+        """Distribute entries round-robin and build every shard."""
+        if self._shards:
+            raise RuntimeError("index() may only be called once")
+        buckets: list[list] = [[] for _ in range(self.num_shards)]
+        for i, entry in enumerate(entries):
+            buckets[i % self.num_shards].append(entry)
+        self._shards = []
+        for chunk in buckets:
+            if not chunk:
+                continue
+            shard = self._factory()
+            shard.index(chunk)
+            self._shards.append(shard)
+        if not self._shards:
+            raise ValueError("cannot index an empty collection of domains")
+        if self.parallel:
+            self._executor = ThreadPoolExecutor(
+                max_workers=len(self._shards),
+                thread_name_prefix="lshensemble-shard",
+            )
+
+    def query(self, signature: MinHash | LeanMinHash,
+              size: int | None = None,
+              threshold: float | None = None) -> set:
+        """Union of all shard answers (Partitioned-Containment-Search)."""
+        if not self._shards:
+            raise RuntimeError("the index is empty; call index() first")
+        if self.parallel and self._executor is not None:
+            futures = [
+                self._executor.submit(shard.query, signature, size, threshold)
+                for shard in self._shards
+            ]
+            out: set = set()
+            for f in futures:
+                out |= f.result()
+            return out
+        out = set()
+        for shard in self._shards:
+            out |= shard.query(signature, size, threshold)
+        return out
+
+    @property
+    def shards(self) -> list[LSHEnsemble]:
+        return list(self._shards)
+
+    def close(self) -> None:
+        """Shut the fan-out thread pool down."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ShardedEnsemble":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._shards)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return any(key in s for s in self._shards)

@@ -1,0 +1,82 @@
+"""Power-law diagnostics for domain-size distributions (Figure 1).
+
+Two jobs: verify that generated corpora actually exhibit the power-law
+shape the paper's theory assumes (Theorem 2), and regenerate the Figure 1
+histograms (log2-binned size-frequency series).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["fit_alpha", "log2_histogram", "is_power_law_like"]
+
+
+def fit_alpha(sizes: Sequence[int] | np.ndarray, min_size: int | None = None,
+              ) -> float:
+    """Maximum-likelihood exponent of a power law ``f(x) ∝ x^-alpha``.
+
+    The continuous-approximation Hill estimator
+    ``alpha = 1 + n / sum(ln(x / x_min))``, with ``x_min`` defaulting to
+    the smallest observed size.
+    """
+    arr = np.asarray(sizes, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("sizes must be non-empty")
+    if min_size is None:
+        min_size = float(arr.min())
+    if min_size <= 0:
+        raise ValueError("min_size must be positive")
+    tail = arr[arr >= min_size]
+    if tail.size == 0:
+        raise ValueError("no sizes at or above min_size")
+    logs = np.log(tail / min_size)
+    total = logs.sum()
+    if total == 0.0:
+        raise ValueError("degenerate sizes: all equal to min_size")
+    return float(1.0 + tail.size / total)
+
+
+def log2_histogram(sizes: Sequence[int] | np.ndarray,
+                   ) -> list[tuple[int, int]]:
+    """``(2^k, count)`` pairs: the Figure 1 series.
+
+    Bucket ``k`` counts domains with ``2^k <= size < 2^(k+1)``; empty
+    buckets inside the observed range are included with count 0 so the
+    series plots cleanly on log-log axes.
+    """
+    arr = np.asarray(sizes, dtype=np.int64)
+    if arr.size == 0:
+        raise ValueError("sizes must be non-empty")
+    if arr.min() < 1:
+        raise ValueError("sizes must be >= 1")
+    exponents = np.floor(np.log2(arr)).astype(np.int64)
+    lo, hi = int(exponents.min()), int(exponents.max())
+    counts = {k: 0 for k in range(lo, hi + 1)}
+    for e in exponents:
+        counts[int(e)] += 1
+    return [(1 << k, counts[k]) for k in range(lo, hi + 1)]
+
+
+def is_power_law_like(sizes: Sequence[int] | np.ndarray,
+                      min_r_squared: float = 0.85) -> bool:
+    """Crude goodness test: log-log histogram close to linear.
+
+    Fits a line to the non-empty log2 histogram buckets in log-log space
+    and checks the coefficient of determination.  Used by tests and the
+    corpus generator's self-checks, not by the index itself.
+    """
+    hist = [(b, c) for b, c in log2_histogram(sizes) if c > 0]
+    if len(hist) < 3:
+        return False
+    xs = np.log2([b for b, _ in hist])
+    ys = np.log2([c for _, c in hist])
+    slope, intercept = np.polyfit(xs, ys, 1)
+    pred = slope * xs + intercept
+    ss_res = float(np.sum((ys - pred) ** 2))
+    ss_tot = float(np.sum((ys - ys.mean()) ** 2))
+    if ss_tot == 0.0:
+        return False
+    return 1.0 - ss_res / ss_tot >= min_r_squared and slope < 0

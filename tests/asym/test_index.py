@@ -1,0 +1,121 @@
+"""Unit tests for the Asymmetric Minwise Hashing index."""
+
+import pytest
+
+from repro.asym.index import AsymmetricMinHashLSH
+from repro.minhash.minhash import MinHash
+
+NUM_PERM = 128
+
+
+def sig(values):
+    return MinHash.from_values(values, num_perm=NUM_PERM)
+
+
+def build_low_skew_index():
+    """Corpus with near-uniform sizes: the regime where Asym works well."""
+    base = ["q%d" % i for i in range(80)]
+    domains = {
+        "containing": set(base) | {"c%d" % i for i in range(20)},
+        "unrelated": {"u%d" % i for i in range(100)},
+        "partial": set(base[:40]) | {"p%d" % i for i in range(60)},
+    }
+    for i in range(20):
+        domains["fill%d" % i] = {"f%d_%d" % (i, j) for j in range(90)}
+    index = AsymmetricMinHashLSH(num_perm=NUM_PERM)
+    index.index((k, sig(v), len(v)) for k, v in domains.items())
+    return base, index
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AsymmetricMinHashLSH(threshold=-0.1)
+        with pytest.raises(ValueError):
+            AsymmetricMinHashLSH(num_perm=1)
+
+    def test_empty_index_rejected(self):
+        with pytest.raises(ValueError):
+            AsymmetricMinHashLSH(num_perm=NUM_PERM).index([])
+
+    def test_double_index_rejected(self):
+        _, index = build_low_skew_index()
+        with pytest.raises(RuntimeError):
+            index.index([("k", sig(["a"]), 1)])
+
+    def test_duplicate_key_rejected(self):
+        entries = [("k", sig(["a"]), 1), ("k", sig(["b"]), 1)]
+        with pytest.raises(ValueError):
+            AsymmetricMinHashLSH(num_perm=NUM_PERM).index(entries)
+
+    def test_max_size_recorded(self):
+        # Largest corpus domain is 100 values ("containing"/"unrelated").
+        _, index = build_low_skew_index()
+        assert index.max_size == 100
+
+
+class TestQueryLowSkew:
+    def test_containing_domain_found(self):
+        base, index = build_low_skew_index()
+        result = index.query(sig(base), size=len(base), threshold=0.8)
+        assert "containing" in result
+
+    def test_unrelated_excluded(self):
+        base, index = build_low_skew_index()
+        result = index.query(sig(base), size=len(base), threshold=0.8)
+        assert "unrelated" not in result
+
+    def test_query_before_build(self):
+        with pytest.raises(RuntimeError):
+            AsymmetricMinHashLSH(num_perm=NUM_PERM).query(sig(["a"]))
+
+    def test_invalid_threshold(self):
+        base, index = build_low_skew_index()
+        with pytest.raises(ValueError):
+            index.query(sig(base), threshold=1.2)
+
+    def test_size_estimated_when_missing(self):
+        base, index = build_low_skew_index()
+        result = index.query(sig(base), threshold=0.8)
+        assert isinstance(result, set)
+
+
+class TestSkewBehaviour:
+    """The paper's core claim about Asym: padding kills recall under skew."""
+
+    def test_recall_collapses_with_extreme_skew(self):
+        base = ["q%d" % i for i in range(20)]
+        domains = {"exact_match": set(base)}
+        # One giant domain forces M = 50,000: every small domain is
+        # almost entirely padding afterwards.
+        domains["giant"] = {"g%d" % i for i in range(50_000)}
+        for i in range(10):
+            domains["fill%d" % i] = {"f%d_%d" % (i, j) for j in range(30)}
+        index = AsymmetricMinHashLSH(num_perm=NUM_PERM)
+        index.index((k, sig(v), len(v)) for k, v in domains.items())
+        result = index.query(sig(base), size=len(base), threshold=0.9)
+        # The exactly matching domain is essentially unreachable: its
+        # signature is ~99.96% padding values the query cannot collide with.
+        assert "exact_match" not in result
+
+    def test_finds_match_when_skew_is_low(self):
+        base = ["q%d" % i for i in range(100)]
+        domains = {"exact_match": set(base)}
+        for i in range(10):
+            domains["fill%d" % i] = {"f%d_%d" % (i, j)
+                                     for j in range(100 + i)}
+        index = AsymmetricMinHashLSH(num_perm=NUM_PERM)
+        index.index((k, sig(v), len(v)) for k, v in domains.items())
+        result = index.query(sig(base), size=len(base), threshold=0.9)
+        assert "exact_match" in result
+
+
+class TestIntrospection:
+    def test_len_contains(self):
+        _, index = build_low_skew_index()
+        assert len(index) == 23
+        assert "containing" in index
+
+    def test_repr(self):
+        _, index = build_low_skew_index()
+        assert "AsymmetricMinHashLSH" in repr(index)

@@ -1,0 +1,130 @@
+"""Unit tests for the asymmetric (padding) transformation."""
+
+import numpy as np
+import pytest
+
+from repro.asym.padding import (
+    min_hash_functions_required,
+    pad_signature,
+    padded_jaccard,
+    selection_probability,
+)
+from repro.minhash.hashfunc import MAX_HASH_32
+from repro.minhash.lean import LeanMinHash
+from repro.minhash.minhash import MinHash
+
+
+def lean_of(values, num_perm=64):
+    return LeanMinHash(MinHash.from_values(values, num_perm=num_perm))
+
+
+class TestPadSignature:
+    def test_no_padding_when_at_max(self):
+        sig = lean_of(["a", "b", "c"])
+        assert pad_signature(sig, 3, 3, "k") is sig
+
+    def test_padding_only_lowers_hashvalues(self):
+        sig = lean_of(["a", "b", "c"])
+        padded = pad_signature(sig, 3, 1000, "k")
+        assert np.all(padded.hashvalues <= sig.hashvalues)
+
+    def test_deterministic_per_key(self):
+        sig = lean_of(["a", "b"])
+        p1 = pad_signature(sig, 2, 500, "key1")
+        p2 = pad_signature(sig, 2, 500, "key1")
+        assert p1 == p2
+
+    def test_different_keys_pad_differently(self):
+        sig = lean_of(["a", "b"])
+        p1 = pad_signature(sig, 2, 5000, "key1")
+        p2 = pad_signature(sig, 2, 5000, "key2")
+        assert p1 != p2
+
+    def test_seed_preserved(self):
+        sig = lean_of(["a"])
+        assert pad_signature(sig, 1, 100, "k").seed == sig.seed
+
+    def test_validation(self):
+        sig = lean_of(["a"])
+        with pytest.raises(ValueError):
+            pad_signature(sig, 0, 100, "k")
+        with pytest.raises(ValueError):
+            pad_signature(sig, 10, 5, "k")
+
+    def test_padding_statistics_match_order_statistics(self):
+        """Mean of min of k uniforms on [0, H] is H / (k + 1)."""
+        sig = LeanMinHash(seed=1, hashvalues=np.full(
+            2048, MAX_HASH_32, dtype=np.uint64))
+        k = 9
+        padded = pad_signature(sig, 1, 1 + k, "stat-key")
+        observed_mean = float(padded.hashvalues.mean())
+        expected_mean = MAX_HASH_32 / (k + 1)
+        assert abs(observed_mean - expected_mean) / expected_mean < 0.15
+
+    def test_padded_jaccard_with_query_shrinks(self):
+        """Padding an indexed copy of Q dilutes its similarity to Q."""
+        values = ["v%d" % i for i in range(50)]
+        query = lean_of(values, num_perm=256)
+        indexed = pad_signature(lean_of(values, num_perm=256), 50, 5000,
+                                "k")
+        # Containment is 1.0 but Jaccard vs the padded signature should be
+        # near q/M = 0.01, far below 1.
+        assert query.jaccard(indexed) < 0.2
+
+
+class TestPaddedJaccard:
+    def test_eq31_value(self):
+        # t = 0.5, M = 3q: s = 0.5 / (3 + 1 - 0.5).
+        assert padded_jaccard(0.5, 30, 10) == pytest.approx(0.5 / 3.5)
+
+    def test_monotone_in_containment(self):
+        vals = [padded_jaccard(t, 100, 10) for t in np.linspace(0, 1, 20)]
+        assert all(a <= b for a, b in zip(vals, vals[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            padded_jaccard(1.5, 10, 10)
+        with pytest.raises(ValueError):
+            padded_jaccard(0.5, 0, 10)
+
+
+class TestSelectionProbability:
+    def test_decreases_with_max_size(self):
+        ps = [selection_probability(M, 1, 256, 1)
+              for M in (10, 100, 1000, 8000)]
+        assert all(a >= b for a, b in zip(ps, ps[1:]))
+        assert ps[0] > 0.9          # small M: qualifying domains found
+        assert ps[-1] < 0.05        # large M: recall collapse (Figure 10)
+
+    def test_eq32_value(self):
+        q, M, b, r = 1, 100, 256, 1
+        expected = 1.0 - (1.0 - (q / M) / (M / q + 1 - 1) ** 0) ** 1
+        # Direct formula: s = 1 / (M/q + 1 - 1) = q/M.
+        s = q / M
+        assert selection_probability(M, q, b, r) == \
+            pytest.approx(1.0 - (1.0 - s ** r) ** b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            selection_probability(5, 10, 256, 1)
+
+
+class TestMinHashFunctions:
+    def test_grows_linearly_with_max_size(self):
+        ms = [min_hash_functions_required(M, 1) for M in (500, 1000, 2000)]
+        # Doubling M should roughly double m*.
+        assert 1.7 < ms[1] / ms[0] < 2.3
+        assert 1.7 < ms[2] / ms[1] < 2.3
+
+    def test_keeps_probability_above_target(self):
+        M, q = 3000, 1
+        m_star = min_hash_functions_required(M, q, target=0.5)
+        assert selection_probability(M, q, b=m_star, r=1) >= 0.5
+        assert selection_probability(M, q, b=m_star - 1, r=1) < 0.5
+
+    def test_equal_sizes_need_one(self):
+        assert min_hash_functions_required(10, 10) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            min_hash_functions_required(100, 1, target=1.5)

@@ -1,0 +1,48 @@
+"""Shared fixtures: small deterministic corpora and signature sets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen.corpus import DomainCorpus, generate_corpus
+from repro.minhash.generator import SignatureFactory
+
+# Keep unit-test signatures small: statistical assertions use tolerances
+# sized for this. Paper-scale (m=256) runs live in the benchmarks.
+TEST_NUM_PERM = 128
+
+
+@pytest.fixture(scope="session")
+def small_corpus() -> DomainCorpus:
+    """~300 domains with power-law sizes and planted containment."""
+    return generate_corpus(num_domains=300, max_size=5_000, seed=101)
+
+
+@pytest.fixture(scope="session")
+def small_signatures(small_corpus):
+    return small_corpus.signatures(num_perm=TEST_NUM_PERM, seed=1)
+
+
+@pytest.fixture(scope="session")
+def small_entries(small_corpus, small_signatures):
+    return small_corpus.entries(small_signatures)
+
+
+@pytest.fixture()
+def factory() -> SignatureFactory:
+    return SignatureFactory(num_perm=TEST_NUM_PERM, seed=1)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def make_overlapping_sets(overlap: int, only_a: int, only_b: int,
+                          tag: str = "v") -> tuple[set, set]:
+    """Two sets with an exact overlap size, for score assertions."""
+    shared = {"%s_shared_%d" % (tag, i) for i in range(overlap)}
+    a = shared | {"%s_a_%d" % (tag, i) for i in range(only_a)}
+    b = shared | {"%s_b_%d" % (tag, i) for i in range(only_b)}
+    return a, b

@@ -1,0 +1,156 @@
+"""Unit tests for the containment <-> Jaccard algebra."""
+
+import numpy as np
+import pytest
+
+from repro.core.containment import (
+    candidate_probability_containment,
+    conservative_jaccard_threshold,
+    containment,
+    containment_to_jaccard,
+    effective_containment_threshold,
+    jaccard,
+    jaccard_to_containment,
+)
+
+# The paper's Section 2 worked example.
+Q = {"Ontario", "Toronto"}
+PROVINCES = {"Alberta", "Ontario", "Manitoba"}
+LOCATIONS = {
+    "Illinois", "Chicago", "New York City", "New York", "Nova Scotia",
+    "Halifax", "California", "San Francisco", "Seattle", "Washington",
+    "Ontario", "Toronto",
+}
+
+
+class TestExactScores:
+    def test_paper_example_jaccard(self):
+        assert jaccard(Q, PROVINCES) == pytest.approx(0.25)
+        # The paper's prose reports 0.083 for this pair, but the printed
+        # 12-value Locations set yields 2/12 = 1/6; the paper's qualitative
+        # point (Jaccard ranks Provinces above Locations) holds either way.
+        assert jaccard(Q, LOCATIONS) == pytest.approx(1 / 6, abs=1e-9)
+        assert jaccard(Q, LOCATIONS) < jaccard(Q, PROVINCES)
+
+    def test_paper_example_containment(self):
+        assert containment(Q, PROVINCES) == pytest.approx(0.5)
+        assert containment(Q, LOCATIONS) == pytest.approx(1.0)
+
+    def test_containment_asymmetry(self):
+        assert containment(Q, LOCATIONS) != containment(LOCATIONS, Q)
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ValueError):
+            containment(set(), {"a"})
+
+    def test_jaccard_of_two_empties(self):
+        assert jaccard(set(), set()) == 1.0
+
+    def test_jaccard_symmetric(self):
+        assert jaccard(Q, LOCATIONS) == jaccard(LOCATIONS, Q)
+
+
+class TestTransforms:
+    def test_roundtrip_t_to_s_to_t(self):
+        for t in np.linspace(0.05, 1.0, 20):
+            for x, q in [(10, 5), (100, 100), (1000, 10)]:
+                if t > x / q:
+                    continue
+                s = containment_to_jaccard(t, x, q)
+                assert jaccard_to_containment(s, x, q) == pytest.approx(t)
+
+    def test_known_transform_values(self):
+        # x = q: s = t / (2 - t); at t = 1 this is 1.
+        assert containment_to_jaccard(1.0, 50, 50) == pytest.approx(1.0)
+        assert containment_to_jaccard(0.5, 50, 50) == pytest.approx(1 / 3)
+
+    def test_transform_consistency_with_exact_sets(self):
+        t = containment(Q, LOCATIONS)
+        s_predicted = containment_to_jaccard(t, len(LOCATIONS), len(Q))
+        assert s_predicted == pytest.approx(jaccard(Q, LOCATIONS))
+
+    def test_monotone_decreasing_in_x(self):
+        values = [containment_to_jaccard(0.5, x, 10)
+                  for x in (10, 20, 40, 80)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_vectorised(self):
+        ts = np.array([0.1, 0.5, 0.9])
+        out = containment_to_jaccard(ts, 10, 10)
+        assert out.shape == (3,)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            containment_to_jaccard(0.5, 0, 10)
+        with pytest.raises(ValueError):
+            jaccard_to_containment(0.5, 10, 0)
+
+
+class TestConservativeThreshold:
+    def test_eq7_value(self):
+        # t* = 0.5, u = 3q: s* = 0.5 / (3 + 1 - 0.5) = 1/7.
+        assert conservative_jaccard_threshold(0.5, 30, 10) == \
+            pytest.approx(0.5 / 3.5)
+
+    def test_never_above_exact_threshold(self):
+        t_star, q = 0.6, 20
+        for u in (20, 50, 100, 400):
+            s_star = conservative_jaccard_threshold(t_star, u, q)
+            for x in range(q, u + 1, 7):
+                exact = containment_to_jaccard(t_star, x, q)
+                assert s_star <= exact + 1e-12
+
+    def test_extreme_threshold_one(self):
+        assert conservative_jaccard_threshold(1.0, 100, 10) <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            conservative_jaccard_threshold(1.5, 10, 10)
+        with pytest.raises(ValueError):
+            conservative_jaccard_threshold(0.5, 0, 10)
+
+
+class TestEffectiveThreshold:
+    def test_proposition1_value(self):
+        # t_x = (x + q) t* / (u + q).
+        assert effective_containment_threshold(0.5, 10, 30, 10) == \
+            pytest.approx(20 * 0.5 / 40)
+
+    def test_never_exceeds_t_star(self):
+        for x in (1, 5, 10, 29):
+            tx = effective_containment_threshold(0.8, x, 30, 10)
+            assert tx <= 0.8 + 1e-12
+
+    def test_equals_t_star_at_upper_bound(self):
+        assert effective_containment_threshold(0.7, 30, 30, 10) == \
+            pytest.approx(0.7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            effective_containment_threshold(0.5, 0, 30, 10)
+
+
+class TestCandidateProbability:
+    def test_bounds(self):
+        ts = np.linspace(0, 1, 30)
+        p = candidate_probability_containment(ts, 10, 5, 256, 4)
+        assert np.all(p >= 0) and np.all(p <= 1)
+
+    def test_monotone_in_containment(self):
+        ts = np.linspace(0, 1, 30)
+        p = candidate_probability_containment(ts, 10, 5, 64, 4)
+        assert np.all(np.diff(p) >= -1e-12)
+
+    def test_figure3_configuration(self):
+        # Figure 3 setup: x=10, q=5, b=256, r=4.  Exact closed form:
+        # s(0.5) = 0.2, P = 1 - (1 - 0.2^4)^256.
+        p = candidate_probability_containment(0.5, 10, 5, 256, 4)
+        assert p == pytest.approx(1.0 - (1.0 - 0.2 ** 4) ** 256)
+        # The S-curve: negligible at tiny containment, near-certain at the
+        # size-ratio ceiling t = x/q = 2 (s = 1).
+        assert candidate_probability_containment(0.05, 10, 5, 256, 4) < 0.05
+        assert candidate_probability_containment(2.0, 10, 5, 256, 4) > 0.99
+
+    def test_scalar_output(self):
+        p = candidate_probability_containment(0.4, 10, 5, 16, 2)
+        assert isinstance(p, float)

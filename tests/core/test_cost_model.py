@@ -1,0 +1,112 @@
+"""Unit tests for the false-positive cost model (Propositions 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost_model import (
+    expected_false_positives,
+    false_positive_probability,
+    false_positive_upper_bound,
+    partition_cost,
+    partitioning_cost,
+)
+
+
+class TestFalsePositiveProbability:
+    def test_case1_formula(self):
+        # t*q <= l regime: P = 1 - (x + q)/(u + q).
+        x, q, u, t_star = 50, 10, 100, 0.5
+        assert false_positive_probability(x, q, u, t_star) == \
+            pytest.approx(1 - (x + q) / (u + q))
+
+    def test_zero_at_upper_bound(self):
+        # x = u: the conversion is exact, no false positives.
+        assert false_positive_probability(100, 10, 100, 0.5) == \
+            pytest.approx(0.0)
+
+    def test_zero_threshold(self):
+        assert false_positive_probability(50, 10, 100, 0.0) == 0.0
+
+    def test_small_domain_clipped_window(self):
+        # x/q < t_x: the domain cannot even reach the effective threshold
+        # (case 5 of Prop. 2's proof).  Here t_x = 101*0.9/5100 ≈ 0.0178
+        # while the best achievable containment is x/q = 0.01.
+        p = false_positive_probability(1, 100, 5_000, 0.9)
+        assert p == 0.0
+
+    def test_probability_bounds(self):
+        rng = np.random.default_rng(5)
+        for _ in range(200):
+            u = int(rng.integers(2, 10_000))
+            x = int(rng.integers(1, u + 1))
+            q = int(rng.integers(1, 5_000))
+            t = float(rng.random())
+            p = false_positive_probability(x, q, u, t)
+            assert 0.0 <= p <= 1.0
+
+    def test_monotone_in_u(self):
+        # Widening the partition (larger u) can only worsen FP probability.
+        ps = [false_positive_probability(50, 10, u, 0.5)
+              for u in (50, 100, 200, 400)]
+        assert all(a <= b + 1e-12 for a, b in zip(ps, ps[1:]))
+
+
+class TestExpectedFalsePositives:
+    def test_matches_manual_sum(self):
+        sizes = [10, 20, 30, 40]
+        q, l, u, t = 5, 10, 41, 0.5
+        manual = sum(false_positive_probability(x, q, u, t) for x in sizes)
+        assert expected_false_positives(sizes, q, l, u, t) == \
+            pytest.approx(manual)
+
+    def test_only_counts_sizes_in_partition(self):
+        sizes = [5, 10, 50, 500]
+        inside = expected_false_positives(sizes, 5, 10, 100, 0.5)
+        all_in = expected_false_positives([10, 50], 5, 10, 100, 0.5)
+        assert inside == pytest.approx(all_in)
+
+
+class TestUpperBound:
+    def test_proposition2_dominates_uniform_case(self):
+        # For uniform sizes in [l, u) and t*q <= l, the bound must hold.
+        rng = np.random.default_rng(11)
+        l, u, q, t = 50, 200, 10, 0.6  # t*q = 6 <= l
+        sizes = rng.integers(l, u, size=2000)
+        expected = expected_false_positives(sizes, q, l, u, t)
+        bound = false_positive_upper_bound(len(sizes), l, u)
+        assert expected <= bound * (1 + 1e-9)
+
+    def test_bound_formula(self):
+        assert false_positive_upper_bound(100, 10, 20) == \
+            pytest.approx(100 * 11 / 40)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            false_positive_upper_bound(10, 5, 5)
+        with pytest.raises(ValueError):
+            false_positive_upper_bound(-1, 5, 10)
+        with pytest.raises(ValueError):
+            false_positive_upper_bound(10, 5, 0)
+
+
+class TestPartitionCost:
+    def test_counts_in_interval(self):
+        sizes = [10, 15, 20, 25, 100]
+        cost = partition_cost(sizes, 10, 26)
+        assert cost == pytest.approx(false_positive_upper_bound(4, 10, 26))
+
+    def test_partitioning_cost_is_max(self):
+        sizes = list(range(10, 110))
+        bounds = [(10, 60), (60, 110)]
+        per = [partition_cost(sizes, l, u) for l, u in bounds]
+        assert partitioning_cost(sizes, bounds) == max(per)
+
+    def test_empty_boundaries_rejected(self):
+        with pytest.raises(ValueError):
+            partitioning_cost([10, 20], [])
+
+    def test_narrower_partitions_cost_less(self):
+        sizes = list(range(10, 1010))
+        whole = partitioning_cost(sizes, [(10, 1010)])
+        halves = partitioning_cost(sizes, [(10, 510), (510, 1010)])
+        assert halves < whole

@@ -1,0 +1,263 @@
+"""Unit tests for the LSH Ensemble index."""
+
+import pytest
+
+from repro.core.ensemble import LSHEnsemble
+from repro.core.partitioner import Partition, optimal_partitions
+from repro.minhash.minhash import MinHash
+
+NUM_PERM = 128
+
+
+def sig(values):
+    return MinHash.from_values(values, num_perm=NUM_PERM)
+
+
+def build_corpus():
+    """Domains with controlled containment against 'query_base'."""
+    base = ["q%d" % i for i in range(100)]
+    domains = {
+        # containment of base in each domain, by construction:
+        "full_small": set(base),                                   # t = 1.0
+        "full_large": set(base) | {"x%d" % i for i in range(900)},  # t = 1.0
+        "half": set(base[:50]) | {"y%d" % i for i in range(450)},  # t = 0.5
+        "tenth": set(base[:10]) | {"z%d" % i for i in range(90)},  # t = 0.1
+        "none": {"w%d" % i for i in range(400)},                   # t = 0.0
+    }
+    # Filler domains so partitions are populated.
+    for i in range(60):
+        domains["fill%d" % i] = {"f%d_%d" % (i, j)
+                                 for j in range(10 + i * 7)}
+    return base, domains
+
+
+def build_index(num_partitions=4, **kwargs):
+    base, domains = build_corpus()
+    index = LSHEnsemble(threshold=0.7, num_perm=NUM_PERM,
+                        num_partitions=num_partitions, **kwargs)
+    index.index(
+        (key, sig(values), len(values)) for key, values in domains.items()
+    )
+    return base, domains, index
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LSHEnsemble(threshold=1.5)
+        with pytest.raises(ValueError):
+            LSHEnsemble(num_partitions=0)
+        with pytest.raises(ValueError):
+            LSHEnsemble(num_perm=1)
+        with pytest.raises(ValueError):
+            LSHEnsemble(num_perm=64, num_trees=32, max_depth=8)
+
+    def test_default_forest_shape(self):
+        e = LSHEnsemble(num_perm=256)
+        assert (e.num_trees, e.max_depth) == (32, 8)
+
+
+class TestIndexBuild:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LSHEnsemble(num_perm=NUM_PERM).index([])
+
+    def test_double_index_rejected(self):
+        _, _, index = build_index()
+        with pytest.raises(RuntimeError):
+            index.index([("k", sig(["a"]), 1)])
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            LSHEnsemble(num_perm=NUM_PERM).index([("k", sig(["a"]), 0)])
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError):
+            LSHEnsemble(num_perm=NUM_PERM).index(
+                [("k", sig(["a"]), 1), ("k", sig(["b"]), 1)]
+            )
+
+    def test_partitions_cover_sizes(self):
+        _, domains, index = build_index(num_partitions=4)
+        sizes = [len(v) for v in domains.values()]
+        assert index.partitions[0].lower == min(sizes)
+        assert index.partitions[-1].upper == max(sizes) + 1
+
+    def test_explicit_partitions(self):
+        base, domains, _ = build_index()
+        parts = [Partition(1, 100), Partition(100, 5000)]
+        index = LSHEnsemble(num_perm=NUM_PERM)
+        index.index(
+            ((k, sig(v), len(v)) for k, v in domains.items()),
+            partitions=parts,
+        )
+        assert index.partitions == parts
+
+    def test_custom_partitioner(self):
+        _, domains, _ = build_index()
+        index = LSHEnsemble(num_perm=NUM_PERM, num_partitions=4,
+                            partitioner=optimal_partitions)
+        index.index((k, sig(v), len(v)) for k, v in domains.items())
+        assert 1 <= len(index.partitions) <= 4
+
+
+class TestQuery:
+    def test_full_containment_found(self):
+        base, _, index = build_index()
+        result = index.query(sig(base), size=len(base), threshold=0.9)
+        assert "full_small" in result
+        assert "full_large" in result
+
+    def test_low_containment_excluded_at_high_threshold(self):
+        base, _, index = build_index()
+        result = index.query(sig(base), size=len(base), threshold=0.9)
+        assert "tenth" not in result
+        assert "none" not in result
+
+    def test_half_containment_found_at_low_threshold(self):
+        base, _, index = build_index()
+        result = index.query(sig(base), size=len(base), threshold=0.3)
+        assert "half" in result
+
+    def test_threshold_zero_is_permissive(self):
+        base, domains, index = build_index()
+        result = index.query(sig(base), size=len(base), threshold=0.0)
+        assert "full_small" in result
+
+    def test_size_estimated_when_missing(self):
+        base, _, index = build_index()
+        result = index.query(sig(base), threshold=0.9)
+        assert "full_small" in result
+
+    def test_default_threshold_used(self):
+        base, _, index = build_index()
+        assert index.query(sig(base), size=len(base)) == \
+            index.query(sig(base), size=len(base),
+                        threshold=index.threshold)
+
+    def test_query_before_build_rejected(self):
+        with pytest.raises(RuntimeError):
+            LSHEnsemble(num_perm=NUM_PERM).query(sig(["a"]))
+
+    def test_invalid_threshold(self):
+        base, _, index = build_index()
+        with pytest.raises(ValueError):
+            index.query(sig(base), threshold=2.0)
+
+    def test_invalid_size(self):
+        base, _, index = build_index()
+        with pytest.raises(ValueError):
+            index.query(sig(base), size=0)
+
+
+class TestPruning:
+    def test_small_partitions_pruned_for_large_query(self):
+        base, _, index = build_index(num_partitions=4)
+        _, reports = index.query_with_report(sig(base), size=len(base),
+                                             threshold=0.9)
+        # Partitions whose upper bound is below 0.9 * 100 = 90 are pruned.
+        for report in reports:
+            if report.partition.upper - 1 < 90:
+                assert report.pruned
+
+    def test_no_pruning_at_zero_threshold(self):
+        # t* = 0 qualifies every domain, so no partition may be pruned.
+        base, _, index = build_index(num_partitions=4)
+        _, reports = index.query_with_report(sig(base), size=len(base),
+                                             threshold=0.0)
+        assert all(not r.pruned for r in reports)
+        assert all(r.tuning is not None for r in reports)
+
+    def test_report_has_tuning_for_active_partitions(self):
+        base, _, index = build_index(num_partitions=4)
+        _, reports = index.query_with_report(sig(base), size=len(base),
+                                             threshold=0.5)
+        active = [r for r in reports if not r.pruned]
+        assert active
+        for r in active:
+            assert r.tuning.b * r.tuning.r <= NUM_PERM
+
+
+class TestMutation:
+    def test_insert_after_build(self):
+        base, _, index = build_index()
+        new_sig = sig(base)
+        index.insert("late_duplicate", new_sig, len(base))
+        result = index.query(sig(base), size=len(base), threshold=0.9)
+        assert "late_duplicate" in result
+
+    def test_insert_clamps_out_of_range_sizes(self):
+        base, _, index = build_index()
+        huge = ["h%d" % i for i in range(50_000)]
+        index.insert("huge", sig(huge), len(huge))
+        assert "huge" in index
+
+    def test_insert_before_build_rejected(self):
+        with pytest.raises(RuntimeError):
+            LSHEnsemble(num_perm=NUM_PERM).insert("k", sig(["a"]), 1)
+
+    def test_insert_duplicate_key_rejected(self):
+        base, _, index = build_index()
+        with pytest.raises(ValueError):
+            index.insert("full_small", sig(base), len(base))
+
+    def test_remove(self):
+        base, _, index = build_index()
+        index.remove("full_small")
+        assert "full_small" not in index
+        result = index.query(sig(base), size=len(base), threshold=0.9)
+        assert "full_small" not in result
+
+    def test_remove_missing(self):
+        _, _, index = build_index()
+        with pytest.raises(KeyError):
+            index.remove("ghost")
+
+
+class TestIntrospection:
+    def test_len_contains(self):
+        _, domains, index = build_index()
+        assert len(index) == len(domains)
+        assert "half" in index
+
+    def test_size_of(self):
+        _, domains, index = build_index()
+        assert index.size_of("half") == len(domains["half"])
+
+    def test_keys(self):
+        _, domains, index = build_index()
+        assert set(index.keys()) == set(domains)
+
+    def test_repr(self):
+        _, _, index = build_index()
+        assert "LSHEnsemble" in repr(index)
+
+
+class TestExplicitPartitionClamping:
+    def test_entries_outside_explicit_partitions_clamped(self):
+        """Explicit partitions narrower than the data must still accept
+        every entry (sizes clamp into the boundary partitions)."""
+        parts = [Partition(50, 100), Partition(100, 200)]
+        index = LSHEnsemble(num_perm=NUM_PERM)
+        tiny = sig(["t%d" % i for i in range(5)])
+        huge = sig(["h%d" % i for i in range(1000)])
+        index.index(
+            [("tiny", tiny, 5), ("huge", huge, 1000),
+             ("mid", sig(["m%d" % i for i in range(150)]), 150)],
+            partitions=parts,
+        )
+        assert len(index) == 3
+        assert index.size_of("tiny") == 5      # true size retained
+        assert "tiny" in index.query(tiny, size=5, threshold=1.0)
+        assert "huge" in index.query(huge, size=1000, threshold=1.0)
+
+    def test_remove_of_clamped_entry(self):
+        parts = [Partition(50, 200)]
+        index = LSHEnsemble(num_perm=NUM_PERM)
+        index.index(
+            [("tiny", sig(["a"]), 1),
+             ("mid", sig(["m%d" % i for i in range(100)]), 100)],
+            partitions=parts,
+        )
+        index.remove("tiny")
+        assert "tiny" not in index

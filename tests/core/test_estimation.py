@@ -1,0 +1,90 @@
+"""Unit tests for signature-based containment estimation."""
+
+import pytest
+
+from repro.core.estimation import estimate_containment, rank_candidates
+from repro.minhash.lean import LeanMinHash
+from repro.minhash.minhash import MinHash
+from tests.conftest import make_overlapping_sets
+
+NUM_PERM = 256
+
+
+def sig(values):
+    return LeanMinHash(MinHash.from_values(values, num_perm=NUM_PERM))
+
+
+class TestEstimateContainment:
+    def test_full_containment(self):
+        base = {"v%d" % i for i in range(50)}
+        superset = base | {"w%d" % i for i in range(150)}
+        est = estimate_containment(sig(base), sig(superset),
+                                   query_size=50, candidate_size=200)
+        assert est > 0.75
+
+    def test_no_overlap(self):
+        a = {"a%d" % i for i in range(50)}
+        b = {"b%d" % i for i in range(50)}
+        est = estimate_containment(sig(a), sig(b), 50, 50)
+        assert est < 0.2
+
+    def test_half_containment(self):
+        qs, xs = make_overlapping_sets(50, 50, 100, tag="est")
+        est = estimate_containment(sig(qs), sig(xs), len(qs), len(xs))
+        assert abs(est - 0.5) < 0.25
+
+    def test_clipped_to_unit_interval(self):
+        base = {"v%d" % i for i in range(10)}
+        superset = base | {"w%d" % i for i in range(990)}
+        est = estimate_containment(sig(base), sig(superset), 10, 1000)
+        assert 0.0 <= est <= 1.0
+
+    def test_sizes_estimated_when_missing(self):
+        base = {"v%d" % i for i in range(100)}
+        est = estimate_containment(sig(base), sig(base))
+        assert est > 0.9
+
+    def test_validation(self):
+        s = sig({"a"})
+        with pytest.raises(ValueError):
+            estimate_containment(s, s, query_size=0)
+
+
+class TestRankCandidates:
+    def test_orders_by_containment(self):
+        query = {"q%d" % i for i in range(40)}
+        full = query | {"f%d" % i for i in range(60)}
+        half = set(list(query)[:20]) | {"h%d" % i for i in range(80)}
+        none = {"n%d" % i for i in range(100)}
+        ranked = rank_candidates(
+            sig(query),
+            {"full": sig(full), "half": sig(half), "none": sig(none)},
+            query_size=40,
+            sizes={"full": 100, "half": 100, "none": 100},
+        )
+        names = [key for key, _ in ranked]
+        assert names[0] == "full"
+        assert names[-1] == "none"
+
+    def test_deterministic_tiebreak(self):
+        query = {"q"}
+        same_a = {"q", "x"}
+        same_b = {"q", "x"}
+        ranked = rank_candidates(
+            sig(query), {"b": sig(same_b), "a": sig(same_a)},
+            query_size=1, sizes={"a": 2, "b": 2},
+        )
+        assert [key for key, _ in ranked] == ["a", "b"]
+
+    def test_empty_candidates(self):
+        assert rank_candidates(sig({"q"}), {}, query_size=1) == []
+
+    def test_scores_in_unit_interval(self):
+        query = {"q%d" % i for i in range(30)}
+        cands = {
+            "c%d" % i: sig({"q%d" % j for j in range(i)} |
+                           {"c%d_%d" % (i, j) for j in range(40)})
+            for i in range(1, 10)
+        }
+        for _, score in rank_candidates(sig(query), cands, query_size=30):
+            assert 0.0 <= score <= 1.0

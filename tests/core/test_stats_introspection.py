@@ -1,0 +1,65 @@
+"""Unit tests for LSHEnsemble.stats() operational introspection."""
+
+import pytest
+
+from repro.core.ensemble import LSHEnsemble
+from repro.minhash.minhash import MinHash
+
+NUM_PERM = 64
+
+
+def sig(values):
+    return MinHash.from_values(values, num_perm=NUM_PERM)
+
+
+@pytest.fixture()
+def index():
+    entries = []
+    for i in range(60):
+        values = {"v%d_%d" % (i, j) for j in range(10 + i * 5)}
+        entries.append(("k%d" % i, sig(values), len(values)))
+    idx = LSHEnsemble(num_perm=NUM_PERM, num_partitions=4)
+    idx.index(entries)
+    return idx
+
+
+class TestStats:
+    def test_counts_sum_to_total(self, index):
+        stats = index.stats()
+        assert sum(e["count"] for e in stats["partitions"]) == len(index)
+        assert stats["num_domains"] == 60
+
+    def test_sizes_within_partition_bounds(self, index):
+        for entry in index.stats()["partitions"]:
+            if entry["count"] == 0:
+                assert entry["min_size"] is None
+                continue
+            assert entry["lower"] <= entry["min_size"]
+            assert entry["max_size"] < entry["upper"]
+
+    def test_equi_depth_balance(self, index):
+        stats = index.stats()
+        counts = [e["count"] for e in stats["partitions"]]
+        assert max(counts) - min(counts) <= len(index) // 2
+        assert stats["partition_count_std"] >= 0.0
+
+    def test_drifted_inserts_visible(self, index):
+        # Insert domains larger than any partition: they clamp into the
+        # last partition, whose max_size then exceeds its upper bound.
+        huge = {"h%d" % i for i in range(10_000)}
+        index.insert("huge", sig(huge), len(huge))
+        last = index.stats()["partitions"][-1]
+        assert last["max_size"] == 10_000
+        assert last["max_size"] >= last["upper"]
+
+    def test_empty_index_rejected(self):
+        with pytest.raises(RuntimeError):
+            LSHEnsemble(num_perm=NUM_PERM).stats()
+
+    def test_partition_count_std_zero_when_uniform(self):
+        entries = [("k%d" % i, sig({"v%d" % i}), 1) for i in range(8)]
+        idx = LSHEnsemble(num_perm=NUM_PERM, num_partitions=4)
+        idx.index(entries)
+        # All domains have size 1 -> a single partition holds everything.
+        stats = idx.stats()
+        assert stats["num_partitions"] == len(idx.partitions)

@@ -1,0 +1,93 @@
+"""Unit tests for the top-k containment search extension."""
+
+import pytest
+
+from repro.core.ensemble import LSHEnsemble
+from repro.minhash.minhash import MinHash
+
+NUM_PERM = 256
+
+
+def sig(values):
+    return MinHash.from_values(values, num_perm=NUM_PERM)
+
+
+@pytest.fixture(scope="module")
+def topk_index():
+    base = ["q%d" % i for i in range(60)]
+    domains = {
+        "best": set(base) | {"b%d" % i for i in range(40)},      # t = 1.0
+        "good": set(base[:45]) | {"g%d" % i for i in range(55)},  # t = .75
+        "weak": set(base[:15]) | {"w%d" % i for i in range(85)},  # t = .25
+        "none": {"n%d" % i for i in range(100)},                  # t = 0
+    }
+    for i in range(40):
+        domains["fill%d" % i] = {"f%d_%d" % (i, j)
+                                 for j in range(20 + 5 * i)}
+    index = LSHEnsemble(num_perm=NUM_PERM, num_partitions=4)
+    index.index((k, sig(v), len(v)) for k, v in domains.items())
+    return base, index
+
+
+class TestQueryTopK:
+    def test_best_first(self, topk_index):
+        base, index = topk_index
+        ranked = index.query_top_k(sig(base), k=2, size=len(base))
+        assert [key for key, _ in ranked][0] == "best"
+
+    def test_ordering_matches_true_containment(self, topk_index):
+        base, index = topk_index
+        ranked = index.query_top_k(sig(base), k=3, size=len(base))
+        names = [key for key, _ in ranked]
+        assert names.index("best") < names.index("good")
+
+    def test_scores_descending(self, topk_index):
+        base, index = topk_index
+        ranked = index.query_top_k(sig(base), k=5, size=len(base))
+        scores = [score for _, score in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_k_respected(self, topk_index):
+        base, index = topk_index
+        assert len(index.query_top_k(sig(base), k=1, size=len(base))) == 1
+        assert len(index.query_top_k(sig(base), k=3, size=len(base))) == 3
+
+    def test_fewer_than_k_available(self):
+        index = LSHEnsemble(num_perm=NUM_PERM, num_partitions=2)
+        values = {"a", "b", "c"}
+        index.index([("only", sig(values), 3),
+                     ("other", sig({"x", "y"}), 2)])
+        ranked = index.query_top_k(sig(values), k=10, size=3)
+        assert 1 <= len(ranked) <= 10
+        assert ranked[0][0] == "only"
+
+    def test_size_estimated_when_missing(self, topk_index):
+        base, index = topk_index
+        ranked = index.query_top_k(sig(base), k=2)
+        assert ranked and ranked[0][0] == "best"
+
+    def test_validation(self, topk_index):
+        base, index = topk_index
+        with pytest.raises(ValueError):
+            index.query_top_k(sig(base), k=0)
+        with pytest.raises(ValueError):
+            index.query_top_k(sig(base), k=2, min_threshold=0.0)
+
+
+class TestGetSignature:
+    def test_roundtrip(self, topk_index):
+        base, index = topk_index
+        stored = index.get_signature("best")
+        assert stored.jaccard(index.get_signature("best")) == 1.0
+
+    def test_missing_key(self, topk_index):
+        _, index = topk_index
+        with pytest.raises(KeyError):
+            index.get_signature("ghost")
+
+    def test_clamped_insert_still_retrievable(self, topk_index):
+        _, index = topk_index
+        huge = ["h%d" % i for i in range(100_000)]
+        index.insert("huge-domain", sig(huge), len(huge))
+        assert index.get_signature("huge-domain") is not None
+        index.remove("huge-domain")

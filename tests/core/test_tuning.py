@@ -1,0 +1,91 @@
+"""Unit tests for query-time (b, r) tuning."""
+
+import pytest
+
+from repro.core.tuning import TuningResult, fp_fn_mass, tune_params
+
+
+class TestFpFnMass:
+    def test_non_negative(self):
+        for b, r in [(1, 1), (8, 4), (32, 8)]:
+            fp, fn = fp_fn_mass(100, 10, 0.5, b, r)
+            assert fp >= 0 and fn >= 0
+
+    def test_fn_zero_when_ratio_below_threshold(self):
+        # x/q < t*: no domain can be a true positive, so FN mass is 0.
+        fp, fn = fp_fn_mass(5, 100, 0.5, 8, 4)
+        assert fn == 0.0
+
+    def test_more_bands_increase_fp_decrease_fn(self):
+        fp_small, fn_small = fp_fn_mass(100, 10, 0.5, 2, 4)
+        fp_large, fn_large = fp_fn_mass(100, 10, 0.5, 32, 4)
+        assert fp_large >= fp_small
+        assert fn_large <= fn_small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fp_fn_mass(0, 10, 0.5, 8, 4)
+
+
+class TestTuneParams:
+    def test_within_grid(self):
+        res = tune_params(1000, 50, 0.5, 32, 8, 256)
+        assert 1 <= res.b <= 32
+        assert 1 <= res.r <= 8
+
+    def test_budget_respected(self):
+        res = tune_params(1000, 50, 0.5, 32, 8, 64)
+        assert res.b * res.r <= 64
+
+    def test_result_fields(self):
+        res = tune_params(500, 20, 0.6, 16, 8, 128)
+        assert isinstance(res, TuningResult)
+        assert res.fp_mass >= 0 and res.fn_mass >= 0
+
+    def test_matches_single_pair_evaluation(self):
+        res = tune_params(500, 20, 0.6, 16, 8, 128)
+        fp, fn = fp_fn_mass(500, 20, 0.6, res.b, res.r)
+        assert res.fp_mass == pytest.approx(fp, rel=1e-6)
+        assert res.fn_mass == pytest.approx(fn, rel=1e-6)
+
+    def test_chosen_pair_is_grid_minimum(self):
+        u, q, t = 300, 30, 0.5
+        res = tune_params(u, q, t, 8, 8, 64)
+        best = res.fp_mass + res.fn_mass
+        for b in range(1, 9):
+            for r in range(1, 9):
+                if b * r > 64:
+                    continue
+                fp, fn = fp_fn_mass(u, q, t, b, r)
+                assert best <= fp + fn + 1e-9
+
+    def test_caching_returns_same_object(self):
+        a = tune_params(123, 45, 0.5, 32, 8, 256)
+        b = tune_params(123, 45, 0.5, 32, 8, 256)
+        assert a is b
+
+    def test_high_threshold_prefers_selective_params(self):
+        """Higher t* should not pick a less selective scheme."""
+        low = tune_params(1000, 100, 0.2, 32, 8, 256)
+        high = tune_params(1000, 100, 0.9, 32, 8, 256)
+        # Selectivity proxy: inherent threshold (1/b)^(1/r) rises.
+        low_sel = (1 / low.b) ** (1 / low.r)
+        high_sel = (1 / high.b) ** (1 / high.r)
+        assert high_sel >= low_sel - 1e-9
+
+    def test_tighter_upper_bound_reduces_error(self):
+        """Key partitioning effect: u closer to x -> smaller FP+FN mass."""
+        loose = tune_params(10_000, 100, 0.5, 32, 8, 256)
+        tight = tune_params(200, 100, 0.5, 32, 8, 256)
+        assert (tight.fp_mass + tight.fn_mass) <= \
+            (loose.fp_mass + loose.fn_mass) + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tune_params(0, 10, 0.5, 32, 8, 256)
+        with pytest.raises(ValueError):
+            tune_params(10, 0, 0.5, 32, 8, 256)
+        with pytest.raises(ValueError):
+            tune_params(10, 10, 1.5, 32, 8, 256)
+        with pytest.raises(ValueError):
+            tune_params(10, 10, 0.5, 0, 8, 256)

@@ -1,0 +1,71 @@
+"""Unit tests for ratio-quantised tuner memoisation."""
+
+import pytest
+
+from repro.core.tuning import (
+    quantize_query_size,
+    tune_params,
+    tune_params_quantized,
+)
+
+
+class TestQuantizeQuerySize:
+    def test_small_values_exact(self):
+        assert quantize_query_size(1) == 1
+        assert quantize_query_size(2) == 2
+
+    def test_within_nine_percent(self):
+        for q in (3, 10, 137, 1000, 54321):
+            quant = quantize_query_size(q)
+            assert abs(quant - q) / q < 0.09
+
+    def test_idempotent_within_bucket(self):
+        # Values in the same geometric bucket map to the same point.
+        assert quantize_query_size(137) == quantize_query_size(141)
+
+    def test_monotone_non_decreasing(self):
+        quants = [quantize_query_size(q) for q in range(1, 2000)]
+        assert all(a <= b for a, b in zip(quants, quants[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quantize_query_size(0)
+
+
+class TestTuneParamsQuantized:
+    def test_same_bucket_shares_cache_entry(self):
+        a = tune_params_quantized(1000, 137, 0.5, 32, 8, 256)
+        b = tune_params_quantized(1000, 141, 0.5, 32, 8, 256)
+        assert a is b  # identical object proves the memoisation hit
+
+    def test_close_to_exact_tuning(self):
+        """Quantisation must not change the error profile materially."""
+        exact = tune_params(1000, 137, 0.5, 32, 8, 256)
+        quant = tune_params_quantized(1000, 137, 0.5, 32, 8, 256)
+        exact_total = exact.fp_mass + exact.fn_mass
+        quant_total = quant.fp_mass + quant.fn_mass
+        assert abs(exact_total - quant_total) < 0.1
+
+    def test_grid_and_budget_respected(self):
+        res = tune_params_quantized(5000, 321, 0.7, 16, 8, 64)
+        assert 1 <= res.b <= 16
+        assert 1 <= res.r <= 8
+        assert res.b * res.r <= 64
+
+    def test_ratio_determines_result(self):
+        """(u, q) pairs with equal ratios share one tuning."""
+        a = tune_params_quantized(1000, 100, 0.5, 32, 8, 256)
+        b = tune_params_quantized(10_000, 1000, 0.5, 32, 8, 256)
+        assert a is b
+
+    def test_small_ratio_below_one(self):
+        # u < q (large query against a small partition): must not crash
+        # and must stay on the grid.
+        res = tune_params_quantized(50, 500, 0.5, 32, 8, 256)
+        assert 1 <= res.b <= 32 and 1 <= res.r <= 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tune_params_quantized(0, 10, 0.5, 32, 8, 256)
+        with pytest.raises(ValueError):
+            tune_params_quantized(10, 0, 0.5, 32, 8, 256)

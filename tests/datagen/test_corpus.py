@@ -1,0 +1,110 @@
+"""Unit tests for the synthetic corpus generator."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.corpus import (
+    DomainCorpus,
+    generate_corpus,
+    generate_skew_series,
+)
+from repro.exact.inverted import InvertedIndex
+from repro.stats.powerlaw import is_power_law_like
+from repro.stats.skewness import skewness
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(num_domains=800, max_size=10_000, seed=5)
+
+
+class TestDomainCorpus:
+    def test_mapping_interface(self, corpus):
+        key = next(iter(corpus))
+        assert isinstance(corpus[key], frozenset)
+        assert len(corpus) == 800
+
+    def test_sizes_consistent(self, corpus):
+        for key in list(corpus)[:20]:
+            assert corpus.size_of(key) == len(corpus[key])
+
+    def test_size_array(self, corpus):
+        arr = corpus.size_array()
+        assert arr.shape == (800,)
+        assert arr.min() >= 10
+
+    def test_restrict_sizes(self, corpus):
+        sub = corpus.restrict_sizes(10, 100)
+        assert len(sub) > 0
+        assert all(10 <= sub.size_of(k) <= 100 for k in sub)
+
+    def test_signatures_and_entries(self, corpus):
+        sub = DomainCorpus({k: corpus[k] for k in list(corpus)[:30]})
+        sigs = sub.signatures(num_perm=32)
+        entries = sub.entries(sigs)
+        assert len(entries) == 30
+        for key, sig, size in entries:
+            assert sig is sigs[key]
+            assert size == sub.size_of(key)
+
+
+class TestGenerateCorpus:
+    def test_power_law_shape(self, corpus):
+        assert is_power_law_like(corpus.size_array())
+
+    def test_bounds_respected(self, corpus):
+        sizes = corpus.size_array()
+        assert sizes.min() >= 10
+        assert sizes.max() <= 10_000
+
+    def test_deterministic(self):
+        a = generate_corpus(num_domains=50, seed=9)
+        b = generate_corpus(num_domains=50, seed=9)
+        assert {k: a[k] for k in a} == {k: b[k] for k in b}
+
+    def test_containment_structure_exists(self, corpus):
+        """The generator must plant high-containment pairs (joinability)."""
+        inverted = InvertedIndex.from_domains(corpus)
+        keys = sorted(corpus, key=corpus.size_of)[:60]  # small domains
+        high_pairs = 0
+        for key in keys:
+            scores = inverted.containment_scores(corpus[key])
+            hits = sum(1 for other, t in scores.items()
+                       if other != key and t >= 0.8)
+            high_pairs += hits
+        assert high_pairs > 20
+
+    def test_containment_spread(self, corpus):
+        """Scores must not be all-or-nothing: mid-range values exist."""
+        inverted = InvertedIndex.from_domains(corpus)
+        mid = 0
+        for key in sorted(corpus, key=corpus.size_of)[:80]:
+            scores = inverted.containment_scores(corpus[key])
+            mid += sum(1 for other, t in scores.items()
+                       if other != key and 0.2 <= t <= 0.8)
+        assert mid > 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_corpus(num_domains=0)
+
+
+class TestSkewSeries:
+    def test_widening_subsets(self, corpus):
+        series = generate_skew_series(corpus, num_subsets=10)
+        assert len(series) == 10
+        sizes = [len(s) for s in series]
+        assert all(a <= b for a, b in zip(sizes, sizes[1:]))
+
+    def test_skewness_increases_overall(self, corpus):
+        series = generate_skew_series(corpus, num_subsets=10)
+        skews = [skewness(s.size_array()) for s in series if len(s) > 2]
+        assert skews[-1] > skews[0]
+
+    def test_last_subset_is_full_range(self, corpus):
+        series = generate_skew_series(corpus, num_subsets=10)
+        assert len(series[-1]) == len(corpus)
+
+    def test_validation(self, corpus):
+        with pytest.raises(ValueError):
+            generate_skew_series(corpus, num_subsets=0)

@@ -1,0 +1,85 @@
+"""Unit tests for the synthetic distributions."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.distributions import (
+    power_law_sizes,
+    truncated_geometric,
+    zipf_ranks,
+)
+from repro.stats.powerlaw import fit_alpha
+
+
+class TestPowerLawSizes:
+    def test_within_bounds(self):
+        sizes = power_law_sizes(5000, alpha=2.0, min_size=10,
+                                max_size=1000, seed=1)
+        assert sizes.min() >= 10
+        assert sizes.max() <= 1000
+
+    def test_alpha_recoverable(self):
+        sizes = power_law_sizes(50_000, alpha=2.0, min_size=10,
+                                max_size=10_000_000, seed=2)
+        assert abs(fit_alpha(sizes) - 2.0) < 0.15
+
+    def test_heavier_tail_with_smaller_alpha(self):
+        light = power_law_sizes(20_000, alpha=3.0, min_size=10,
+                                max_size=100_000, seed=3)
+        heavy = power_law_sizes(20_000, alpha=1.5, min_size=10,
+                                max_size=100_000, seed=3)
+        assert heavy.mean() > light.mean()
+
+    def test_deterministic_by_seed(self):
+        a = power_law_sizes(100, seed=7)
+        b = power_law_sizes(100, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            power_law_sizes(10, alpha=1.0)
+        with pytest.raises(ValueError):
+            power_law_sizes(10, min_size=0)
+        with pytest.raises(ValueError):
+            power_law_sizes(10, min_size=100, max_size=10)
+
+
+class TestTruncatedGeometric:
+    def test_bounds(self):
+        draws = truncated_geometric(10_000, p=0.1, high=50, seed=1)
+        assert draws.min() >= 0
+        assert draws.max() <= 50
+
+    def test_small_values_dominate(self):
+        draws = truncated_geometric(10_000, p=0.3, high=1000, seed=2)
+        assert np.median(draws) <= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            truncated_geometric(10, p=0.0, high=5)
+        with pytest.raises(ValueError):
+            truncated_geometric(10, p=0.5, high=-1)
+
+
+class TestZipfRanks:
+    def test_bounds(self):
+        ranks = zipf_ranks(10_000, universe=100, seed=1)
+        assert ranks.min() >= 0
+        assert ranks.max() < 100
+
+    def test_rank_zero_most_common(self):
+        ranks = zipf_ranks(20_000, universe=50, exponent=1.2, seed=2)
+        counts = np.bincount(ranks, minlength=50)
+        assert counts[0] == counts.max()
+
+    def test_higher_exponent_more_concentrated(self):
+        flat = zipf_ranks(20_000, universe=50, exponent=0.5, seed=3)
+        sharp = zipf_ranks(20_000, universe=50, exponent=2.0, seed=3)
+        assert np.bincount(sharp, minlength=50)[0] > \
+            np.bincount(flat, minlength=50)[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_ranks(10, universe=0)
+        with pytest.raises(ValueError):
+            zipf_ranks(10, universe=10, exponent=0.0)

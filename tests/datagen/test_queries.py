@@ -1,0 +1,62 @@
+"""Unit tests for query sampling."""
+
+import pytest
+
+from repro.datagen.corpus import generate_corpus
+from repro.datagen.queries import (
+    largest_decile_queries,
+    sample_queries,
+    smallest_decile_queries,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(num_domains=500, seed=21)
+
+
+class TestSampleQueries:
+    def test_sample_size(self, corpus):
+        assert len(sample_queries(corpus, 50)) == 50
+
+    def test_keys_are_from_corpus(self, corpus):
+        for key in sample_queries(corpus, 30):
+            assert key in corpus
+
+    def test_no_duplicates(self, corpus):
+        sample = sample_queries(corpus, 100)
+        assert len(set(sample)) == 100
+
+    def test_deterministic(self, corpus):
+        assert sample_queries(corpus, 20, seed=4) == \
+            sample_queries(corpus, 20, seed=4)
+
+    def test_oversample_returns_all(self, corpus):
+        assert len(sample_queries(corpus, 10_000)) == len(corpus)
+
+    def test_validation(self, corpus):
+        with pytest.raises(ValueError):
+            sample_queries(corpus, 0)
+
+
+class TestDecileQueries:
+    def test_smallest_come_from_bottom_decile(self, corpus):
+        sizes = sorted(corpus.size_of(k) for k in corpus)
+        cutoff = sizes[len(sizes) // 10]
+        for key in smallest_decile_queries(corpus, 20):
+            assert corpus.size_of(key) <= cutoff
+
+    def test_largest_come_from_top_decile(self, corpus):
+        sizes = sorted(corpus.size_of(k) for k in corpus)
+        cutoff = sizes[-(len(sizes) // 10)]
+        for key in largest_decile_queries(corpus, 20):
+            assert corpus.size_of(key) >= cutoff
+
+    def test_deciles_disjoint(self, corpus):
+        small = set(smallest_decile_queries(corpus, 30))
+        large = set(largest_decile_queries(corpus, 30))
+        assert not (small & large)
+
+    def test_oversample_capped_at_decile(self, corpus):
+        pool = smallest_decile_queries(corpus, 10_000)
+        assert len(pool) == max(1, len(corpus) // 10)

@@ -1,0 +1,96 @@
+"""Unit tests for the relational table generator."""
+
+import pytest
+
+from repro.datagen.tables import (
+    ATTRIBUTE_POOLS,
+    Table,
+    TableCorpus,
+    generate_tables,
+)
+from repro.exact.inverted import InvertedIndex
+
+
+@pytest.fixture(scope="module")
+def table_corpus():
+    return generate_tables(num_tables=80, seed=3)
+
+
+class TestPools:
+    def test_pools_exist(self):
+        assert "province" in ATTRIBUTE_POOLS
+        assert len(ATTRIBUTE_POOLS["province"]) == 13
+
+    def test_pool_values_distinct(self):
+        for name, pool in ATTRIBUTE_POOLS.items():
+            assert len(set(pool)) == len(pool)
+
+
+class TestTable:
+    def test_attributes(self):
+        t = Table("t1", {"a": frozenset({"x"}), "b": frozenset({"y"})})
+        assert set(t.attributes) == {"a", "b"}
+        assert t.domain("a") == {"x"}
+
+    def test_repr(self):
+        t = Table("t1", {"a": frozenset({"x"})})
+        assert "t1" in repr(t)
+
+
+class TestGenerateTables:
+    def test_count(self, table_corpus):
+        assert len(table_corpus) == 80
+
+    def test_each_table_has_attributes(self, table_corpus):
+        for t in table_corpus.tables:
+            assert len(t.domains) >= 1
+            for values in t.domains.values():
+                assert len(values) >= 2
+
+    def test_flat_domain_view(self, table_corpus):
+        flat = table_corpus.domains
+        total = sum(len(t.domains) for t in table_corpus.tables)
+        assert len(flat) == total
+        key = next(iter(flat))
+        table_name, attr = key
+        assert flat[key] == table_corpus.table(table_name).domain(attr)
+
+    def test_table_lookup(self, table_corpus):
+        name = table_corpus.tables[0].name
+        assert table_corpus.table(name).name == name
+        with pytest.raises(KeyError):
+            table_corpus.table("missing")
+
+    def test_joinability_exists(self, table_corpus):
+        """Some cross-table attribute pairs must be highly containing."""
+        flat = table_corpus.domains
+        inverted = InvertedIndex.from_domains(flat)
+        joinable = 0
+        for key in list(flat)[:50]:
+            scores = inverted.containment_scores(flat[key])
+            joinable += sum(
+                1 for other, t in scores.items()
+                if t >= 0.9 and other[0] != key[0]
+            )
+        assert joinable > 10
+
+    def test_id_attributes_unique_per_table(self, table_corpus):
+        id_domains = [
+            t.domain("record_id") for t in table_corpus.tables
+            if "record_id" in t.domains
+        ]
+        assert id_domains, "expected some identifier attributes"
+        for a in id_domains:
+            for b in id_domains:
+                if a is not b:
+                    assert not (a & b)
+
+    def test_deterministic(self):
+        a = generate_tables(num_tables=10, seed=1)
+        b = generate_tables(num_tables=10, seed=1)
+        for ta, tb in zip(a.tables, b.tables):
+            assert ta.domains == tb.domains
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_tables(num_tables=0)

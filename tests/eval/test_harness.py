@@ -1,0 +1,118 @@
+"""Unit tests for the experiment harness."""
+
+import pytest
+
+from repro.core.ensemble import LSHEnsemble
+from repro.datagen.corpus import generate_corpus
+from repro.datagen.queries import sample_queries
+from repro.eval.harness import (
+    AccuracyExperiment,
+    default_thresholds,
+    standard_methods,
+)
+from repro.exact.inverted import InvertedIndex
+
+NUM_PERM = 64
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    corpus = generate_corpus(num_domains=150, max_size=2000, seed=31)
+    queries = sample_queries(corpus, 10, seed=2)
+    exp = AccuracyExperiment(corpus, queries, num_perm=NUM_PERM)
+    exp.prepare()
+    return exp
+
+
+class TestDefaultThresholds:
+    def test_paper_sweep(self):
+        ts = default_thresholds(0.05)
+        assert len(ts) == 20
+        assert ts[0] == pytest.approx(0.05)
+        assert ts[-1] == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            default_thresholds(0.0)
+
+
+class TestStandardMethods:
+    def test_contains_paper_contenders(self):
+        methods = standard_methods(num_perm=NUM_PERM)
+        assert set(methods) == {
+            "Baseline", "Asym", "LSH Ensemble (8)", "LSH Ensemble (16)",
+            "LSH Ensemble (32)",
+        }
+
+    def test_factories_produce_fresh_indexes(self):
+        methods = standard_methods(num_perm=NUM_PERM)
+        a = methods["Baseline"]()
+        b = methods["Baseline"]()
+        assert a is not b
+
+    def test_baseline_is_single_partition(self):
+        baseline = standard_methods(num_perm=NUM_PERM)["Baseline"]()
+        assert baseline.num_partitions == 1
+
+
+class TestExperiment:
+    def test_ground_truth_matches_inverted_index(self, experiment):
+        inverted = InvertedIndex.from_domains(experiment.corpus)
+        key = experiment.query_keys[0]
+        for t in (0.2, 0.5, 0.9):
+            assert experiment.ground_truth(key, t) == \
+                inverted.query_containment(experiment.corpus[key], t)
+
+    def test_ground_truth_at_zero(self, experiment):
+        key = experiment.query_keys[0]
+        assert experiment.ground_truth(key, 0.0) == set(experiment.corpus)
+
+    def test_query_keys_validated(self):
+        corpus = generate_corpus(num_domains=20, seed=1)
+        with pytest.raises(ValueError):
+            AccuracyExperiment(corpus, ["not-a-key"])
+        with pytest.raises(ValueError):
+            AccuracyExperiment(corpus, [])
+
+    def test_entries_cover_corpus(self, experiment):
+        entries = experiment.entries()
+        assert len(entries) == len(experiment.corpus)
+
+    def test_run_produces_table(self, experiment):
+        methods = {
+            "ens4": lambda: LSHEnsemble(num_perm=NUM_PERM,
+                                        num_partitions=4),
+        }
+        results = experiment.run(methods, thresholds=[0.3, 0.7])
+        assert results.methods() == ["ens4"]
+        assert results.thresholds() == [0.3, 0.7]
+        acc = results.table["ens4"][0.3]
+        assert 0.0 <= acc.precision <= 1.0
+        assert 0.0 <= acc.recall <= 1.0
+        assert results.build_seconds["ens4"] > 0
+
+    def test_series_accessor(self, experiment):
+        methods = {
+            "ens4": lambda: LSHEnsemble(num_perm=NUM_PERM,
+                                        num_partitions=4),
+        }
+        results = experiment.run(methods, thresholds=[0.3, 0.7])
+        series = results.series("ens4", "recall")
+        assert [t for t, _ in series] == [0.3, 0.7]
+        with pytest.raises(ValueError):
+            results.series("ens4", "accuracy")
+
+    def test_self_query_is_in_truth_and_result(self, experiment):
+        """A query domain indexed verbatim must be its own true positive."""
+        methods = {
+            "ens4": lambda: LSHEnsemble(num_perm=NUM_PERM,
+                                        num_partitions=4),
+        }
+        key = experiment.query_keys[0]
+        assert key in experiment.ground_truth(key, 1.0)
+        index = methods["ens4"]()
+        index.index(experiment.entries())
+        found = index.query(experiment.signatures[key],
+                            size=experiment.corpus.size_of(key),
+                            threshold=1.0)
+        assert key in found

@@ -1,0 +1,114 @@
+"""Unit tests for accuracy metrics and the paper's averaging conventions."""
+
+import pytest
+
+from repro.eval.metrics import (
+    MeanAccuracy,
+    QueryEvaluation,
+    aggregate,
+    evaluate_query,
+    f_beta,
+    precision,
+    recall,
+)
+
+
+class TestPrecisionRecall:
+    def test_basic(self):
+        assert precision({"a", "b"}, {"a"}) == 0.5
+        assert recall({"a"}, {"a", "b"}) == 0.5
+
+    def test_perfect(self):
+        assert precision({"a"}, {"a"}) == 1.0
+        assert recall({"a"}, {"a"}) == 1.0
+
+    def test_empty_result_convention(self):
+        assert precision(set(), {"a"}) == 1.0
+
+    def test_empty_truth_convention(self):
+        assert recall({"a"}, set()) == 1.0
+
+    def test_disjoint(self):
+        assert precision({"a"}, {"b"}) == 0.0
+        assert recall({"a"}, {"b"}) == 0.0
+
+
+class TestFBeta:
+    def test_f1_is_harmonic_mean(self):
+        assert f_beta(0.5, 1.0, 1.0) == pytest.approx(2 / 3)
+
+    def test_f05_weights_precision(self):
+        # With beta = 0.5, precision dominates: compare two mirrored cases.
+        assert f_beta(0.9, 0.3, 0.5) > f_beta(0.3, 0.9, 0.5)
+
+    def test_zero_inputs(self):
+        assert f_beta(0.0, 0.0) == 0.0
+
+    def test_paper_formula(self):
+        p, r, beta = 0.7, 0.4, 0.5
+        expected = (1 + beta ** 2) * p * r / (beta ** 2 * p + r)
+        assert f_beta(p, r, beta) == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            f_beta(0.5, 0.5, beta=0.0)
+
+
+class TestEvaluateQuery:
+    def test_fields(self):
+        e = evaluate_query({"a", "b"}, {"b", "c"})
+        assert e.precision == 0.5
+        assert e.recall == 0.5
+        assert not e.empty_result and not e.empty_truth
+
+    def test_empty_flags(self):
+        e = evaluate_query(set(), set())
+        assert e.empty_result and e.empty_truth
+        assert e.precision == 1.0 and e.recall == 1.0
+
+    def test_f_properties(self):
+        e = evaluate_query({"a"}, {"a", "b"})
+        assert e.f1 == pytest.approx(f_beta(1.0, 0.5, 1.0))
+        assert e.f05 == pytest.approx(f_beta(1.0, 0.5, 0.5))
+
+
+class TestAggregate:
+    def test_empty_results_excluded_from_precision(self):
+        evals = [
+            QueryEvaluation(precision=0.5, recall=1.0,
+                            empty_result=False, empty_truth=False),
+            # The empty result: precision 1.0 but must not be averaged in.
+            QueryEvaluation(precision=1.0, recall=0.0,
+                            empty_result=True, empty_truth=False),
+        ]
+        agg = aggregate(evals)
+        assert agg.precision == 0.5
+        assert agg.recall == 0.5
+        assert agg.num_empty_results == 1
+
+    def test_all_empty_results(self):
+        evals = [
+            QueryEvaluation(precision=1.0, recall=0.0,
+                            empty_result=True, empty_truth=False)
+        ] * 3
+        assert aggregate(evals).precision == 1.0
+
+    def test_means(self):
+        evals = [
+            QueryEvaluation(precision=1.0, recall=1.0,
+                            empty_result=False, empty_truth=False),
+            QueryEvaluation(precision=0.0, recall=0.0,
+                            empty_result=False, empty_truth=False),
+        ]
+        agg = aggregate(evals)
+        assert agg.precision == 0.5
+        assert agg.recall == 0.5
+        assert agg.num_queries == 2
+
+    def test_as_row(self):
+        agg = MeanAccuracy(0.9, 0.8, 0.85, 0.87, 10, 0)
+        assert agg.as_row() == (0.9, 0.8, 0.85, 0.87)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            aggregate([])

@@ -1,0 +1,64 @@
+"""Unit tests for report formatting."""
+
+import pytest
+
+from repro.eval.metrics import MeanAccuracy
+from repro.eval.reports import (
+    format_accuracy_results,
+    format_series,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+
+    def test_floats_rendered(self):
+        out = format_table(["x"], [[0.123456]])
+        assert "0.1235" in out
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Title")
+        assert out.splitlines()[0] == "My Title"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["1"]])
+
+    def test_column_alignment(self):
+        out = format_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = out.splitlines()
+        assert len(lines[-1]) == len(lines[-2])
+
+
+class TestFormatSeries:
+    def test_series(self):
+        out = format_series([(1, 2.0), (2, 4.0)], "x", "y", title="T")
+        assert "T" in out
+        assert "2.0000" in out and "4.0000" in out
+
+
+class TestFormatAccuracyResults:
+    def test_render(self):
+        from repro.eval.harness import AccuracyResults
+
+        results = AccuracyResults()
+        acc = MeanAccuracy(0.9, 0.8, 0.85, 0.87, 5, 0)
+        results.table = {"m1": {0.5: acc}, "m2": {0.5: acc}}
+        out = format_accuracy_results(results, "precision", title="Prec")
+        assert "Prec" in out
+        assert "m1" in out and "m2" in out
+        assert "0.9000" in out
+
+    def test_unknown_metric(self):
+        from repro.eval.harness import AccuracyResults
+
+        results = AccuracyResults()
+        results.table = {"m": {0.5: MeanAccuracy(1, 1, 1, 1, 1, 0)}}
+        with pytest.raises(AttributeError):
+            format_accuracy_results(results, "not_a_metric")

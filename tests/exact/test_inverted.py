@@ -1,0 +1,106 @@
+"""Unit tests for the exact inverted index."""
+
+import numpy as np
+import pytest
+
+from repro.exact.inverted import InvertedIndex
+
+
+@pytest.fixture()
+def small_index():
+    return InvertedIndex.from_domains({
+        "abc": {"a", "b", "c"},
+        "abcdef": {"a", "b", "c", "d", "e", "f"},
+        "xyz": {"x", "y", "z"},
+        "ax": {"a", "x"},
+    })
+
+
+class TestInsert:
+    def test_duplicate_key_rejected(self, small_index):
+        with pytest.raises(ValueError):
+            small_index.insert("abc", {"q"})
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            InvertedIndex().insert("k", [])
+
+    def test_duplicate_values_collapsed(self):
+        idx = InvertedIndex()
+        idx.insert("k", ["a", "a", "b"])
+        assert idx.size_of("k") == 2
+
+
+class TestScores:
+    def test_overlaps(self, small_index):
+        overlaps = small_index.overlaps({"a", "b", "q"})
+        assert overlaps["abc"] == 2
+        assert overlaps["abcdef"] == 2
+        assert overlaps["ax"] == 1
+        assert "xyz" not in overlaps
+
+    def test_containment_scores(self, small_index):
+        scores = small_index.containment_scores({"a", "b", "c"})
+        assert scores["abc"] == pytest.approx(1.0)
+        assert scores["abcdef"] == pytest.approx(1.0)
+        assert scores["ax"] == pytest.approx(1 / 3)
+
+    def test_jaccard_scores(self, small_index):
+        scores = small_index.jaccard_scores({"a", "b", "c"})
+        assert scores["abc"] == pytest.approx(1.0)
+        assert scores["abcdef"] == pytest.approx(0.5)
+        assert scores["ax"] == pytest.approx(1 / 4)
+
+    def test_empty_query_rejected(self, small_index):
+        with pytest.raises(ValueError):
+            small_index.containment_scores([])
+        with pytest.raises(ValueError):
+            small_index.jaccard_scores([])
+
+    def test_matches_brute_force_on_random_sets(self):
+        rng = np.random.default_rng(17)
+        domains = {
+            "d%d" % i: {int(v) for v in
+                        rng.integers(0, 60, size=rng.integers(3, 40))}
+            for i in range(30)
+        }
+        idx = InvertedIndex.from_domains(domains)
+        query = {int(v) for v in rng.integers(0, 60, size=15)}
+        scores = idx.containment_scores(query)
+        for key, values in domains.items():
+            expected = len(query & values) / len(query)
+            assert scores.get(key, 0.0) == pytest.approx(expected)
+
+
+class TestThresholdQueries:
+    def test_containment_threshold(self, small_index):
+        assert small_index.query_containment({"a", "b", "c"}, 0.99) == \
+            {"abc", "abcdef"}
+
+    def test_jaccard_threshold(self, small_index):
+        assert small_index.query_jaccard({"a", "b", "c"}, 0.99) == {"abc"}
+
+    def test_zero_threshold_returns_everything(self, small_index):
+        assert small_index.query_containment({"nothing"}, 0.0) == \
+            {"abc", "abcdef", "xyz", "ax"}
+
+    def test_threshold_one(self, small_index):
+        assert small_index.query_containment({"a"}, 1.0) == \
+            {"abc", "abcdef", "ax"}
+
+    def test_invalid_threshold(self, small_index):
+        with pytest.raises(ValueError):
+            small_index.query_containment({"a"}, 1.5)
+
+
+class TestIntrospection:
+    def test_len_contains(self, small_index):
+        assert len(small_index) == 4
+        assert "abc" in small_index
+        assert "nope" not in small_index
+
+    def test_num_values(self, small_index):
+        assert small_index.num_values() == 9  # a-f, x, y, z
+
+    def test_size_of(self, small_index):
+        assert small_index.size_of("abcdef") == 6

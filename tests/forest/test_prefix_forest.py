@@ -1,0 +1,166 @@
+"""Unit tests for the dynamic LSH prefix forest."""
+
+import pytest
+
+from repro.forest.prefix_forest import PrefixForest, default_forest_shape
+from repro.minhash.minhash import MinHash
+from tests.conftest import make_overlapping_sets
+
+
+def sig(values, num_perm=64):
+    return MinHash.from_values(values, num_perm=num_perm)
+
+
+class TestDefaultShape:
+    def test_paper_shape(self):
+        assert default_forest_shape(256) == (32, 8)
+
+    def test_product_fits(self):
+        for m in (16, 64, 128, 256, 100, 30):
+            trees, depth = default_forest_shape(m)
+            assert trees * depth <= m
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            default_forest_shape(1)
+
+
+class TestConstruction:
+    def test_auto_shape(self):
+        f = PrefixForest(num_perm=64)
+        assert f.num_trees * f.max_depth <= 64
+
+    def test_explicit_shape_validated(self):
+        with pytest.raises(ValueError):
+            PrefixForest(num_perm=64, num_trees=16, max_depth=8)
+
+    def test_bad_shape_values(self):
+        with pytest.raises(ValueError):
+            PrefixForest(num_perm=64, num_trees=0, max_depth=4)
+
+    def test_invalid_num_perm(self):
+        with pytest.raises(ValueError):
+            PrefixForest(num_perm=1)
+
+
+class TestInsertQuery:
+    def test_identical_found_at_any_params(self):
+        f = PrefixForest(num_perm=64, num_trees=8, max_depth=8)
+        s = sig(["a", "b", "c"])
+        f.insert("k", s)
+        for b in (1, 4, 8):
+            for r in (1, 4, 8):
+                assert "k" in f.query(s, b, r)
+
+    def test_duplicate_key_rejected(self):
+        f = PrefixForest(num_perm=64)
+        f.insert("k", sig(["a"]))
+        with pytest.raises(ValueError):
+            f.insert("k", sig(["b"]))
+
+    def test_num_perm_mismatch(self):
+        f = PrefixForest(num_perm=64)
+        with pytest.raises(ValueError):
+            f.insert("k", sig(["a"], num_perm=32))
+        f.insert("k", sig(["a"]))
+        with pytest.raises(ValueError):
+            f.query(sig(["a"], num_perm=32), 1, 1)
+
+    def test_param_bounds_checked(self):
+        f = PrefixForest(num_perm=64, num_trees=8, max_depth=8)
+        f.insert("k", sig(["a"]))
+        s = sig(["a"])
+        with pytest.raises(ValueError):
+            f.query(s, 0, 1)
+        with pytest.raises(ValueError):
+            f.query(s, 9, 1)
+        with pytest.raises(ValueError):
+            f.query(s, 1, 0)
+        with pytest.raises(ValueError):
+            f.query(s, 1, 9)
+
+    def test_wrong_type(self):
+        with pytest.raises(TypeError):
+            PrefixForest(num_perm=64).insert("k", {"a"})
+
+
+class TestDynamicBehaviour:
+    """The point of the forest: (b, r) selectivity knobs at query time."""
+
+    def _build(self):
+        f = PrefixForest(num_perm=128, num_trees=16, max_depth=8)
+        for i in range(30):
+            shared, other = make_overlapping_sets(
+                20 + i, 30, 30, tag="dyn%d" % i
+            )
+            f.insert("d%d" % i, sig(shared, num_perm=128))
+        return f
+
+    def test_deeper_r_is_more_selective(self):
+        f = self._build()
+        probe = sig(["dyn5_shared_%d" % i for i in range(25)], num_perm=128)
+        shallow = f.query(probe, b=16, r=1)
+        deep = f.query(probe, b=16, r=8)
+        assert deep <= shallow
+
+    def test_more_trees_is_more_inclusive(self):
+        f = self._build()
+        probe = sig(["dyn5_shared_%d" % i for i in range(25)], num_perm=128)
+        few = f.query(probe, b=1, r=4)
+        many = f.query(probe, b=16, r=4)
+        assert few <= many
+
+    def test_agrees_with_static_lsh(self):
+        """Forest at (b, r) must equal a static LSH built at (b, r)."""
+        from repro.lsh.lsh import MinHashLSH
+
+        f = PrefixForest(num_perm=128, num_trees=16, max_depth=8)
+        static = MinHashLSH(num_perm=128, params=(16, 8))
+        sigs = {}
+        for i in range(40):
+            shared, _ = make_overlapping_sets(10 + i, 20, 0, tag="ag%d" % i)
+            s = sig(shared, num_perm=128)
+            sigs["k%d" % i] = s
+            f.insert("k%d" % i, s)
+            static.insert("k%d" % i, s)
+        probe = sigs["k7"]
+        assert f.query(probe, b=16, r=8) == static.query(probe)
+
+
+class TestRemove:
+    def test_remove_then_absent(self):
+        f = PrefixForest(num_perm=64, num_trees=8, max_depth=8)
+        s = sig(["a", "b"])
+        f.insert("k", s)
+        f.remove("k")
+        assert "k" not in f
+        assert "k" not in f.query(s, 8, 1)
+
+    def test_remove_missing(self):
+        with pytest.raises(KeyError):
+            PrefixForest(num_perm=64).remove("ghost")
+
+    def test_remove_leaves_others(self):
+        f = PrefixForest(num_perm=64, num_trees=8, max_depth=8)
+        s1, s2 = sig(["a"]), sig(["b"])
+        f.insert("k1", s1)
+        f.insert("k2", s2)
+        f.remove("k1")
+        assert "k2" in f.query(s2, 8, 1)
+
+
+class TestIntrospection:
+    def test_len_contains_empty(self):
+        f = PrefixForest(num_perm=64)
+        assert f.is_empty() and len(f) == 0
+        f.insert("k", sig(["a"]))
+        assert not f.is_empty() and len(f) == 1 and "k" in f
+
+    def test_get_signature(self):
+        f = PrefixForest(num_perm=64)
+        s = sig(["a"])
+        f.insert("k", s)
+        assert f.get_signature("k").jaccard(s) == 1.0
+
+    def test_repr(self):
+        assert "keys=0" in repr(PrefixForest(num_perm=64))

@@ -1,0 +1,106 @@
+"""Unit tests for the top-k similarity LSH Forest."""
+
+import pytest
+
+from repro.forest.topk_forest import MinHashLSHForest
+from repro.minhash.minhash import MinHash
+from tests.conftest import make_overlapping_sets
+
+NUM_PERM = 128
+
+
+def sig(values):
+    return MinHash.from_values(values, num_perm=NUM_PERM)
+
+
+@pytest.fixture()
+def forest_with_graded_similarity():
+    base = {"v%d" % i for i in range(100)}
+    forest = MinHashLSHForest(num_perm=NUM_PERM)
+    # Graded overlap with the base set: 100%, 75%, 50%, 25%, 0%.
+    grades = {"s100": 100, "s75": 75, "s50": 50, "s25": 25, "s0": 0}
+    for name, keep in grades.items():
+        values = {"v%d" % i for i in range(keep)} | {
+            "%s_%d" % (name, i) for i in range(100 - keep)
+        }
+        forest.insert(name, sig(values))
+    for i in range(20):
+        forest.insert("noise%d" % i,
+                      sig({"n%d_%d" % (i, j) for j in range(50)}))
+    return base, forest
+
+
+class TestQuery:
+    def test_exact_match_ranked_first(self, forest_with_graded_similarity):
+        base, forest = forest_with_graded_similarity
+        result = forest.query(sig(base), k=3)
+        assert result[0][0] == "s100"
+        assert result[0][1] == 1.0
+
+    def test_ranking_follows_similarity(self,
+                                        forest_with_graded_similarity):
+        base, forest = forest_with_graded_similarity
+        result = forest.query(sig(base), k=4)
+        names = [name for name, _ in result]
+        assert names.index("s100") < names.index("s75")
+
+    def test_scores_descending(self, forest_with_graded_similarity):
+        base, forest = forest_with_graded_similarity
+        scores = [s for _, s in forest.query(sig(base), k=5)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_k_respected(self, forest_with_graded_similarity):
+        base, forest = forest_with_graded_similarity
+        assert len(forest.query(sig(base), k=2)) == 2
+
+    def test_empty_forest(self):
+        forest = MinHashLSHForest(num_perm=NUM_PERM)
+        assert forest.query(sig({"a"}), k=5) == []
+
+    def test_k_validation(self, forest_with_graded_similarity):
+        base, forest = forest_with_graded_similarity
+        with pytest.raises(ValueError):
+            forest.query(sig(base), k=0)
+
+    def test_may_return_fewer_than_k(self):
+        forest = MinHashLSHForest(num_perm=NUM_PERM)
+        forest.insert("only", sig({"a", "b"}))
+        result = forest.query(sig({"a", "b"}), k=10)
+        assert len(result) == 1
+
+
+class TestMutation:
+    def test_remove(self, forest_with_graded_similarity):
+        base, forest = forest_with_graded_similarity
+        forest.remove("s100")
+        result = forest.query(sig(base), k=1)
+        assert result[0][0] != "s100"
+
+    def test_contains_len(self, forest_with_graded_similarity):
+        _, forest = forest_with_graded_similarity
+        assert "s100" in forest
+        assert len(forest) == 25
+
+    def test_repr(self):
+        assert "keys=0" in repr(MinHashLSHForest(num_perm=NUM_PERM))
+
+
+class TestStatisticalBehaviour:
+    def test_high_similarity_recalled_reliably(self):
+        """Near-duplicates must surface in top-k across many trials."""
+        hits = 0
+        for trial in range(20):
+            forest = MinHashLSHForest(num_perm=NUM_PERM)
+            shared, probe = make_overlapping_sets(
+                90, 10, 10, tag="trial%d" % trial
+            )
+            forest.insert("target", sig(shared))
+            for i in range(10):
+                forest.insert(
+                    "junk%d" % i,
+                    sig({"j%d_%d_%d" % (trial, i, j) for j in range(80)}),
+                )
+            result = forest.query(sig(probe), k=3)
+            if any(name == "target" for name, _ in result):
+                hits += 1
+        assert hits >= 17

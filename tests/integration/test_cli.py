@@ -1,0 +1,113 @@
+"""Integration tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def corpus_file(tmp_path):
+    corpus = {
+        "small": ["a", "b", "c", "d", "e"],
+        "contains_query": ["q%d" % i for i in range(30)]
+        + ["x%d" % i for i in range(20)],
+        "unrelated": ["u%d" % i for i in range(40)],
+    }
+    for i in range(20):
+        corpus["fill%d" % i] = ["f%d_%d" % (i, j) for j in range(10 + i)]
+    path = tmp_path / "corpus.json"
+    path.write_text(json.dumps(corpus))
+    return path
+
+
+@pytest.fixture()
+def built(tmp_path, corpus_file):
+    index_path = tmp_path / "index.lshe"
+    rc = main(["build", str(corpus_file), str(index_path),
+               "--partitions", "4", "--num-perm", "256"])
+    assert rc == 0
+    return index_path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_query_requires_input(self, built):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", str(built)])
+
+
+class TestBuild:
+    def test_build_creates_index(self, built):
+        assert built.exists()
+        assert built.stat().st_size > 0
+
+    def test_rejects_bad_json(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json {")
+        with pytest.raises(SystemExit):
+            main(["build", str(bad), str(tmp_path / "x.lshe")])
+
+    def test_rejects_empty_domain(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"empty": []}))
+        with pytest.raises(SystemExit):
+            main(["build", str(bad), str(tmp_path / "x.lshe")])
+
+    def test_rejects_non_object(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(SystemExit):
+            main(["build", str(bad), str(tmp_path / "x.lshe")])
+
+
+class TestQuery:
+    def test_inline_values(self, built, capsys):
+        rc = main(["query", str(built), "--values"]
+                  + ["q%d" % i for i in range(30)]
+                  + ["--threshold", "0.8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "contains_query" in out
+
+    def test_query_file_array(self, built, tmp_path, capsys):
+        qfile = tmp_path / "q.json"
+        qfile.write_text(json.dumps(["q%d" % i for i in range(30)]))
+        rc = main(["query", str(built), "--query-file", str(qfile),
+                   "--threshold", "0.8"])
+        assert rc == 0
+        assert "contains_query" in capsys.readouterr().out
+
+    def test_query_file_object(self, built, tmp_path, capsys):
+        qfile = tmp_path / "q.json"
+        qfile.write_text(json.dumps({
+            "first": ["q%d" % i for i in range(30)],
+            "second": ["a", "b", "c", "d", "e"],
+        }))
+        rc = main(["query", str(built), "--query-file", str(qfile),
+                   "--threshold", "0.8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "first" in out and "second" in out
+
+    def test_top_k(self, built, capsys):
+        rc = main(["query", str(built), "--values"]
+                  + ["q%d" % i for i in range(30)] + ["--top-k", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "contains_query" in out
+        assert "~t" in out
+
+
+class TestInfo:
+    def test_info_output(self, built, capsys):
+        rc = main(["info", str(built)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "domains:" in out
+        assert "partitions (4):" in out
+        assert "num_perm:       256" in out

@@ -1,0 +1,96 @@
+"""Integration tests: the paper's qualitative claims end to end.
+
+These are the load-bearing assertions of the reproduction: on a power-law
+corpus with real ground truth, the relationships between the three methods
+must match Section 6.1's findings.
+"""
+
+import pytest
+
+from repro.datagen.corpus import generate_corpus
+from repro.datagen.queries import sample_queries
+from repro.eval.harness import AccuracyExperiment, standard_methods
+
+NUM_PERM = 128
+THRESHOLDS = [0.3, 0.5, 0.8]
+
+
+@pytest.fixture(scope="module")
+def results():
+    corpus = generate_corpus(num_domains=600, max_size=8000, seed=77)
+    queries = sample_queries(corpus, 40, seed=3)
+    experiment = AccuracyExperiment(corpus, queries, num_perm=NUM_PERM)
+    experiment.prepare()
+    methods = standard_methods(num_perm=NUM_PERM, partition_counts=(8, 32))
+    return experiment.run(methods, thresholds=THRESHOLDS)
+
+
+class TestFigure4Shape:
+    """Accuracy vs threshold relationships (Figure 4)."""
+
+    def test_partitioning_improves_precision_over_baseline(self, results):
+        for t in THRESHOLDS:
+            base = results.table["Baseline"][t].precision
+            ens = results.table["LSH Ensemble (8)"][t].precision
+            assert ens >= base - 0.02, (
+                "at t*=%.1f ensemble precision %.3f < baseline %.3f"
+                % (t, ens, base)
+            )
+
+    def test_more_partitions_more_precision(self, results):
+        for t in THRESHOLDS:
+            p8 = results.table["LSH Ensemble (8)"][t].precision
+            p32 = results.table["LSH Ensemble (32)"][t].precision
+            assert p32 >= p8 - 0.05
+
+    def test_ensemble_recall_stays_high(self, results):
+        for t in THRESHOLDS:
+            assert results.table["LSH Ensemble (8)"][t].recall > 0.75
+            assert results.table["LSH Ensemble (32)"][t].recall > 0.7
+
+    def test_baseline_recall_high(self, results):
+        for t in THRESHOLDS:
+            assert results.table["Baseline"][t].recall > 0.8
+
+    def test_recall_cost_of_partitioning_is_small(self, results):
+        """Recall drops ~0.02 per doubling of partitions, not more."""
+        for t in THRESHOLDS:
+            r8 = results.table["LSH Ensemble (8)"][t].recall
+            r32 = results.table["LSH Ensemble (32)"][t].recall
+            assert r8 - r32 < 0.2
+
+    def test_asym_low_recall_on_skewed_data(self, results):
+        """The paper's central negative result for Asym."""
+        for t in THRESHOLDS:
+            assert results.table["Asym"][t].recall < 0.5
+
+    def test_asym_produces_empty_results(self, results):
+        empties = [results.table["Asym"][t].num_empty_results
+                   for t in THRESHOLDS]
+        assert max(empties) > 0
+
+    def test_ensemble_best_f1(self, results):
+        for t in THRESHOLDS:
+            f1 = {m: results.table[m][t].f1 for m in results.methods()}
+            best = max(f1, key=f1.get)
+            assert best.startswith("LSH Ensemble"), (
+                "at t*=%.1f best F1 was %s (%r)" % (t, best, f1)
+            )
+
+    def test_f05_improvement_over_baseline(self, results):
+        """The paper reports up to ~25% overall accuracy improvement."""
+        gains = []
+        for t in THRESHOLDS:
+            base = results.table["Baseline"][t].f05
+            ens = results.table["LSH Ensemble (32)"][t].f05
+            if base > 0:
+                gains.append(ens / base)
+        assert max(gains) > 1.1
+
+
+class TestBuildCost:
+    def test_index_build_time_comparable(self, results):
+        """Partitioning must not inflate indexing cost (Table 4)."""
+        base = results.build_seconds["Baseline"]
+        ens = results.build_seconds["LSH Ensemble (32)"]
+        assert ens < base * 3

@@ -1,0 +1,39 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least compile; the fast ones are executed end to
+end so API drift that breaks the documented workflows fails CI.
+"""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+# Fast enough to execute in CI; the scale/demo scripts are compile-only.
+RUNNABLE = ["quickstart.py", "open_data_join_search.py"]
+
+
+def test_examples_exist():
+    names = {p.name for p in ALL_EXAMPLES}
+    assert {"quickstart.py", "open_data_join_search.py",
+            "web_table_scale.py", "dynamic_corpus.py",
+            "topk_and_persistence.py"} <= names
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("name", RUNNABLE)
+def test_example_runs(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"

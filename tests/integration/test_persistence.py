@@ -1,0 +1,124 @@
+"""Integration tests for index save/load."""
+
+import pytest
+
+from repro.core.ensemble import LSHEnsemble
+from repro.minhash.minhash import MinHash
+from repro.persistence import FormatError, load_ensemble, save_ensemble
+
+NUM_PERM = 64
+
+
+def sig(values):
+    return MinHash.from_values(values, num_perm=NUM_PERM)
+
+
+@pytest.fixture()
+def built_index():
+    domains = {
+        "alpha": {"a%d" % i for i in range(25)},
+        "beta": {"b%d" % i for i in range(120)},
+        ("table", "attr"): {"c%d" % i for i in range(60)},
+        42: {"d%d" % i for i in range(15)},
+    }
+    for i in range(30):
+        domains["fill%d" % i] = {"f%d_%d" % (i, j)
+                                 for j in range(10 + 4 * i)}
+    index = LSHEnsemble(threshold=0.7, num_perm=NUM_PERM,
+                        num_partitions=4)
+    index.index((k, sig(v), len(v)) for k, v in domains.items())
+    return domains, index
+
+
+class TestRoundtrip:
+    def test_identical_query_answers(self, built_index, tmp_path):
+        domains, index = built_index
+        path = tmp_path / "index.lshe"
+        save_ensemble(index, path)
+        loaded = load_ensemble(path)
+        for key, values in list(domains.items())[:10]:
+            probe = sig(values)
+            for threshold in (0.3, 0.7, 1.0):
+                assert loaded.query(probe, size=len(values),
+                                    threshold=threshold) == \
+                    index.query(probe, size=len(values),
+                                threshold=threshold)
+
+    def test_configuration_preserved(self, built_index, tmp_path):
+        _, index = built_index
+        path = tmp_path / "index.lshe"
+        save_ensemble(index, path)
+        loaded = load_ensemble(path)
+        assert loaded.threshold == index.threshold
+        assert loaded.num_perm == index.num_perm
+        assert loaded.partitions == index.partitions
+        assert len(loaded) == len(index)
+
+    def test_key_types_roundtrip(self, built_index, tmp_path):
+        _, index = built_index
+        path = tmp_path / "index.lshe"
+        save_ensemble(index, path)
+        loaded = load_ensemble(path)
+        assert ("table", "attr") in loaded
+        assert 42 in loaded
+        assert "alpha" in loaded
+
+    def test_signatures_bit_exact(self, built_index, tmp_path):
+        _, index = built_index
+        path = tmp_path / "index.lshe"
+        save_ensemble(index, path)
+        loaded = load_ensemble(path)
+        assert loaded.get_signature("alpha") == \
+            index.get_signature("alpha")
+
+    def test_loaded_index_accepts_inserts(self, built_index, tmp_path):
+        _, index = built_index
+        path = tmp_path / "index.lshe"
+        save_ensemble(index, path)
+        loaded = load_ensemble(path)
+        new = {"n%d" % i for i in range(20)}
+        loaded.insert("new-domain", sig(new), len(new))
+        assert "new-domain" in loaded.query(sig(new), size=len(new),
+                                            threshold=1.0)
+
+
+class TestErrors:
+    def test_empty_index_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_ensemble(LSHEnsemble(num_perm=NUM_PERM),
+                          tmp_path / "x.lshe")
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.lshe"
+        path.write_bytes(b"NOPE" + b"\x00" * 64)
+        with pytest.raises(FormatError):
+            load_ensemble(path)
+
+    def test_bad_version(self, built_index, tmp_path):
+        _, index = built_index
+        path = tmp_path / "index.lshe"
+        save_ensemble(index, path)
+        blob = bytearray(path.read_bytes())
+        blob[4] = 99  # corrupt the version field
+        path.write_bytes(bytes(blob))
+        with pytest.raises(FormatError):
+            load_ensemble(path)
+
+    def test_truncated_payload(self, built_index, tmp_path):
+        _, index = built_index
+        path = tmp_path / "index.lshe"
+        save_ensemble(index, path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) - 20])
+        with pytest.raises(FormatError):
+            load_ensemble(path)
+
+    def test_corrupt_header(self, built_index, tmp_path):
+        _, index = built_index
+        path = tmp_path / "index.lshe"
+        save_ensemble(index, path)
+        blob = bytearray(path.read_bytes())
+        blob[15] ^= 0xFF  # flip a byte inside the JSON header
+        path.write_bytes(bytes(blob))
+        with pytest.raises((FormatError, KeyError)):
+            load_ensemble(path)

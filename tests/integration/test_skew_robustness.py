@@ -1,0 +1,101 @@
+"""Integration tests for the skewness (Figure 5) and dynamic-data (Figure 8)
+experiments' core relationships."""
+
+import pytest
+
+from repro.core.ensemble import LSHEnsemble
+from repro.core.partitioner import blended_partitions, partition_size_std
+from repro.datagen.corpus import generate_corpus, generate_skew_series
+from repro.datagen.queries import sample_queries
+from repro.eval.harness import AccuracyExperiment
+from repro.stats.skewness import skewness
+
+NUM_PERM = 128
+
+
+class TestSkewnessEffect:
+    """Figure 5: skew hurts baseline precision more than the ensemble's."""
+
+    @pytest.fixture(scope="class")
+    def skew_results(self):
+        base = generate_corpus(num_domains=700, max_size=20_000, seed=55)
+        series = generate_skew_series(base, num_subsets=6)
+        low_skew = series[0]
+        high_skew = series[-1]
+        out = {}
+        for label, corpus in (("low", low_skew), ("high", high_skew)):
+            queries = sample_queries(corpus, 25, seed=5)
+            exp = AccuracyExperiment(corpus, queries, num_perm=NUM_PERM)
+            exp.prepare()
+            methods = {
+                "Baseline": lambda: LSHEnsemble(num_perm=NUM_PERM,
+                                                num_partitions=1),
+                "Ensemble": lambda: LSHEnsemble(num_perm=NUM_PERM,
+                                                num_partitions=16),
+            }
+            out[label] = (
+                skewness(corpus.size_array()),
+                exp.run(methods, thresholds=[0.5]),
+            )
+        return out
+
+    def test_skewness_actually_increases(self, skew_results):
+        assert skew_results["high"][0] > skew_results["low"][0]
+
+    def test_baseline_precision_drops_with_skew(self, skew_results):
+        low = skew_results["low"][1].table["Baseline"][0.5].precision
+        high = skew_results["high"][1].table["Baseline"][0.5].precision
+        assert high < low + 0.05
+
+    def test_ensemble_less_affected_than_baseline(self, skew_results):
+        high = skew_results["high"][1]
+        assert high.table["Ensemble"][0.5].precision >= \
+            high.table["Baseline"][0.5].precision - 0.02
+
+    def test_recall_maintained_under_skew(self, skew_results):
+        high = skew_results["high"][1]
+        assert high.table["Ensemble"][0.5].recall > 0.7
+        assert high.table["Baseline"][0.5].recall > 0.7
+
+
+class TestDynamicDataRobustness:
+    """Figure 8: accuracy degrades only gradually away from equi-depth."""
+
+    @pytest.fixture(scope="class")
+    def drift_results(self):
+        corpus = generate_corpus(num_domains=600, max_size=10_000, seed=66)
+        queries = sample_queries(corpus, 25, seed=6)
+        exp = AccuracyExperiment(corpus, queries, num_perm=NUM_PERM)
+        exp.prepare()
+        sizes = corpus.size_array()
+        out = []
+        for alpha in (0.0, 0.5, 1.0):
+            parts = blended_partitions(sizes, 16, alpha)
+            index = LSHEnsemble(num_perm=NUM_PERM, num_partitions=16)
+            index.index(exp.entries(), partitions=parts)
+            evaluations = []
+            from repro.eval.metrics import aggregate, evaluate_query
+
+            for key in exp.query_keys:
+                found = index.query(exp.signatures[key],
+                                    size=exp.corpus.size_of(key),
+                                    threshold=0.5)
+                evaluations.append(
+                    evaluate_query(found, exp.ground_truth(key, 0.5))
+                )
+            out.append((partition_size_std(sizes, parts),
+                        aggregate(evaluations)))
+        return out
+
+    def test_std_dev_grows_along_sweep(self, drift_results):
+        stds = [std for std, _ in drift_results]
+        assert stds[0] < stds[-1]
+
+    def test_recall_robust_to_drift(self, drift_results):
+        for _, acc in drift_results:
+            assert acc.recall > 0.7
+
+    def test_moderate_drift_precision_holds(self, drift_results):
+        """The paper: precision stays flat until extreme drift."""
+        (_, equi_depth), (_, moderate), _ = drift_results
+        assert moderate.precision > equi_depth.precision - 0.25

@@ -1,0 +1,118 @@
+"""Unit tests for joinable-table discovery."""
+
+import pytest
+
+from repro.datagen.tables import Table, TableCorpus
+from repro.join.discovery import JoinCandidate, JoinDiscovery
+
+
+@pytest.fixture(scope="module")
+def discovery():
+    provinces = frozenset("province_%d" % i for i in range(13))
+    years = frozenset("year_%d" % i for i in range(40))
+    tables = [
+        Table("grants", {
+            "province": provinces,
+            "year": frozenset(list(years)[:20]),
+            "grant_id": frozenset("g%d" % i for i in range(500)),
+        }),
+        Table("contracts", {
+            "province": frozenset(list(provinces)[:10]),
+            "year": years,
+            "contract_id": frozenset("c%d" % i for i in range(300)),
+        }),
+        Table("census", {
+            "region": provinces | frozenset("territory_%d" % i
+                                            for i in range(3)),
+            "population": frozenset(str(1000 + i) for i in range(200)),
+        }),
+    ]
+    return JoinDiscovery(TableCorpus(tables), threshold=0.7,
+                         num_perm=256, num_partitions=4)
+
+
+class TestJoinableWith:
+    def test_finds_contained_attribute(self, discovery):
+        # contracts.province (10 values) is fully inside grants.province.
+        found = discovery.joinable_with("contracts", "province")
+        names = {(c.table, c.attribute) for c in found}
+        assert ("grants", "province") in names
+        assert ("census", "region") in names
+
+    def test_verified_scores_are_exact(self, discovery):
+        found = discovery.joinable_with("contracts", "province")
+        best = next(c for c in found if c.table == "grants")
+        assert best.exact_containment == pytest.approx(1.0)
+        assert best.verified
+
+    def test_threshold_respected(self, discovery):
+        # grants.year (20 of 40 years) in contracts.year: t = 1.0; the
+        # reverse direction is t = 0.5 and must be dropped at 0.7.
+        forward = discovery.joinable_with("grants", "year")
+        assert any(c.table == "contracts" and c.attribute == "year"
+                   for c in forward)
+        reverse = discovery.joinable_with("contracts", "year",
+                                          threshold=0.7)
+        assert not any(c.table == "grants" and c.attribute == "year"
+                       for c in reverse)
+
+    def test_reverse_found_at_lower_threshold(self, discovery):
+        reverse = discovery.joinable_with("contracts", "year",
+                                          threshold=0.4)
+        assert any(c.table == "grants" and c.attribute == "year"
+                   for c in reverse)
+
+    def test_self_table_excluded(self, discovery):
+        found = discovery.joinable_with("grants", "province")
+        assert all(c.table != "grants" for c in found)
+
+    def test_unverified_mode_returns_estimates(self, discovery):
+        found = discovery.joinable_with("contracts", "province",
+                                        verify=False)
+        assert found
+        assert all(not c.verified for c in found)
+        assert all(0.0 <= c.estimated_containment <= 1.0 for c in found)
+
+    def test_sorted_best_first(self, discovery):
+        found = discovery.joinable_with("contracts", "province")
+        scores = [c.exact_containment for c in found]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_unknown_attribute(self, discovery):
+        with pytest.raises(KeyError):
+            discovery.joinable_with("grants", "nope")
+
+    def test_ids_do_not_join(self, discovery):
+        found = discovery.joinable_with("grants", "grant_id")
+        assert found == []
+
+
+class TestAllJoinablePairs:
+    def test_contains_known_edges(self, discovery):
+        edges = discovery.all_joinable_pairs(threshold=0.7)
+        as_set = {(a, b) for a, b, _ in edges}
+        assert (("contracts", "province"), ("grants", "province")) in as_set
+        assert (("grants", "year"), ("contracts", "year")) in as_set
+
+    def test_all_edges_meet_threshold(self, discovery):
+        for _, __, score in discovery.all_joinable_pairs(threshold=0.7):
+            assert score >= 0.7
+
+    def test_no_self_edges(self, discovery):
+        for a, b, _ in discovery.all_joinable_pairs(threshold=0.5):
+            assert a[0] != b[0]
+
+    def test_sorted_by_score(self, discovery):
+        scores = [s for *_, s in discovery.all_joinable_pairs(0.5)]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestRepr:
+    def test_candidate_repr(self):
+        c = JoinCandidate("t", "a", 0.9, 0.95)
+        assert "t.a" in repr(c) and "0.950" in repr(c)
+        unverified = JoinCandidate("t", "a", 0.9)
+        assert "~t=0.900" in repr(unverified)
+
+    def test_len(self, discovery):
+        assert len(discovery) == 8

@@ -1,0 +1,129 @@
+"""Unit tests for the classic MinHash LSH index."""
+
+import pytest
+
+from repro.lsh.lsh import MinHashLSH
+from repro.minhash.lean import LeanMinHash
+from repro.minhash.minhash import MinHash
+from tests.conftest import make_overlapping_sets
+
+
+def sig(values, num_perm=128):
+    return MinHash.from_values(values, num_perm=num_perm)
+
+
+class TestConstruction:
+    def test_default_params_respect_budget(self):
+        lsh = MinHashLSH(threshold=0.5, num_perm=128)
+        assert lsh.b * lsh.r <= 128
+
+    def test_explicit_params(self):
+        lsh = MinHashLSH(num_perm=128, params=(16, 8))
+        assert (lsh.b, lsh.r) == (16, 8)
+
+    def test_explicit_params_over_budget(self):
+        with pytest.raises(ValueError):
+            MinHashLSH(num_perm=64, params=(32, 8))
+
+    def test_invalid_num_perm(self):
+        with pytest.raises(ValueError):
+            MinHashLSH(num_perm=1)
+
+
+class TestInsertQuery:
+    def test_identical_set_always_found(self):
+        lsh = MinHashLSH(threshold=0.8, num_perm=128)
+        s = sig(["a", "b", "c", "d"])
+        lsh.insert("doc", s)
+        assert "doc" in lsh.query(s)
+
+    def test_near_duplicates_found(self):
+        lsh = MinHashLSH(threshold=0.5, num_perm=128)
+        base = {"v%d" % i for i in range(200)}
+        near = set(list(base)[:190]) | {"x%d" % i for i in range(10)}
+        lsh.insert("base", sig(base))
+        assert "base" in lsh.query(sig(near))
+
+    def test_disjoint_not_found(self):
+        lsh = MinHashLSH(threshold=0.8, num_perm=128)
+        lsh.insert("a", sig(["a%d" % i for i in range(100)]))
+        result = lsh.query(sig(["b%d" % i for i in range(100)]))
+        assert "a" not in result
+
+    def test_accepts_lean_signatures(self):
+        lsh = MinHashLSH(threshold=0.5, num_perm=128)
+        s = LeanMinHash(sig(["x", "y"]))
+        lsh.insert("k", s)
+        assert "k" in lsh.query(s)
+
+    def test_duplicate_key_rejected(self):
+        lsh = MinHashLSH(num_perm=128)
+        lsh.insert("k", sig(["a"]))
+        with pytest.raises(ValueError):
+            lsh.insert("k", sig(["b"]))
+
+    def test_num_perm_mismatch_rejected(self):
+        lsh = MinHashLSH(num_perm=128)
+        with pytest.raises(ValueError):
+            lsh.insert("k", sig(["a"], num_perm=64))
+        lsh.insert("k", sig(["a"]))
+        with pytest.raises(ValueError):
+            lsh.query(sig(["a"], num_perm=64))
+
+    def test_wrong_type_rejected(self):
+        lsh = MinHashLSH(num_perm=128)
+        with pytest.raises(TypeError):
+            lsh.insert("k", [1, 2, 3])
+
+    def test_query_probability_shape(self):
+        # Similarity above the threshold should be retrieved far more often
+        # than similarity far below it.
+        lsh = MinHashLSH(threshold=0.6, num_perm=128)
+        high_hits = low_hits = 0
+        trials = 30
+        for i in range(trials):
+            tag = "t%d" % i
+            shared_hi, other_hi = make_overlapping_sets(90, 5, 5,
+                                                        tag=tag + "hi")
+            shared_lo, other_lo = make_overlapping_sets(10, 90, 90,
+                                                        tag=tag + "lo")
+            fresh = MinHashLSH(threshold=0.6, num_perm=128)
+            fresh.insert("hi", sig(shared_hi))
+            fresh.insert("lo", sig(shared_lo))
+            if "hi" in fresh.query(sig(other_hi)):
+                high_hits += 1
+            if "lo" in fresh.query(sig(other_lo)):
+                low_hits += 1
+        assert high_hits > trials * 0.8
+        assert low_hits < trials * 0.3
+
+
+class TestRemove:
+    def test_remove_then_absent(self):
+        lsh = MinHashLSH(num_perm=128)
+        s = sig(["a", "b"])
+        lsh.insert("k", s)
+        lsh.remove("k")
+        assert "k" not in lsh
+        assert "k" not in lsh.query(s)
+
+    def test_remove_missing(self):
+        with pytest.raises(KeyError):
+            MinHashLSH(num_perm=128).remove("ghost")
+
+
+class TestIntrospection:
+    def test_len_and_contains(self):
+        lsh = MinHashLSH(num_perm=128)
+        assert lsh.is_empty()
+        lsh.insert("k", sig(["a"]))
+        assert len(lsh) == 1 and "k" in lsh
+
+    def test_get_signature(self):
+        lsh = MinHashLSH(num_perm=128)
+        s = sig(["a"])
+        lsh.insert("k", s)
+        assert lsh.get_signature("k").jaccard(LeanMinHash(s)) == 1.0
+
+    def test_repr(self):
+        assert "keys=0" in repr(MinHashLSH(num_perm=128))

@@ -1,0 +1,99 @@
+"""Unit tests for static LSH parameter selection."""
+
+import numpy as np
+import pytest
+
+from repro.lsh.params import (
+    candidate_probability,
+    false_negative_weight,
+    false_positive_weight,
+    optimal_params,
+    threshold_for_params,
+)
+
+
+class TestCandidateProbability:
+    def test_bounds(self):
+        s = np.linspace(0, 1, 50)
+        p = candidate_probability(s, b=32, r=4)
+        assert np.all(p >= 0) and np.all(p <= 1)
+
+    def test_endpoints(self):
+        assert candidate_probability(0.0, 8, 4) == 0.0
+        assert candidate_probability(1.0, 8, 4) == 1.0
+
+    def test_monotone_in_similarity(self):
+        s = np.linspace(0, 1, 50)
+        p = candidate_probability(s, b=16, r=4)
+        assert np.all(np.diff(p) >= -1e-12)
+
+    def test_more_bands_raises_probability(self):
+        assert candidate_probability(0.5, 32, 4) > \
+            candidate_probability(0.5, 8, 4)
+
+    def test_more_rows_lowers_probability(self):
+        assert candidate_probability(0.5, 16, 8) < \
+            candidate_probability(0.5, 16, 2)
+
+
+class TestWeights:
+    def test_fp_weight_grows_with_bands(self):
+        assert false_positive_weight(0.5, 32, 4) > \
+            false_positive_weight(0.5, 4, 4)
+
+    def test_fn_weight_shrinks_with_bands(self):
+        assert false_negative_weight(0.5, 32, 4) < \
+            false_negative_weight(0.5, 4, 4)
+
+    def test_weights_non_negative(self):
+        for b, r in [(1, 1), (8, 4), (64, 2)]:
+            assert false_positive_weight(0.3, b, r) >= 0
+            assert false_negative_weight(0.3, b, r) >= 0
+
+
+class TestOptimalParams:
+    def test_respects_budget(self):
+        for threshold in (0.2, 0.5, 0.8):
+            b, r = optimal_params(threshold, 128)
+            assert b * r <= 128
+
+    def test_higher_threshold_prefers_deeper_bands(self):
+        _, r_low = optimal_params(0.2, 256)
+        _, r_high = optimal_params(0.9, 256)
+        assert r_high >= r_low
+
+    def test_inherent_threshold_tracks_requested(self):
+        for threshold in (0.3, 0.5, 0.7, 0.9):
+            b, r = optimal_params(threshold, 256)
+            assert abs(threshold_for_params(b, r) - threshold) < 0.25
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            optimal_params(1.5, 128)
+
+    def test_invalid_num_perm(self):
+        with pytest.raises(ValueError):
+            optimal_params(0.5, 1)
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            optimal_params(0.5, 128, fp_weight=0.0, fn_weight=0.0)
+        with pytest.raises(ValueError):
+            optimal_params(0.5, 128, fp_weight=-1.0, fn_weight=1.0)
+
+    def test_fp_biased_weights_prefer_fewer_bands(self):
+        b_fp, _ = optimal_params(0.5, 256, fp_weight=0.9, fn_weight=0.1)
+        b_fn, _ = optimal_params(0.5, 256, fp_weight=0.1, fn_weight=0.9)
+        assert b_fp <= b_fn
+
+
+class TestThresholdForParams:
+    def test_known_value(self):
+        # (1/b)^(1/r) with b=16, r=4 is 0.5.
+        assert threshold_for_params(16, 4) == pytest.approx(0.5)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            threshold_for_params(0, 4)
+        with pytest.raises(ValueError):
+            threshold_for_params(4, 0)

@@ -1,0 +1,138 @@
+"""Unit tests for bucket storage."""
+
+import pytest
+
+from repro.lsh.storage import BandedStorage, DictHashTableStorage
+
+
+class TestDictHashTableStorage:
+    def test_insert_and_get(self):
+        s = DictHashTableStorage()
+        s.insert("bucket", "k1")
+        s.insert("bucket", "k2")
+        assert s.get("bucket") == {"k1", "k2"}
+
+    def test_get_missing_is_empty(self):
+        assert DictHashTableStorage().get("nope") == frozenset()
+
+    def test_get_returns_snapshot(self):
+        s = DictHashTableStorage()
+        s.insert("b", "k")
+        snap = s.get("b")
+        s.insert("b", "k2")
+        assert snap == {"k"}
+
+    def test_remove(self):
+        s = DictHashTableStorage()
+        s.insert("b", "k1")
+        s.insert("b", "k2")
+        s.remove("b", "k1")
+        assert s.get("b") == {"k2"}
+
+    def test_remove_last_key_drops_bucket(self):
+        s = DictHashTableStorage()
+        s.insert("b", "k")
+        s.remove("b", "k")
+        assert len(s) == 0
+
+    def test_remove_missing_is_noop(self):
+        s = DictHashTableStorage()
+        s.remove("b", "k")  # must not raise
+        s.insert("b", "k")
+        s.remove("b", "other")
+        assert s.get("b") == {"k"}
+
+    def test_len_counts_buckets(self):
+        s = DictHashTableStorage()
+        s.insert("b1", "k")
+        s.insert("b2", "k")
+        assert len(s) == 2
+
+    def test_keys_iteration(self):
+        s = DictHashTableStorage()
+        s.insert("b1", "k")
+        s.insert("b2", "k")
+        assert set(s.keys()) == {"b1", "b2"}
+
+    def test_bucket_sizes(self):
+        s = DictHashTableStorage()
+        s.insert("b1", "k1")
+        s.insert("b1", "k2")
+        s.insert("b2", "k3")
+        assert sorted(s.bucket_sizes()) == [1, 2]
+
+    def test_duplicate_insert_collapses(self):
+        s = DictHashTableStorage()
+        s.insert("b", "k")
+        s.insert("b", "k")
+        assert s.get("b") == {"k"}
+
+
+class TestBandedStorage:
+    def test_band_isolation(self):
+        bs = BandedStorage(num_bands=3)
+        bs.insert(0, "bucket", "k0")
+        bs.insert(1, "bucket", "k1")
+        assert bs.get(0, "bucket") == {"k0"}
+        assert bs.get(1, "bucket") == {"k1"}
+        assert bs.get(2, "bucket") == frozenset()
+
+    def test_len(self):
+        assert len(BandedStorage(num_bands=4)) == 4
+
+    def test_invalid_band_count(self):
+        with pytest.raises(ValueError):
+            BandedStorage(num_bands=0)
+
+    def test_remove_per_band(self):
+        bs = BandedStorage(num_bands=2)
+        bs.insert(0, "b", "k")
+        bs.insert(1, "b", "k")
+        bs.remove(0, "b", "k")
+        assert bs.get(0, "b") == frozenset()
+        assert bs.get(1, "b") == {"k"}
+
+
+class TestGetView:
+    def test_view_reflects_contents(self):
+        s = DictHashTableStorage()
+        s.insert("b", "k1")
+        s.insert("b", "k2")
+        assert set(s.get_view("b")) == {"k1", "k2"}
+
+    def test_missing_bucket_is_empty_frozenset(self):
+        view = DictHashTableStorage().get_view("nope")
+        assert view == frozenset()
+
+    def test_view_is_live(self):
+        # Unlike get(), the view aliases internal state (documented).
+        s = DictHashTableStorage()
+        s.insert("b", "k1")
+        view = s.get_view("b")
+        s.insert("b", "k2")
+        assert "k2" in view
+
+    def test_union_does_not_mutate_view(self):
+        s = DictHashTableStorage()
+        s.insert("b", "k1")
+        out = set()
+        out |= s.get_view("b")
+        out.add("other")
+        assert s.get("b") == {"k1"}
+
+    def test_base_class_interface(self):
+        from repro.lsh.storage import HashTableStorage
+
+        base = HashTableStorage()
+        with pytest.raises(NotImplementedError):
+            base.get_view("b")
+        with pytest.raises(NotImplementedError):
+            base.insert("b", "k")
+        with pytest.raises(NotImplementedError):
+            base.get("b")
+        with pytest.raises(NotImplementedError):
+            base.remove("b", "k")
+        with pytest.raises(NotImplementedError):
+            len(base)
+        with pytest.raises(NotImplementedError):
+            base.keys()

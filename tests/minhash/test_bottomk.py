@@ -1,0 +1,147 @@
+"""Unit tests for bottom-k sketches."""
+
+import pytest
+
+from repro.minhash.bottomk import BottomKSketch
+from tests.conftest import make_overlapping_sets
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BottomKSketch(k=1)
+
+    def test_repr(self):
+        assert "retained=0" in repr(BottomKSketch(k=8))
+
+
+class TestUpdate:
+    def test_retains_at_most_k(self):
+        sketch = BottomKSketch(k=10)
+        sketch.update_batch("value%d" % i for i in range(100))
+        assert len(sketch) == 10
+
+    def test_duplicates_ignored(self):
+        sketch = BottomKSketch(k=10)
+        sketch.update("a")
+        sketch.update("a")
+        assert len(sketch) == 1
+
+    def test_keeps_smallest(self):
+        from repro.minhash.hashfunc import hash_value64
+
+        values = ["value%d" % i for i in range(200)]
+        sketch = BottomKSketch.from_values(values, k=16)
+        expected = sorted(hash_value64(v) for v in values)[:16]
+        assert sorted(sketch._members) == expected
+
+    def test_order_insensitive(self):
+        values = ["v%d" % i for i in range(50)]
+        a = BottomKSketch.from_values(values, k=8)
+        b = BottomKSketch.from_values(reversed(values), k=8)
+        assert a._members == b._members
+
+
+class TestCount:
+    def test_exact_below_k(self):
+        sketch = BottomKSketch.from_values(["a", "b", "c"], k=16)
+        assert sketch.count() == 3
+
+    @pytest.mark.parametrize("true_size", [500, 5000])
+    def test_estimate_above_k(self, true_size):
+        sketch = BottomKSketch.from_values(
+            ("v%d" % i for i in range(true_size)), k=256
+        )
+        assert abs(sketch.count() - true_size) / true_size < 0.3
+
+    def test_estimate_improves_with_k(self):
+        true_size = 20_000
+        values = ["v%d" % i for i in range(true_size)]
+        errors = []
+        for k in (32, 512):
+            est = BottomKSketch.from_values(values, k=k).count()
+            errors.append(abs(est - true_size) / true_size)
+        # Larger k cannot be dramatically worse (allow sampling noise).
+        assert errors[1] < errors[0] + 0.1
+
+
+class TestJaccard:
+    def test_identical(self):
+        values = ["v%d" % i for i in range(100)]
+        a = BottomKSketch.from_values(values, k=64)
+        b = BottomKSketch.from_values(values, k=64)
+        assert a.jaccard(b) == 1.0
+
+    def test_disjoint(self):
+        a = BottomKSketch.from_values(["a%d" % i for i in range(100)], k=64)
+        b = BottomKSketch.from_values(["b%d" % i for i in range(100)], k=64)
+        assert a.jaccard(b) < 0.1
+
+    def test_half_overlap_estimate(self):
+        sa, sb = make_overlapping_sets(200, 100, 100, tag="bk")
+        a = BottomKSketch.from_values(sa, k=256)
+        b = BottomKSketch.from_values(sb, k=256)
+        assert abs(a.jaccard(b) - 0.5) < 0.15
+
+    def test_mismatched_k(self):
+        a = BottomKSketch(k=8)
+        b = BottomKSketch(k=16)
+        with pytest.raises(ValueError):
+            a.jaccard(b)
+
+    def test_empty_sketches(self):
+        assert BottomKSketch(k=8).jaccard(BottomKSketch(k=8)) == 1.0
+
+
+class TestContainment:
+    def test_subset(self):
+        small = ["v%d" % i for i in range(100)]
+        big = small + ["w%d" % i for i in range(400)]
+        a = BottomKSketch.from_values(small, k=256)
+        b = BottomKSketch.from_values(big, k=256)
+        assert a.containment_in(b) > 0.7
+
+    def test_disjoint(self):
+        a = BottomKSketch.from_values(["a%d" % i for i in range(50)], k=64)
+        b = BottomKSketch.from_values(["b%d" % i for i in range(50)], k=64)
+        assert a.containment_in(b) < 0.2
+
+    def test_agrees_with_minhash_estimator(self):
+        """Cross-check the two cited estimators against each other."""
+        from repro.core.estimation import estimate_containment
+        from repro.minhash.minhash import MinHash
+
+        qs, xs = make_overlapping_sets(150, 50, 250, tag="cross")
+        bk_est = BottomKSketch.from_values(qs, k=256).containment_in(
+            BottomKSketch.from_values(xs, k=256))
+        mh_est = estimate_containment(
+            MinHash.from_values(qs, num_perm=256),
+            MinHash.from_values(xs, num_perm=256),
+            len(qs), len(xs),
+        )
+        assert abs(bk_est - mh_est) < 0.25
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ValueError):
+            BottomKSketch(k=8).containment_in(
+                BottomKSketch.from_values(["a"], k=8))
+
+
+class TestMerge:
+    def test_merge_equals_union_sketch(self):
+        sa, sb = make_overlapping_sets(30, 40, 50, tag="merge")
+        a = BottomKSketch.from_values(sa, k=32)
+        b = BottomKSketch.from_values(sb, k=32)
+        a.merge(b)
+        direct = BottomKSketch.from_values(sa | sb, k=32)
+        assert a._members == direct._members
+
+    def test_merge_count(self):
+        sa, sb = make_overlapping_sets(0, 300, 300, tag="mc")
+        a = BottomKSketch.from_values(sa, k=128)
+        a.merge(BottomKSketch.from_values(sb, k=128))
+        assert abs(a.count() - 600) / 600 < 0.3
+
+    def test_mismatched_k(self):
+        with pytest.raises(ValueError):
+            BottomKSketch(k=8).merge(BottomKSketch(k=16))

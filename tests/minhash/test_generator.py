@@ -1,0 +1,86 @@
+"""Unit tests for bulk signature construction and synthetic sampling."""
+
+import numpy as np
+import pytest
+
+from repro.minhash.generator import (
+    SignatureFactory,
+    build_signatures,
+    sample_signatures,
+)
+from repro.minhash.minhash import MinHash
+
+
+class TestSignatureFactory:
+    def test_matches_direct_minhash(self):
+        factory = SignatureFactory(num_perm=64, seed=1)
+        values = ["a", "b", "c"]
+        assert np.array_equal(
+            factory.lean(values).hashvalues,
+            MinHash.from_values(values, num_perm=64, seed=1).hashvalues,
+        )
+
+    def test_value_cache_grows_once_per_distinct_value(self):
+        factory = SignatureFactory(num_perm=16)
+        factory.lean(["x", "y"])
+        factory.lean(["y", "z"])
+        assert factory.cache_size() == 3
+
+    def test_build_keys_preserved(self):
+        domains = {"d1": ["a"], "d2": ["b", "c"]}
+        sigs = SignatureFactory(num_perm=16).build(domains)
+        assert set(sigs) == {"d1", "d2"}
+
+    def test_build_signatures_helper(self):
+        domains = {"d1": ["a", "b"]}
+        sigs = build_signatures(domains, num_perm=32, seed=2)
+        expected = MinHash.from_values(["a", "b"], num_perm=32, seed=2)
+        assert np.array_equal(sigs["d1"].hashvalues, expected.hashvalues)
+
+    def test_signatures_comparable_across_factory_calls(self):
+        factory = SignatureFactory(num_perm=64)
+        a = factory.lean(["u", "v", "w"])
+        b = factory.lean(["u", "v", "w"])
+        assert a.jaccard(b) == 1.0
+
+
+class TestSampleSignatures:
+    def test_count_matches_input_length(self):
+        sigs = sample_signatures([10, 100, 1000], num_perm=64)
+        assert len(sigs) == 3
+
+    def test_cardinality_estimates_track_sizes(self):
+        sizes = [50, 500, 5000]
+        sigs = sample_signatures(sizes, num_perm=256, seed=3)
+        for size, sig in zip(sizes, sigs):
+            assert abs(sig.count() - size) / size < 0.5
+
+    def test_deterministic_for_seed(self):
+        a = sample_signatures([10, 20], num_perm=32, seed=5)
+        b = sample_signatures([10, 20], num_perm=32, seed=5)
+        assert a[0] == b[0] and a[1] == b[1]
+
+    def test_distinct_draws_differ(self):
+        a, b = sample_signatures([100, 100], num_perm=32, seed=5)
+        assert a != b
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            sample_signatures([0], num_perm=16)
+        with pytest.raises(ValueError):
+            sample_signatures([[1, 2]], num_perm=16)
+
+    def test_empty_input(self):
+        assert sample_signatures([], num_perm=16) == []
+
+    def test_chunking_consistency(self):
+        # Force multiple chunks by using a large num_perm relative to the
+        # chunk budget; results must still be one signature per size.
+        sizes = [7] * 100
+        sigs = sample_signatures(sizes, num_perm=2048, seed=1)
+        assert len(sigs) == 100
+
+    def test_signatures_usable_in_jaccard(self):
+        a, b = sample_signatures([100, 100], num_perm=128, seed=2)
+        # Independent random domains of the hash space: near-zero overlap.
+        assert a.jaccard(b) < 0.15

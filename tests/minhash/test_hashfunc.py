@@ -1,0 +1,67 @@
+"""Unit tests for value hashing."""
+
+import pytest
+
+from repro.minhash.hashfunc import (
+    MAX_HASH_32,
+    MAX_HASH_64,
+    canonical_bytes,
+    hash_value32,
+    hash_value64,
+    sha1_hash32,
+    sha1_hash64,
+)
+
+
+class TestSha1Hashes:
+    def test_deterministic(self):
+        assert sha1_hash32(b"hello") == sha1_hash32(b"hello")
+        assert sha1_hash64(b"hello") == sha1_hash64(b"hello")
+
+    def test_different_inputs_differ(self):
+        assert sha1_hash32(b"hello") != sha1_hash32(b"world")
+        assert sha1_hash64(b"hello") != sha1_hash64(b"world")
+
+    def test_range_32(self):
+        for data in (b"", b"a", b"abc", b"x" * 1000):
+            assert 0 <= sha1_hash32(data) <= MAX_HASH_32
+
+    def test_range_64(self):
+        for data in (b"", b"a", b"abc", b"x" * 1000):
+            assert 0 <= sha1_hash64(data) <= MAX_HASH_64
+
+    def test_spread(self):
+        # 1000 distinct inputs should produce 1000 distinct 64-bit hashes.
+        hashes = {sha1_hash64(str(i).encode()) for i in range(1000)}
+        assert len(hashes) == 1000
+
+
+class TestCanonicalBytes:
+    def test_str_and_bytes_distinct(self):
+        assert canonical_bytes("abc") != canonical_bytes(b"abc")
+
+    def test_int_and_str_distinct(self):
+        assert canonical_bytes(1) != canonical_bytes("1")
+
+    def test_bool_and_int_distinct(self):
+        assert canonical_bytes(True) != canonical_bytes(1)
+
+    def test_float_and_int_distinct(self):
+        assert canonical_bytes(1.0) != canonical_bytes(1)
+
+    def test_unicode_roundtrip(self):
+        assert canonical_bytes("café") == canonical_bytes("café")
+        assert canonical_bytes("café") != canonical_bytes("cafe")
+
+    def test_arbitrary_object_uses_repr(self):
+        assert canonical_bytes((1, 2)) == b"r:" + repr((1, 2)).encode()
+
+
+class TestHashValue:
+    def test_matches_composition(self):
+        assert hash_value32("x") == sha1_hash32(canonical_bytes("x"))
+        assert hash_value64("x") == sha1_hash64(canonical_bytes("x"))
+
+    @pytest.mark.parametrize("value", ["a", b"b", 3, 2.5, True, ("t", 1)])
+    def test_accepts_many_types(self, value):
+        assert 0 <= hash_value32(value) <= MAX_HASH_32

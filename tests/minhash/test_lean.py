@@ -1,0 +1,122 @@
+"""Unit tests for LeanMinHash."""
+
+import numpy as np
+import pytest
+
+from repro.minhash.lean import LeanMinHash
+from repro.minhash.minhash import MinHash
+from tests.conftest import make_overlapping_sets
+
+
+@pytest.fixture()
+def sample_pair():
+    sa, sb = make_overlapping_sets(40, 30, 30, tag="lean")
+    a = MinHash.from_values(sa, num_perm=64)
+    b = MinHash.from_values(sb, num_perm=64)
+    return a, b
+
+
+class TestConstruction:
+    def test_from_minhash(self, sample_pair):
+        a, _ = sample_pair
+        lean = LeanMinHash(a)
+        assert lean.seed == a.seed
+        assert np.array_equal(lean.hashvalues, a.hashvalues)
+
+    def test_from_parts(self):
+        hv = np.arange(8, dtype=np.uint64)
+        lean = LeanMinHash(seed=5, hashvalues=hv)
+        assert lean.num_perm == 8
+        assert lean.seed == 5
+
+    def test_requires_arguments(self):
+        with pytest.raises(ValueError):
+            LeanMinHash()
+        with pytest.raises(ValueError):
+            LeanMinHash(seed=1)
+
+    def test_immutable_array(self, sample_pair):
+        lean = LeanMinHash(sample_pair[0])
+        with pytest.raises(ValueError):
+            lean.hashvalues[0] = 1
+
+    def test_copy_detached_from_source(self, sample_pair):
+        a, _ = sample_pair
+        lean = LeanMinHash(a)
+        a.update("new value after freeze")
+        # The lean copy must not reflect later updates.
+        assert not np.array_equal(lean.hashvalues, a.hashvalues) or \
+            a.jaccard(lean.to_minhash()) == 1.0
+
+
+class TestEstimators:
+    def test_jaccard_matches_minhash(self, sample_pair):
+        a, b = sample_pair
+        assert LeanMinHash(a).jaccard(LeanMinHash(b)) == a.jaccard(b)
+
+    def test_jaccard_against_mutable(self, sample_pair):
+        a, b = sample_pair
+        assert LeanMinHash(a).jaccard(b) == a.jaccard(b)
+
+    def test_count_matches_minhash(self, sample_pair):
+        a, _ = sample_pair
+        assert LeanMinHash(a).count() == a.count()
+
+    def test_incompatible_rejected(self, sample_pair):
+        a, _ = sample_pair
+        other = MinHash(num_perm=32, seed=99)
+        with pytest.raises(ValueError):
+            LeanMinHash(a).jaccard(LeanMinHash(other))
+
+
+class TestBands:
+    def test_band_values(self):
+        hv = np.arange(16, dtype=np.uint64)
+        lean = LeanMinHash(seed=1, hashvalues=hv)
+        assert lean.band(4, 8) == (4, 5, 6, 7)
+
+    def test_band_is_hashable(self, sample_pair):
+        lean = LeanMinHash(sample_pair[0])
+        assert hash(lean.band(0, 4)) == hash(lean.band(0, 4))
+
+
+class TestSerialization:
+    def test_roundtrip(self, sample_pair):
+        lean = LeanMinHash(sample_pair[0])
+        assert LeanMinHash.deserialize(lean.serialize()) == lean
+
+    def test_roundtrip_preserves_jaccard(self, sample_pair):
+        a, b = sample_pair
+        la = LeanMinHash.deserialize(LeanMinHash(a).serialize())
+        assert la.jaccard(LeanMinHash(b)) == a.jaccard(b)
+
+    def test_serialized_size(self):
+        hv = np.zeros(32, dtype=np.uint64)
+        lean = LeanMinHash(seed=1, hashvalues=hv)
+        # 8-byte seed + 4-byte count + 8 bytes per value.
+        assert len(lean.serialize()) == 12 + 32 * 8
+
+
+class TestHashEq:
+    def test_equal_signatures_hash_equal(self, sample_pair):
+        a, _ = sample_pair
+        assert hash(LeanMinHash(a)) == hash(LeanMinHash(a.copy()))
+
+    def test_usable_as_dict_key(self, sample_pair):
+        a, b = sample_pair
+        d = {LeanMinHash(a): "a", LeanMinHash(b): "b"}
+        assert d[LeanMinHash(a)] == "a"
+
+    def test_eq_other_type(self, sample_pair):
+        assert LeanMinHash(sample_pair[0]) != 42
+
+
+class TestThaw:
+    def test_to_minhash_roundtrip(self, sample_pair):
+        a, b = sample_pair
+        thawed = LeanMinHash(a).to_minhash()
+        assert thawed.jaccard(b) == a.jaccard(b)
+
+    def test_thawed_is_updatable(self, sample_pair):
+        thawed = LeanMinHash(sample_pair[0]).to_minhash()
+        thawed.update("extra")  # must not raise

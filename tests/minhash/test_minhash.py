@@ -1,0 +1,186 @@
+"""Unit tests for MinHash signatures."""
+
+import numpy as np
+import pytest
+
+from repro.minhash.minhash import MAX_HASH, MinHash
+from tests.conftest import TEST_NUM_PERM, make_overlapping_sets
+
+
+class TestConstruction:
+    def test_fresh_signature_is_empty(self):
+        m = MinHash(num_perm=16)
+        assert m.is_empty()
+        assert len(m) == 16
+
+    def test_invalid_num_perm(self):
+        with pytest.raises(ValueError):
+            MinHash(num_perm=0)
+        with pytest.raises(ValueError):
+            MinHash(num_perm=-4)
+
+    def test_invalid_hashfunc(self):
+        with pytest.raises(TypeError):
+            MinHash(num_perm=16, hashfunc="not callable")
+
+    def test_explicit_hashvalues_copied(self):
+        hv = np.full(8, 5, dtype=np.uint64)
+        m = MinHash(num_perm=8, hashvalues=hv)
+        hv[0] = 99
+        assert int(m.hashvalues[0]) == 5
+
+    def test_explicit_hashvalues_shape_checked(self):
+        with pytest.raises(ValueError):
+            MinHash(num_perm=8, hashvalues=np.zeros(4, dtype=np.uint64))
+
+    def test_permutations_shared_across_instances(self):
+        a = MinHash(num_perm=32, seed=3)
+        b = MinHash(num_perm=32, seed=3)
+        assert a._a is b._a and a._b is b._b
+
+
+class TestUpdates:
+    def test_update_changes_signature(self):
+        m = MinHash(num_perm=16)
+        m.update("value")
+        assert not m.is_empty()
+
+    def test_update_idempotent(self):
+        m = MinHash(num_perm=32)
+        m.update("v1")
+        snapshot = m.hashvalues.copy()
+        m.update("v1")
+        assert np.array_equal(m.hashvalues, snapshot)
+
+    def test_update_batch_equals_sequential_updates(self):
+        values = ["a", "b", "c", "d", "e"]
+        one = MinHash(num_perm=64)
+        for v in values:
+            one.update(v)
+        batch = MinHash(num_perm=64)
+        batch.update_batch(values)
+        assert one == batch
+
+    def test_update_batch_empty_noop(self):
+        m = MinHash(num_perm=16)
+        m.update_batch([])
+        assert m.is_empty()
+
+    def test_order_insensitive(self):
+        a = MinHash.from_values(["x", "y", "z"], num_perm=32)
+        b = MinHash.from_values(["z", "x", "y"], num_perm=32)
+        assert a == b
+
+    def test_signature_monotonically_decreases(self):
+        m = MinHash(num_perm=32)
+        m.update("a")
+        before = m.hashvalues.copy()
+        m.update("b")
+        assert np.all(m.hashvalues <= before)
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        a = MinHash.from_values(range(100), num_perm=TEST_NUM_PERM)
+        b = MinHash.from_values(range(100), num_perm=TEST_NUM_PERM)
+        assert a.jaccard(b) == 1.0
+
+    def test_disjoint_sets(self):
+        a = MinHash.from_values(["a%d" % i for i in range(100)],
+                                num_perm=TEST_NUM_PERM)
+        b = MinHash.from_values(["b%d" % i for i in range(100)],
+                                num_perm=TEST_NUM_PERM)
+        assert a.jaccard(b) < 0.1
+
+    def test_estimate_close_to_truth(self):
+        # True Jaccard = 100 / (100 + 50 + 50) = 0.5.
+        sa, sb = make_overlapping_sets(100, 50, 50)
+        a = MinHash.from_values(sa, num_perm=256)
+        b = MinHash.from_values(sb, num_perm=256)
+        assert abs(a.jaccard(b) - 0.5) < 0.12
+
+    def test_symmetry(self):
+        sa, sb = make_overlapping_sets(30, 20, 60)
+        a = MinHash.from_values(sa, num_perm=TEST_NUM_PERM)
+        b = MinHash.from_values(sb, num_perm=TEST_NUM_PERM)
+        assert a.jaccard(b) == b.jaccard(a)
+
+    def test_incompatible_seed_rejected(self):
+        a = MinHash(num_perm=16, seed=1)
+        b = MinHash(num_perm=16, seed=2)
+        with pytest.raises(ValueError):
+            a.jaccard(b)
+
+    def test_incompatible_num_perm_rejected(self):
+        a = MinHash(num_perm=16)
+        b = MinHash(num_perm=32)
+        with pytest.raises(ValueError):
+            a.jaccard(b)
+
+    def test_non_minhash_rejected(self):
+        with pytest.raises(TypeError):
+            MinHash(num_perm=16).jaccard("nope")
+
+
+class TestCount:
+    @pytest.mark.parametrize("true_size", [10, 100, 1000])
+    def test_cardinality_estimate(self, true_size):
+        m = MinHash.from_values(("v%d" % i for i in range(true_size)),
+                                num_perm=256)
+        estimate = m.count()
+        assert abs(estimate - true_size) / true_size < 0.35
+
+    def test_empty_signature_counts_huge(self):
+        # A fresh signature looks like an infinitely large random domain;
+        # count() must not crash and should be enormous.
+        m = MinHash(num_perm=16)
+        assert m.count() >= 0
+
+
+class TestMergeAndUnion:
+    def test_merge_equals_union_signature(self):
+        sa, sb = make_overlapping_sets(10, 25, 40)
+        a = MinHash.from_values(sa, num_perm=64)
+        b = MinHash.from_values(sb, num_perm=64)
+        direct = MinHash.from_values(sa | sb, num_perm=64)
+        a.merge(b)
+        assert a == direct
+
+    def test_union_classmethod(self):
+        sa, sb = make_overlapping_sets(5, 10, 15)
+        a = MinHash.from_values(sa, num_perm=64)
+        b = MinHash.from_values(sb, num_perm=64)
+        u = MinHash.union(a, b)
+        assert u == MinHash.from_values(sa | sb, num_perm=64)
+
+    def test_union_of_three(self):
+        parts = [["a", "b"], ["c"], ["d", "e", "f"]]
+        sigs = [MinHash.from_values(p, num_perm=32) for p in parts]
+        u = MinHash.union(*sigs)
+        assert u == MinHash.from_values(
+            [v for p in parts for v in p], num_perm=32
+        )
+
+    def test_union_requires_two(self):
+        with pytest.raises(ValueError):
+            MinHash.union(MinHash(num_perm=16))
+
+    def test_merge_incompatible(self):
+        a = MinHash(num_perm=16, seed=1)
+        b = MinHash(num_perm=16, seed=9)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestCopyAndEquality:
+    def test_copy_independent(self):
+        a = MinHash.from_values(["x"], num_perm=16)
+        c = a.copy()
+        c.update("y")
+        assert a != c
+
+    def test_eq_other_type(self):
+        assert MinHash(num_perm=16) != object()
+
+    def test_repr(self):
+        assert "num_perm=16" in repr(MinHash(num_perm=16))

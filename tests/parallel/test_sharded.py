@@ -1,0 +1,113 @@
+"""Unit tests for the sharded (simulated cluster) deployment."""
+
+import pytest
+
+from repro.core.ensemble import LSHEnsemble
+from repro.minhash.minhash import MinHash
+from repro.parallel.sharded import ShardedEnsemble
+
+NUM_PERM = 64
+
+
+def sig(values):
+    return MinHash.from_values(values, num_perm=NUM_PERM)
+
+
+def make_entries(n=60):
+    entries = []
+    for i in range(n):
+        values = ["s%d_%d" % (i, j) for j in range(10 + i)]
+        entries.append(("k%d" % i, sig(values), len(values)))
+    return entries
+
+
+def factory():
+    return LSHEnsemble(num_perm=NUM_PERM, num_partitions=2)
+
+
+class TestBuild:
+    def test_round_robin_distribution(self):
+        sharded = ShardedEnsemble(num_shards=4, ensemble_factory=factory,
+                                  parallel=False)
+        sharded.index(make_entries(60))
+        assert len(sharded.shards) == 4
+        assert [len(s) for s in sharded.shards] == [15, 15, 15, 15]
+        assert len(sharded) == 60
+
+    def test_fewer_entries_than_shards(self):
+        sharded = ShardedEnsemble(num_shards=8, ensemble_factory=factory,
+                                  parallel=False)
+        sharded.index(make_entries(3))
+        assert len(sharded.shards) == 3
+
+    def test_double_index_rejected(self):
+        sharded = ShardedEnsemble(num_shards=2, ensemble_factory=factory,
+                                  parallel=False)
+        sharded.index(make_entries(10))
+        with pytest.raises(RuntimeError):
+            sharded.index(make_entries(10))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedEnsemble(num_shards=2, parallel=False).index([])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardedEnsemble(num_shards=0)
+
+
+class TestQuery:
+    def test_union_of_shard_results(self):
+        sharded = ShardedEnsemble(num_shards=3, ensemble_factory=factory,
+                                  parallel=False)
+        entries = make_entries(30)
+        sharded.index(entries)
+        probe = entries[7][1]
+        expected = set()
+        for shard in sharded.shards:
+            expected |= shard.query(probe, size=17, threshold=0.8)
+        assert sharded.query(probe, size=17, threshold=0.8) == expected
+
+    def test_parallel_equals_sequential(self):
+        entries = make_entries(40)
+        seq = ShardedEnsemble(num_shards=4, ensemble_factory=factory,
+                              parallel=False)
+        seq.index(entries)
+        with ShardedEnsemble(num_shards=4, ensemble_factory=factory,
+                             parallel=True) as par:
+            par.index(entries)
+            for _, probe, size in entries[:10]:
+                assert par.query(probe, size=size, threshold=0.7) == \
+                    seq.query(probe, size=size, threshold=0.7)
+
+    def test_self_queries_found(self):
+        sharded = ShardedEnsemble(num_shards=5, ensemble_factory=factory,
+                                  parallel=False)
+        entries = make_entries(50)
+        sharded.index(entries)
+        for key, probe, size in entries[::7]:
+            assert key in sharded.query(probe, size=size, threshold=0.9)
+
+    def test_query_before_build(self):
+        with pytest.raises(RuntimeError):
+            ShardedEnsemble(num_shards=2).query(sig(["a"]))
+
+
+class TestLifecycle:
+    def test_contains(self):
+        sharded = ShardedEnsemble(num_shards=2, ensemble_factory=factory,
+                                  parallel=False)
+        sharded.index(make_entries(10))
+        assert "k3" in sharded
+        assert "ghost" not in sharded
+
+    def test_close_idempotent(self):
+        sharded = ShardedEnsemble(num_shards=2, ensemble_factory=factory)
+        sharded.index(make_entries(6))
+        sharded.close()
+        sharded.close()
+
+    def test_context_manager(self):
+        with ShardedEnsemble(num_shards=2, ensemble_factory=factory) as s:
+            s.index(make_entries(6))
+            assert len(s) == 6

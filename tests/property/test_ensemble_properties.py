@@ -1,0 +1,84 @@
+"""Property-based tests for the LSH Ensemble index."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ensemble import LSHEnsemble
+from repro.minhash.minhash import MinHash
+
+NUM_PERM = 64
+
+
+def sig(values):
+    return MinHash.from_values(values, num_perm=NUM_PERM)
+
+
+domain_corpora = st.dictionaries(
+    keys=st.text(min_size=1, max_size=6),
+    values=st.sets(st.integers(0, 500), min_size=1, max_size=50),
+    min_size=2,
+    max_size=25,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(domains=domain_corpora)
+def test_exact_duplicate_always_found(domains):
+    """An indexed copy of the query collides in every band: guaranteed hit."""
+    index = LSHEnsemble(num_perm=NUM_PERM, num_partitions=3)
+    index.index((k, sig(v), len(v)) for k, v in domains.items())
+    for key, values in list(domains.items())[:5]:
+        found = index.query(sig(values), size=len(values), threshold=1.0)
+        assert key in found
+
+
+@settings(max_examples=25, deadline=None)
+@given(domains=domain_corpora,
+       threshold=st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+def test_results_subset_of_indexed_keys(domains, threshold):
+    index = LSHEnsemble(num_perm=NUM_PERM, num_partitions=3)
+    index.index((k, sig(v), len(v)) for k, v in domains.items())
+    key, values = next(iter(domains.items()))
+    found = index.query(sig(values), size=len(values), threshold=threshold)
+    assert found <= set(domains)
+
+
+@settings(max_examples=25, deadline=None)
+@given(domains=domain_corpora)
+def test_query_deterministic(domains):
+    index = LSHEnsemble(num_perm=NUM_PERM, num_partitions=3)
+    index.index((k, sig(v), len(v)) for k, v in domains.items())
+    key, values = next(iter(domains.items()))
+    first = index.query(sig(values), size=len(values), threshold=0.6)
+    second = index.query(sig(values), size=len(values), threshold=0.6)
+    assert first == second
+
+
+@settings(max_examples=25, deadline=None)
+@given(domains=domain_corpora)
+def test_partition_count_never_exceeds_configured(domains):
+    index = LSHEnsemble(num_perm=NUM_PERM, num_partitions=5)
+    index.index((k, sig(v), len(v)) for k, v in domains.items())
+    assert 1 <= len(index.partitions) <= 5
+
+
+@settings(max_examples=25, deadline=None)
+@given(domains=domain_corpora)
+def test_every_key_routed_to_its_size_partition(domains):
+    index = LSHEnsemble(num_perm=NUM_PERM, num_partitions=4)
+    index.index((k, sig(v), len(v)) for k, v in domains.items())
+    assert len(index) == len(domains)
+    for key, values in domains.items():
+        assert index.size_of(key) == len(values)
+
+
+@settings(max_examples=15, deadline=None)
+@given(domains=domain_corpora)
+def test_remove_inverse_of_insert(domains):
+    index = LSHEnsemble(num_perm=NUM_PERM, num_partitions=3)
+    index.index((k, sig(v), len(v)) for k, v in domains.items())
+    key, values = next(iter(domains.items()))
+    index.remove(key)
+    assert key not in index
+    index.insert(key, sig(values), len(values))
+    assert key in index.query(sig(values), size=len(values), threshold=1.0)

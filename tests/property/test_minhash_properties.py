@@ -1,0 +1,107 @@
+"""Property-based tests for MinHash invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.minhash.lean import LeanMinHash
+from repro.minhash.minhash import MinHash
+
+value_sets = st.sets(
+    st.text(min_size=1, max_size=12), min_size=1, max_size=60
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=value_sets)
+def test_signature_independent_of_insertion_order(values):
+    ordered = sorted(values)
+    forward = MinHash.from_values(ordered, num_perm=32)
+    backward = MinHash.from_values(reversed(ordered), num_perm=32)
+    assert forward == backward
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=value_sets)
+def test_duplicates_do_not_change_signature(values):
+    once = MinHash.from_values(values, num_perm=32)
+    twice = MinHash.from_values(list(values) * 2, num_perm=32)
+    assert once == twice
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=value_sets, b=value_sets)
+def test_union_signature_equals_signature_of_union(a, b):
+    """MinHash of X ∪ Y is the element-wise min — exactly, not statistically."""
+    sig_a = MinHash.from_values(a, num_perm=32)
+    sig_b = MinHash.from_values(b, num_perm=32)
+    assert MinHash.union(sig_a, sig_b) == \
+        MinHash.from_values(a | b, num_perm=32)
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=value_sets, b=value_sets)
+def test_merge_commutative(a, b):
+    ab = MinHash.from_values(a, num_perm=32)
+    ab.merge(MinHash.from_values(b, num_perm=32))
+    ba = MinHash.from_values(b, num_perm=32)
+    ba.merge(MinHash.from_values(a, num_perm=32))
+    assert ab == ba
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=value_sets, b=value_sets, c=value_sets)
+def test_union_associative(a, b, c):
+    sa = MinHash.from_values(a, num_perm=32)
+    sb = MinHash.from_values(b, num_perm=32)
+    sc = MinHash.from_values(c, num_perm=32)
+    left = MinHash.union(MinHash.union(sa, sb), sc)
+    right = MinHash.union(sa, MinHash.union(sb, sc))
+    assert left == right
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=value_sets, b=value_sets)
+def test_jaccard_estimate_in_unit_interval(a, b):
+    sig_a = MinHash.from_values(a, num_perm=32)
+    sig_b = MinHash.from_values(b, num_perm=32)
+    assert 0.0 <= sig_a.jaccard(sig_b) <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=value_sets)
+def test_jaccard_with_self_is_one(values):
+    sig = MinHash.from_values(values, num_perm=32)
+    assert sig.jaccard(sig.copy()) == 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=value_sets, extra=value_sets)
+def test_subset_signature_dominates(a, extra):
+    """Adding values can only lower (or keep) each signature slot."""
+    small = MinHash.from_values(a, num_perm=32)
+    big = MinHash.from_values(a | extra, num_perm=32)
+    assert np.all(big.hashvalues <= small.hashvalues)
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=value_sets)
+def test_lean_serialization_roundtrip(values):
+    lean = LeanMinHash(MinHash.from_values(values, num_perm=32))
+    assert LeanMinHash.deserialize(lean.serialize()) == lean
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=value_sets)
+def test_count_non_negative(values):
+    assert MinHash.from_values(values, num_perm=64).count() >= 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    values=st.sets(st.integers(0, 10_000), min_size=50, max_size=400)
+)
+def test_count_within_statistical_bounds(values):
+    """Cardinality estimate stays within a generous multiplicative band."""
+    estimate = MinHash.from_values(values, num_perm=256).count()
+    assert len(values) * 0.4 <= estimate <= len(values) * 2.5

@@ -1,0 +1,100 @@
+"""Property-based tests for partitioning invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost_model import partitioning_cost
+from repro.core.partitioner import (
+    assign_partition,
+    blended_partitions,
+    equi_depth_partitions,
+    equi_width_partitions,
+    optimal_partitions,
+    partition_counts,
+)
+
+size_lists = st.lists(
+    st.integers(min_value=1, max_value=50_000), min_size=2, max_size=400
+)
+partition_counts_strategy = st.integers(min_value=1, max_value=12)
+
+
+def assert_valid_partitioning(partitions, sizes):
+    """Contiguity, coverage, and exactly-once assignment."""
+    assert partitions[0].lower == min(sizes)
+    assert partitions[-1].upper == max(sizes) + 1
+    for a, b in zip(partitions, partitions[1:]):
+        assert a.upper == b.lower
+    for s in set(sizes):
+        idx = assign_partition(int(s), partitions)
+        owners = [i for i, p in enumerate(partitions) if int(s) in p]
+        assert owners == [idx]
+
+
+@settings(max_examples=60, deadline=None)
+@given(sizes=size_lists, n=partition_counts_strategy)
+def test_equi_depth_valid(sizes, n):
+    assert_valid_partitioning(equi_depth_partitions(sizes, n), sizes)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sizes=size_lists, n=partition_counts_strategy)
+def test_equi_width_valid(sizes, n):
+    assert_valid_partitioning(equi_width_partitions(sizes, n), sizes)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sizes=size_lists, n=partition_counts_strategy,
+       alpha=st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+def test_blended_valid(sizes, n, alpha):
+    assert_valid_partitioning(blended_partitions(sizes, n, alpha), sizes)
+
+
+@settings(max_examples=40, deadline=None)
+@given(sizes=size_lists, n=partition_counts_strategy)
+def test_optimal_valid(sizes, n):
+    assert_valid_partitioning(optimal_partitions(sizes, n), sizes)
+
+
+@settings(max_examples=40, deadline=None)
+@given(sizes=size_lists, n=partition_counts_strategy)
+def test_optimal_cost_not_worse_than_single_partition(sizes, n):
+    opt = optimal_partitions(sizes, n)
+    single = equi_depth_partitions(sizes, 1)
+    opt_cost = partitioning_cost(sizes, [(p.lower, p.upper) for p in opt])
+    single_cost = partitioning_cost(
+        sizes, [(p.lower, p.upper) for p in single]
+    )
+    assert opt_cost <= single_cost * (1 + 1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(sizes=size_lists, n=partition_counts_strategy)
+def test_counts_sum_to_total(sizes, n):
+    parts = equi_depth_partitions(sizes, n)
+    assert sum(partition_counts(sizes, parts)) == len(sizes)
+
+
+@settings(max_examples=40, deadline=None)
+@given(sizes=size_lists, n=partition_counts_strategy)
+def test_more_partitions_never_raise_optimal_cost(sizes, n):
+    coarse = optimal_partitions(sizes, n)
+    fine = optimal_partitions(sizes, n + 1)
+    coarse_cost = partitioning_cost(
+        sizes, [(p.lower, p.upper) for p in coarse]
+    )
+    fine_cost = partitioning_cost(sizes, [(p.lower, p.upper) for p in fine])
+    assert fine_cost <= coarse_cost * (1 + 1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(sizes=size_lists)
+def test_equi_depth_balances_counts(sizes):
+    """With all-distinct sizes, equi-depth counts differ by at most ~N/n."""
+    distinct = sorted(set(sizes))
+    if len(distinct) < 8:
+        return
+    parts = equi_depth_partitions(np.asarray(distinct), 4)
+    counts = partition_counts(distinct, parts)
+    assert max(counts) - min(counts) <= max(2, len(distinct) // 4)

@@ -1,0 +1,88 @@
+"""Property-based tests for bottom-k sketches and containment estimation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimation import estimate_containment
+from repro.minhash.bottomk import BottomKSketch
+from repro.minhash.minhash import MinHash
+
+value_sets = st.sets(st.text(min_size=1, max_size=10), min_size=1,
+                     max_size=60)
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=value_sets)
+def test_bottomk_order_insensitive(values):
+    ordered = sorted(values)
+    a = BottomKSketch.from_values(ordered, k=16)
+    b = BottomKSketch.from_values(reversed(ordered), k=16)
+    assert a._members == b._members
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=value_sets)
+def test_bottomk_exact_count_below_k(values):
+    sketch = BottomKSketch.from_values(values, k=128)
+    assert sketch.count() == len(values)
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=value_sets, b=value_sets)
+def test_bottomk_merge_equals_union(a, b):
+    sa = BottomKSketch.from_values(a, k=16)
+    sa.merge(BottomKSketch.from_values(b, k=16))
+    direct = BottomKSketch.from_values(a | b, k=16)
+    assert sa._members == direct._members
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=value_sets, b=value_sets)
+def test_bottomk_jaccard_in_unit_interval(a, b):
+    sa = BottomKSketch.from_values(a, k=16)
+    sb = BottomKSketch.from_values(b, k=16)
+    assert 0.0 <= sa.jaccard(sb) <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=value_sets)
+def test_bottomk_jaccard_identity(values):
+    sa = BottomKSketch.from_values(values, k=16)
+    sb = BottomKSketch.from_values(values, k=16)
+    assert sa.jaccard(sb) == 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=value_sets, b=value_sets)
+def test_bottomk_jaccard_symmetric(a, b):
+    sa = BottomKSketch.from_values(a, k=16)
+    sb = BottomKSketch.from_values(b, k=16)
+    assert sa.jaccard(sb) == sb.jaccard(sa)
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=value_sets, b=value_sets)
+def test_estimate_containment_in_unit_interval(a, b):
+    sig_a = MinHash.from_values(a, num_perm=64)
+    sig_b = MinHash.from_values(b, num_perm=64)
+    est = estimate_containment(sig_a, sig_b, len(a), len(b))
+    assert 0.0 <= est <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=value_sets)
+def test_estimate_containment_identity(values):
+    sig = MinHash.from_values(values, num_perm=64)
+    est = estimate_containment(sig, sig.copy(), len(values), len(values))
+    assert est == 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=value_sets, extra=value_sets)
+def test_estimate_containment_of_subset_is_high(a, extra):
+    """A query fully contained in a candidate must estimate near 1."""
+    superset = a | extra
+    sig_q = MinHash.from_values(a, num_perm=256)
+    sig_x = MinHash.from_values(superset, num_perm=256)
+    est = estimate_containment(sig_q, sig_x, len(a), len(superset))
+    assert est > 0.5

@@ -1,0 +1,86 @@
+"""Property-based tests for the containment/Jaccard algebra."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.containment import (
+    containment_to_jaccard,
+    conservative_jaccard_threshold,
+    effective_containment_threshold,
+    jaccard_to_containment,
+)
+
+sizes = st.integers(min_value=1, max_value=10_000_000)
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@settings(max_examples=200, deadline=None)
+@given(t=unit, x=sizes, q=sizes)
+def test_transform_roundtrip(t, x, q):
+    assume(t <= min(1.0, x / q))
+    s = containment_to_jaccard(t, x, q)
+    back = jaccard_to_containment(s, x, q)
+    assert abs(back - t) < 1e-9
+
+
+@settings(max_examples=200, deadline=None)
+@given(t=unit, x=sizes, q=sizes)
+def test_jaccard_below_containment_in_valid_range(t, x, q):
+    """s <= t always (the union is at least as large as the query)."""
+    assume(t <= min(1.0, x / q))
+    s = containment_to_jaccard(t, x, q)
+    assert s <= t + 1e-12
+
+
+@settings(max_examples=200, deadline=None)
+@given(t_star=unit, x=sizes, u=sizes, q=sizes)
+def test_conservative_threshold_never_exceeds_exact(t_star, x, u, q):
+    """Eq. 7's zero-new-false-negative guarantee: s*(u) <= s*(x) for x <= u."""
+    assume(x <= u)
+    s_conservative = conservative_jaccard_threshold(t_star, u, q)
+    s_exact = containment_to_jaccard(t_star, x, q)
+    if s_exact > 0:
+        assert s_conservative <= min(1.0, s_exact) + 1e-12
+
+
+@settings(max_examples=200, deadline=None)
+@given(t_star=unit, x=sizes, u=sizes, q=sizes)
+def test_effective_threshold_never_exceeds_query_threshold(t_star, x, u, q):
+    assume(x <= u)
+    tx = effective_containment_threshold(t_star, x, u, q)
+    assert tx <= t_star + 1e-12
+
+
+@settings(max_examples=200, deadline=None)
+@given(t_star=unit, u=sizes, q=sizes)
+def test_effective_threshold_tight_at_bound(t_star, u, q):
+    """Proposition 1 collapses to equality when x = u."""
+    tx = effective_containment_threshold(t_star, u, u, q)
+    assert abs(tx - t_star) < 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(t=unit, q=sizes)
+def test_transform_monotone_in_x(t, q):
+    xs = [q, 2 * q, 4 * q, 8 * q]
+    values = [containment_to_jaccard(t, x, q) for x in xs]
+    for a, b in zip(values, values[1:]):
+        assert a >= b - 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(x=sizes, q=sizes)
+def test_transform_monotone_in_t(x, q):
+    ts = [0.1, 0.3, 0.5, 0.7, 0.9]
+    values = [containment_to_jaccard(t, x, q) for t in ts]
+    for a, b in zip(values, values[1:]):
+        assert a <= b + 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(s=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+       x=sizes, q=sizes)
+def test_inverse_transform_monotone_in_s(s, x, q):
+    t1 = jaccard_to_containment(s, x, q)
+    t2 = jaccard_to_containment(min(1.0, s + 0.05), x, q)
+    assert t1 <= t2 + 1e-12

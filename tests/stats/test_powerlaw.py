@@ -1,0 +1,69 @@
+"""Unit tests for power-law diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.distributions import power_law_sizes
+from repro.stats.powerlaw import fit_alpha, is_power_law_like, log2_histogram
+
+
+class TestFitAlpha:
+    @pytest.mark.parametrize("alpha", [1.5, 2.0, 2.5])
+    def test_recovers_exponent(self, alpha):
+        sizes = power_law_sizes(50_000, alpha=alpha, min_size=10,
+                                max_size=10_000_000, seed=1)
+        assert abs(fit_alpha(sizes) - alpha) < 0.2
+
+    def test_min_size_filter(self):
+        sizes = np.concatenate([
+            np.full(1000, 1),
+            power_law_sizes(10_000, alpha=2.0, min_size=10,
+                            max_size=1_000_000, seed=2),
+        ])
+        assert abs(fit_alpha(sizes, min_size=10) - 2.0) < 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_alpha([])
+        with pytest.raises(ValueError):
+            fit_alpha([10, 10, 10])
+        with pytest.raises(ValueError):
+            fit_alpha([10, 20], min_size=0)
+        with pytest.raises(ValueError):
+            fit_alpha([5], min_size=10)
+
+
+class TestLog2Histogram:
+    def test_buckets(self):
+        hist = dict(log2_histogram([1, 1, 2, 3, 4, 7, 8]))
+        assert hist[1] == 2   # sizes 1, 1
+        assert hist[2] == 2   # sizes 2, 3
+        assert hist[4] == 2   # sizes 4, 7
+        assert hist[8] == 1   # size 8
+
+    def test_empty_interior_buckets_present(self):
+        hist = log2_histogram([1, 64])
+        buckets = [b for b, _ in hist]
+        assert buckets == [1, 2, 4, 8, 16, 32, 64]
+        assert dict(hist)[8] == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            log2_histogram([])
+        with pytest.raises(ValueError):
+            log2_histogram([0, 1])
+
+
+class TestIsPowerLawLike:
+    def test_accepts_power_law(self):
+        sizes = power_law_sizes(20_000, alpha=2.0, min_size=10,
+                                max_size=1_000_000, seed=3)
+        assert is_power_law_like(sizes)
+
+    def test_rejects_uniform(self):
+        rng = np.random.default_rng(4)
+        sizes = rng.integers(10, 10_000, size=20_000)
+        assert not is_power_law_like(sizes)
+
+    def test_rejects_tiny_sample(self):
+        assert not is_power_law_like([1, 2])

@@ -1,0 +1,63 @@
+"""Unit tests for skewness (Eq. 29)."""
+
+import numpy as np
+import pytest
+
+from repro.stats.skewness import central_moment, skewness
+
+
+class TestCentralMoment:
+    def test_second_moment_is_variance(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert central_moment(data, 2) == pytest.approx(np.var(data))
+
+    def test_first_central_moment_is_zero(self):
+        assert central_moment([3, 7, 11], 1) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            central_moment([], 2)
+        with pytest.raises(ValueError):
+            central_moment([1.0], 0)
+
+
+class TestSkewness:
+    def test_symmetric_is_zero(self):
+        assert skewness([1, 2, 3, 4, 5]) == pytest.approx(0.0)
+
+    def test_right_tail_positive(self):
+        # Power-law-like data has a heavy right tail.
+        rng = np.random.default_rng(3)
+        data = rng.pareto(2.0, size=10_000) + 1
+        assert skewness(data) > 1.0
+
+    def test_left_tail_negative(self):
+        rng = np.random.default_rng(3)
+        data = -(rng.pareto(2.0, size=10_000) + 1)
+        assert skewness(data) < -1.0
+
+    def test_constant_data_zero(self):
+        assert skewness([5, 5, 5]) == 0.0
+
+    def test_matches_scipy(self):
+        from scipy import stats as sps
+
+        rng = np.random.default_rng(9)
+        data = rng.lognormal(0, 1, size=500)
+        assert skewness(data) == pytest.approx(
+            float(sps.skew(data)), rel=1e-9
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            skewness([])
+
+    def test_paper_range(self):
+        """The paper reports skewness 0.50-13.87 across its subsets; a
+        power-law corpus must land in that broad band."""
+        from repro.datagen.distributions import power_law_sizes
+
+        sizes = power_law_sizes(20_000, alpha=2.0, min_size=10,
+                                max_size=500_000, seed=4)
+        s = skewness(sizes)
+        assert 0.5 < s < 200
