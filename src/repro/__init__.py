@@ -39,6 +39,8 @@ from repro.minhash import (
     BottomKSketch,
     LeanMinHash,
     MinHash,
+    MinHashGenerator,
+    SignatureBatch,
     SignatureFactory,
 )
 from repro.parallel import ShardedEnsemble
@@ -52,6 +54,8 @@ __all__ = [
     "LeanMinHash",
     "BottomKSketch",
     "SignatureFactory",
+    "MinHashGenerator",
+    "SignatureBatch",
     "MinHashLSH",
     "PrefixForest",
     "MinHashLSHForest",

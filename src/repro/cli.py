@@ -6,7 +6,13 @@ Build, persist, and query LSH Ensemble indexes from the shell::
     python -m repro.cli build corpus.json index.lshe --partitions 16
     python -m repro.cli query index.lshe --values a b c --threshold 0.6
     python -m repro.cli query index.lshe --query-file q.json --top-k 5
+    python -m repro.cli query index.lshe --batch-file q.json --threshold 0.6
     python -m repro.cli info  index.lshe
+
+``--query-file`` answers each entry with an independent single query;
+``--batch-file`` hashes all entries into one signature matrix and answers
+them through the vectorised batch path (same results, much higher
+throughput on many queries).
 
 The JSON corpus format is deliberately simple: one object whose keys are
 domain names and whose values are arrays of (string or numeric) domain
@@ -22,7 +28,7 @@ import time
 from pathlib import Path
 
 from repro.core.ensemble import LSHEnsemble
-from repro.minhash.generator import SignatureFactory
+from repro.minhash.generator import MinHashGenerator, SignatureFactory
 from repro.persistence import load_ensemble, save_ensemble
 
 __all__ = ["main", "build_parser"]
@@ -52,6 +58,9 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--query-file", type=Path,
                        help="JSON array of values, or {name: [values...]}"
                             " (each entry queried separately)")
+    group.add_argument("--batch-file", type=Path,
+                       help="JSON object {name: [values...]}; all entries"
+                            " answered in one vectorized batch query")
     p_query.add_argument("--threshold", type=float, default=None)
     p_query.add_argument("--top-k", type=int, default=None,
                          help="return the k best by estimated containment"
@@ -100,17 +109,52 @@ def _run_one_query(index: LSHEnsemble, name: str, values: set,
     factory = SignatureFactory(num_perm=index.num_perm)
     sig = factory.lean(values)
     if top_k is not None:
-        ranked = index.query_top_k(sig, top_k, size=len(values))
-        print("%s: top %d by estimated containment" % (name, top_k))
-        for key, score in ranked:
-            print("  %-40s ~t = %.3f" % (key, score))
+        _print_ranked(name, index.query_top_k(sig, top_k, size=len(values)),
+                      top_k)
     else:
-        found = index.query(sig, size=len(values), threshold=threshold)
-        print("%s: %d candidates%s" % (
-            name, len(found),
-            "" if threshold is None else " at t* >= %.2f" % threshold))
-        for key in sorted(found, key=str):
-            print("  %s" % (key,))
+        _print_hits(name,
+                    index.query(sig, size=len(values), threshold=threshold),
+                    threshold)
+
+
+def _print_hits(name: str, found: set, threshold: float | None) -> None:
+    print("%s: %d candidates%s" % (
+        name, len(found),
+        "" if threshold is None else " at t* >= %.2f" % threshold))
+    for key in sorted(found, key=str):
+        print("  %s" % (key,))
+
+
+def _print_ranked(name: str, ranked: list, k: int) -> None:
+    print("%s: top %d by estimated containment" % (name, k))
+    for key, score in ranked:
+        print("  %-40s ~t = %.3f" % (key, score))
+
+
+def _run_batch_query(index: LSHEnsemble, path: Path,
+                     threshold: float | None, top_k: int | None) -> None:
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or not data:
+        raise SystemExit(
+            "error: batch file must be a non-empty JSON object"
+            " {name: [values...]}")
+    queries = {name: set(values) for name, values in data.items()}
+    generator = MinHashGenerator(num_perm=index.num_perm)
+    t0 = time.perf_counter()
+    batch = generator.bulk(queries)
+    sizes = [len(queries[name]) for name in batch.keys]
+    if top_k is not None:
+        ranked_lists = index.query_top_k_batch(batch, top_k, sizes=sizes)
+        elapsed = time.perf_counter() - t0
+        for name, ranked in zip(batch.keys, ranked_lists):
+            _print_ranked(name, ranked, top_k)
+    else:
+        results = index.query_batch(batch, sizes=sizes, threshold=threshold)
+        elapsed = time.perf_counter() - t0
+        for name, found in zip(batch.keys, results):
+            _print_hits(name, found, threshold)
+    print("[%d queries answered in %.3fs, %.1f queries/s]"
+          % (len(batch), elapsed, len(batch) / elapsed if elapsed else 0.0))
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -118,6 +162,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.values is not None:
         _run_one_query(index, "query", set(args.values), args.threshold,
                        args.top_k)
+        return 0
+    if args.batch_file is not None:
+        _run_batch_query(index, args.batch_file, args.threshold, args.top_k)
         return 0
     data = json.loads(args.query_file.read_text(encoding="utf-8"))
     if isinstance(data, list):

@@ -22,14 +22,21 @@ from __future__ import annotations
 import time
 from collections.abc import Hashable, Iterable, Sequence
 
+import numpy as np
+
 from repro.core.partitioner import (
     Partition,
     assign_partition,
     equi_depth_partitions,
 )
-from repro.core.tuning import TuningResult, tune_params_quantized
+from repro.core.tuning import (
+    TuningResult,
+    ratio_bucket,
+    tune_params_quantized,
+)
 from repro.forest.prefix_forest import PrefixForest, default_forest_shape
 from repro.lsh.storage import DictHashTableStorage
+from repro.minhash.batch import SignatureBatch
 from repro.minhash.lean import LeanMinHash
 from repro.minhash.minhash import MinHash
 
@@ -75,6 +82,14 @@ def _as_lean(signature: MinHash | LeanMinHash) -> LeanMinHash:
     raise TypeError(
         "expected MinHash or LeanMinHash, got %r" % type(signature).__name__
     )
+
+
+def _as_batch(batch) -> SignatureBatch:
+    if isinstance(batch, SignatureBatch):
+        return batch
+    if isinstance(batch, np.ndarray):
+        return SignatureBatch(None, batch)
+    return SignatureBatch.from_signatures(list(batch))
 
 
 class LSHEnsemble:
@@ -272,6 +287,89 @@ class LSHEnsemble:
             )
         return results, reports
 
+    def query_batch(self, batch, sizes: Sequence[int] | None = None,
+                    threshold: float | None = None) -> list[set]:
+        """:meth:`query` for many signatures in one pass.
+
+        Semantically a pure optimisation: returns exactly
+        ``[self.query(s, size, threshold) for s, size in zip(batch, sizes)]``
+        but walks the index partition-major — per partition, every
+        signature is pruned/tuned individually (Algorithm 1's per-query
+        parameter selection), signatures that landed on the same
+        ``(b, r)`` are probed together through the forest's vectorised
+        byte-packing path, and each partition's bucket tables are touched
+        once for the whole batch.
+
+        Parameters
+        ----------
+        batch:
+            A :class:`~repro.minhash.batch.SignatureBatch` or a sequence
+            of :class:`MinHash` / :class:`LeanMinHash` signatures.
+        sizes:
+            Per-signature domain sizes ``|Q|``; estimated from the
+            signature matrix (vectorised ``approx(|Q|)``) when omitted.
+        threshold:
+            Containment threshold ``t*`` shared by the whole batch;
+            defaults to the constructor threshold.
+        """
+        if not self._forests:
+            raise RuntimeError("the index is empty; call index() first")
+        sb = _as_batch(batch)
+        n = len(sb)
+        t_star = self.threshold if threshold is None else float(threshold)
+        if not 0.0 <= t_star <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        if n == 0:
+            return []
+        if sb.num_perm != self.num_perm:
+            raise ValueError(
+                "batch num_perm %d does not match index num_perm %d"
+                % (sb.num_perm, self.num_perm)
+            )
+        if sizes is not None:
+            qs = [int(s) for s in sizes]
+            if len(qs) != n:
+                raise ValueError(
+                    "got %d sizes for %d signatures" % (len(qs), n)
+                )
+            if any(q < 1 for q in qs):
+                raise ValueError("query size must be >= 1")
+        else:
+            qs = [max(1, int(c)) for c in sb.counts()]
+        qs_arr = np.asarray(qs, dtype=np.float64)
+        results: list[set] = [set() for _ in range(n)]
+        for i, (partition, forest) in enumerate(
+                zip(self._partitions, self._forests)):
+            if forest.is_empty():
+                continue
+            u = max(partition.upper - 1, self._partition_max_size[i])
+            if t_star > 0:
+                # Vectorised form of the per-query prune: a domain of at
+                # most u values cannot contain t* of a larger query.
+                survivors = np.nonzero(t_star * qs_arr <= u)[0].tolist()
+                if not survivors:
+                    continue
+            else:
+                survivors = range(n)
+            # Per-signature parameter selection, shared per ratio bucket:
+            # tuning depends on (u, q) only through ratio_bucket(u, q)
+            # (the quantised tuner's memo key), so queries in one bucket
+            # are tuned once and probed together.
+            buckets: dict[int, list[int]] = {}
+            for j in survivors:
+                buckets.setdefault(ratio_bucket(u, qs[j]), []).append(j)
+            groups: dict[tuple[int, int], list[int]] = {}
+            for rows in buckets.values():
+                tuning = tune_params_quantized(
+                    u, qs[rows[0]], t_star, self.num_trees, self.max_depth,
+                    self.num_perm)
+                groups.setdefault((tuning.b, tuning.r), []).extend(rows)
+            for (b, r), rows in groups.items():
+                # Merge straight into the global result sets — no
+                # per-partition intermediates.
+                forest.query_batch_into(sb.take(rows), b, r, results, rows)
+        return results
+
     def query_top_k(self, signature: MinHash | LeanMinHash, k: int,
                     size: int | None = None, min_threshold: float = 0.05,
                     ) -> list[tuple[Hashable, float]]:
@@ -308,6 +406,64 @@ class LSHEnsemble:
                                  sizes={key: self._sizes[key]
                                         for key in candidates})
         return ranked[:k]
+
+    def query_top_k_batch(self, batch, k: int,
+                          sizes: Sequence[int] | None = None,
+                          min_threshold: float = 0.05,
+                          ) -> list[list[tuple[Hashable, float]]]:
+        """:meth:`query_top_k` for many signatures in one pass.
+
+        Walks the same descending threshold ladder as the single-query
+        variant, but each rung is answered with :meth:`query_batch` over
+        only the signatures that still need candidates — so the expensive
+        early (high-threshold) rungs are shared by the whole batch.
+        Returns one ranked ``(key, estimated_containment)`` list per row,
+        equal to ``[self.query_top_k(s, k, size) for s, size in batch]``.
+        """
+        from repro.core.estimation import rank_candidates
+
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if not 0.0 < min_threshold <= 1.0:
+            raise ValueError("min_threshold must be in (0, 1]")
+        if not self._forests:
+            raise RuntimeError("the index is empty; call index() first")
+        sb = _as_batch(batch)
+        n = len(sb)
+        if n == 0:
+            return []
+        if sizes is not None:
+            if len(sizes) != n:
+                raise ValueError(
+                    "got %d sizes for %d signatures" % (len(sizes), n)
+                )
+            qs = [int(s) for s in sizes]
+        else:
+            qs = [max(1, int(c)) for c in sb.counts()]
+        candidates: list[set] = [set() for _ in range(n)]
+        active = list(range(n))
+        threshold = 0.95
+        while active:
+            found = self.query_batch(
+                SignatureBatch(None, sb.take(active), seed=sb.seed),
+                sizes=[qs[j] for j in active], threshold=threshold)
+            still_active = []
+            for j, hits in zip(active, found):
+                candidates[j] |= hits
+                # Same stop rule as the single-query ladder: enough
+                # candidates, or the floor rung has been probed.
+                if len(candidates[j]) < k and threshold > min_threshold:
+                    still_active.append(j)
+            active = still_active
+            threshold = max(min_threshold, threshold - 0.15)
+        out: list[list[tuple[Hashable, float]]] = []
+        for j in range(n):
+            pool = {key: self._signature_of(key) for key in candidates[j]}
+            ranked = rank_candidates(sb[j], pool, query_size=qs[j],
+                                     sizes={key: self._sizes[key]
+                                            for key in candidates[j]})
+            out.append(ranked[:k])
+        return out
 
     def _signature_of(self, key: Hashable) -> LeanMinHash:
         clamped = min(max(self._sizes[key], self._partitions[0].lower),

@@ -35,7 +35,7 @@ from repro.core.containment import containment_to_jaccard
 _trapezoid = getattr(np, "trapezoid", None) or np.trapz  # numpy 1.x fallback
 
 __all__ = ["tune_params", "tune_params_quantized", "fp_fn_mass",
-           "TuningResult", "quantize_query_size"]
+           "TuningResult", "quantize_query_size", "ratio_bucket"]
 
 _GRID_POINTS = 96
 
@@ -200,6 +200,19 @@ def quantize_query_size(q: int) -> int:
     return int(round(2.0 ** (exponent / _Q_BUCKETS_PER_OCTAVE)))
 
 
+def ratio_bucket(u: float, q: float) -> int:
+    """The geometric-grid bucket of the size ratio ``u / q``.
+
+    This is :func:`tune_params_quantized`'s memoisation key: two
+    ``(u, q)`` pairs landing in the same bucket are guaranteed the same
+    tuning, which is what lets the batch query path share one tuning
+    call across all queries of a bucket.
+    """
+    if u <= 0 or q <= 0:
+        raise ValueError("u and q must be positive")
+    return round(math.log2(u / q) * _Q_BUCKETS_PER_OCTAVE)
+
+
 def tune_params_quantized(u: int, q: int, t_star: float, num_trees: int,
                           max_depth: int, num_perm: int) -> TuningResult:
     """:func:`tune_params` keyed on the quantised size ratio ``u/q``.
@@ -212,10 +225,7 @@ def tune_params_quantized(u: int, q: int, t_star: float, num_trees: int,
     costs one dict lookup, as in the paper.  Exact tuning remains
     available via :func:`tune_params` for analysis and tests.
     """
-    if u <= 0 or q <= 0:
-        raise ValueError("u and q must be positive")
-    ratio = u / q
-    bucket = round(math.log2(ratio) * _Q_BUCKETS_PER_OCTAVE)
+    bucket = ratio_bucket(u, q)
     quant_ratio = 2.0 ** (bucket / _Q_BUCKETS_PER_OCTAVE)
     # Re-express the quantised ratio as an integer (u', q') pair for the
     # exact tuner; scale keeps resolution for ratios near 1.

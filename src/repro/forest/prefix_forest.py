@@ -20,9 +20,21 @@ from __future__ import annotations
 
 from collections.abc import Hashable
 
-from repro.lsh.storage import DictHashTableStorage
+import numpy as np
+
+from repro.lsh.storage import DictHashTableStorage, fnv1a_lanes
+from repro.minhash.batch import as_signature_matrix
 from repro.minhash.lean import LeanMinHash
 from repro.minhash.minhash import MinHash
+
+# Band bucket keys are packed uint64 bytes; a depth-d prefix of a band is
+# its first d * 8 bytes.
+_ITEM = 8
+
+# Batches probing fewer than this many (row, tree) pairs use the plain
+# per-tree loop; the numpy prefilter's fixed call cost needs volume to
+# amortise.
+_MIN_VECTOR_PROBES = 256
 
 __all__ = ["PrefixForest", "default_forest_shape"]
 
@@ -92,6 +104,15 @@ class PrefixForest:
             for _ in range(self.num_trees)
         ]
         self._keys: dict[Hashable, LeanMinHash] = {}
+        # Batch-probe index, per query depth r: sorted salted key hashes
+        # covering every tree's depth-r table, with aligned bucket views.
+        # Lazily built, dropped on any mutation.  None caches "backend
+        # cannot vectorise" (e.g. keys() unsupported).
+        self._probe_cache: dict[int, tuple | None] = {}
+        self._tree_salts = (
+            np.uint64(0x9E3779B97F4A7C15)
+            * np.arange(1, self.num_trees + 1, dtype=np.uint64)
+        )
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -108,24 +129,26 @@ class PrefixForest:
         if key in self._keys:
             raise ValueError("key %r is already in the forest" % (key,))
         self._keys[key] = lean
+        self._probe_cache.clear()
         for tree in range(self.num_trees):
             start = tree * self.max_depth
             band = lean.band(start, start + self.max_depth)
             tables = self._tables[tree]
             for depth in range(1, self.max_depth + 1):
-                tables[depth - 1].insert(band[:depth], key)
+                tables[depth - 1].insert(band[:depth * _ITEM], key)
 
     def remove(self, key: Hashable) -> None:
         """Remove ``key`` from every tree and depth."""
         lean = self._keys.pop(key, None)
         if lean is None:
             raise KeyError(key)
+        self._probe_cache.clear()
         for tree in range(self.num_trees):
             start = tree * self.max_depth
             band = lean.band(start, start + self.max_depth)
             tables = self._tables[tree]
             for depth in range(1, self.max_depth + 1):
-                tables[depth - 1].remove(band[:depth], key)
+                tables[depth - 1].remove(band[:depth * _ITEM], key)
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -160,6 +183,157 @@ class PrefixForest:
             # copies the members into the fresh result set.
             out |= self._tables[tree][r - 1].get_view(prefix)
         return out
+
+    def query_batch(self, batch, b: int, r: int) -> list[set]:
+        """:meth:`query` for many signatures at once.
+
+        ``batch`` is a :class:`~repro.minhash.batch.SignatureBatch`, an
+        ``(n, num_perm)`` matrix, or a sequence of signatures; the result
+        list is aligned with its rows and equals
+        ``[self.query(s, b, r) for s in batch]``.  Per tree, the depth-``r``
+        prefixes of all rows are packed with one ``tobytes`` pass and
+        probed against the tree's depth table in one fused storage call.
+        """
+        matrix = as_signature_matrix(batch, self.num_perm)
+        if not 1 <= b <= self.num_trees:
+            raise ValueError(
+                "b must be in [1, %d], got %d" % (self.num_trees, b)
+            )
+        if not 1 <= r <= self.max_depth:
+            raise ValueError(
+                "r must be in [1, %d], got %d" % (self.max_depth, r)
+            )
+        n = matrix.shape[0]
+        if n == 0:
+            return []
+        results: list[set] = [set() for _ in range(n)]
+        self.query_batch_into(matrix, b, r, results, range(n))
+        return results
+
+    def query_batch_into(self, matrix: np.ndarray, b: int, r: int,
+                         results: list, rows) -> None:
+        """:meth:`query_batch` merging straight into ``results[rows[j]]``.
+
+        The zero-allocation core of the batch path: callers that already
+        hold per-query result sets (the ensemble unions over partitions)
+        pass them in and no intermediate per-partition sets are built.
+        ``matrix`` must be a validated C-contiguous ``(len(rows),
+        num_perm)`` slice.
+
+        Large batches go through a forest-wide prefilter: every (row,
+        tree) probe is hashed in one vectorised pass and binary-searched
+        against the sorted hashes of all stored depth-``r`` prefixes, so
+        only probes that actually hit a bucket reach Python code; hits
+        are then verified against the real tables, which keeps results
+        bit-exact even across 64-bit hash collisions.
+        """
+        n = matrix.shape[0]
+        if n * b >= _MIN_VECTOR_PROBES:
+            index = self._probe_index(r)
+            if index is not None:
+                hashes, key_lanes, buckets, ambiguous = index
+                if not hashes.size:
+                    return  # no stored prefixes at this depth
+                K = self.max_depth
+                lanes = matrix[:, :b * K].reshape(n, b, K)[:, :, :r]
+                probes = fnv1a_lanes(lanes, self._tree_salts[:b]).ravel()
+                pos = np.searchsorted(hashes, probes)
+                np.minimum(pos, hashes.size - 1, out=pos)
+                hits = np.nonzero(hashes[pos] == probes)[0]
+                if not hits.size:
+                    return
+                hit_rows = hits // b
+                hit_trees = hits - hit_rows * b
+                hit_pos = pos[hits]
+                # Exact verification, still vectorised: a hash match only
+                # counts when the stored entry's tree and prefix lanes
+                # equal the probe's (64-bit collisions are dropped here).
+                key_trees, key_prefixes = key_lanes
+                verified = (key_trees[hit_pos] == hit_trees) & (
+                    key_prefixes[hit_pos]
+                    == lanes[hit_rows, hit_trees, :]).all(axis=1)
+                ver = np.nonzero(verified)[0]
+                for j, p in zip(hit_rows[ver].tolist(),
+                                hit_pos[ver].tolist()):
+                    bucket = buckets[p]
+                    if bucket:
+                        results[rows[j]] |= bucket
+                if ambiguous and ver.size != hits.size:
+                    # A failed lane check can also mean the probe matched
+                    # the second entry of a stored-duplicate hash run
+                    # (searchsorted lands on the first): re-check those
+                    # probes against the real tables.
+                    for i in np.nonzero(~verified)[0].tolist():
+                        if int(probes[hits[i]]) not in ambiguous:
+                            continue
+                        j = int(hit_rows[i])
+                        start = int(hit_trees[i]) * K
+                        bucket = self._tables[int(hit_trees[i])][
+                            r - 1].get_view(
+                            matrix[j, start:start + r].tobytes())
+                        if bucket:
+                            results[rows[j]] |= bucket
+                return
+        stride = r * matrix.itemsize
+        for tree in range(b):
+            start = tree * self.max_depth
+            buf = np.ascontiguousarray(matrix[:, start:start + r]).tobytes()
+            self._tables[tree][r - 1].merge_packed(buf, stride, results,
+                                                   rows)
+
+    def _probe_index(self, r: int) -> tuple | None:
+        """``(sorted_hashes, key_lanes, buckets, ambiguous)`` for depth ``r``.
+
+        ``sorted_hashes`` holds the salted hash of every stored
+        depth-``r`` prefix across all trees; ``key_lanes`` is a
+        ``(tree_ids, prefix_lanes)`` pair and ``buckets`` the live
+        bucket views, all aligned with the sort order (views stay
+        current because member mutation happens in place — any
+        bucket-key change clears the whole cache).  ``ambiguous`` is the set of hash values shared by more
+        than one (tree, prefix) — normally empty; probes whose lane
+        check fails there are re-verified against the real tables, so
+        results stay bit-exact despite 64-bit collisions.  None caches
+        "this backend cannot vectorise" (``keys()`` unsupported); the
+        caller then falls back to per-tree loops.
+        """
+        if r in self._probe_cache:
+            return self._probe_cache[r]
+        parts: list[np.ndarray] = []
+        lane_parts: list[np.ndarray] = []
+        tree_parts: list[np.ndarray] = []
+        views: list = []
+        try:
+            for tree in range(self.num_trees):
+                table = self._tables[tree][r - 1]
+                keys = list(table.keys())
+                if not keys:
+                    continue
+                lanes = np.frombuffer(b"".join(keys),
+                                      dtype=np.uint64).reshape(len(keys), r)
+                parts.append(fnv1a_lanes(lanes, self._tree_salts[tree]))
+                lane_parts.append(lanes)
+                tree_parts.append(np.full(len(keys), tree, dtype=np.intp))
+                views.extend(table.get_view(k) for k in keys)
+        except NotImplementedError:
+            self._probe_cache[r] = None
+            return None
+        if not parts:
+            index = (np.empty(0, dtype=np.uint64),
+                     (np.empty(0, dtype=np.intp),
+                      np.empty((0, r), dtype=np.uint64)), [], frozenset())
+            self._probe_cache[r] = index
+            return index
+        hashes = np.concatenate(parts)
+        order = np.argsort(hashes, kind="stable")
+        sorted_hashes = hashes[order]
+        key_lanes = (np.concatenate(tree_parts)[order],
+                     np.concatenate(lane_parts)[order])
+        buckets = [views[i] for i in order.tolist()]
+        dup = sorted_hashes[1:] == sorted_hashes[:-1]
+        ambiguous = frozenset(sorted_hashes[:-1][dup].tolist())
+        index = (sorted_hashes, key_lanes, buckets, ambiguous)
+        self._probe_cache[r] = index
+        return index
 
     def get_signature(self, key: Hashable) -> LeanMinHash:
         """The stored signature for ``key`` (KeyError when absent)."""

@@ -15,8 +15,11 @@ from __future__ import annotations
 
 from collections.abc import Hashable
 
+import numpy as np
+
 from repro.lsh.params import optimal_params
 from repro.lsh.storage import BandedStorage, DictHashTableStorage
+from repro.minhash.batch import as_signature_matrix
 from repro.minhash.lean import LeanMinHash
 from repro.minhash.minhash import MinHash
 
@@ -121,6 +124,30 @@ class MinHashLSH:
             band = lean.band(i * self.r, (i + 1) * self.r)
             out |= self._storage.tables[i].get_view(band)
         return out
+
+    def query_batch(self, batch) -> list[set]:
+        """:meth:`query` for many signatures at once, band by band.
+
+        ``batch`` is a :class:`~repro.minhash.batch.SignatureBatch`, an
+        ``(n, num_perm)`` matrix, or a sequence of signatures.  Returns
+        one result set per row, in order — exactly
+        ``[self.query(s) for s in batch]``, but all bucket keys of a band
+        are packed with one ``tobytes`` pass and probed against that
+        band's table in one fused storage call (which vectorises large
+        probes behind a sorted-hash prefilter).
+        """
+        matrix = as_signature_matrix(batch, self.num_perm)
+        n = matrix.shape[0]
+        if n == 0:
+            return []
+        results: list[set] = [set() for _ in range(n)]
+        rows = range(n)
+        stride = self.r * matrix.itemsize
+        for i in range(self.b):
+            buf = np.ascontiguousarray(
+                matrix[:, i * self.r:(i + 1) * self.r]).tobytes()
+            self._storage.merge_packed(i, buf, stride, results, rows)
+        return results
 
     def get_signature(self, key: Hashable) -> LeanMinHash:
         """The stored signature for ``key`` (KeyError when absent)."""

@@ -9,9 +9,42 @@ requires implementing :class:`HashTableStorage`.
 
 from __future__ import annotations
 
-from collections.abc import Hashable, Iterator
+from collections.abc import Hashable, Iterator, Sequence
 
-__all__ = ["HashTableStorage", "DictHashTableStorage", "BandedStorage"]
+import numpy as np
+
+__all__ = ["HashTableStorage", "DictHashTableStorage", "BandedStorage",
+           "fnv1a_lanes"]
+
+# Tables smaller than this answer packed probes with plain dict lookups;
+# building the sorted hash index only pays off once it is amortised over
+# enough buckets.  Likewise for batches with fewer probes than
+# _MIN_VECTOR_PROBES, where numpy call overhead exceeds the dict loop.
+_MIN_VECTOR_KEYS = 64
+_MIN_VECTOR_PROBES = 32
+
+_FNV_OFFSET = np.uint64(0xCBF29CE484222325)
+_FNV_PRIME = np.uint64(0x100000001B3)
+
+
+def fnv1a_lanes(lanes: np.ndarray,
+                salt: np.ndarray | np.uint64 | None = None) -> np.ndarray:
+    """Vectorised FNV-1a over the uint64 lanes of packed bucket keys.
+
+    ``lanes`` holds one key per row (last axis = the key's 8-byte lanes);
+    returns one uint64 hash per row.  Used as a *prefilter*: batch probes
+    are resolved against a sorted array of stored-key hashes, and only
+    rows whose hash matches are verified against the real table — a
+    64-bit collision can therefore cost a wasted lookup, never a wrong
+    result.  ``salt`` distinguishes key spaces sharing one index (e.g.
+    one hash array for all trees of a forest).
+    """
+    h = np.bitwise_xor(_FNV_OFFSET if salt is None else _FNV_OFFSET ^ salt,
+                       lanes[..., 0])
+    h = h * _FNV_PRIME
+    for c in range(1, lanes.shape[-1]):
+        h = (h ^ lanes[..., c]) * _FNV_PRIME
+    return h
 
 
 class HashTableStorage:
@@ -32,6 +65,32 @@ class HashTableStorage:
         """
         raise NotImplementedError
 
+    def get_many(self, bucket_keys: Sequence[Hashable]) -> list:
+        """Views of many buckets in one call (the batch query hot path).
+
+        Same aliasing contract as :meth:`get_view`.  Backends with probe
+        setup cost (disk, network) should override this to amortise it
+        over the whole batch; the default simply loops.
+        """
+        return [self.get_view(k) for k in bucket_keys]
+
+    def merge_packed(self, buf: bytes, stride: int, results: Sequence[set],
+                     rows: Sequence[int]) -> None:
+        """Union packed-key buckets directly into the caller's result sets.
+
+        ``buf`` is the concatenation of ``len(rows)`` bucket keys of
+        ``stride`` bytes each — one ``ndarray.tobytes`` call over a band
+        slice of a signature matrix (the vectorised byte-packing the
+        batch query path is built on).  The bucket of the ``i``-th key is
+        unioned into ``results[rows[i]]``.  This fuses key slicing, the
+        bucket lookup, and the merge into one loop per band — the
+        innermost loop of the batch query path.
+        """
+        for j, off in zip(rows, range(0, len(buf), stride)):
+            bucket = self.get_view(buf[off:off + stride])
+            if bucket:
+                results[j] |= bucket
+
     def remove(self, bucket_key: Hashable, key: Hashable) -> None:
         raise NotImplementedError
 
@@ -43,17 +102,29 @@ class HashTableStorage:
 
 
 class DictHashTableStorage(HashTableStorage):
-    """In-memory dict-of-sets storage — the default backend."""
+    """In-memory dict-of-sets storage — the default backend.
 
-    __slots__ = ("_table",)
+    Batched probes (:meth:`merge_packed`) are answered through a lazily
+    built sorted-key index: all bucket keys packed into one numpy void
+    array, binary-searched for the whole batch in a single
+    ``np.searchsorted`` call, so only *hits* are touched by Python code.
+    The index is invalidated by any bucket-key mutation and rebuilt on
+    the next batch probe.
+    """
+
+    __slots__ = ("_table", "_packed")
 
     def __init__(self) -> None:
         self._table: dict[Hashable, set] = {}
+        # (stride, (sorted_void_keys, aligned_bucket_list)) or
+        # (stride, None) when keys are not uniform `stride`-byte strings.
+        self._packed: tuple[int, tuple | None] | None = None
 
     def insert(self, bucket_key: Hashable, key: Hashable) -> None:
         bucket = self._table.get(bucket_key)
         if bucket is None:
             self._table[bucket_key] = {key}
+            self._packed = None  # new bucket key: probe index is stale
         else:
             bucket.add(key)
 
@@ -66,6 +137,61 @@ class DictHashTableStorage(HashTableStorage):
     def get_view(self, bucket_key: Hashable):
         return self._table.get(bucket_key) or DictHashTableStorage._EMPTY
 
+    def get_many(self, bucket_keys: Sequence[Hashable]) -> list:
+        get = self._table.get
+        empty = DictHashTableStorage._EMPTY
+        return [get(k) or empty for k in bucket_keys]
+
+    def merge_packed(self, buf: bytes, stride: int, results: Sequence[set],
+                     rows: Sequence[int]) -> None:
+        n = len(buf) // stride if stride else 0
+        index = (self._packed_index(stride)
+                 if n >= _MIN_VECTOR_PROBES else None)
+        if index is None:
+            get = self._table.get
+            for j, off in zip(rows, range(0, len(buf), stride)):
+                bucket = get(buf[off:off + stride])
+                if bucket:
+                    results[j] |= bucket
+            return
+        # Vectorised prefilter: hash every probe key, binary-search the
+        # sorted stored-key hashes, and fall through to real dict lookups
+        # only for rows whose hash matched (hash collisions are filtered
+        # by the lookup itself, so results stay exact).
+        lanes = np.frombuffer(buf, dtype=np.uint64).reshape(n, stride // 8)
+        probes = fnv1a_lanes(lanes)
+        pos = np.searchsorted(index, probes)
+        np.minimum(pos, index.size - 1, out=pos)
+        get = self._table.get
+        for i in np.nonzero(index[pos] == probes)[0].tolist():
+            off = i * stride
+            bucket = get(buf[off:off + stride])
+            if bucket:
+                results[rows[i]] |= bucket
+
+    def _packed_index(self, stride: int) -> np.ndarray | None:
+        """Sorted hashes of all ``stride``-byte bucket keys, or None.
+
+        None means "use dict lookups": the table is small, or its keys
+        are not uniform ``stride``-length byte strings whose length is a
+        multiple of 8 (generic keys are allowed by the interface; only
+        the packed-bytes layout used by the LSH band tables vectorises).
+        """
+        cached = self._packed
+        if cached is not None and cached[0] == stride:
+            return cached[1]
+        table = self._table
+        if len(table) < _MIN_VECTOR_KEYS or stride % 8:
+            return None
+        keys = table.keys()
+        if not all(isinstance(k, bytes) and len(k) == stride for k in keys):
+            self._packed = (stride, None)
+            return None
+        lanes = np.frombuffer(b"".join(keys), dtype=np.uint64)
+        index = np.sort(fnv1a_lanes(lanes.reshape(len(table), stride // 8)))
+        self._packed = (stride, index)
+        return index
+
     def remove(self, bucket_key: Hashable, key: Hashable) -> None:
         bucket = self._table.get(bucket_key)
         if bucket is None:
@@ -73,6 +199,7 @@ class DictHashTableStorage(HashTableStorage):
         bucket.discard(key)
         if not bucket:
             del self._table[bucket_key]
+            self._packed = None  # bucket key disappeared: index is stale
 
     def __len__(self) -> int:
         return len(self._table)
@@ -105,6 +232,18 @@ class BandedStorage:
 
     def get(self, band_index: int, bucket_key: Hashable) -> frozenset:
         return self.tables[band_index].get(bucket_key)
+
+    def get_many(self, band_index: int,
+                 bucket_keys: Sequence[Hashable]) -> list:
+        """Batched probe of one band's table; see
+        :meth:`HashTableStorage.get_many`."""
+        return self.tables[band_index].get_many(bucket_keys)
+
+    def merge_packed(self, band_index: int, buf: bytes, stride: int,
+                     results: Sequence[set], rows: Sequence[int]) -> None:
+        """Fused packed probe of one band's table; see
+        :meth:`HashTableStorage.merge_packed`."""
+        self.tables[band_index].merge_packed(buf, stride, results, rows)
 
     def remove(self, band_index: int, bucket_key: Hashable,
                key: Hashable) -> None:

@@ -9,10 +9,13 @@ from repro.minhash.hashfunc import (
     sha1_hash32,
     sha1_hash64,
 )
+from repro.minhash.batch import SignatureBatch, as_signature_matrix, pack_band_keys
 from repro.minhash.bottomk import BottomKSketch
 from repro.minhash.generator import (
+    MinHashGenerator,
     SignatureFactory,
     build_signatures,
+    bulk_signatures,
     sample_signatures,
 )
 from repro.minhash.lean import LeanMinHash
@@ -21,10 +24,15 @@ from repro.minhash.minhash import MinHash
 __all__ = [
     "MinHash",
     "LeanMinHash",
+    "SignatureBatch",
     "BottomKSketch",
     "SignatureFactory",
+    "MinHashGenerator",
     "build_signatures",
+    "bulk_signatures",
     "sample_signatures",
+    "pack_band_keys",
+    "as_signature_matrix",
     "sha1_hash32",
     "sha1_hash64",
     "hash_value32",

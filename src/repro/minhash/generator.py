@@ -1,11 +1,17 @@
 """Bulk signature construction and synthetic signature sampling.
 
-Two distinct jobs live here:
+Three distinct jobs live here:
 
 * :class:`SignatureFactory` builds real signatures for a corpus of domains,
   hashing every *distinct* value once and re-using the 32-bit value hash
   across domains.  Open-data corpora share values heavily (province names,
   years, ...), so the cache removes most SHA1 work.
+
+* :class:`MinHashGenerator` extends the factory with :meth:`~MinHashGenerator.bulk`,
+  which permutes the value hashes of *many* domains in one numpy pass
+  (a flat value array reduced per-domain with ``np.minimum.reduceat``)
+  and returns a :class:`~repro.minhash.batch.SignatureBatch` — the input
+  of the batch query path.
 
 * :func:`sample_signatures` draws *synthetic* signatures for domains of a
   given size without materialising any values.  For a random domain of size
@@ -23,11 +29,13 @@ from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro.minhash.batch import SignatureBatch
 from repro.minhash.hashfunc import MAX_HASH_32, hash_value32
 from repro.minhash.lean import LeanMinHash
-from repro.minhash.minhash import MinHash
+from repro.minhash.minhash import MAX_HASH, MERSENNE_PRIME, MinHash
 
-__all__ = ["SignatureFactory", "build_signatures", "sample_signatures"]
+__all__ = ["SignatureFactory", "MinHashGenerator", "build_signatures",
+           "bulk_signatures", "sample_signatures"]
 
 
 class SignatureFactory:
@@ -83,11 +91,106 @@ class SignatureFactory:
         return len(self._value_hash_cache)
 
 
+class MinHashGenerator(SignatureFactory):
+    """A :class:`SignatureFactory` with a vectorised many-domains path.
+
+    :meth:`bulk` produces bit-identical hash values to building one
+    :class:`~repro.minhash.minhash.MinHash` per domain (the permutation
+    arithmetic is the same uint64 expression, applied to a concatenation
+    of all domains' value hashes and min-reduced per domain), so callers
+    may mix the two construction styles freely.
+    """
+
+    # Budget for the (values, num_perm) permuted-hash matrix of one chunk;
+    # ~8M uint64 elements keeps the working set around 64 MB.
+    _CHUNK_ELEMENTS = 8_000_000
+
+    def bulk(self, domains, keys: Sequence | None = None,
+             chunk_elements: int | None = None) -> SignatureBatch:
+        """Signatures for many domains as one :class:`SignatureBatch`.
+
+        Parameters
+        ----------
+        domains:
+            Either a mapping ``{key: values}`` or an iterable of
+            ``values`` collections (then ``keys`` labels them, defaulting
+            to their positions).
+        keys:
+            Explicit row keys when ``domains`` is not a mapping.
+        chunk_elements:
+            Cap on the permuted-hash matrix size per numpy pass
+            (testing/tuning knob; the default suits laptops).
+        """
+        if isinstance(domains, Mapping):
+            if keys is not None:
+                raise ValueError("keys must not be given with a mapping")
+            keys = list(domains.keys())
+            value_sets: list = [domains[k] for k in keys]
+        else:
+            value_sets = list(domains)
+            keys = list(keys) if keys is not None else list(
+                range(len(value_sets)))
+            if len(keys) != len(value_sets):
+                raise ValueError(
+                    "got %d keys for %d domains"
+                    % (len(keys), len(value_sets))
+                )
+        hashed = [self._hash_values(values) for values in value_sets]
+        matrix = np.full((len(hashed), self.num_perm), MAX_HASH,
+                         dtype=np.uint64)
+        a, b = self._permutations()
+        budget = int(chunk_elements or self._CHUNK_ELEMENTS)
+        per_chunk = max(1, budget // max(self.num_perm, 1))
+        # Walk domains in chunks whose total value count stays under the
+        # element budget; empty domains keep the all-MAX_HASH row, exactly
+        # like an un-updated MinHash.
+        row = 0
+        while row < len(hashed):
+            rows = [row]
+            total = hashed[row].size
+            nxt = row + 1
+            while nxt < len(hashed) and total + hashed[nxt].size <= per_chunk:
+                total += hashed[nxt].size
+                rows.append(nxt)
+                nxt += 1
+            nonempty = [j for j in rows if hashed[j].size]
+            if nonempty:
+                flat = np.concatenate([hashed[j] for j in nonempty])
+                # (values, m): permuted hash of every value under every
+                # hash function — the same expression MinHash applies.
+                phv = ((flat[:, np.newaxis] * a + b)
+                       % MERSENNE_PRIME) & MAX_HASH
+                starts = np.zeros(len(nonempty), dtype=np.intp)
+                np.cumsum([hashed[j].size for j in nonempty[:-1]],
+                          out=starts[1:])
+                matrix[nonempty] = np.minimum.reduceat(phv, starts, axis=0)
+            row = nxt
+        return SignatureBatch(keys, matrix, seed=self.seed)
+
+    def _permutations(self) -> tuple[np.ndarray, np.ndarray]:
+        """The shared (a, b) coefficient arrays for (seed, num_perm)."""
+        key = (self.seed, self.num_perm)
+        perms = MinHash._perm_cache.get(key)
+        if perms is None:
+            # Constructing one MinHash populates the shared cache, which
+            # guarantees bulk() and MinHash() agree on coefficients.
+            probe = MinHash(num_perm=self.num_perm, seed=self.seed,
+                            hashfunc=self.hashfunc)
+            perms = probe._a, probe._b
+        return perms
+
+
 def build_signatures(domains: Mapping[object, Iterable[object]],
                      num_perm: int = 256, seed: int = 1,
                      ) -> dict[object, LeanMinHash]:
     """One-shot corpus signature build; see :class:`SignatureFactory`."""
     return SignatureFactory(num_perm=num_perm, seed=seed).build(domains)
+
+
+def bulk_signatures(domains: Mapping[object, Iterable[object]],
+                    num_perm: int = 256, seed: int = 1) -> SignatureBatch:
+    """One-shot vectorised batch build; see :meth:`MinHashGenerator.bulk`."""
+    return MinHashGenerator(num_perm=num_perm, seed=seed).bulk(domains)
 
 
 def sample_signatures(sizes: Sequence[int], num_perm: int = 256,

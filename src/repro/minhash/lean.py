@@ -69,13 +69,17 @@ class LeanMinHash:
             return HASH_RANGE
         return int(round(self.num_perm / float(total) - 1.0))
 
-    def band(self, start: int, stop: int) -> tuple[int, ...]:
-        """The hash values of one LSH band, as a hashable tuple.
+    def band(self, start: int, stop: int) -> bytes:
+        """The hash values of one LSH band, packed to hashable bytes.
 
-        ``ndarray.tolist`` converts the slice to Python ints in C — this
-        runs on every index probe, so it matters.
+        One ``ndarray.tobytes`` call per probe — faster to build and hash
+        than a tuple of Python ints, and prefix-sliceable: the first
+        ``d * itemsize`` bytes equal ``band(start, start + d)``, which is
+        what the prefix-forest depth tables key on.  The batch query path
+        produces the same bytes for whole signature matrices in one call
+        (:func:`repro.minhash.batch.pack_band_keys`).
         """
-        return tuple(self.hashvalues[start:stop].tolist())
+        return self.hashvalues[start:stop].tobytes()
 
     def to_minhash(self, hashfunc=None) -> MinHash:
         """Thaw back into a mutable :class:`MinHash`."""

@@ -10,10 +10,10 @@ single ensemble over the full corpus built with per-shard partitioning.
 
 from __future__ import annotations
 
-from collections.abc import Hashable, Iterable
+from collections.abc import Hashable, Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 
-from repro.core.ensemble import LSHEnsemble
+from repro.core.ensemble import LSHEnsemble, _as_batch
 from repro.minhash.lean import LeanMinHash
 from repro.minhash.minhash import MinHash
 
@@ -88,6 +88,43 @@ class ShardedEnsemble:
         for shard in self._shards:
             out |= shard.query(signature, size, threshold)
         return out
+
+    def query_batch(self, batch, sizes: Sequence[int] | None = None,
+                    threshold: float | None = None) -> list[set]:
+        """:meth:`query` for many signatures: whole batch to every shard.
+
+        Each shard answers the full batch through its vectorised
+        :meth:`~repro.core.ensemble.LSHEnsemble.query_batch`; with
+        ``parallel=True`` one thread-pool task per shard amortises the
+        fan-out overhead over all ``n`` queries instead of paying it per
+        query.  Per-row results are the union over shards, aligned with
+        the batch rows.
+        """
+        if not self._shards:
+            raise RuntimeError("the index is empty; call index() first")
+        # Normalise once here rather than once per shard; accepts the
+        # same forms as LSHEnsemble.query_batch.
+        batch = _as_batch(batch)
+        if len(batch) == 0:
+            return []
+        if sizes is None:
+            # Estimate cardinalities once for all shards.
+            sizes = [max(1, int(c)) for c in batch.counts()]
+        if self.parallel and self._executor is not None:
+            futures = [
+                self._executor.submit(shard.query_batch, batch, sizes,
+                                      threshold)
+                for shard in self._shards
+            ]
+            per_shard = [f.result() for f in futures]
+        else:
+            per_shard = [shard.query_batch(batch, sizes, threshold)
+                         for shard in self._shards]
+        results: list[set] = [set() for _ in range(len(batch))]
+        for shard_results in per_shard:
+            for j, hits in enumerate(shard_results):
+                results[j] |= hits
+        return results
 
     @property
     def shards(self) -> list[LSHEnsemble]:

@@ -261,3 +261,80 @@ class TestExplicitPartitionClamping:
         )
         index.remove("tiny")
         assert "tiny" not in index
+
+
+class TestQueryBatch:
+    def test_matches_single_query_loop(self):
+        _, domains, index = build_index()
+        sigs = [sig(v) for v in domains.values()]
+        sizes = [len(v) for v in domains.values()]
+        from repro.minhash.batch import SignatureBatch
+
+        batch = SignatureBatch.from_signatures(sigs)
+        for threshold in (None, 0.0, 0.5, 1.0):
+            assert index.query_batch(batch, sizes=sizes,
+                                     threshold=threshold) == \
+                [index.query(s, size=c, threshold=threshold)
+                 for s, c in zip(sigs, sizes)]
+
+    def test_empty_batch(self):
+        _, __, index = build_index()
+        assert index.query_batch([]) == []
+
+    def test_unbuilt_index_rejected(self):
+        with pytest.raises(RuntimeError):
+            LSHEnsemble(num_perm=NUM_PERM).query_batch([sig(["a"])])
+
+    def test_size_count_mismatch_rejected(self):
+        _, __, index = build_index()
+        with pytest.raises(ValueError):
+            index.query_batch([sig(["a"])], sizes=[1, 2])
+
+    def test_invalid_sizes_rejected(self):
+        _, __, index = build_index()
+        with pytest.raises(ValueError):
+            index.query_batch([sig(["a"])], sizes=[0])
+
+    def test_invalid_threshold_rejected(self):
+        _, __, index = build_index()
+        with pytest.raises(ValueError):
+            index.query_batch([sig(["a"])], threshold=1.5)
+
+    def test_num_perm_mismatch_rejected(self):
+        _, __, index = build_index()
+        bad = MinHash.from_values(["a"], num_perm=32)
+        with pytest.raises(ValueError):
+            index.query_batch([bad])
+
+    def test_top_k_batch_matches_single(self):
+        _, domains, index = build_index()
+        sigs = [sig(v) for v in domains.values()][:10]
+        sizes = [len(v) for v in domains.values()][:10]
+        from repro.minhash.batch import SignatureBatch
+
+        batch = SignatureBatch.from_signatures(sigs)
+        assert index.query_top_k_batch(batch, 3, sizes=sizes) == \
+            [index.query_top_k(s, 3, size=c)
+             for s, c in zip(sigs, sizes)]
+
+    def test_top_k_batch_validation(self):
+        _, __, index = build_index()
+        with pytest.raises(ValueError):
+            index.query_top_k_batch([sig(["a"])], 0)
+        with pytest.raises(ValueError):
+            index.query_top_k_batch([sig(["a"])], 2, min_threshold=0.0)
+        with pytest.raises(ValueError):
+            index.query_top_k_batch([sig(["a"])], 2, sizes=[1, 2])
+        assert index.query_top_k_batch([], 2) == []
+
+    def test_batch_after_inserts_and_removes(self):
+        """The batch path must see dynamic mutations (cache invalidation
+        end to end)."""
+        base, domains, index = build_index()
+        probe = sig(base)
+        before = index.query_batch([probe] * 3, sizes=[100] * 3)
+        index.insert("late_dup", sig(base), 100)
+        after = index.query_batch([probe] * 3, sizes=[100] * 3)
+        assert all("late_dup" in hits for hits in after)
+        index.remove("late_dup")
+        assert index.query_batch([probe] * 3, sizes=[100] * 3) == before

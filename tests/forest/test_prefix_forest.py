@@ -164,3 +164,57 @@ class TestIntrospection:
 
     def test_repr(self):
         assert "keys=0" in repr(PrefixForest(num_perm=64))
+
+
+class TestQueryBatch:
+    def _populated(self, n=20):
+        f = PrefixForest(num_perm=64, num_trees=8, max_depth=8)
+        probes = []
+        for i in range(n):
+            s = sig(["f%d_%d" % (i, j) for j in range(4 + i)])
+            f.insert("k%d" % i, s)
+            probes.append(s)
+        return f, probes
+
+    def test_matches_single_query_loop(self):
+        f, probes = self._populated()
+        from repro.minhash.batch import SignatureBatch
+
+        batch = SignatureBatch.from_signatures(probes)
+        for b, r in ((1, 1), (4, 3), (8, 8)):
+            assert f.query_batch(batch, b, r) == \
+                [f.query(s, b, r) for s in probes]
+
+    def test_vectorized_path_matches_loop_path(self):
+        # Enough (row, tree) pairs to cross the prefilter gate.
+        f, probes = self._populated(80)
+        from repro.minhash.batch import SignatureBatch
+
+        batch = SignatureBatch.from_signatures(probes)
+        assert f.query_batch(batch, 8, 4) == \
+            [f.query(s, 8, 4) for s in probes]
+
+    def test_probe_cache_invalidated_by_mutation(self):
+        f, probes = self._populated(80)
+        from repro.minhash.batch import SignatureBatch
+
+        batch = SignatureBatch.from_signatures(probes)
+        before = f.query_batch(batch, 8, 4)           # builds the index
+        extra = sig(["extra%d" % i for i in range(9)])
+        f.insert("fresh", extra)                       # must invalidate
+        after = f.query_batch(
+            SignatureBatch.from_signatures(probes + [extra]), 8, 4)
+        assert after[:-1] == before
+        assert "fresh" in after[-1]
+        f.remove("fresh")                              # must invalidate
+        assert f.query_batch(batch, 8, 4) == before
+
+    def test_invalid_params_rejected(self):
+        f, probes = self._populated(3)
+        from repro.minhash.batch import SignatureBatch
+
+        batch = SignatureBatch.from_signatures(probes)
+        with pytest.raises(ValueError):
+            f.query_batch(batch, 0, 1)
+        with pytest.raises(ValueError):
+            f.query_batch(batch, 1, 9)

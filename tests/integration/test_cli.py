@@ -103,6 +103,60 @@ class TestQuery:
         assert "~t" in out
 
 
+class TestBatchQuery:
+    @pytest.fixture()
+    def batch_file(self, tmp_path):
+        path = tmp_path / "batch.json"
+        path.write_text(json.dumps({
+            "first": ["q%d" % i for i in range(30)],
+            "second": ["a", "b", "c", "d", "e"],
+        }))
+        return path
+
+    def test_batch_file_matches_query_file(self, built, batch_file,
+                                           capsys):
+        rc = main(["query", str(built), "--batch-file", str(batch_file),
+                   "--threshold", "0.8"])
+        assert rc == 0
+        batch_out = capsys.readouterr().out
+        rc = main(["query", str(built), "--query-file", str(batch_file),
+                   "--threshold", "0.8"])
+        assert rc == 0
+        loop_out = capsys.readouterr().out
+        # Identical per-query result blocks; the batch mode just appends
+        # a throughput summary line.
+        assert loop_out.strip() in batch_out
+        assert "queries answered in" in batch_out
+        assert "contains_query" in batch_out
+
+    def test_batch_file_top_k(self, built, batch_file, capsys):
+        rc = main(["query", str(built), "--batch-file", str(batch_file),
+                   "--top-k", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "first: top 2" in out
+        assert "second: top 2" in out
+        assert "~t" in out
+
+    def test_batch_file_rejects_array(self, built, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(["a", "b"]))
+        with pytest.raises(SystemExit):
+            main(["query", str(built), "--batch-file", str(bad)])
+
+    def test_batch_file_rejects_empty_object(self, built, tmp_path):
+        bad = tmp_path / "empty.json"
+        bad.write_text(json.dumps({}))
+        with pytest.raises(SystemExit):
+            main(["query", str(built), "--batch-file", str(bad)])
+
+    def test_batch_file_exclusive_with_values(self, built, batch_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", str(built), "--values", "a",
+                 "--batch-file", str(batch_file)])
+
+
 class TestInfo:
     def test_info_output(self, built, capsys):
         rc = main(["info", str(built)])

@@ -127,3 +127,40 @@ class TestIntrospection:
 
     def test_repr(self):
         assert "keys=0" in repr(MinHashLSH(num_perm=128))
+
+
+class TestQueryBatch:
+    def test_matches_single_query_loop(self):
+        lsh = MinHashLSH(threshold=0.5, num_perm=128)
+        sigs = {}
+        for i in range(20):
+            values = ["b%d_%d" % (i, j) for j in range(5 + i)]
+            sigs["k%d" % i] = sig(values)
+            lsh.insert("k%d" % i, sigs["k%d" % i])
+        probes = list(sigs.values())
+        from repro.minhash.batch import SignatureBatch
+
+        batch = SignatureBatch.from_signatures(probes)
+        assert lsh.query_batch(batch) == [lsh.query(s) for s in probes]
+
+    def test_accepts_sequence_and_matrix(self):
+        import numpy as np
+
+        lsh = MinHashLSH(threshold=0.5, num_perm=128)
+        s = sig(["a", "b", "c"])
+        lsh.insert("k", s)
+        from_seq = lsh.query_batch([s])
+        from_mat = lsh.query_batch(
+            np.asarray([LeanMinHash(s).hashvalues]))
+        assert from_seq == from_mat == [lsh.query(s)]
+
+    def test_empty_batch(self):
+        lsh = MinHashLSH(num_perm=128)
+        lsh.insert("k", sig(["a"]))
+        assert lsh.query_batch([]) == []
+
+    def test_num_perm_mismatch_rejected(self):
+        lsh = MinHashLSH(num_perm=128)
+        lsh.insert("k", sig(["a"]))
+        with pytest.raises(ValueError):
+            lsh.query_batch([sig(["a"], num_perm=64)])

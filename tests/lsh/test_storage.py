@@ -136,3 +136,124 @@ class TestGetView:
             len(base)
         with pytest.raises(NotImplementedError):
             base.keys()
+        # get_many has a default implementation built on get_view.
+        with pytest.raises(NotImplementedError):
+            base.get_many(["b"])
+
+
+class TestGetViewAliasingContract:
+    """Regression tests for the documented aliasing rules.
+
+    ``get_view`` results may alias internal state and must not be
+    retained across mutations; ``get`` must return an independent
+    frozenset snapshot.  Code relying on anything stronger is wrong.
+    """
+
+    def test_view_must_not_be_retained_across_bucket_removal(self):
+        # After the last member of a bucket is removed, a retained view
+        # is detached from storage: later inserts under the same bucket
+        # key are invisible to it.  This is exactly why the contract
+        # forbids retaining views across mutations.
+        s = DictHashTableStorage()
+        s.insert("b", "k1")
+        view = s.get_view("b")
+        s.remove("b", "k1")     # bucket dropped; view now points nowhere
+        s.insert("b", "k2")     # fresh bucket object
+        assert "k2" not in view
+        assert s.get("b") == {"k2"}
+
+    def test_get_returns_independent_frozenset(self):
+        s = DictHashTableStorage()
+        s.insert("b", "k1")
+        snapshot = s.get("b")
+        assert isinstance(snapshot, frozenset)
+        s.insert("b", "k2")
+        s.remove("b", "k1")
+        assert snapshot == {"k1"}
+        assert s.get("b") == {"k2"}
+
+    def test_get_of_missing_bucket_is_fresh_empty(self):
+        s = DictHashTableStorage()
+        empty = s.get("missing")
+        assert isinstance(empty, frozenset)
+        s.insert("missing", "k")
+        assert empty == frozenset()
+
+
+class TestBatchedProbes:
+    def test_get_many_matches_get_view(self):
+        s = DictHashTableStorage()
+        s.insert(b"aa", "k1")
+        s.insert(b"bb", "k2")
+        views = s.get_many([b"aa", b"zz", b"bb"])
+        assert [set(v) for v in views] == [{"k1"}, set(), {"k2"}]
+
+    def test_merge_packed_small_table_dict_path(self):
+        s = DictHashTableStorage()
+        key1 = (1).to_bytes(8, "little")
+        key2 = (2).to_bytes(8, "little")
+        s.insert(key1, "k1")
+        s.insert(key2, "k2")
+        results = [set(), set(), set()]
+        buf = key2 + key1 + (9).to_bytes(8, "little")
+        s.merge_packed(buf, 8, results, [0, 1, 2])
+        assert results == [{"k2"}, {"k1"}, set()]
+
+    def test_merge_packed_vectorized_path_matches_dict_path(self):
+        import numpy as np
+
+        from repro.lsh.storage import _MIN_VECTOR_KEYS
+
+        rng = np.random.default_rng(3)
+        s = DictHashTableStorage()
+        keys = []
+        for i in range(_MIN_VECTOR_KEYS + 10):
+            key = rng.integers(0, 2 ** 63, size=2,
+                               dtype=np.uint64).tobytes()
+            s.insert(key, "k%d" % i)
+            keys.append(key)
+        # Probe every stored key plus misses, above the vector-probe gate.
+        probes = keys + [rng.integers(0, 2 ** 63, size=2,
+                                      dtype=np.uint64).tobytes()
+                         for _ in range(20)]
+        results = [set() for _ in probes]
+        s.merge_packed(b"".join(probes), 16, results, range(len(probes)))
+        expected = [set(s.get(k)) for k in probes]
+        assert results == expected
+
+    def test_merge_packed_row_remapping(self):
+        s = DictHashTableStorage()
+        key = (7).to_bytes(8, "little")
+        s.insert(key, "hit")
+        results = [set(), set()]
+        s.merge_packed(key, 8, results, [1])
+        assert results == [set(), {"hit"}]
+
+    def test_vector_index_invalidated_by_mutation(self):
+        import numpy as np
+
+        rng = np.random.default_rng(4)
+        s = DictHashTableStorage()
+        keys = [rng.integers(0, 2 ** 63, size=1, dtype=np.uint64).tobytes()
+                for _ in range(100)]
+        for i, key in enumerate(keys):
+            s.insert(key, "k%d" % i)
+        results = [set() for _ in range(100)]
+        s.merge_packed(b"".join(keys), 8, results, range(100))  # build
+        new_key = (12345).to_bytes(8, "little")
+        s.insert(new_key, "fresh")      # must invalidate the index
+        s.remove(keys[0], "k0")         # bucket dropped: also invalidates
+        probes = [new_key, keys[0]] + keys[1:40]
+        results = [set() for _ in probes]
+        s.merge_packed(b"".join(probes), 8, results, range(len(probes)))
+        assert results[0] == {"fresh"}
+        assert results[1] == set()
+        for got, key in zip(results[2:], keys[1:40]):
+            assert got == set(s.get(key))
+
+    def test_banded_get_many(self):
+        bs = BandedStorage(num_bands=2)
+        bs.insert(0, b"x", "k0")
+        bs.insert(1, b"x", "k1")
+        assert [set(v) for v in bs.get_many(0, [b"x"])] == [{"k0"}]
+        assert [set(v) for v in bs.get_many(1, [b"x"])] == [{"k1"}]

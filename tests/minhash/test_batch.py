@@ -1,0 +1,183 @@
+"""Unit tests for SignatureBatch and the vectorised bulk generator."""
+
+import numpy as np
+import pytest
+
+from repro.minhash.batch import (
+    SignatureBatch,
+    as_signature_matrix,
+    pack_band_keys,
+)
+from repro.minhash.generator import MinHashGenerator, bulk_signatures
+from repro.minhash.lean import LeanMinHash
+from repro.minhash.minhash import MinHash
+
+NUM_PERM = 32
+
+
+def sig(values):
+    return MinHash.from_values(values, num_perm=NUM_PERM)
+
+
+class TestSignatureBatch:
+    def test_construction_and_shape(self):
+        matrix = np.arange(12, dtype=np.uint64).reshape(3, 4)
+        batch = SignatureBatch(["a", "b", "c"], matrix, seed=1)
+        assert len(batch) == 3
+        assert batch.num_perm == 4
+        assert batch.keys == ["a", "b", "c"]
+
+    def test_matrix_is_readonly_copy(self):
+        matrix = np.zeros((2, 4), dtype=np.uint64)
+        batch = SignatureBatch(None, matrix)
+        matrix[0, 0] = 7
+        assert batch.matrix[0, 0] == 0
+        with pytest.raises(ValueError):
+            batch.matrix[0, 0] = 1
+
+    def test_default_keys_are_row_indices(self):
+        batch = SignatureBatch(None, np.zeros((3, 2), dtype=np.uint64))
+        assert batch.keys == [0, 1, 2]
+
+    def test_key_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SignatureBatch(["a"], np.zeros((2, 2), dtype=np.uint64))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            SignatureBatch(None, np.zeros(4, dtype=np.uint64))
+
+    def test_getitem_returns_equal_lean(self):
+        a, b = sig({"x", "y"}), sig({"y", "z"})
+        batch = SignatureBatch.from_signatures([a, b])
+        assert batch[0] == LeanMinHash(a)
+        assert batch[1] == LeanMinHash(b)
+
+    def test_iteration_matches_getitem(self):
+        sigs = [sig({i, i + 1}) for i in range(4)]
+        batch = SignatureBatch.from_signatures(sigs)
+        assert list(batch) == [batch[j] for j in range(4)]
+
+    def test_from_signatures_mixed_types(self):
+        a = sig({"x"})
+        batch = SignatureBatch.from_signatures([a, LeanMinHash(a)])
+        assert np.array_equal(batch.matrix[0], batch.matrix[1])
+
+    def test_from_signatures_num_perm_mismatch(self):
+        with pytest.raises(ValueError):
+            SignatureBatch.from_signatures(
+                [sig({"x"}), MinHash.from_values({"x"}, num_perm=16)])
+
+    def test_from_signatures_seed_mismatch(self):
+        with pytest.raises(ValueError):
+            SignatureBatch.from_signatures(
+                [sig({"x"}),
+                 MinHash.from_values({"x"}, num_perm=NUM_PERM, seed=9)])
+
+    def test_from_signatures_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            SignatureBatch.from_signatures([np.zeros(NUM_PERM)])
+
+    def test_empty_from_signatures(self):
+        assert len(SignatureBatch.from_signatures([])) == 0
+
+    def test_take_returns_selected_rows(self):
+        sigs = [sig({i}) for i in range(5)]
+        batch = SignatureBatch.from_signatures(sigs)
+        sub = batch.take([4, 1])
+        assert np.array_equal(sub[0], batch.matrix[4])
+        assert np.array_equal(sub[1], batch.matrix[1])
+
+    def test_counts_degenerate_all_zero(self):
+        from repro.minhash.minhash import HASH_RANGE
+
+        batch = SignatureBatch(None, np.zeros((1, 8), dtype=np.uint64))
+        assert batch.counts()[0] == HASH_RANGE
+
+
+class TestPackBandKeys:
+    def test_matches_lean_band(self):
+        sigs = [sig({"a", "b"}), sig({"c"})]
+        batch = SignatureBatch.from_signatures(sigs)
+        keys = pack_band_keys(batch.matrix, 4, 12)
+        assert keys == [LeanMinHash(s).band(4, 12) for s in sigs]
+
+    def test_band_keys_method(self):
+        batch = SignatureBatch.from_signatures([sig({"a"})])
+        assert batch.band_keys(0, 8) == pack_band_keys(batch.matrix, 0, 8)
+
+
+class TestAsSignatureMatrix:
+    def test_accepts_batch(self):
+        batch = SignatureBatch.from_signatures([sig({"a"})])
+        assert as_signature_matrix(batch, NUM_PERM) is batch.matrix
+
+    def test_accepts_ndarray_and_sequence(self):
+        arr = np.zeros((2, NUM_PERM), dtype=np.uint64)
+        assert as_signature_matrix(arr, NUM_PERM).shape == (2, NUM_PERM)
+        seq = as_signature_matrix([sig({"a"})], NUM_PERM)
+        assert seq.shape == (1, NUM_PERM)
+
+    def test_rejects_num_perm_mismatch(self):
+        arr = np.zeros((2, 8), dtype=np.uint64)
+        with pytest.raises(ValueError):
+            as_signature_matrix(arr, NUM_PERM)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            as_signature_matrix(np.zeros(8, dtype=np.uint64), 8)
+
+
+class TestMinHashGeneratorBulk:
+    def test_bulk_mapping(self):
+        domains = {"a": {"x", "y"}, "b": {"y", "z", "w"}}
+        generator = MinHashGenerator(num_perm=NUM_PERM, seed=1)
+        batch = generator.bulk(domains)
+        assert batch.keys == ["a", "b"]
+        for j, key in enumerate(batch.keys):
+            assert batch[j] == generator.lean(domains[key])
+
+    def test_bulk_sequence_with_keys(self):
+        generator = MinHashGenerator(num_perm=NUM_PERM, seed=1)
+        batch = generator.bulk([{"x"}, {"y"}], keys=["k1", "k2"])
+        assert batch.keys == ["k1", "k2"]
+
+    def test_bulk_sequence_default_keys(self):
+        generator = MinHashGenerator(num_perm=NUM_PERM, seed=1)
+        assert generator.bulk([{"x"}, {"y"}]).keys == [0, 1]
+
+    def test_bulk_keys_with_mapping_rejected(self):
+        generator = MinHashGenerator(num_perm=NUM_PERM, seed=1)
+        with pytest.raises(ValueError):
+            generator.bulk({"a": {"x"}}, keys=["a"])
+
+    def test_bulk_key_count_mismatch(self):
+        generator = MinHashGenerator(num_perm=NUM_PERM, seed=1)
+        with pytest.raises(ValueError):
+            generator.bulk([{"x"}], keys=["a", "b"])
+
+    def test_bulk_empty_domain_is_unupdated_minhash(self):
+        generator = MinHashGenerator(num_perm=NUM_PERM, seed=1)
+        batch = generator.bulk({"empty": set(), "full": {"x"}})
+        empty = MinHash(num_perm=NUM_PERM, seed=1)
+        assert np.array_equal(batch.matrix[0], empty.hashvalues)
+        assert batch[1] == generator.lean({"x"})
+
+    def test_bulk_chunking_preserves_results(self):
+        domains = {"d%d" % i: {"v%d" % j for j in range(i + 1)}
+                   for i in range(10)}
+        generator = MinHashGenerator(num_perm=NUM_PERM, seed=1)
+        whole = generator.bulk(domains)
+        # Tiny chunk budget forces many reduceat passes.
+        chunked = generator.bulk(domains, chunk_elements=NUM_PERM * 3)
+        assert np.array_equal(whole.matrix, chunked.matrix)
+
+    def test_bulk_shares_value_cache_with_single_path(self):
+        generator = MinHashGenerator(num_perm=NUM_PERM, seed=1)
+        generator.bulk({"a": {"x", "y"}})
+        assert generator.cache_size() == 2
+
+    def test_bulk_signatures_one_shot(self):
+        batch = bulk_signatures({"a": {"x"}}, num_perm=NUM_PERM, seed=1)
+        assert batch.keys == ["a"]
+        assert batch.num_perm == NUM_PERM

@@ -73,11 +73,17 @@ class TestBands:
     def test_band_values(self):
         hv = np.arange(16, dtype=np.uint64)
         lean = LeanMinHash(seed=1, hashvalues=hv)
-        assert lean.band(4, 8) == (4, 5, 6, 7)
+        assert lean.band(4, 8) == hv[4:8].tobytes()
 
     def test_band_is_hashable(self, sample_pair):
         lean = LeanMinHash(sample_pair[0])
         assert hash(lean.band(0, 4)) == hash(lean.band(0, 4))
+
+    def test_band_prefix_sliceable(self, sample_pair):
+        # The forest's depth tables rely on byte-prefix slicing.
+        lean = LeanMinHash(sample_pair[0])
+        item = lean.hashvalues.itemsize
+        assert lean.band(0, 8)[: 3 * item] == lean.band(0, 3)
 
 
 class TestSerialization:

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.ensemble import LSHEnsemble
+from repro.minhash.batch import SignatureBatch
 from repro.minhash.minhash import MinHash
 from repro.parallel.sharded import ShardedEnsemble
 
@@ -40,12 +41,36 @@ class TestBuild:
         sharded.index(make_entries(3))
         assert len(sharded.shards) == 3
 
+    def test_empty_shards_skipped_and_queries_still_work(self):
+        # num_shards > num_entries: empty round-robin buckets must not
+        # produce empty (unbuildable) ensembles, and every entry must
+        # remain findable.
+        entries = make_entries(3)
+        for parallel in (False, True):
+            sharded = ShardedEnsemble(num_shards=10,
+                                      ensemble_factory=factory,
+                                      parallel=parallel)
+            sharded.index(entries)
+            assert len(sharded.shards) == 3
+            assert len(sharded) == 3
+            for key, probe, size in entries:
+                assert key in sharded.query(probe, size=size, threshold=1.0)
+            sharded.close()
+
     def test_double_index_rejected(self):
         sharded = ShardedEnsemble(num_shards=2, ensemble_factory=factory,
                                   parallel=False)
         sharded.index(make_entries(10))
         with pytest.raises(RuntimeError):
             sharded.index(make_entries(10))
+
+    def test_double_index_rejected_even_with_different_entries(self):
+        sharded = ShardedEnsemble(num_shards=2, ensemble_factory=factory,
+                                  parallel=True)
+        sharded.index(make_entries(10))
+        with pytest.raises(RuntimeError):
+            sharded.index(make_entries(4))
+        sharded.close()
 
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
@@ -91,6 +116,77 @@ class TestQuery:
     def test_query_before_build(self):
         with pytest.raises(RuntimeError):
             ShardedEnsemble(num_shards=2).query(sig(["a"]))
+
+
+class TestQueryBatch:
+    def test_batch_matches_single_query_loop(self):
+        entries = make_entries(40)
+        sharded = ShardedEnsemble(num_shards=4, ensemble_factory=factory,
+                                  parallel=False)
+        sharded.index(entries)
+        sigs = [e[1] for e in entries[:12]]
+        sizes = [e[2] for e in entries[:12]]
+        batch = SignatureBatch.from_signatures(sigs)
+        expected = [sharded.query(s, size=c, threshold=0.7)
+                    for s, c in zip(sigs, sizes)]
+        assert sharded.query_batch(batch, sizes=sizes,
+                                   threshold=0.7) == expected
+
+    def test_parallel_false_equals_parallel_true(self):
+        entries = make_entries(30)
+        sigs = [e[1] for e in entries[:10]]
+        sizes = [e[2] for e in entries[:10]]
+        batch = SignatureBatch.from_signatures(sigs)
+        seq = ShardedEnsemble(num_shards=3, ensemble_factory=factory,
+                              parallel=False)
+        seq.index(entries)
+        with ShardedEnsemble(num_shards=3, ensemble_factory=factory,
+                             parallel=True) as par:
+            par.index(entries)
+            assert par.query_batch(batch, sizes=sizes) == \
+                seq.query_batch(batch, sizes=sizes)
+
+    def test_batch_with_empty_shards(self):
+        entries = make_entries(2)
+        sharded = ShardedEnsemble(num_shards=6, ensemble_factory=factory,
+                                  parallel=False)
+        sharded.index(entries)
+        sigs = [e[1] for e in entries]
+        sizes = [e[2] for e in entries]
+        found = sharded.query_batch(SignatureBatch.from_signatures(sigs),
+                                    sizes=sizes, threshold=1.0)
+        for (key, _, __), hits in zip(entries, found):
+            assert key in hits
+
+    def test_empty_batch(self):
+        sharded = ShardedEnsemble(num_shards=2, ensemble_factory=factory,
+                                  parallel=False)
+        sharded.index(make_entries(6))
+        assert sharded.query_batch([]) == []
+
+    def test_batch_before_build(self):
+        with pytest.raises(RuntimeError):
+            ShardedEnsemble(num_shards=2).query_batch([sig(["a"])])
+
+    def test_sequence_input(self):
+        entries = make_entries(10)
+        sharded = ShardedEnsemble(num_shards=2, ensemble_factory=factory,
+                                  parallel=False)
+        sharded.index(entries)
+        sigs = [e[1] for e in entries[:3]]
+        assert sharded.query_batch(sigs) == [sharded.query(s) for s in sigs]
+
+    def test_matrix_input(self):
+        import numpy as np
+
+        entries = make_entries(10)
+        sharded = ShardedEnsemble(num_shards=2, ensemble_factory=factory,
+                                  parallel=False)
+        sharded.index(entries)
+        sigs = [e[1] for e in entries[:3]]
+        matrix = np.vstack([s.hashvalues for s in sigs])
+        assert sharded.query_batch(matrix) == \
+            [sharded.query(s) for s in sigs]
 
 
 class TestLifecycle:
