@@ -1,0 +1,196 @@
+"""Persistence round-trip cost — the restart-latency budget.
+
+The paper's index takes hours to build at scale (Table 4: ~105 min for
+262M domains), so serving traffic through process restarts hinges on
+cheap, faithful rematerialisation.  This benchmark builds a power-law
+corpus (Figure 9 style, synthetic signatures), saves it in both on-disk
+formats, and times three ways back to a serving index:
+
+* **v1 per-entry rebuild** — deserialise each signature blob and insert
+  entries one at a time (the seed implementation's load path);
+* **v2 load** — the zero-copy columnar snapshot: one ``np.memmap`` of
+  the signature matrix, bucket tables materialised lazily per depth;
+* **v2 load + warm-up** — the same, plus answering a query batch that
+  forces the touched depth tables to materialise (the honest
+  time-to-first-result number).
+
+The load speedup at the default scale (50k domains) is asserted to be
+at least ``MIN_LOAD_SPEEDUP``; result fidelity is asserted by comparing
+``query``/``query_batch`` answers of the loaded index against the
+original.
+
+Run directly (``python benchmarks/bench_persistence.py``) or via pytest
+(``python -m pytest benchmarks/bench_persistence.py``).  Scale down for
+smoke runs with ``REPRO_BENCH_PERSIST_DOMAINS``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+try:
+    from benchmarks.common import emit
+except ModuleNotFoundError:  # direct `python benchmarks/bench_...py` run
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+    from benchmarks.common import emit
+from repro.core.ensemble import LSHEnsemble
+from repro.eval.reports import format_table
+from repro.minhash.batch import SignatureBatch
+from repro.minhash.generator import sample_signatures
+from repro.persistence import load_ensemble, save_ensemble
+
+# The acceptance scale: >= 50k domains unless smoke-tested smaller.
+NUM_DOMAINS = int(os.environ.get("REPRO_BENCH_PERSIST_DOMAINS", "50000"))
+# m = 128 keeps the default run around a minute; the load-speedup ratio
+# is insensitive to m (both paths scale with N * num_perm).
+NUM_PERM = int(os.environ.get("REPRO_BENCH_PERSIST_NUM_PERM", "128"))
+NUM_PARTITIONS = 16
+THRESHOLD = 0.5
+CORPUS_SEED = 42
+NUM_PROBE_QUERIES = 200
+MIN_LOAD_SPEEDUP = 5.0
+
+
+def _build_corpus(num_domains: int, num_perm: int, seed: int):
+    rng = np.random.default_rng(seed)
+    sizes = np.clip(
+        (10 * (1 + rng.pareto(1.5, size=num_domains))).astype(int),
+        10, 100_000)
+    signatures = sample_signatures(sizes.tolist(), num_perm=num_perm,
+                                   seed=1, rng=rng)
+    return [("d%d" % i, sig, int(size))
+            for i, (sig, size) in enumerate(zip(signatures, sizes))]
+
+
+def _per_entry_rebuild(entries, partitions, num_perm: int) -> LSHEnsemble:
+    """The v1-era load path: route and insert one entry at a time."""
+    index = LSHEnsemble(num_perm=num_perm, num_partitions=NUM_PARTITIONS,
+                        threshold=THRESHOLD)
+    it = iter(entries)
+    index.index([next(it)], partitions=partitions)
+    for key, sig, size in it:
+        index.insert(key, sig, size)
+    return index
+
+
+def _read_v1_entries(path):
+    """Deserialise a v1 file into entries (per-blob, like the seed)."""
+    import json
+    import struct
+
+    from repro.minhash.lean import LeanMinHash
+    from repro.persistence import _decode_key
+
+    u32 = struct.Struct("<I")
+    with open(path, "rb") as fh:
+        fh.read(8)
+        (header_len,) = u32.unpack(fh.read(4))
+        header = json.loads(fh.read(header_len).decode("utf-8"))
+        entries = []
+        for key, size in zip(header["keys"], header["sizes"]):
+            (blob_len,) = u32.unpack(fh.read(4))
+            entries.append((_decode_key(key),
+                            LeanMinHash.deserialize(fh.read(blob_len)),
+                            size))
+    return header, entries
+
+
+def _probe(index: LSHEnsemble, batch, sizes):
+    return index.query_batch(batch, sizes=sizes, threshold=THRESHOLD)
+
+
+def run_benchmark(num_domains: int | None = None):
+    """Return (report text, load speedup, results_equal)."""
+    num_domains = num_domains or NUM_DOMAINS
+    entries = _build_corpus(num_domains, NUM_PERM, CORPUS_SEED)
+    index = LSHEnsemble(num_perm=NUM_PERM, num_partitions=NUM_PARTITIONS,
+                        threshold=THRESHOLD)
+    t0 = time.perf_counter()
+    index.index(entries)
+    build_seconds = time.perf_counter() - t0
+
+    rng = np.random.default_rng(7)
+    picks = rng.choice(len(entries), size=NUM_PROBE_QUERIES, replace=False)
+    batch = SignatureBatch.from_signatures([entries[i][1] for i in picks])
+    probe_sizes = [entries[i][2] for i in picks]
+    expected = _probe(index, batch, probe_sizes)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        v1_path = Path(tmp) / "index.v1.lshe"
+        v2_path = Path(tmp) / "index.v2.lshe"
+        t0 = time.perf_counter()
+        save_ensemble(index, v1_path, version=1)
+        v1_save = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        save_ensemble(index, v2_path)
+        v2_save = time.perf_counter() - t0
+
+        # Baseline: the seed implementation's load — per-blob
+        # deserialisation, then one Python insert per entry.
+        t0 = time.perf_counter()
+        header, v1_entries = _read_v1_entries(v1_path)
+        from repro.core.partitioner import Partition
+
+        partitions = [Partition(lo, hi) for lo, hi in header["partitions"]]
+        baseline = _per_entry_rebuild(v1_entries, partitions, NUM_PERM)
+        t_per_entry = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        loaded = load_ensemble(v2_path)
+        t_v2_load = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        got = _probe(loaded, batch, probe_sizes)
+        t_first_batch = time.perf_counter() - t0
+
+        equal = (got == expected
+                 and _probe(baseline, batch, probe_sizes) == expected)
+        # Spot-check the single-query path too.
+        for i in picks[:10]:
+            key, sig, size = entries[i]
+            if (loaded.query(sig, size=size, threshold=THRESHOLD)
+                    != index.query(sig, size=size, threshold=THRESHOLD)):
+                equal = False
+
+        v1_size = v1_path.stat().st_size
+        v2_size = v2_path.stat().st_size
+
+    speedup = t_per_entry / t_v2_load if t_v2_load else float("inf")
+    rows = [
+        ["v1 per-entry rebuild", "%.2f" % t_per_entry, "1.0x",
+         "%.1f MB" % (v1_size / 1e6)],
+        ["v2 columnar load", "%.4f" % t_v2_load, "%.1fx" % speedup,
+         "%.1f MB" % (v2_size / 1e6)],
+        ["v2 load + first batch (%d queries)" % NUM_PROBE_QUERIES,
+         "%.2f" % (t_v2_load + t_first_batch),
+         "%.1fx" % (t_per_entry / (t_v2_load + t_first_batch)), ""],
+    ]
+    table = format_table(
+        ["load path", "seconds", "speedup", "file size"],
+        rows,
+        title="Persistence round trip (%d domains, m = %d, %d partitions; "
+              "build %.1fs, save v1 %.2fs / v2 %.2fs)"
+              % (num_domains, NUM_PERM, NUM_PARTITIONS, build_seconds,
+                 v1_save, v2_save),
+    )
+    return table, speedup, equal
+
+
+def test_persistence_load_speedup():
+    report, speedup, equal = run_benchmark()
+    emit("persistence", report)
+    assert equal, "loaded index diverged from the saved one"
+    assert speedup >= MIN_LOAD_SPEEDUP, (
+        "v2 load speedup was %.2fx, expected >= %.1fx over the per-entry "
+        "rebuild" % (speedup, MIN_LOAD_SPEEDUP))
+
+
+if __name__ == "__main__":
+    report, speedup, equal = run_benchmark()
+    emit("persistence", report)
+    print("\nload speedup: %.1fx, results equal: %s" % (speedup, equal))

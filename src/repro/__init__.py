@@ -44,7 +44,14 @@ from repro.minhash import (
     SignatureFactory,
 )
 from repro.parallel import ShardedEnsemble
-from repro.persistence import load_ensemble, save_ensemble
+from repro.core.partitioner import register_partitioner
+from repro.lsh.storage import register_storage_backend
+from repro.persistence import (
+    FormatError,
+    load_ensemble,
+    read_header,
+    save_ensemble,
+)
 
 __version__ = "1.0.0"
 
@@ -71,6 +78,10 @@ __all__ = [
     "rank_candidates",
     "save_ensemble",
     "load_ensemble",
+    "read_header",
+    "FormatError",
+    "register_storage_backend",
+    "register_partitioner",
     "JoinDiscovery",
     "JoinCandidate",
     "__version__",

@@ -5,6 +5,7 @@ Build, persist, and query LSH Ensemble indexes from the shell::
     # corpus.json: {"domain-name": ["value", ...], ...}
     python -m repro.cli build corpus.json index.lshe --partitions 16
     python -m repro.cli query index.lshe --values a b c --threshold 0.6
+    python -m repro.cli build corpus.json index.lshe --backend dict
     python -m repro.cli query index.lshe --query-file q.json --top-k 5
     python -m repro.cli query index.lshe --batch-file q.json --threshold 0.6
     python -m repro.cli info  index.lshe
@@ -28,8 +29,14 @@ import time
 from pathlib import Path
 
 from repro.core.ensemble import LSHEnsemble
+from repro.lsh.storage import list_storage_backends, resolve_storage_backend
 from repro.minhash.generator import MinHashGenerator, SignatureFactory
-from repro.persistence import load_ensemble, save_ensemble
+from repro.persistence import (
+    FormatError,
+    load_ensemble,
+    read_header,
+    save_ensemble,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -49,9 +56,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--num-perm", type=int, default=256)
     p_build.add_argument("--threshold", type=float, default=0.8,
                          help="default containment threshold")
+    p_build.add_argument("--backend", default="dict",
+                         choices=list_storage_backends(),
+                         help="bucket storage backend (recorded in the "
+                              "index header and restored on load)")
 
     p_query = sub.add_parser("query", help="search a built index")
     p_query.add_argument("index", type=Path)
+    p_query.add_argument("--no-mmap", action="store_true",
+                         help="read the signature matrix into memory "
+                              "instead of memory-mapping it")
     group = p_query.add_mutually_exclusive_group(required=True)
     group.add_argument("--values", nargs="+",
                        help="query domain values inline")
@@ -91,7 +105,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
     corpus = _load_corpus(args.corpus)
     factory = SignatureFactory(num_perm=args.num_perm)
     index = LSHEnsemble(threshold=args.threshold, num_perm=args.num_perm,
-                        num_partitions=args.partitions)
+                        num_partitions=args.partitions,
+                        storage_factory=resolve_storage_backend(args.backend))
     t0 = time.perf_counter()
     index.index(
         (name, factory.lean(values), len(values))
@@ -158,7 +173,7 @@ def _run_batch_query(index: LSHEnsemble, path: Path,
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    index = load_ensemble(args.index)
+    index = load_ensemble(args.index, mmap=not args.no_mmap)
     if args.values is not None:
         _run_one_query(index, "query", set(args.values), args.threshold,
                        args.top_k)
@@ -180,7 +195,21 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
-    index = load_ensemble(args.index)
+    header = read_header(args.index)
+    print("format:         v%d%s" % (
+        header["version"],
+        " (zero-copy columnar)" if header["version"] >= 2
+        else " (legacy per-entry)"))
+    if header["version"] >= 2:
+        print("backend:        %s" % header.get("storage"))
+        print("partitioner:    %s" % header.get("partitioner"))
+    try:
+        index = load_ensemble(args.index)
+    except FormatError as exc:
+        # Header metadata stays inspectable even when the index needs a
+        # load-time factory override (unregistered backend/partitioner).
+        print("(not loadable without overrides: %s)" % exc)
+        return 1
     sizes = sorted(index.size_of(k) for k in index.keys())
     print("domains:        %d" % len(index))
     print("num_perm:       %d" % index.num_perm)

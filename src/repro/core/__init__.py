@@ -24,9 +24,13 @@ from repro.core.partitioner import (
     blended_partitions,
     equi_depth_partitions,
     equi_width_partitions,
+    list_partitioners,
     optimal_partitions,
     partition_counts,
     partition_size_std,
+    partitioner_name,
+    register_partitioner,
+    resolve_partitioner,
 )
 from repro.core.tuning import TuningResult, fp_fn_mass, tune_params
 
@@ -43,6 +47,10 @@ __all__ = [
     "partition_counts",
     "partition_size_std",
     "assign_partition",
+    "register_partitioner",
+    "resolve_partitioner",
+    "partitioner_name",
+    "list_partitioners",
     "tune_params",
     "fp_fn_mass",
     "TuningResult",

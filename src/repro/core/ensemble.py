@@ -174,21 +174,147 @@ class LSHEnsemble:
         staged = list(entries)
         if not staged:
             raise ValueError("cannot index an empty collection of domains")
-        sizes = [size for _, __, size in staged]
+        sizes = [int(size) for _, __, size in staged]
         if min(sizes) < 1:
             raise ValueError("all domain sizes must be >= 1")
         if partitions is not None:
             self._partitions = list(partitions)
         else:
             self._partitions = self._partitioner(sizes, self.num_partitions)
+        keys = [key for key, __, ___ in staged]
+        if len(set(keys)) != len(keys):
+            seen: set = set()
+            for key in keys:
+                if key in seen:
+                    raise ValueError(
+                        "key %r is already in the index" % (key,))
+                seen.add(key)
+        # One (n, m) matrix for the whole build: routing, partition
+        # grouping, and bucket-key packing all become numpy passes
+        # instead of n Python round trips through insert().
+        matrix = np.empty((len(staged), self.num_perm), dtype=np.uint64)
+        seeds = np.empty(len(staged), dtype=np.int64)
+        for i, (_, signature, __) in enumerate(staged):
+            if not isinstance(signature, (MinHash, LeanMinHash)):
+                raise TypeError(
+                    "expected MinHash or LeanMinHash, got %r"
+                    % type(signature).__name__
+                )
+            if signature.num_perm != self.num_perm:
+                raise ValueError(
+                    "signature num_perm %d does not match forest num_perm %d"
+                    % (signature.num_perm, self.num_perm)
+                )
+            matrix[i] = signature.hashvalues
+            seeds[i] = signature.seed
         self._forests = [
             PrefixForest(self.num_perm, self.num_trees, self.max_depth,
                          storage_factory=self._storage_factory)
             for _ in self._partitions
         ]
         self._partition_max_size = [0] * len(self._partitions)
-        for key, signature, size in staged:
-            self._route(key, signature, size)
+        self._bulk_fill(keys, sizes, matrix, seeds)
+        # A fresh build is served immediately: pay the bucket fill now
+        # (still one vectorised pass per depth) rather than on the first
+        # queries.  Loaded snapshots stay lazy — see _restore_columnar.
+        self.materialize()
+
+    def materialize(self) -> None:
+        """Fill any lazily pending bucket tables in every partition.
+
+        After :func:`~repro.persistence.load_ensemble`, bucket tables
+        materialise per depth as queries first reach them; call this to
+        warm the whole index up front instead (e.g. before putting a
+        replica into rotation).
+        """
+        for forest in self._forests:
+            forest.materialize()
+
+    def _assign_partitions(self, clamped: np.ndarray) -> np.ndarray:
+        """Partition index per (already clamped) size, vectorised."""
+        parts = self._partitions
+        contiguous = all(parts[i].upper == parts[i + 1].lower
+                         for i in range(len(parts) - 1))
+        if contiguous:
+            bounds = np.fromiter(
+                (p.lower for p in parts), dtype=np.int64, count=len(parts))
+            bounds = np.concatenate([bounds, [parts[-1].upper]])
+            return np.searchsorted(bounds, clamped, side="right") - 1
+        # Caller-supplied partitions with gaps: fall back to the exact
+        # per-size scan (raises for sizes no partition covers, exactly
+        # like the single-entry path).
+        return np.fromiter(
+            (assign_partition(int(c), parts) for c in clamped),
+            dtype=np.intp, count=len(clamped))
+
+    def _bulk_fill(self, keys: list, sizes: list[int], matrix: np.ndarray,
+                   seeds: np.ndarray) -> None:
+        """Group rows by partition and bulk-insert each group's block."""
+        parts = self._partitions
+        sizes_arr = np.asarray(sizes, dtype=np.int64)
+        clamped = np.clip(sizes_arr, parts[0].lower, parts[-1].upper - 1)
+        idx = self._assign_partitions(clamped)
+        order = np.argsort(idx, kind="stable")
+        order_list = order.tolist()
+        ordered = matrix[order]
+        ordered.setflags(write=False)
+        keys_o = [keys[j] for j in order_list]
+        sizes_o = sizes_arr[order]
+        seeds_o = seeds[order]
+        # Signatures of one build usually share a seed; collapsing to a
+        # scalar skips a per-row int() in the forest wrap loop.
+        shared_seed = (int(seeds_o[0])
+                       if bool((seeds_o == seeds_o[0]).all()) else None)
+        counts = np.bincount(idx, minlength=len(parts)).tolist()
+        off = 0
+        for i, count in enumerate(counts):
+            if count:
+                block_seeds = (shared_seed if shared_seed is not None
+                               else seeds_o[off:off + count])
+                self._forests[i].insert_batch(
+                    keys_o[off:off + count], ordered[off:off + count],
+                    block_seeds)
+                peak = int(sizes_o[off:off + count].max())
+                if peak > self._partition_max_size[i]:
+                    self._partition_max_size[i] = peak
+            off += count
+        self._sizes.update(zip(keys, sizes))
+
+    def _restore_columnar(self, partitions: Sequence[Partition], keys: list,
+                          sizes: list[int], matrix: np.ndarray,
+                          seeds, partition_rows: Sequence[int],
+                          partition_max_size: Sequence[int]) -> None:
+        """Rebuild from a columnar snapshot (persistence format v2).
+
+        ``matrix`` rows must already be ordered partition-major with
+        ``partition_rows[i]`` rows per partition, so every partition's
+        block is a contiguous zero-copy slice (possibly of a memmap).
+        ``partition_max_size`` is restored verbatim — it can exceed what
+        the stored sizes imply when the saved index had its largest
+        domains removed, and queries must stay conservative about that.
+        """
+        if self._forests:
+            raise RuntimeError(
+                "restore requires an empty index; this one is built")
+        if len(set(keys)) != len(keys):
+            raise ValueError("duplicate keys in snapshot")
+        self._partitions = list(partitions)
+        self._forests = [
+            PrefixForest(self.num_perm, self.num_trees, self.max_depth,
+                         storage_factory=self._storage_factory)
+            for _ in self._partitions
+        ]
+        self._partition_max_size = [int(m) for m in partition_max_size]
+        scalar_seeds = np.ndim(seeds) == 0
+        off = 0
+        for i, count in enumerate(partition_rows):
+            count = int(count)
+            if count:
+                self._forests[i].insert_batch(
+                    keys[off:off + count], matrix[off:off + count],
+                    seeds if scalar_seeds else seeds[off:off + count])
+            off += count
+        self._sizes.update(zip(keys, (int(s) for s in sizes)))
 
     def insert(self, key: Hashable, signature: MinHash | LeanMinHash,
                size: int) -> None:

@@ -41,6 +41,10 @@ __all__ = [
     "partition_counts",
     "partition_size_std",
     "assign_partition",
+    "register_partitioner",
+    "resolve_partitioner",
+    "partitioner_name",
+    "list_partitioners",
 ]
 
 
@@ -255,6 +259,60 @@ def partition_size_std(sizes: Sequence[int] | np.ndarray,
     """Standard deviation of partition counts — Figure 8's x-axis."""
     counts = partition_counts(sizes, partitions)
     return float(np.std(counts))
+
+
+# --------------------------------------------------------------------- #
+# Partitioner registry
+# --------------------------------------------------------------------- #
+#
+# Persistence records the partitioning strategy an index was configured
+# with, by registry name, so a loaded index is faithful to the saved one
+# instead of silently reverting to the equi-depth default.
+
+_PARTITIONERS: dict[str, object] = {}
+
+
+def register_partitioner(name: str, partitioner) -> None:
+    """Register a ``(sizes, n) -> list[Partition]`` callable under
+    ``name`` for persistence.
+
+    Re-registering a name with a different callable raises — snapshot
+    headers reference partitioners by name, so names must stay
+    unambiguous within a process.
+    """
+    existing = _PARTITIONERS.get(name)
+    if existing is not None and existing is not partitioner:
+        raise ValueError("partitioner name %r is already registered" % name)
+    _PARTITIONERS[name] = partitioner
+
+
+def resolve_partitioner(name: str):
+    """The partitioner registered under ``name`` (KeyError when unknown)."""
+    try:
+        return _PARTITIONERS[name]
+    except KeyError:
+        raise KeyError(
+            "unknown partitioner %r; registered partitioners: %s"
+            % (name, sorted(_PARTITIONERS))
+        ) from None
+
+
+def partitioner_name(partitioner) -> str | None:
+    """The registered name of ``partitioner``, or None when unregistered."""
+    for name, registered in _PARTITIONERS.items():
+        if registered is partitioner:
+            return name
+    return None
+
+
+def list_partitioners() -> list[str]:
+    """Names of all registered partitioners, sorted."""
+    return sorted(_PARTITIONERS)
+
+
+register_partitioner("equi_depth", equi_depth_partitions)
+register_partitioner("equi_width", equi_width_partitions)
+register_partitioner("optimal", optimal_partitions)
 
 
 def assign_partition(size: int, partitions: Sequence[Partition]) -> int:

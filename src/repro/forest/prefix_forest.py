@@ -18,12 +18,12 @@ so a query at ``(b, r)`` is ``b`` exact bucket lookups — no tree walking.
 
 from __future__ import annotations
 
-from collections.abc import Hashable
+from collections.abc import Hashable, Sequence
 
 import numpy as np
 
 from repro.lsh.storage import DictHashTableStorage, fnv1a_lanes
-from repro.minhash.batch import as_signature_matrix
+from repro.minhash.batch import as_signature_matrix, prepare_bulk_insert
 from repro.minhash.lean import LeanMinHash
 from repro.minhash.minhash import MinHash
 
@@ -104,6 +104,13 @@ class PrefixForest:
             for _ in range(self.num_trees)
         ]
         self._keys: dict[Hashable, LeanMinHash] = {}
+        # Bulk-inserted signature blocks whose bucket tables have not
+        # been filled at every depth yet.  Each entry is
+        # [keys, matrix, built_depths]: the signatures are queryable via
+        # _keys immediately, while depth tables are materialised lazily
+        # — a loaded snapshot pays table-fill cost only for the depths
+        # its queries actually reach.
+        self._pending: list[list] = []
         # Batch-probe index, per query depth r: sorted salted key hashes
         # covering every tree's depth-r table, with aligned bucket views.
         # Lazily built, dropped on any mutation.  None caches "backend
@@ -128,6 +135,9 @@ class PrefixForest:
             )
         if key in self._keys:
             raise ValueError("key %r is already in the forest" % (key,))
+        # No need to materialise pending bulk blocks: this key's bucket
+        # entries are independent of theirs (set adds commute), so lazy
+        # blocks keep filling on demand even on the dynamic-insert path.
         self._keys[key] = lean
         self._probe_cache.clear()
         for tree in range(self.num_trees):
@@ -137,11 +147,88 @@ class PrefixForest:
             for depth in range(1, self.max_depth + 1):
                 tables[depth - 1].insert(band[:depth * _ITEM], key)
 
+    def insert_batch(self, keys: Sequence[Hashable], batch,
+                     seeds=None) -> None:
+        """Index many signatures in one vectorised pass.
+
+        Equivalent to ``for key, sig in zip(keys, batch): insert(key,
+        sig)`` but with no per-entry Python work: ``batch`` is taken as
+        an ``(n, num_perm)`` uint64 matrix (a
+        :class:`~repro.minhash.batch.SignatureBatch`, a plain matrix, or
+        a sequence of signatures), each tree's band bucket keys for the
+        whole block are packed with one ``tobytes`` pass, and the bucket
+        tables are filled through the storage backend's
+        :meth:`~repro.lsh.storage.HashTableStorage.insert_packed` bulk
+        path.
+
+        Table fill is *lazy per depth*: the signatures are immediately
+        visible (``__contains__`` / ``get_signature`` / ``remove``), but
+        a depth-``r`` table is only materialised the first time a query
+        reaches depth ``r`` — which is what makes re-opening a persisted
+        snapshot cheap.  When the matrix is read-only (e.g. rows of a
+        frozen batch or a memory-mapped snapshot) the stored signatures
+        alias it instead of copying.
+
+        ``seeds`` is the signatures' permutation seed: a scalar shared
+        by the block, or one value per row.  Defaults to the batch's
+        seed for a :class:`SignatureBatch` and to 1 otherwise (matching
+        the MinHash default).
+        """
+        keys, matrix, signatures = prepare_bulk_insert(
+            keys, batch, seeds, self.num_perm, self._keys, "forest")
+        if not keys:
+            return
+        self._keys.update(zip(keys, signatures))
+        self._pending.append([keys, matrix, set()])
+        self._probe_cache.clear()
+
+    def _ensure_depth(self, r: int) -> None:
+        """Materialise the depth-``r`` tables of every pending block."""
+        if not self._pending:
+            return
+        filled = False
+        for block in self._pending:
+            keys, matrix, built = block
+            if r in built:
+                continue
+            stride = r * matrix.itemsize
+            for tree in range(self.num_trees):
+                start = tree * self.max_depth
+                buf = np.ascontiguousarray(
+                    matrix[:, start:start + r]).tobytes()
+                self._tables[tree][r - 1].insert_packed(buf, stride, keys)
+            built.add(r)
+            filled = True
+        if not filled:
+            return  # depth already complete: keep the probe cache warm
+        # Retire blocks whose every depth is filled: nothing left to
+        # materialise, so stop re-scanning them (and drop the extra
+        # key-list reference they pin).
+        self._pending = [block for block in self._pending
+                         if len(block[2]) < self.max_depth]
+        self._probe_cache.pop(r, None)
+
+    def materialize(self) -> None:
+        """Fill every depth of every pending bulk-inserted block.
+
+        Queries materialise depth tables on demand; call this to pay
+        the whole fill cost up front (e.g. to warm a freshly loaded
+        snapshot before taking traffic).  ``remove`` also forces it —
+        a key deleted from incomplete tables would otherwise reappear
+        when its pending block materialises.
+        """
+        if not self._pending:
+            return
+        for r in range(1, self.max_depth + 1):
+            self._ensure_depth(r)
+        self._pending.clear()
+
     def remove(self, key: Hashable) -> None:
         """Remove ``key`` from every tree and depth."""
-        lean = self._keys.pop(key, None)
-        if lean is None:
+        if key not in self._keys:
             raise KeyError(key)
+        self.materialize()
+        lean = self._keys.pop(key)
         self._probe_cache.clear()
         for tree in range(self.num_trees):
             start = tree * self.max_depth
@@ -175,6 +262,7 @@ class PrefixForest:
             raise ValueError(
                 "r must be in [1, %d], got %d" % (self.max_depth, r)
             )
+        self._ensure_depth(r)
         out: set = set()
         for tree in range(b):
             start = tree * self.max_depth
@@ -228,6 +316,7 @@ class PrefixForest:
         bit-exact even across 64-bit hash collisions.
         """
         n = matrix.shape[0]
+        self._ensure_depth(r)
         if n * b >= _MIN_VECTOR_PROBES:
             index = self._probe_index(r)
             if index is not None:

@@ -12,6 +12,10 @@ from repro.lsh.storage import (
     BandedStorage,
     DictHashTableStorage,
     HashTableStorage,
+    list_storage_backends,
+    register_storage_backend,
+    resolve_storage_backend,
+    storage_backend_name,
 )
 
 __all__ = [
@@ -24,4 +28,8 @@ __all__ = [
     "HashTableStorage",
     "DictHashTableStorage",
     "BandedStorage",
+    "register_storage_backend",
+    "resolve_storage_backend",
+    "storage_backend_name",
+    "list_storage_backends",
 ]

@@ -13,13 +13,13 @@ with the containment-threshold conversion of Section 5.1.
 
 from __future__ import annotations
 
-from collections.abc import Hashable
+from collections.abc import Hashable, Sequence
 
 import numpy as np
 
 from repro.lsh.params import optimal_params
 from repro.lsh.storage import BandedStorage, DictHashTableStorage
-from repro.minhash.batch import as_signature_matrix
+from repro.minhash.batch import as_signature_matrix, prepare_bulk_insert
 from repro.minhash.lean import LeanMinHash
 from repro.minhash.minhash import MinHash
 
@@ -97,6 +97,31 @@ class MinHashLSH:
         for i in range(self.b):
             self._storage.insert(i, lean.band(i * self.r, (i + 1) * self.r),
                                  key)
+
+    def insert_batch(self, keys: Sequence[Hashable], batch,
+                     seeds=None) -> None:
+        """Index many signatures in one vectorised pass.
+
+        Equivalent to ``for key, sig in zip(keys, batch): insert(key,
+        sig)``: per band, the bucket keys of the whole block are packed
+        with one ``tobytes`` pass and filed through the storage
+        backend's bulk
+        :meth:`~repro.lsh.storage.HashTableStorage.insert_packed` path.
+        ``seeds`` is a scalar or per-row sequence, defaulting to the
+        batch's seed for a :class:`SignatureBatch` and to 1 otherwise.
+        When the matrix is read-only the stored signatures alias its
+        rows instead of copying them.
+        """
+        keys, matrix, signatures = prepare_bulk_insert(
+            keys, batch, seeds, self.num_perm, self._keys, "index")
+        if not keys:
+            return
+        self._keys.update(zip(keys, signatures))
+        stride = self.r * matrix.itemsize
+        for i in range(self.b):
+            buf = np.ascontiguousarray(
+                matrix[:, i * self.r:(i + 1) * self.r]).tobytes()
+            self._storage.tables[i].insert_packed(buf, stride, keys)
 
     def remove(self, key: Hashable) -> None:
         """Remove a key and all its bucket entries."""

@@ -14,7 +14,9 @@ from collections.abc import Hashable, Iterator, Sequence
 import numpy as np
 
 __all__ = ["HashTableStorage", "DictHashTableStorage", "BandedStorage",
-           "fnv1a_lanes"]
+           "fnv1a_lanes", "register_storage_backend",
+           "resolve_storage_backend", "storage_backend_name",
+           "list_storage_backends"]
 
 # Tables smaller than this answer packed probes with plain dict lookups;
 # building the sorted hash index only pays off once it is amortised over
@@ -90,6 +92,22 @@ class HashTableStorage:
             bucket = self.get_view(buf[off:off + stride])
             if bucket:
                 results[j] |= bucket
+
+    def insert_packed(self, buf: bytes, stride: int,
+                      keys: Sequence[Hashable]) -> None:
+        """Bulk-insert packed bucket keys: the write-side twin of
+        :meth:`merge_packed`.
+
+        ``buf`` concatenates ``len(keys)`` bucket keys of ``stride``
+        bytes each (one ``ndarray.tobytes`` pass over a band slice of a
+        signature matrix); ``keys[i]`` is filed under
+        ``buf[i * stride : (i + 1) * stride]``.  Backends with per-call
+        overhead (disk, network) should override this to amortise it
+        over the whole batch; the default simply loops over
+        :meth:`insert`.
+        """
+        for key, off in zip(keys, range(0, len(buf), stride)):
+            self.insert(buf[off:off + stride], key)
 
     def remove(self, bucket_key: Hashable, key: Hashable) -> None:
         raise NotImplementedError
@@ -192,6 +210,24 @@ class DictHashTableStorage(HashTableStorage):
         self._packed = (stride, index)
         return index
 
+    def insert_packed(self, buf: bytes, stride: int,
+                      keys: Sequence[Hashable]) -> None:
+        # The bulk-build hot loop: same effect as the base-class loop
+        # over insert(), but with the dict access inlined so each
+        # (bucket key, member) pair costs one slice, one lookup, and one
+        # set update.
+        table = self._table
+        off = 0
+        for key in keys:
+            bucket_key = buf[off:off + stride]
+            bucket = table.get(bucket_key)
+            if bucket is None:
+                table[bucket_key] = {key}
+            else:
+                bucket.add(key)
+            off += stride
+        self._packed = None  # new bucket keys: probe index is stale
+
     def remove(self, bucket_key: Hashable, key: Hashable) -> None:
         bucket = self._table.get(bucket_key)
         if bucket is None:
@@ -210,6 +246,62 @@ class DictHashTableStorage(HashTableStorage):
     def bucket_sizes(self) -> list[int]:
         """Sizes of all buckets (diagnostics: collision profile)."""
         return [len(b) for b in self._table.values()]
+
+
+# --------------------------------------------------------------------- #
+# Backend registry
+# --------------------------------------------------------------------- #
+#
+# Persistence records *which* bucket backend an index was built with so a
+# loaded index is faithful to the saved one (a dict-backed index must not
+# silently come back disk-backed, or vice versa).  Factories register
+# under a short stable name; the name goes into the snapshot header and
+# is resolved back to the factory on load.
+
+_STORAGE_BACKENDS: dict[str, object] = {}
+
+
+def register_storage_backend(name: str, factory) -> None:
+    """Register ``factory`` (a zero-argument callable returning a
+    :class:`HashTableStorage`) under ``name`` for persistence.
+
+    Re-registering a name with a different factory raises — snapshot
+    headers reference backends by name, so names must stay unambiguous
+    within a process.
+    """
+    existing = _STORAGE_BACKENDS.get(name)
+    if existing is not None and existing is not factory:
+        raise ValueError(
+            "storage backend name %r is already registered" % name
+        )
+    _STORAGE_BACKENDS[name] = factory
+
+
+def resolve_storage_backend(name: str):
+    """The factory registered under ``name`` (KeyError when unknown)."""
+    try:
+        return _STORAGE_BACKENDS[name]
+    except KeyError:
+        raise KeyError(
+            "unknown storage backend %r; registered backends: %s"
+            % (name, sorted(_STORAGE_BACKENDS))
+        ) from None
+
+
+def storage_backend_name(factory) -> str | None:
+    """The registered name of ``factory``, or None when unregistered."""
+    for name, registered in _STORAGE_BACKENDS.items():
+        if registered is factory:
+            return name
+    return None
+
+
+def list_storage_backends() -> list[str]:
+    """Names of all registered storage backends, sorted."""
+    return sorted(_STORAGE_BACKENDS)
+
+
+register_storage_backend("dict", DictHashTableStorage)
 
 
 class BandedStorage:

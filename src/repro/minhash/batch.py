@@ -25,10 +25,62 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.minhash.hashfunc import MAX_HASH_32
-from repro.minhash.lean import LeanMinHash
+from repro.minhash.lean import LeanMinHash, _deeply_readonly
 from repro.minhash.minhash import HASH_RANGE, MinHash
 
-__all__ = ["SignatureBatch", "pack_band_keys", "as_signature_matrix"]
+__all__ = ["SignatureBatch", "pack_band_keys", "as_signature_matrix",
+           "prepare_bulk_insert"]
+
+
+def prepare_bulk_insert(keys, batch, seeds, num_perm: int, existing,
+                        container_name: str):
+    """Shared prologue of the bulk-insert paths: validate and freeze.
+
+    Normalises ``batch`` to an ``(n, num_perm)`` matrix, checks key
+    count/duplicates (against ``existing`` too), freezes a writable
+    matrix so stored signatures cannot be mutated through the caller's
+    array, and wraps every row as a zero-copy :class:`LeanMinHash`.
+    ``seeds`` is a scalar or per-row sequence, defaulting to the batch's
+    seed for a :class:`SignatureBatch` and to 1 otherwise (the MinHash
+    default).  Returns ``(keys, matrix, signatures)`` with the matrix
+    read-only and the signatures row-aligned with ``keys``.
+    """
+    if isinstance(batch, SignatureBatch) and seeds is None:
+        seeds = batch.seed
+    matrix = as_signature_matrix(batch, num_perm)
+    keys = list(keys)
+    if len(keys) != matrix.shape[0]:
+        raise ValueError(
+            "got %d keys for %d signature rows" % (len(keys),
+                                                   matrix.shape[0])
+        )
+    if not keys:
+        return keys, matrix, []
+    key_set = set(keys)
+    if len(key_set) != len(keys):
+        raise ValueError("duplicate keys in batch")
+    if existing and not key_set.isdisjoint(existing):
+        dup = next(k for k in keys if k in existing)
+        raise ValueError(
+            "key %r is already in the %s" % (dup, container_name))
+    if not _deeply_readonly(matrix):
+        matrix = matrix.copy()
+        matrix.setflags(write=False)
+    if seeds is None:
+        seeds = 1
+    if np.ndim(seeds) == 0:
+        seed = int(seeds)
+        signatures = [LeanMinHash.wrap(seed, matrix[i])
+                      for i in range(len(keys))]
+    else:
+        if len(seeds) != len(keys):
+            raise ValueError(
+                "got %d seeds for %d signature rows"
+                % (len(seeds), len(keys))
+            )
+        signatures = [LeanMinHash.wrap(int(seeds[i]), matrix[i])
+                      for i in range(len(keys))]
+    return keys, matrix, signatures
 
 
 def pack_band_keys(matrix: np.ndarray, start: int, stop: int) -> list[bytes]:
@@ -172,8 +224,13 @@ class SignatureBatch:
         return int(self.matrix.shape[0])
 
     def __getitem__(self, index: int) -> LeanMinHash:
-        """Row ``index`` thawed into a standalone :class:`LeanMinHash`."""
-        return LeanMinHash(seed=self.seed, hashvalues=self.matrix[index])
+        """Row ``index`` as a :class:`LeanMinHash` aliasing the matrix.
+
+        The matrix is frozen (read-only), so the row can be wrapped
+        without a copy — thawing a whole batch into signatures costs no
+        signature-payload copies.
+        """
+        return LeanMinHash.wrap(self.seed, self.matrix[index])
 
     def __iter__(self):
         for j in range(len(self)):

@@ -25,6 +25,24 @@ from repro.minhash.minhash import HASH_RANGE, MinHash
 __all__ = ["LeanMinHash"]
 
 
+def _deeply_readonly(array) -> bool:
+    """True when no array in ``array``'s base chain is writable.
+
+    A read-only *view* of a writable array is not frozen — the caller
+    can still mutate the storage through the base — so zero-copy
+    aliasing is only safe when the whole chain is read-only (owning
+    read-only arrays, read-only memmaps, frombuffer-over-bytes, and
+    views thereof; non-array bases like ``mmap`` objects end the walk).
+    """
+    node = array
+    while node is not None:
+        flags = getattr(node, "flags", None)
+        if flags is not None and flags.writeable:
+            return False
+        node = getattr(node, "base", None)
+    return True
+
+
 class LeanMinHash:
     """Immutable MinHash signature: just the seed and the hash values."""
 
@@ -46,6 +64,29 @@ class LeanMinHash:
         hv.setflags(write=False)
         self.hashvalues = hv
         self._hash: int | None = None
+
+    @classmethod
+    def wrap(cls, seed: int, hashvalues: np.ndarray) -> "LeanMinHash":
+        """Wrap an existing read-only uint64 row without copying it.
+
+        The zero-copy construction path used by the bulk-build and
+        persistence machinery: rows of a frozen
+        :class:`~repro.minhash.batch.SignatureBatch` matrix (or of a
+        memory-mapped snapshot) become signatures that alias the matrix
+        storage.  ``hashvalues`` must already be a non-writable 1-D
+        uint64 array; anything else falls back to the copying
+        constructor so immutability is never violated.
+        """
+        if (not isinstance(hashvalues, np.ndarray)
+                or hashvalues.dtype != np.uint64
+                or hashvalues.ndim != 1
+                or not _deeply_readonly(hashvalues)):
+            return cls(seed=seed, hashvalues=hashvalues)
+        obj = object.__new__(cls)
+        obj.seed = int(seed)
+        obj.hashvalues = hashvalues
+        obj._hash = None
+        return obj
 
     # ------------------------------------------------------------------ #
     # Read-only estimator API (mirrors MinHash)

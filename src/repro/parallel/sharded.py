@@ -10,14 +10,26 @@ single ensemble over the full corpus built with per-shard partitioning.
 
 from __future__ import annotations
 
+import json
+import os
 from collections.abc import Hashable, Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 
 from repro.core.ensemble import LSHEnsemble, _as_batch
 from repro.minhash.lean import LeanMinHash
 from repro.minhash.minhash import MinHash
 
 __all__ = ["ShardedEnsemble"]
+
+
+def _fsync_dir(path: Path) -> None:
+    """Flush a directory's entries to disk (rename durability)."""
+    dir_fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
 
 
 class ShardedEnsemble:
@@ -48,7 +60,13 @@ class ShardedEnsemble:
 
     def index(self, entries: Iterable[tuple[Hashable, MinHash | LeanMinHash,
                                             int]]) -> None:
-        """Distribute entries round-robin and build every shard."""
+        """Distribute entries round-robin and build every shard.
+
+        With fewer entries than configured shards, only as many shards
+        as have data are built and ``num_shards`` is updated to the
+        realised count (``active_shards``) — the configured count would
+        otherwise misreport the topology and oversize the thread pool.
+        """
         if self._shards:
             raise RuntimeError("index() may only be called once")
         buckets: list[list] = [[] for _ in range(self.num_shards)]
@@ -63,11 +81,17 @@ class ShardedEnsemble:
             self._shards.append(shard)
         if not self._shards:
             raise ValueError("cannot index an empty collection of domains")
+        self.num_shards = len(self._shards)
         if self.parallel:
             self._executor = ThreadPoolExecutor(
                 max_workers=len(self._shards),
                 thread_name_prefix="lshensemble-shard",
             )
+
+    @property
+    def active_shards(self) -> int:
+        """Number of shards actually built (0 before :meth:`index`)."""
+        return len(self._shards)
 
     def query(self, signature: MinHash | LeanMinHash,
               size: int | None = None,
@@ -129,6 +153,110 @@ class ShardedEnsemble:
     @property
     def shards(self) -> list[LSHEnsemble]:
         return list(self._shards)
+
+    def materialize(self) -> None:
+        """Warm every shard's lazily pending bucket tables; see
+        :meth:`repro.core.ensemble.LSHEnsemble.materialize`."""
+        for shard in self._shards:
+            shard.materialize()
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def save(self, path: str | Path) -> None:
+        """Persist the cluster: one columnar snapshot per shard.
+
+        ``path`` becomes a directory holding ``manifest.json`` plus one
+        shard file per built shard (the v2 format of
+        :func:`repro.persistence.save_ensemble`), mirroring how the
+        paper's deployment would snapshot each node independently.
+
+        Re-saving into the same directory is crash-safe: shard files
+        carry a generation number so a new save never overwrites the
+        files the current manifest points at, the manifest is replaced
+        atomically, and files no longer referenced are removed only
+        after the new manifest is durable.
+        """
+        from repro.persistence import _atomic_write, save_ensemble
+
+        if not self._shards:
+            raise RuntimeError("the index is empty; call index() first")
+        root = Path(path)
+        root.mkdir(parents=True, exist_ok=True)
+        generation = -1
+        for existing in root.glob("shard-*.lshe"):
+            fields = existing.name.split("-")
+            if len(fields) == 3 and fields[1].isdigit():
+                generation = max(generation, int(fields[1]))
+        generation += 1
+        names = []
+        for i, shard in enumerate(self._shards):
+            name = "shard-%03d-%05d.lshe" % (generation, i)
+            save_ensemble(shard, root / name)
+            names.append(name)
+        manifest = {"num_shards": len(self._shards),
+                    "parallel": self.parallel, "shards": names}
+        payload = json.dumps(manifest, indent=2).encode("utf-8")
+        # Ordering matters for crash safety: make the shard files'
+        # directory entries durable before the manifest can name them,
+        # and make the manifest replace durable before deleting the
+        # generation it supersedes.
+        _fsync_dir(root)
+        _atomic_write(root / "manifest.json",
+                      lambda fh: fh.write(payload))
+        _fsync_dir(root)
+        for stale in root.glob("shard-*.lshe"):
+            if stale.name not in names:
+                stale.unlink()
+
+    @classmethod
+    def load(cls, path: str | Path, *, parallel: bool | None = None,
+             storage_factory=None, partitioner=None,
+             mmap: bool = True) -> "ShardedEnsemble":
+        """Load a cluster saved by :meth:`save`.
+
+        ``parallel`` defaults to the saved setting; the remaining
+        keyword arguments are forwarded to each shard's
+        :func:`repro.persistence.load_ensemble` (same registry
+        resolution and lazy-materialisation semantics).
+        """
+        from repro.persistence import FormatError, load_ensemble
+
+        root = Path(path)
+        try:
+            manifest = json.loads(
+                (root / "manifest.json").read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise FormatError(
+                "%s is not a saved ShardedEnsemble (no manifest.json)"
+                % root) from None
+        except json.JSONDecodeError as exc:
+            raise FormatError("corrupt manifest: %s" % exc) from exc
+        names = manifest.get("shards")
+        if not isinstance(names, list) or not names:
+            raise FormatError("corrupt manifest: missing shard list")
+        if parallel is None:
+            parallel = bool(manifest.get("parallel", True))
+        cluster = cls(num_shards=len(names), parallel=parallel)
+        shards = []
+        for name in names:
+            try:
+                shards.append(
+                    load_ensemble(root / name,
+                                  storage_factory=storage_factory,
+                                  partitioner=partitioner, mmap=mmap))
+            except FileNotFoundError as exc:
+                raise FormatError(
+                    "manifest names shard file %s but it is missing"
+                    % name) from exc
+        cluster._shards = shards
+        if cluster.parallel:
+            cluster._executor = ThreadPoolExecutor(
+                max_workers=len(cluster._shards),
+                thread_name_prefix="lshensemble-shard",
+            )
+        return cluster
 
     def close(self) -> None:
         """Shut the fan-out thread pool down."""

@@ -218,3 +218,118 @@ class TestQueryBatch:
             f.query_batch(batch, 0, 1)
         with pytest.raises(ValueError):
             f.query_batch(batch, 1, 9)
+
+
+class TestInsertBatch:
+    """Bulk build must be indistinguishable from a loop of inserts."""
+
+    def _entries(self, n):
+        sets = [["v%d_%d" % (i, j) for j in range(5 + i)] for i in range(n)]
+        return ["k%d" % i for i in range(n)], [sig(v) for v in sets]
+
+    def _pair(self, n=40):
+        keys, sigs = self._entries(n)
+        loop = PrefixForest(num_perm=64)
+        for k, s in zip(keys, sigs):
+            loop.insert(k, s)
+        bulk = PrefixForest(num_perm=64)
+        from repro.minhash.batch import SignatureBatch
+
+        bulk.insert_batch(keys, SignatureBatch.from_signatures(sigs))
+        return loop, bulk, keys, sigs
+
+    def test_queries_match_per_entry_build(self):
+        loop, bulk, keys, sigs = self._pair()
+        for b, r in ((1, 1), (4, 3), (8, 8)):
+            for s in sigs[::7]:
+                assert bulk.query(s, b, r) == loop.query(s, b, r)
+
+    def test_query_batch_matches(self):
+        from repro.minhash.batch import SignatureBatch
+
+        loop, bulk, keys, sigs = self._pair(60)
+        batch = SignatureBatch.from_signatures(sigs)
+        assert bulk.query_batch(batch, 8, 4) == loop.query_batch(batch, 8, 4)
+
+    def test_membership_and_signatures_immediate(self):
+        _, bulk, keys, sigs = self._pair()
+        # Before any query materialises tables, the keys are visible.
+        assert len(bulk) == len(keys)
+        assert keys[3] in bulk
+        assert bulk.get_signature(keys[3]).hashvalues.tolist() == \
+            sigs[3].hashvalues.tolist()
+
+    def test_mutation_after_batch(self):
+        loop, bulk, keys, sigs = self._pair()
+        extra = sig(["x1", "x2", "x3"])
+        loop.insert("extra", extra)
+        bulk.insert("extra", extra)
+        loop.remove(keys[5])
+        bulk.remove(keys[5])
+        for b, r in ((2, 2), (8, 8)):
+            for s in (sigs[5], extra):
+                assert bulk.query(s, b, r) == loop.query(s, b, r)
+
+    def test_matrix_input_and_seeds(self):
+        import numpy as np
+
+        keys, sigs = self._entries(10)
+        matrix = np.vstack([s.hashvalues for s in sigs])
+        f = PrefixForest(num_perm=64)
+        f.insert_batch(keys, matrix, seeds=7)
+        assert f.get_signature(keys[0]).seed == 7
+
+    def test_readonly_matrix_rows_are_aliased(self):
+        import numpy as np
+
+        keys, sigs = self._entries(4)
+        matrix = np.vstack([s.hashvalues for s in sigs])
+        matrix.setflags(write=False)
+        f = PrefixForest(num_perm=64)
+        f.insert_batch(keys, matrix, seeds=1)
+        stored = f.get_signature(keys[2]).hashvalues
+        assert stored.base is matrix or stored.base is matrix.base
+
+    def test_duplicate_keys_rejected(self):
+        keys, sigs = self._entries(4)
+        f = PrefixForest(num_perm=64)
+        from repro.minhash.batch import SignatureBatch
+
+        batch = SignatureBatch.from_signatures(sigs)
+        with pytest.raises(ValueError):
+            f.insert_batch(["a", "b", "a", "c"], batch)
+        f.insert_batch(keys, batch)
+        with pytest.raises(ValueError):
+            f.insert_batch([keys[1]], SignatureBatch.from_signatures(
+                [sigs[1]]))
+
+    def test_key_count_mismatch_rejected(self):
+        keys, sigs = self._entries(4)
+        from repro.minhash.batch import SignatureBatch
+
+        with pytest.raises(ValueError):
+            PrefixForest(num_perm=64).insert_batch(
+                keys[:2], SignatureBatch.from_signatures(sigs))
+
+    def test_empty_batch_is_noop(self):
+        f = PrefixForest(num_perm=64)
+        import numpy as np
+
+        f.insert_batch([], np.empty((0, 64), dtype=np.uint64))
+        assert f.is_empty()
+
+    def test_materialize_idempotent(self):
+        loop, bulk, keys, sigs = self._pair()
+        bulk.materialize()
+        bulk.materialize()
+        assert bulk.query(sigs[0], 8, 8) == loop.query(sigs[0], 8, 8)
+
+    def test_insert_after_batch_keeps_blocks_lazy(self):
+        loop, bulk, keys, sigs = self._pair()
+        extra = sig(["y1", "y2", "y3"])
+        bulk.insert("extra2", extra)
+        assert bulk._pending  # dynamic insert must not force the fill
+        loop.insert("extra2", extra)
+        for b, r in ((2, 2), (8, 8)):
+            assert bulk.query(extra, b, r) == loop.query(extra, b, r)
+            assert bulk.query(sigs[2], b, r) == loop.query(sigs[2], b, r)

@@ -165,3 +165,59 @@ class TestInfo:
         assert "domains:" in out
         assert "partitions (4):" in out
         assert "num_perm:       256" in out
+
+    def test_info_reports_format_and_backend(self, built, capsys):
+        rc = main(["info", str(built)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "format:         v2" in out
+        assert "backend:        dict" in out
+        assert "partitioner:    equi_depth" in out
+
+
+class TestBuildBackend:
+    def test_backend_flag_recorded(self, tmp_path, corpus_file):
+        index_path = tmp_path / "b.lshe"
+        rc = main(["build", str(corpus_file), str(index_path),
+                   "--partitions", "2", "--backend", "dict"])
+        assert rc == 0
+        from repro.persistence import read_header
+
+        assert read_header(index_path)["storage"] == "dict"
+
+    def test_unknown_backend_rejected(self, tmp_path, corpus_file):
+        with pytest.raises(SystemExit):
+            main(["build", str(corpus_file), str(tmp_path / "x.lshe"),
+                  "--backend", "no-such"])
+
+    def test_query_no_mmap(self, built, capsys):
+        rc = main(["query", str(built), "--no-mmap", "--values"]
+                  + ["q%d" % i for i in range(30)]
+                  + ["--threshold", "0.8"])
+        assert rc == 0
+        assert "contains_query" in capsys.readouterr().out
+
+    def test_info_survives_unregistered_backend(self, tmp_path, capsys):
+        from repro.core.ensemble import LSHEnsemble
+        from repro.lsh.storage import DictHashTableStorage
+        from repro.minhash.minhash import MinHash
+        from repro.persistence import save_ensemble
+
+        class Anon(DictHashTableStorage):
+            pass
+
+        index = LSHEnsemble(num_perm=64, num_partitions=2,
+                            storage_factory=Anon)
+        index.index(("k%d" % i,
+                     MinHash.from_values(["v%d_%d" % (i, j)
+                                          for j in range(10 + i)],
+                                         num_perm=64), 10 + i)
+                    for i in range(10))
+        path = tmp_path / "anon.lshe"
+        save_ensemble(index, path)
+        rc = main(["info", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "format:         v2" in out
+        assert "backend:        None" in out
+        assert "not loadable without overrides" in out

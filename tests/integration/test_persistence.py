@@ -1,10 +1,23 @@
 """Integration tests for index save/load."""
 
+import json
+
 import pytest
 
 from repro.core.ensemble import LSHEnsemble
+from repro.core.partitioner import (
+    equi_depth_partitions,
+    register_partitioner,
+)
+from repro.lsh.storage import DictHashTableStorage, register_storage_backend
+from repro.minhash.lean import LeanMinHash
 from repro.minhash.minhash import MinHash
-from repro.persistence import FormatError, load_ensemble, save_ensemble
+from repro.persistence import (
+    FormatError,
+    load_ensemble,
+    read_header,
+    save_ensemble,
+)
 
 NUM_PERM = 64
 
@@ -122,3 +135,306 @@ class TestErrors:
         path.write_bytes(bytes(blob))
         with pytest.raises((FormatError, KeyError)):
             load_ensemble(path)
+
+
+class _CustomStorage(DictHashTableStorage):
+    """A distinct backend class for registry round-trip tests."""
+
+
+class _UnregisteredStorage(DictHashTableStorage):
+    """Never registered; saving records null and load must fail loudly."""
+
+
+def _custom_partitioner(sizes, num_partitions):
+    return equi_depth_partitions(sizes, num_partitions)
+
+
+register_storage_backend("test-custom", _CustomStorage)
+register_partitioner("test-custom", _custom_partitioner)
+
+
+class TestFormatV2:
+    def test_header_reports_v2_and_backend(self, built_index, tmp_path):
+        _, index = built_index
+        path = tmp_path / "index.lshe"
+        save_ensemble(index, path)
+        header = read_header(path)
+        assert header["version"] == 2
+        assert header["storage"] == "dict"
+        assert header["partitioner"] == "equi_depth"
+        assert sum(header["partition_rows"]) == len(index)
+        assert len(header["partition_max_size"]) == len(index.partitions)
+
+    def test_v1_version_switch(self, built_index, tmp_path):
+        domains, index = built_index
+        v1 = tmp_path / "index.v1.lshe"
+        v2 = tmp_path / "index.v2.lshe"
+        save_ensemble(index, v1, version=1)
+        save_ensemble(index, v2)
+        assert read_header(v1)["version"] == 1
+        from_v1 = load_ensemble(v1)
+        from_v2 = load_ensemble(v2)
+        for key, values in list(domains.items())[:8]:
+            probe = sig(values)
+            for threshold in (0.3, 0.7, 1.0):
+                expected = index.query(probe, size=len(values),
+                                       threshold=threshold)
+                assert from_v1.query(probe, size=len(values),
+                                     threshold=threshold) == expected
+                assert from_v2.query(probe, size=len(values),
+                                     threshold=threshold) == expected
+
+    def test_mmap_off_equivalent(self, built_index, tmp_path):
+        domains, index = built_index
+        path = tmp_path / "index.lshe"
+        save_ensemble(index, path)
+        loaded = load_ensemble(path, mmap=False)
+        for key, values in list(domains.items())[:5]:
+            probe = sig(values)
+            assert loaded.query(probe, size=len(values), threshold=0.7) == \
+                index.query(probe, size=len(values), threshold=0.7)
+
+    def test_seed_column_roundtrip(self, tmp_path):
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        entries = [
+            ("small-seed", LeanMinHash(
+                seed=5, hashvalues=rng.integers(
+                    0, 2 ** 32, NUM_PERM, dtype=np.uint64)), 20),
+            ("big-seed", LeanMinHash(
+                seed=2 ** 40, hashvalues=rng.integers(
+                    0, 2 ** 32, NUM_PERM, dtype=np.uint64)), 30),
+        ]
+        index = LSHEnsemble(num_perm=NUM_PERM, num_partitions=2)
+        index.index(entries)
+        path = tmp_path / "seeds.lshe"
+        save_ensemble(index, path)
+        assert read_header(path)["seed_dtype"] == "<i8"
+        loaded = load_ensemble(path)
+        assert loaded.get_signature("small-seed").seed == 5
+        assert loaded.get_signature("big-seed").seed == 2 ** 40
+        assert loaded.get_signature("big-seed") == \
+            index.get_signature("big-seed")
+
+
+class TestDriftedRoundtrip:
+    """Round trips of an index mutated beyond its built size range."""
+
+    def _drifted(self):
+        domains = {"d%d" % i: {"v%d_%d" % (i, j) for j in range(10 + 3 * i)}
+                   for i in range(40)}
+        index = LSHEnsemble(threshold=0.6, num_perm=NUM_PERM,
+                            num_partitions=4)
+        index.index((k, sig(v), len(v)) for k, v in domains.items())
+        # Drift: sizes far beyond the built partition range on both ends
+        # (clamped routing; grows _partition_max_size), then removals —
+        # including the largest domain, so the tracked high-water mark
+        # exceeds anything derivable from the remaining entries.
+        huge = {"h%d" % j for j in range(5000)}
+        domains["huge"] = huge
+        index.insert("huge", sig(huge), len(huge))
+        tiny = {"t"}
+        domains["tiny"] = tiny
+        index.insert("tiny", sig(tiny), len(tiny))
+        big2 = {"b%d" % j for j in range(2000)}
+        domains["big2"] = big2
+        index.insert("big2", sig(big2), len(big2))
+        for gone in ("huge", "d3", "d20"):
+            index.remove(gone)
+            del domains[gone]
+        return domains, index
+
+    def test_query_and_batch_set_equal_after_roundtrip(self, tmp_path):
+        from repro.minhash.batch import SignatureBatch
+
+        domains, index = self._drifted()
+        path = tmp_path / "drift.lshe"
+        save_ensemble(index, path)
+        loaded = load_ensemble(path)
+        assert loaded._partition_max_size == index._partition_max_size
+        names = sorted(domains, key=str)
+        probes = [sig(domains[name]) for name in names]
+        qsizes = [len(domains[name]) for name in names]
+        for threshold in (0.2, 0.6, 0.9, 1.0):
+            for probe, q in zip(probes, qsizes):
+                assert loaded.query(probe, size=q, threshold=threshold) == \
+                    index.query(probe, size=q, threshold=threshold)
+            batch = SignatureBatch.from_signatures(probes)
+            assert loaded.query_batch(batch, sizes=qsizes,
+                                      threshold=threshold) == \
+                index.query_batch(batch, sizes=qsizes, threshold=threshold)
+
+    def test_drifted_roundtrip_accepts_more_drift(self, tmp_path):
+        domains, index = self._drifted()
+        path = tmp_path / "drift.lshe"
+        save_ensemble(index, path)
+        loaded = load_ensemble(path)
+        more = {"m%d" % j for j in range(8000)}
+        loaded.insert("more", sig(more), len(more))
+        assert "more" in loaded.query(sig(more), size=len(more),
+                                      threshold=1.0)
+
+
+class TestTrailingBytes:
+    def test_v2_trailing_bytes_rejected(self, built_index, tmp_path):
+        _, index = built_index
+        path = tmp_path / "index.lshe"
+        save_ensemble(index, path)
+        path.write_bytes(path.read_bytes() + b"\x00" * 16)
+        with pytest.raises(FormatError, match="trailing"):
+            load_ensemble(path)
+
+    def test_v2_doubly_written_rejected(self, built_index, tmp_path):
+        _, index = built_index
+        path = tmp_path / "index.lshe"
+        save_ensemble(index, path)
+        blob = path.read_bytes()
+        path.write_bytes(blob + blob)
+        with pytest.raises(FormatError):
+            load_ensemble(path)
+
+    def test_v1_trailing_bytes_rejected(self, built_index, tmp_path):
+        _, index = built_index
+        path = tmp_path / "index.lshe"
+        save_ensemble(index, path, version=1)
+        path.write_bytes(path.read_bytes() + b"junk")
+        with pytest.raises(FormatError, match="trailing"):
+            load_ensemble(path)
+
+
+class TestBackendFidelity:
+    def test_registered_backend_roundtrips(self, built_index, tmp_path):
+        domains, _ = built_index
+        index = LSHEnsemble(threshold=0.7, num_perm=NUM_PERM,
+                            num_partitions=4,
+                            storage_factory=_CustomStorage,
+                            partitioner=_custom_partitioner)
+        index.index((k, sig(v), len(v)) for k, v in domains.items())
+        path = tmp_path / "custom.lshe"
+        save_ensemble(index, path)
+        header = read_header(path)
+        assert header["storage"] == "test-custom"
+        assert header["partitioner"] == "test-custom"
+        loaded = load_ensemble(path)
+        assert loaded._storage_factory is _CustomStorage
+        assert loaded._partitioner is _custom_partitioner
+        for key, values in list(domains.items())[:5]:
+            probe = sig(values)
+            assert loaded.query(probe, size=len(values), threshold=0.7) == \
+                index.query(probe, size=len(values), threshold=0.7)
+
+    def test_unregistered_backend_fails_loudly(self, built_index, tmp_path):
+        domains, _ = built_index
+        index = LSHEnsemble(num_perm=NUM_PERM, num_partitions=4,
+                            storage_factory=_UnregisteredStorage)
+        index.index((k, sig(v), len(v)) for k, v in domains.items())
+        path = tmp_path / "anon.lshe"
+        save_ensemble(index, path)
+        assert read_header(path)["storage"] is None
+        with pytest.raises(FormatError, match="unregistered storage"):
+            load_ensemble(path)
+        loaded = load_ensemble(path, storage_factory=_UnregisteredStorage)
+        assert loaded._storage_factory is _UnregisteredStorage
+
+    def test_unregistered_partitioner_fails_loudly(self, built_index,
+                                                   tmp_path):
+        domains, _ = built_index
+        index = LSHEnsemble(num_perm=NUM_PERM, num_partitions=4,
+                            partitioner=lambda sizes, n:
+                            equi_depth_partitions(sizes, n))
+        index.index((k, sig(v), len(v)) for k, v in domains.items())
+        path = tmp_path / "anonpart.lshe"
+        save_ensemble(index, path)
+        with pytest.raises(FormatError, match="unregistered partitioner"):
+            load_ensemble(path)
+        loaded = load_ensemble(path, partitioner=equi_depth_partitions)
+        assert loaded._partitioner is equi_depth_partitions
+
+    def test_unknown_backend_name_fails_loudly(self, built_index, tmp_path):
+        _, index = built_index
+        path = tmp_path / "index.lshe"
+        save_ensemble(index, path)
+        # Same-length substitution keeps the header length field valid.
+        blob = path.read_bytes().replace(b'"storage":"dict"',
+                                         b'"storage":"duck"')
+        path.write_bytes(blob)
+        with pytest.raises(FormatError, match="unknown storage backend"):
+            load_ensemble(path)
+
+
+class TestEdgeCases:
+    def test_empty_partition_roundtrip(self, tmp_path):
+        domains = {"a%d" % i: {"v%d_%d" % (i, j) for j in range(10 + i)}
+                   for i in range(20)}
+        index = LSHEnsemble(threshold=0.6, num_perm=NUM_PERM,
+                            num_partitions=4)
+        index.index((k, sig(v), len(v)) for k, v in domains.items())
+        # Empty one partition entirely: its partition_rows entry becomes
+        # 0 and the loaded forest must come back empty but functional.
+        bounds = index.partitions[1]
+        for key in list(index.keys()):
+            if index.size_of(key) in bounds:
+                index.remove(key)
+                del domains[key]
+        path = tmp_path / "holes.lshe"
+        save_ensemble(index, path)
+        assert 0 in read_header(path)["partition_rows"]
+        loaded = load_ensemble(path)
+        for key, values in list(domains.items())[:6]:
+            probe = sig(values)
+            assert loaded.query(probe, size=len(values), threshold=0.6) == \
+                index.query(probe, size=len(values), threshold=0.6)
+
+    def test_materialize_then_query(self, built_index, tmp_path):
+        domains, index = built_index
+        path = tmp_path / "warm.lshe"
+        save_ensemble(index, path)
+        loaded = load_ensemble(path)
+        loaded.materialize()  # full warm-up instead of lazy fill
+        for key, values in list(domains.items())[:6]:
+            probe = sig(values)
+            assert loaded.query(probe, size=len(values), threshold=0.7) == \
+                index.query(probe, size=len(values), threshold=0.7)
+
+    def test_resave_over_own_mmap_is_safe(self, built_index, tmp_path):
+        """Saving a memmap-loaded index over its own file must not
+        truncate the pages the index is still mapping (atomic rename)."""
+        domains, index = built_index
+        path = tmp_path / "self.lshe"
+        save_ensemble(index, path)
+        loaded = load_ensemble(path)          # mmaps the matrix
+        save_ensemble(loaded, path)           # save over the mapped file
+        again = load_ensemble(path)
+        for key, values in list(domains.items())[:5]:
+            probe = sig(values)
+            assert again.query(probe, size=len(values), threshold=0.7) == \
+                index.query(probe, size=len(values), threshold=0.7)
+        # The still-open first load must keep answering too.
+        key, values = next(iter(domains.items()))
+        assert loaded.query(sig(values), size=len(values), threshold=0.7) \
+            == index.query(sig(values), size=len(values), threshold=0.7)
+
+    def test_failed_save_leaves_no_temp_files(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_ensemble(LSHEnsemble(num_perm=NUM_PERM),
+                          tmp_path / "never.lshe")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_negative_partition_rows_rejected(self, built_index, tmp_path):
+        _, index = built_index
+        path = tmp_path / "neg.lshe"
+        save_ensemble(index, path)
+        header = read_header(path)
+        rows = header["partition_rows"]
+        assert rows[0] > 0 and len(rows) >= 2
+        # Same-length JSON substitution: shift one entry negative while
+        # keeping the sum (and the header length) unchanged.
+        old = json.dumps(rows, separators=(",", ":")).encode()
+        bad = rows[:]
+        bad[0], bad[1] = -1, rows[1] + rows[0] + 1
+        new = json.dumps(bad, separators=(",", ":")).encode()
+        if len(new) == len(old):
+            path.write_bytes(path.read_bytes().replace(old, new))
+            with pytest.raises(FormatError, match="negative"):
+                load_ensemble(path)

@@ -164,3 +164,49 @@ class TestQueryBatch:
         lsh.insert("k", sig(["a"]))
         with pytest.raises(ValueError):
             lsh.query_batch([sig(["a"], num_perm=64)])
+
+
+class TestInsertBatch:
+    def _pair(self, n=30):
+        keys = ["k%d" % i for i in range(n)]
+        sigs = [sig(["v%d_%d" % (i, j) for j in range(4 + i)])
+                for i in range(n)]
+        loop = MinHashLSH(threshold=0.6, num_perm=128)
+        for k, s in zip(keys, sigs):
+            loop.insert(k, s)
+        bulk = MinHashLSH(threshold=0.6, num_perm=128)
+        from repro.minhash.batch import SignatureBatch
+
+        bulk.insert_batch(keys, SignatureBatch.from_signatures(sigs))
+        return loop, bulk, keys, sigs
+
+    def test_queries_match_per_entry_build(self):
+        loop, bulk, keys, sigs = self._pair()
+        for s in sigs[::5]:
+            assert bulk.query(s) == loop.query(s)
+
+    def test_query_batch_matches(self):
+        from repro.minhash.batch import SignatureBatch
+
+        loop, bulk, keys, sigs = self._pair()
+        batch = SignatureBatch.from_signatures(sigs)
+        assert bulk.query_batch(batch) == loop.query_batch(batch)
+
+    def test_signatures_stored(self):
+        _, bulk, keys, sigs = self._pair(5)
+        assert bulk.get_signature(keys[2]) == LeanMinHash(sigs[2])
+        assert len(bulk) == 5
+
+    def test_remove_after_batch(self):
+        loop, bulk, keys, sigs = self._pair(10)
+        loop.remove(keys[3])
+        bulk.remove(keys[3])
+        assert bulk.query(sigs[3]) == loop.query(sigs[3])
+
+    def test_duplicate_keys_rejected(self):
+        _, bulk, keys, sigs = self._pair(4)
+        from repro.minhash.batch import SignatureBatch
+
+        with pytest.raises(ValueError):
+            bulk.insert_batch([keys[0]],
+                              SignatureBatch.from_signatures([sigs[0]]))

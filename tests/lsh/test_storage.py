@@ -257,3 +257,77 @@ class TestBatchedProbes:
         bs.insert(1, b"x", "k1")
         assert [set(v) for v in bs.get_many(0, [b"x"])] == [{"k0"}]
         assert [set(v) for v in bs.get_many(1, [b"x"])] == [{"k1"}]
+
+
+class TestInsertPacked:
+    def test_matches_per_key_inserts(self):
+        import numpy as np
+
+        rows = np.arange(24, dtype=np.uint64).reshape(6, 4)
+        buf = rows.tobytes()
+        keys = ["k%d" % i for i in range(6)]
+        bulk = DictHashTableStorage()
+        bulk.insert_packed(buf, 32, keys)
+        loop = DictHashTableStorage()
+        for i, key in enumerate(keys):
+            loop.insert(rows[i].tobytes(), key)
+        for i in range(6):
+            assert bulk.get(rows[i].tobytes()) == loop.get(rows[i].tobytes())
+        assert len(bulk) == len(loop)
+
+    def test_duplicate_bucket_keys_accumulate(self):
+        import numpy as np
+
+        rows = np.zeros((3, 2), dtype=np.uint64)
+        s = DictHashTableStorage()
+        s.insert_packed(rows.tobytes(), 16, ["a", "b", "c"])
+        assert s.get(rows[0].tobytes()) == {"a", "b", "c"}
+
+    def test_base_class_default_loops_over_insert(self):
+        import numpy as np
+
+        class Recording(DictHashTableStorage):
+            def insert_packed(self, buf, stride, keys):
+                # Exercise the interface default.
+                from repro.lsh.storage import HashTableStorage
+
+                HashTableStorage.insert_packed(self, buf, stride, keys)
+
+        rows = np.arange(8, dtype=np.uint64).reshape(2, 4)
+        s = Recording()
+        s.insert_packed(rows.tobytes(), 32, ["x", "y"])
+        assert s.get(rows[1].tobytes()) == {"y"}
+
+
+class TestBackendRegistry:
+    def test_default_backend_registered(self):
+        from repro.lsh.storage import (
+            list_storage_backends,
+            resolve_storage_backend,
+            storage_backend_name,
+        )
+
+        assert "dict" in list_storage_backends()
+        assert resolve_storage_backend("dict") is DictHashTableStorage
+        assert storage_backend_name(DictHashTableStorage) == "dict"
+
+    def test_unknown_backend_raises(self):
+        from repro.lsh.storage import resolve_storage_backend
+
+        with pytest.raises(KeyError):
+            resolve_storage_backend("no-such-backend")
+
+    def test_unregistered_factory_has_no_name(self):
+        from repro.lsh.storage import storage_backend_name
+
+        class Custom(DictHashTableStorage):
+            pass
+
+        assert storage_backend_name(Custom) is None
+
+    def test_reregistering_same_factory_ok_conflict_raises(self):
+        from repro.lsh.storage import register_storage_backend
+
+        register_storage_backend("dict", DictHashTableStorage)
+        with pytest.raises(ValueError):
+            register_storage_backend("dict", object)

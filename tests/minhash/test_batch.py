@@ -181,3 +181,31 @@ class TestMinHashGeneratorBulk:
         batch = bulk_signatures({"a": {"x"}}, num_perm=NUM_PERM, seed=1)
         assert batch.keys == ["a"]
         assert batch.num_perm == NUM_PERM
+
+
+class TestPrepareBulkInsertFreezing:
+    def test_readonly_view_of_writable_base_is_copied(self):
+        import numpy as np
+
+        from repro.minhash.batch import prepare_bulk_insert
+
+        base = np.arange(8, dtype=np.uint64).reshape(2, 4)
+        view = base[:]
+        view.setflags(write=False)
+        keys, matrix, signatures = prepare_bulk_insert(
+            ["a", "b"], view, 1, 4, {}, "forest")
+        base[0, 0] = 999  # must not reach the stored signatures
+        assert signatures[0].hashvalues[0] == 0
+
+    def test_owning_readonly_matrix_is_aliased(self):
+        import numpy as np
+
+        from repro.minhash.batch import prepare_bulk_insert
+
+        # .copy() makes the array own its buffer (reshape alone would
+        # leave a writable 1-D base underneath, which must be copied).
+        owned = np.arange(8, dtype=np.uint64).reshape(2, 4).copy()
+        owned.setflags(write=False)
+        _, matrix, signatures = prepare_bulk_insert(
+            ["a", "b"], owned, 1, 4, {}, "forest")
+        assert signatures[1].hashvalues.base is owned

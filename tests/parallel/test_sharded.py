@@ -207,3 +207,114 @@ class TestLifecycle:
         with ShardedEnsemble(num_shards=2, ensemble_factory=factory) as s:
             s.index(make_entries(6))
             assert len(s) == 6
+
+
+class TestShardCountReality:
+    def test_num_shards_reflects_built_shards(self):
+        sharded = ShardedEnsemble(num_shards=8, ensemble_factory=factory,
+                                  parallel=False)
+        assert sharded.num_shards == 8          # configured, pre-build
+        sharded.index(make_entries(3))
+        assert sharded.num_shards == 3          # realised topology
+        assert sharded.active_shards == 3
+
+    def test_num_shards_unchanged_when_all_filled(self):
+        sharded = ShardedEnsemble(num_shards=4, ensemble_factory=factory,
+                                  parallel=False)
+        sharded.index(make_entries(60))
+        assert sharded.num_shards == 4
+        assert sharded.active_shards == 4
+
+    def test_thread_pool_sized_from_active_shards(self):
+        with ShardedEnsemble(num_shards=10, ensemble_factory=factory,
+                             parallel=True) as sharded:
+            sharded.index(make_entries(3))
+            assert sharded._executor._max_workers == 3
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        entries = make_entries(40)
+        with ShardedEnsemble(num_shards=4, ensemble_factory=factory) as orig:
+            orig.index(entries)
+            orig.save(tmp_path / "cluster")
+            loaded = ShardedEnsemble.load(tmp_path / "cluster")
+            try:
+                assert loaded.num_shards == 4
+                assert len(loaded) == 40
+                for key, probe, size in entries[::7]:
+                    assert loaded.query(probe, size=size, threshold=0.8) == \
+                        orig.query(probe, size=size, threshold=0.8)
+                sigs = [e[1] for e in entries[:8]]
+                sizes = [e[2] for e in entries[:8]]
+                batch = SignatureBatch.from_signatures(sigs)
+                assert loaded.query_batch(batch, sizes=sizes) == \
+                    orig.query_batch(batch, sizes=sizes)
+            finally:
+                loaded.close()
+
+    def test_parallel_setting_roundtrips_and_overrides(self, tmp_path):
+        sharded = ShardedEnsemble(num_shards=2, ensemble_factory=factory,
+                                  parallel=False)
+        sharded.index(make_entries(10))
+        sharded.save(tmp_path / "c")
+        assert ShardedEnsemble.load(tmp_path / "c").parallel is False
+        over = ShardedEnsemble.load(tmp_path / "c", parallel=True)
+        assert over.parallel is True
+        over.close()
+
+    def test_save_before_build_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            ShardedEnsemble(num_shards=2).save(tmp_path / "c")
+
+    def test_load_missing_manifest_rejected(self, tmp_path):
+        from repro.persistence import FormatError
+
+        (tmp_path / "junk").mkdir()
+        with pytest.raises(FormatError):
+            ShardedEnsemble.load(tmp_path / "junk")
+
+    def test_load_missing_shard_file_rejected(self, tmp_path):
+        import json
+
+        from repro.persistence import FormatError
+
+        sharded = ShardedEnsemble(num_shards=3, ensemble_factory=factory,
+                                  parallel=False)
+        sharded.index(make_entries(12))
+        sharded.save(tmp_path / "c")
+        manifest = json.loads(
+            (tmp_path / "c" / "manifest.json").read_text())
+        (tmp_path / "c" / manifest["shards"][1]).unlink()
+        with pytest.raises(FormatError, match="missing"):
+            ShardedEnsemble.load(tmp_path / "c")
+
+    def test_resave_into_same_directory_drops_stale_shards(self, tmp_path):
+        entries = make_entries(24)
+        big = ShardedEnsemble(num_shards=6, ensemble_factory=factory,
+                              parallel=False)
+        big.index(entries)
+        big.save(tmp_path / "c")
+        small = ShardedEnsemble(num_shards=2, ensemble_factory=factory,
+                                parallel=False)
+        small.index(entries)
+        small.save(tmp_path / "c")
+        shard_files = sorted(p.name for p in
+                             (tmp_path / "c").glob("shard-*.lshe"))
+        assert len(shard_files) == 2  # stale generation removed
+        loaded = ShardedEnsemble.load(tmp_path / "c")
+        assert loaded.num_shards == 2
+        assert len(loaded) == 24
+        key, probe, size = entries[5]
+        assert key in loaded.query(probe, size=size, threshold=1.0)
+
+    def test_loaded_cluster_materialize(self, tmp_path):
+        entries = make_entries(20)
+        sharded = ShardedEnsemble(num_shards=2, ensemble_factory=factory,
+                                  parallel=False)
+        sharded.index(entries)
+        sharded.save(tmp_path / "c")
+        loaded = ShardedEnsemble.load(tmp_path / "c", parallel=False)
+        loaded.materialize()
+        key, probe, size = entries[3]
+        assert key in loaded.query(probe, size=size, threshold=1.0)
