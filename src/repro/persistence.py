@@ -2,44 +2,110 @@
 
 At the paper's scale an index takes hours to build (Table 4: ~105 min
 for 262M domains), so rebuilding on every process start is a
-non-starter.  This module serialises the *entries* of an index — the
-``(key, signature, size)`` triples plus the configuration and partition
-bounds — in a compact, versioned binary format, and rebuilds the bucket
-structures on load (bucket structures re-derive deterministically from
-signatures, so persisting them would only trade CPU for several times
-the disk and I/O).
+non-starter.  This module serialises a built index in a compact,
+versioned binary format and rematerialises it on load.  Bucket
+structures re-derive deterministically from the signatures, so they are
+never persisted — only the entries, the configuration, and the
+partition state.
 
-Format (little-endian):
+Format v2 (current, little-endian) — zero-copy columnar::
 
     magic   b"LSHE"            4 bytes
-    version u32                currently 1
+    version u32                2
+    header  u32 length + JSON  configuration, partitions, key/size
+                               tables, backend + partitioner names
+    seeds   N x u32 (or i64)   per-signature permutation seed column
+    matrix  N x num_perm x u64 all signature hash values, C-order,
+                               rows ordered partition-major
+
+The payload is one homogeneous matrix: a load is a single
+``np.memmap`` (or ``np.frombuffer``) with **no per-entry
+deserialisation**, and because rows are written partition-major every
+partition's block is a contiguous zero-copy slice handed straight to
+the forests' vectorised ``insert_batch``.  The header records:
+
+* ``partition_rows`` — rows per partition, delimiting the blocks;
+* ``partition_max_size`` — the per-partition true-size high-water mark,
+  restored verbatim so drifted indexes (clamped inserts, removed
+  maxima) answer queries identically after a round trip;
+* ``storage`` / ``partitioner`` — the *registry names* of the bucket
+  backend and partitioning strategy
+  (:func:`repro.lsh.storage.register_storage_backend`,
+  :func:`repro.core.partitioner.register_partitioner`), so a loaded
+  index keeps the backend it was built with.  Unknown names fail
+  loudly; unregistered customs are recorded as ``null`` and require an
+  explicit factory override at load time;
+* ``seed_dtype`` — ``"<u4"`` normally, escalated to ``"<i8"`` when a
+  seed does not fit in 32 bits.
+
+Format v1 (legacy, still readable)::
+
+    magic   b"LSHE"            4 bytes
+    version u32                1
     header  u32 length + JSON  configuration + partitions + key table
     payload num_entries x (u32 length + LeanMinHash.serialize() bytes)
 
+v1 files carry no backend/partitioner names (the defaults — or the
+load-time overrides — apply) and no ``partition_max_size`` (it is
+recomputed from the stored sizes).  Both readers reject files with
+trailing bytes after the payload: a truncated-then-concatenated or
+doubly-written file must not load "successfully".
+
 Keys are JSON-encoded in the header, so any JSON-representable key
-(strings, numbers, or lists/tuples of those) round-trips; tuple keys are
-restored as tuples.
+(strings, numbers, or lists/tuples of those) round-trips; tuple keys
+are restored as tuples.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import struct
+import tempfile
 from pathlib import Path
 
+import numpy as np
+
 from repro.core.ensemble import LSHEnsemble
-from repro.core.partitioner import Partition
+from repro.core.partitioner import (
+    Partition,
+    partitioner_name,
+    resolve_partitioner,
+)
+from repro.lsh.storage import (
+    resolve_storage_backend,
+    storage_backend_name,
+)
 from repro.minhash.lean import LeanMinHash
 
-__all__ = ["save_ensemble", "load_ensemble", "FormatError"]
+__all__ = ["save_ensemble", "load_ensemble", "read_header", "FormatError"]
 
 _MAGIC = b"LSHE"
-_VERSION = 1
+_VERSION = 2
 _U32 = struct.Struct("<I")
 
 
 class FormatError(ValueError):
     """The file is not a valid serialised LSH Ensemble."""
+
+
+def _process_umask() -> int:
+    """The current umask, read without mutating process-global state.
+
+    ``os.umask`` can only *probe* by setting, which races with other
+    threads creating files; prefer the kernel's race-free report and
+    fall back to the probe where /proc is unavailable.
+    """
+    try:
+        with open("/proc/self/status", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("Umask:"):
+                    return int(line.split()[1], 8)
+    except (OSError, ValueError, IndexError):
+        pass
+    umask = os.umask(0)
+    os.umask(umask)
+    return umask
 
 
 def _encode_key(key: object) -> object:
@@ -54,74 +120,352 @@ def _decode_key(key: object) -> object:
     return key
 
 
-def save_ensemble(index: LSHEnsemble, path: str | Path) -> None:
-    """Serialise a built index to ``path``."""
+# --------------------------------------------------------------------- #
+# Save
+# --------------------------------------------------------------------- #
+
+
+def save_ensemble(index: LSHEnsemble, path: str | Path,
+                  version: int = _VERSION) -> None:
+    """Serialise a built index to ``path``.
+
+    ``version`` selects the on-disk format: 2 (default) writes the
+    columnar layout above; 1 writes the legacy per-entry blob format
+    for compatibility testing.
+    """
     if index.is_empty():
         raise ValueError("refusing to save an empty index")
-    keys = list(index.keys())
-    header = {
+    if version == 1:
+        _atomic_write(path, lambda fh: _save_v1(index, fh))
+    elif version == 2:
+        _atomic_write(path, lambda fh: _save_v2(index, fh))
+    else:
+        raise ValueError("unsupported save version %d" % version)
+
+
+def _atomic_write(path: str | Path, writer) -> None:
+    """Write via a temp file + rename so saves never corrupt ``path``.
+
+    Saving *over* an existing snapshot must not truncate it in place:
+    the index being saved may hold memory-mapped signature rows aliasing
+    that very file (a load_ensemble → save_ensemble round trip), and
+    in-place truncation would fault those pages mid-write.  The rename
+    also makes saves crash-atomic.
+    """
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent) or ".",
+                               prefix=path.name + ".", suffix=".tmp")
+    try:
+        # mkstemp creates 0600 files; restore the umask-derived mode a
+        # plain open(path, "wb") would have produced, so snapshots stay
+        # readable by the users the deployment's umask intends.
+        os.chmod(tmp, 0o666 & ~_process_umask())
+        with os.fdopen(fd, "wb") as fh:
+            writer(fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _base_header(index: LSHEnsemble) -> dict:
+    return {
         "threshold": index.threshold,
         "num_perm": index.num_perm,
         "num_partitions": index.num_partitions,
         "num_trees": index.num_trees,
         "max_depth": index.max_depth,
         "partitions": [[p.lower, p.upper] for p in index.partitions],
-        "keys": [_encode_key(k) for k in keys],
-        "sizes": [index.size_of(k) for k in keys],
     }
+
+
+def _write_header(fh, version: int, header: dict) -> None:
     header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
-    with open(path, "wb") as fh:
-        fh.write(_MAGIC)
-        fh.write(_U32.pack(_VERSION))
-        fh.write(_U32.pack(len(header_bytes)))
-        fh.write(header_bytes)
-        for key in keys:
-            blob = index.get_signature(key).serialize()
-            fh.write(_U32.pack(len(blob)))
-            fh.write(blob)
+    fh.write(_MAGIC)
+    fh.write(_U32.pack(version))
+    fh.write(_U32.pack(len(header_bytes)))
+    fh.write(header_bytes)
 
 
-def load_ensemble(path: str | Path) -> LSHEnsemble:
-    """Load an index previously written by :func:`save_ensemble`.
+def _save_v1(index: LSHEnsemble, fh) -> None:
+    keys = list(index.keys())
+    header = _base_header(index)
+    header["keys"] = [_encode_key(k) for k in keys]
+    header["sizes"] = [index.size_of(k) for k in keys]
+    _write_header(fh, 1, header)
+    for key in keys:
+        blob = index.get_signature(key).serialize()
+        fh.write(_U32.pack(len(blob)))
+        fh.write(blob)
 
-    The returned index answers queries identically to the saved one
-    (signatures are bit-exact; bucket structures are rebuilt
-    deterministically from them with the saved partition bounds).
+
+def _save_v2(index: LSHEnsemble, fh) -> None:
+    partitions = index.partitions
+    lo, hi = partitions[0].lower, partitions[-1].upper - 1
+    # Group keys partition-major (stable within a partition) so every
+    # partition's rows land contiguous on disk and load as views; the
+    # routing reuses the index's own vectorised clamp + assign pass.
+    all_keys = list(index.keys())
+    sizes = np.fromiter((index.size_of(k) for k in all_keys),
+                        dtype=np.int64, count=len(all_keys))
+    routed = index._assign_partitions(np.clip(sizes, lo, hi))
+    order = np.argsort(routed, kind="stable").tolist()
+    keys = [all_keys[j] for j in order]
+    partition_rows = np.bincount(
+        routed, minlength=len(partitions)).tolist()
+    # `routed` already names each key's forest; fetching through it
+    # avoids re-deriving the route per key (a clamp + linear partition
+    # scan) inside index.get_signature.
+    forests = index._forests
+    signatures = [forests[int(routed[j])].get_signature(all_keys[j])
+                  for j in order]
+    seeds = np.asarray([sig.seed for sig in signatures], dtype=np.int64)
+    seed_dtype = ("<u4" if seeds.size == 0
+                  or (0 <= seeds.min() and seeds.max() < 2 ** 32)
+                  else "<i8")
+    header = _base_header(index)
+    header.update({
+        "keys": [_encode_key(k) for k in keys],
+        "sizes": sizes[order].tolist(),
+        "partition_rows": partition_rows,
+        "partition_max_size": list(index._partition_max_size),
+        "storage": storage_backend_name(index._storage_factory),
+        "partitioner": partitioner_name(index._partitioner),
+        "seed_dtype": seed_dtype,
+    })
+    _write_header(fh, 2, header)
+    fh.write(memoryview(np.ascontiguousarray(
+        seeds.astype(seed_dtype))).cast("B"))
+    # Stream the matrix in bounded chunks (~8 MB of staging) rather
+    # than materialising the whole payload — and a tobytes() copy of
+    # it — in RAM; at the paper's scale the payload is far larger than
+    # any sensible staging buffer.
+    rows_per_chunk = max(1, 8_000_000 // (index.num_perm * 8))
+    staging = np.empty((rows_per_chunk, index.num_perm), dtype="<u8")
+    for start in range(0, len(signatures), rows_per_chunk):
+        block = signatures[start:start + rows_per_chunk]
+        for i, sig in enumerate(block):
+            staging[i] = sig.hashvalues
+        fh.write(memoryview(staging[:len(block)]).cast("B"))
+
+
+# --------------------------------------------------------------------- #
+# Load
+# --------------------------------------------------------------------- #
+
+
+def read_header(path: str | Path) -> dict:
+    """The decoded JSON header of a saved index, plus ``"version"``.
+
+    Cheap metadata inspection (``cli info`` uses it to report the
+    on-disk format) — no payload bytes are touched.
     """
     with open(path, "rb") as fh:
-        magic = fh.read(4)
-        if magic != _MAGIC:
-            raise FormatError("bad magic %r; not an LSH Ensemble file"
-                              % magic)
-        (version,) = _U32.unpack(fh.read(4))
-        if version != _VERSION:
-            raise FormatError("unsupported format version %d" % version)
-        (header_len,) = _U32.unpack(fh.read(4))
-        try:
-            header = json.loads(fh.read(header_len).decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise FormatError("corrupt header: %s" % exc) from exc
-        keys = [_decode_key(k) for k in header["keys"]]
-        sizes = header["sizes"]
-        if len(keys) != len(sizes):
-            raise FormatError("key/size table length mismatch")
-        entries = []
-        for key, size in zip(keys, sizes):
-            raw = fh.read(_U32.size)
-            if len(raw) != _U32.size:
-                raise FormatError("truncated payload")
-            (blob_len,) = _U32.unpack(raw)
-            blob = fh.read(blob_len)
-            if len(blob) != blob_len:
-                raise FormatError("truncated signature blob")
-            entries.append((key, LeanMinHash.deserialize(blob), size))
-    index = LSHEnsemble(
+        version, header, _ = _read_preamble(fh)
+    header["version"] = version
+    return header
+
+
+def _read_preamble(fh) -> tuple[int, dict, int]:
+    """(version, header, payload offset) — shared by both readers."""
+    magic = fh.read(4)
+    if magic != _MAGIC:
+        raise FormatError("bad magic %r; not an LSH Ensemble file" % magic)
+    raw = fh.read(_U32.size)
+    if len(raw) != _U32.size:
+        raise FormatError("truncated file: missing version field")
+    (version,) = _U32.unpack(raw)
+    if version not in (1, 2):
+        raise FormatError("unsupported format version %d" % version)
+    raw = fh.read(_U32.size)
+    if len(raw) != _U32.size:
+        raise FormatError("truncated file: missing header length")
+    (header_len,) = _U32.unpack(raw)
+    header_bytes = fh.read(header_len)
+    if len(header_bytes) != header_len:
+        raise FormatError("truncated header")
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FormatError("corrupt header: %s" % exc) from exc
+    return version, header, 4 + 2 * _U32.size + header_len
+
+
+def _resolve_factories(header: dict, storage_factory, partitioner,
+                       version: int):
+    """Thread the recorded backend/partitioner through, or fail loudly.
+
+    Explicit load-time overrides win.  Otherwise v2 headers name the
+    backend in the registry (unknown names and unregistered customs
+    raise — never silently fall back to the defaults); v1 headers
+    predate the registry, so the constructor defaults apply.
+    """
+    if storage_factory is None:
+        name = header.get("storage")
+        if name is not None:
+            try:
+                storage_factory = resolve_storage_backend(name)
+            except KeyError as exc:
+                raise FormatError(str(exc)) from exc
+        elif version >= 2:
+            raise FormatError(
+                "index was saved with an unregistered storage backend; "
+                "pass storage_factory= to load_ensemble (or register the "
+                "backend before saving)")
+    if partitioner is None:
+        name = header.get("partitioner")
+        if name is not None:
+            try:
+                partitioner = resolve_partitioner(name)
+            except KeyError as exc:
+                raise FormatError(str(exc)) from exc
+        elif version >= 2:
+            raise FormatError(
+                "index was saved with an unregistered partitioner; pass "
+                "partitioner= to load_ensemble (or register the "
+                "partitioner before saving)")
+    return storage_factory, partitioner
+
+
+def _make_ensemble(header: dict, storage_factory, partitioner) -> LSHEnsemble:
+    kwargs = {}
+    if storage_factory is not None:
+        kwargs["storage_factory"] = storage_factory
+    if partitioner is not None:
+        kwargs["partitioner"] = partitioner
+    return LSHEnsemble(
         threshold=header["threshold"],
         num_perm=header["num_perm"],
         num_partitions=header["num_partitions"],
         num_trees=header["num_trees"],
         max_depth=header["max_depth"],
+        **kwargs,
     )
+
+
+def load_ensemble(path: str | Path, *, storage_factory=None,
+                  partitioner=None, mmap: bool = True) -> LSHEnsemble:
+    """Load an index previously written by :func:`save_ensemble`.
+
+    The returned index answers queries identically to the saved one
+    (signatures are bit-exact; bucket structures re-derive
+    deterministically from them with the saved partition bounds and
+    high-water marks).  v2 snapshots load through one numpy view of the
+    signature matrix — ``mmap=True`` (the default) maps it from disk so
+    signature pages are only faulted in as queries touch them, and the
+    per-depth bucket tables materialise lazily on first probe.
+
+    Parameters
+    ----------
+    storage_factory, partitioner:
+        Overrides for the bucket backend / partitioning strategy.  By
+        default the names recorded in a v2 header are resolved through
+        the registries; an unknown or unrecorded name raises
+        :class:`FormatError` rather than silently reverting to the
+        defaults.  v1 files carry no names, so the constructor defaults
+        apply unless overridden here.
+    mmap:
+        Memory-map the v2 signature matrix instead of reading it into
+        memory (ignored for v1 files).
+    """
+    with open(path, "rb") as fh:
+        version, header, offset = _read_preamble(fh)
+        if version == 1:
+            return _load_v1(fh, header, storage_factory, partitioner)
+        return _load_v2(fh, path, header, offset, storage_factory,
+                        partitioner, mmap)
+
+
+def _header_entry_tables(header: dict) -> tuple[list, list]:
+    keys = [_decode_key(k) for k in header["keys"]]
+    sizes = header["sizes"]
+    if len(keys) != len(sizes):
+        raise FormatError("key/size table length mismatch")
+    if len(set(keys)) != len(keys):
+        raise FormatError("duplicate keys in header")
+    return keys, sizes
+
+
+def _load_v1(fh, header: dict, storage_factory, partitioner) -> LSHEnsemble:
+    storage_factory, partitioner = _resolve_factories(
+        header, storage_factory, partitioner, version=1)
+    keys, sizes = _header_entry_tables(header)
+    entries = []
+    for key, size in zip(keys, sizes):
+        raw = fh.read(_U32.size)
+        if len(raw) != _U32.size:
+            raise FormatError("truncated payload")
+        (blob_len,) = _U32.unpack(raw)
+        blob = fh.read(blob_len)
+        if len(blob) != blob_len:
+            raise FormatError("truncated signature blob")
+        entries.append((key, LeanMinHash.deserialize(blob), size))
+    if fh.read(1):
+        raise FormatError(
+            "trailing bytes after the last signature blob; "
+            "the file is corrupt (truncated-then-concatenated or "
+            "doubly written)")
+    index = _make_ensemble(header, storage_factory, partitioner)
     partitions = [Partition(lo, hi) for lo, hi in header["partitions"]]
     index.index(entries, partitions=partitions)
+    return index
+
+
+def _load_v2(fh, path, header: dict, offset: int, storage_factory,
+             partitioner, mmap: bool) -> LSHEnsemble:
+    storage_factory, partitioner = _resolve_factories(
+        header, storage_factory, partitioner, version=2)
+    keys, sizes = _header_entry_tables(header)
+    partitions = [Partition(lo, hi) for lo, hi in header["partitions"]]
+    try:
+        partition_rows = [int(c) for c in header["partition_rows"]]
+        partition_max_size = [int(m) for m in header["partition_max_size"]]
+        seed_dtype = np.dtype(header.get("seed_dtype", "<u4"))
+        num_perm = int(header["num_perm"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise FormatError("corrupt v2 header: %s" % exc) from exc
+    n = len(keys)
+    if sum(partition_rows) != n:
+        raise FormatError(
+            "partition_rows sum %d does not match %d entries"
+            % (sum(partition_rows), n))
+    if any(count < 0 for count in partition_rows):
+        raise FormatError("negative partition_rows entry")
+    if (len(partition_rows) != len(partitions)
+            or len(partition_max_size) != len(partitions)):
+        raise FormatError("per-partition table length mismatch")
+    seeds_nbytes = n * seed_dtype.itemsize
+    matrix_nbytes = n * num_perm * 8
+    expected = offset + seeds_nbytes + matrix_nbytes
+    actual = os.fstat(fh.fileno()).st_size
+    if actual < expected:
+        raise FormatError(
+            "truncated payload: expected %d bytes, file has %d"
+            % (expected, actual))
+    if actual > expected:
+        raise FormatError(
+            "trailing bytes after the signature matrix (%d extra); "
+            "the file is corrupt (truncated-then-concatenated or "
+            "doubly written)" % (actual - expected))
+    if n == 0:
+        return _make_ensemble(header, storage_factory, partitioner)
+    seeds_raw = fh.read(seeds_nbytes)
+    if len(seeds_raw) != seeds_nbytes:
+        raise FormatError("truncated seed column")
+    seeds = np.frombuffer(seeds_raw, dtype=seed_dtype).astype(np.int64)
+    matrix_offset = offset + seeds_nbytes
+    if mmap:
+        matrix = np.memmap(path, dtype="<u8", mode="r",
+                           offset=matrix_offset, shape=(n, num_perm))
+    else:
+        payload = fh.read(matrix_nbytes)
+        matrix = np.frombuffer(payload, dtype="<u8").reshape(n, num_perm)
+    index = _make_ensemble(header, storage_factory, partitioner)
+    index._restore_columnar(partitions, keys, sizes, matrix, seeds,
+                            partition_rows, partition_max_size)
     return index
