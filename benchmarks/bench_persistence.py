@@ -69,13 +69,19 @@ def _build_corpus(num_domains: int, num_perm: int, seed: int):
 
 
 def _per_entry_rebuild(entries, partitions, num_perm: int) -> LSHEnsemble:
-    """The v1-era load path: route and insert one entry at a time."""
+    """The v1-era load path: route and insert one entry at a time.
+
+    The public ``insert`` is now an O(1) delta-tier stage, so emulating
+    the historical baseline (per-entry bucket fills into the base
+    partitions) goes through the internal physical-routing primitive —
+    the exact code path ``insert`` used before the write tier existed.
+    """
     index = LSHEnsemble(num_perm=num_perm, num_partitions=NUM_PARTITIONS,
                         threshold=THRESHOLD)
     it = iter(entries)
     index.index([next(it)], partitions=partitions)
     for key, sig, size in it:
-        index.insert(key, sig, size)
+        index._route(key, sig, size)
     return index
 
 

@@ -1,15 +1,18 @@
 """Dynamic data: streaming inserts and distribution drift (Section 6.2).
 
-Open data grows continuously.  The LSH Ensemble accepts new domains after
-the initial build — they are routed into the existing size partitions —
-but if the incoming size distribution drifts far from the one the
-partitions were built for, the equi-depth optimality erodes (the paper's
-Figure 8).  This example:
+Open data grows continuously.  Post-build writes land in the LSH
+Ensemble's *delta tier* (a small side index partitioned from the
+incoming sizes) while removals tombstone the immutable base; the drift
+monitor watches how far the live corpus has wandered from the built
+partitioning, and ``rebalance()`` folds everything into a freshly
+partitioned base when it has wandered too far (the paper's Figure 8
+regime, made operational).  This example:
 
 1. builds an index on an initial corpus;
-2. streams in a second corpus whose sizes skew much larger;
-3. measures accuracy before and after, and after a rebuild,
-   demonstrating when re-partitioning pays off.
+2. streams in a second corpus whose sizes skew much larger, watching
+   ``drift_stats()`` climb;
+3. measures accuracy before and after ``rebalance()``, demonstrating
+   when compaction pays off.
 
 Run:  python examples/dynamic_corpus.py
 """
@@ -68,32 +71,39 @@ print("built on initial corpus: %d domains, partitions %s"
       % (len(index), [(p.lower, p.upper) for p in index.partitions[:4]]))
 
 # ---------------------------------------------------------------------- #
-# 3. Stream in the drifted batch (sizes clamp into the old partitions).
+# 3. Stream in the drifted batch (absorbed by the delta write tier).
 # ---------------------------------------------------------------------- #
 
 for key in drift:
     index.insert("new_%s" % key, signatures["new_%s" % key],
                  drift.size_of(key))
-print("after streaming %d drifted domains: %d indexed"
-      % (len(drift), len(index)))
+monitor = index.drift_stats()
+print("after streaming %d drifted domains: %d indexed, drift score %.2f "
+      "(depth excess %.2f, churn %.2f, skew shift %.2f)"
+      % (len(drift), len(index), monitor["drift_score"],
+         monitor["depth_excess"], monitor["churn_ratio"],
+         monitor["skewness_shift"]))
 
 stale = measure(index, combined, signatures, queries, exact)
-print("stale partitions:   precision %.3f, recall %.3f, F1 %.3f"
+print("two-tier (stale base): precision %.3f, recall %.3f, F1 %.3f"
       % (stale.precision, stale.recall, stale.f1))
 
 # ---------------------------------------------------------------------- #
-# 4. Rebuild with partitions fitted to the combined distribution.
+# 4. Compact: fold the delta into partitions fitted to the merged
+#    distribution (identical to a from-scratch rebuild, minus the
+#    re-hashing).
 # ---------------------------------------------------------------------- #
 
-rebuilt = LSHEnsemble(threshold=THRESHOLD, num_perm=NUM_PERM,
-                      num_partitions=NUM_PARTITIONS)
-rebuilt.index(
-    (key, signatures[key], combined.size_of(key)) for key in combined
-)
-fresh = measure(rebuilt, combined, signatures, queries, exact)
-print("rebuilt partitions: precision %.3f, recall %.3f, F1 %.3f"
+summary = index.rebalance()
+print("rebalance: generation %d in %.2fs, partition-depth cv "
+      "%.2f -> %.2f"
+      % (summary["generation"], summary["seconds"],
+         summary["depth_cv_before"], summary["depth_cv_after"]))
+fresh = measure(index, combined, signatures, queries, exact)
+print("rebalanced partitions: precision %.3f, recall %.3f, F1 %.3f"
       % (fresh.precision, fresh.recall, fresh.f1))
 
-print("\nThe paper's Section 6.2 finding: recall survives drift (no new "
-      "false negatives\nby construction), and precision only erodes once "
-      "the drift is extreme —\nrebuilds are rare maintenance, not routine.")
+print("\nThe paper's Section 6.2 finding, made operational: recall "
+      "survives drift\n(the delta tier self-partitions instead of "
+      "clamping), and rebalance() is\nroutine maintenance the drift "
+      "monitor schedules — set auto_rebalance_at to\nautomate it.")

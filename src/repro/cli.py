@@ -1,6 +1,6 @@
 """Command-line interface for domain search.
 
-Build, persist, and query LSH Ensemble indexes from the shell::
+Build, persist, mutate, and query LSH Ensemble indexes from the shell::
 
     # corpus.json: {"domain-name": ["value", ...], ...}
     python -m repro.cli build corpus.json index.lshe --partitions 16
@@ -8,12 +8,22 @@ Build, persist, and query LSH Ensemble indexes from the shell::
     python -m repro.cli build corpus.json index.lshe --backend dict
     python -m repro.cli query index.lshe --query-file q.json --top-k 5
     python -m repro.cli query index.lshe --batch-file q.json --threshold 0.6
+    python -m repro.cli insert index.lshe more.json
+    python -m repro.cli remove index.lshe old-domain other-domain
+    python -m repro.cli rebalance index.lshe --if-drift-above 0.3
     python -m repro.cli info  index.lshe
 
 ``--query-file`` answers each entry with an independent single query;
 ``--batch-file`` hashes all entries into one signature matrix and answers
 them through the vectorised batch path (same results, much higher
 throughput on many queries).
+
+``insert`` and ``remove`` exercise the dynamic lifecycle: writes land in
+the delta tier / tombstone set and the index is re-saved as a
+generation-numbered manifest directory (an ``insert`` into a single-file
+snapshot converts it in place).  ``rebalance`` compacts the write tiers
+into a freshly partitioned base; ``info`` reports tier sizes and the
+drift monitor's metrics alongside the static layout.
 
 The JSON corpus format is deliberately simple: one object whose keys are
 domain names and whose values are arrays of (string or numeric) domain
@@ -79,6 +89,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--top-k", type=int, default=None,
                          help="return the k best by estimated containment"
                               " instead of thresholding")
+
+    p_insert = sub.add_parser(
+        "insert", help="add domains from a JSON corpus to a built index")
+    p_insert.add_argument("index", type=Path)
+    p_insert.add_argument("corpus", type=Path,
+                          help="JSON file: {name: [values...]} of new "
+                               "domains (keys must not already be indexed)")
+    p_insert.add_argument("--auto-rebalance-at", type=float, default=None,
+                          metavar="SCORE",
+                          help="rebalance automatically once the drift "
+                               "score reaches SCORE (persisted with the "
+                               "index)")
+
+    p_remove = sub.add_parser(
+        "remove", help="remove domains from a built index")
+    p_remove.add_argument("index", type=Path)
+    p_remove.add_argument("keys", nargs="+", metavar="KEY",
+                          help="domain names to tombstone/remove")
+
+    p_rebal = sub.add_parser(
+        "rebalance",
+        help="fold delta-tier writes and tombstones into a freshly "
+             "partitioned base")
+    p_rebal.add_argument("index", type=Path)
+    p_rebal.add_argument("--if-drift-above", type=float, default=None,
+                         metavar="SCORE",
+                         help="only rebalance when the drift score is at "
+                              "least SCORE (otherwise leave the index "
+                              "untouched)")
+    p_rebal.add_argument("--partitions", type=int, default=None,
+                         help="new partition count (default: keep the "
+                              "configured count)")
 
     p_info = sub.add_parser("info", help="describe a built index")
     p_info.add_argument("index", type=Path)
@@ -194,11 +236,93 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_insert(args: argparse.Namespace) -> int:
+    corpus = _load_corpus(args.corpus)
+    index = load_ensemble(args.index)
+    if args.auto_rebalance_at is not None:
+        if not 0.0 < args.auto_rebalance_at <= 1.0:
+            raise SystemExit("error: --auto-rebalance-at must be in (0, 1]")
+        index.auto_rebalance_at = args.auto_rebalance_at
+    factory = SignatureFactory(num_perm=index.num_perm)
+    generation_before = index.generation
+    t0 = time.perf_counter()
+    for name, values in corpus.items():
+        try:
+            index.insert(name, factory.lean(values), len(values))
+        except ValueError as exc:
+            raise SystemExit("error: %s" % exc)
+    save_ensemble(index, args.index)
+    print("inserted %d domains in %.2fs -> %s"
+          % (len(corpus), time.perf_counter() - t0, args.index))
+    if index.generation > generation_before:
+        print("drift threshold reached: auto-rebalanced to generation %d"
+              % index.generation)
+    _print_drift(index.drift_stats())
+    return 0
+
+
+def _cmd_remove(args: argparse.Namespace) -> int:
+    index = load_ensemble(args.index)
+    keys = list(dict.fromkeys(args.keys))  # repeated KEYs count once
+    missing = [key for key in keys if key not in index]
+    if missing:
+        raise SystemExit("error: not in the index: %s"
+                         % ", ".join(sorted(missing)))
+    for key in keys:
+        index.remove(key)
+    if index.is_empty():
+        raise SystemExit(
+            "error: removing every domain would leave an unsaveable "
+            "empty index")
+    save_ensemble(index, args.index)
+    print("removed %d domains -> %s" % (len(keys), args.index))
+    _print_drift(index.drift_stats())
+    return 0
+
+
+def _cmd_rebalance(args: argparse.Namespace) -> int:
+    index = load_ensemble(args.index)
+    drift = index.drift_stats()
+    if (args.if_drift_above is not None
+            and drift["drift_score"] < args.if_drift_above):
+        print("drift score %.3f is below %.3f; leaving generation %d "
+              "untouched" % (drift["drift_score"], args.if_drift_above,
+                             index.generation))
+        return 0
+    summary = index.rebalance(num_partitions=args.partitions)
+    save_ensemble(index, args.index)
+    folded = summary["folded"]
+    print("rebalanced to generation %d in %.2fs: folded %d base + %d "
+          "delta domains (%d tombstones reclaimed) into %d partitions"
+          % (summary["generation"], summary["seconds"], folded["base"],
+             folded["delta"], folded["tombstones"],
+             summary["num_partitions"]))
+    print("partition-depth cv %.3f -> %.3f, drift score %.3f -> %.3f"
+          % (summary["depth_cv_before"], summary["depth_cv_after"],
+             summary["drift_score_before"], summary["drift_score_after"]))
+    return 0
+
+
+def _print_drift(drift: dict) -> None:
+    print("tiers:          base %d, delta %d, tombstones %d "
+          "(generation %d)"
+          % (drift["base_keys"], drift["delta_keys"], drift["tombstones"],
+             drift["generation"]))
+    print("drift score:    %.3f (depth excess %.3f, churn %.3f, "
+          "skew shift %.3f)"
+          % (drift["drift_score"], drift["depth_excess"],
+             drift["churn_ratio"], drift["skewness_shift"]))
+    if drift["auto_rebalance_at"] is not None:
+        print("auto-rebalance: at drift score >= %.2f"
+              % drift["auto_rebalance_at"])
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     header = read_header(args.index)
     print("format:         v%d%s" % (
         header["version"],
-        " (zero-copy columnar)" if header["version"] >= 2
+        " (dynamic manifest)" if header["version"] >= 3
+        else " (zero-copy columnar)" if header["version"] >= 2
         else " (legacy per-entry)"))
     if header["version"] >= 2:
         print("backend:        %s" % header.get("storage"))
@@ -212,6 +336,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
         return 1
     sizes = sorted(index.size_of(k) for k in index.keys())
     print("domains:        %d" % len(index))
+    _print_drift(index.drift_stats())
     print("num_perm:       %d" % index.num_perm)
     print("threshold:      %.2f (default)" % index.threshold)
     print("forest shape:   %d trees x depth %d"
@@ -235,6 +360,9 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "build": _cmd_build,
         "query": _cmd_query,
+        "insert": _cmd_insert,
+        "remove": _cmd_remove,
+        "rebalance": _cmd_rebalance,
         "info": _cmd_info,
     }
     return handlers[args.command](args)

@@ -27,6 +27,7 @@ from repro.core.partitioner import (
     list_partitioners,
     optimal_partitions,
     partition_counts,
+    partition_depth_cv,
     partition_size_std,
     partitioner_name,
     register_partitioner,
@@ -45,6 +46,7 @@ __all__ = [
     "blended_partitions",
     "optimal_partitions",
     "partition_counts",
+    "partition_depth_cv",
     "partition_size_std",
     "assign_partition",
     "register_partitioner",

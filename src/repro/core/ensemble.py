@@ -15,6 +15,21 @@ and the union of the partition results is returned
 (``Partitioned-Containment-Search``).  Partitions whose largest possible
 containment ``u_i / q`` is below ``t*`` cannot hold a true positive and
 are pruned outright.
+
+Dynamic lifecycle (two-tier LSM-style mutation path)
+----------------------------------------------------
+
+The partitioning above is computed once at build time, but live corpora
+drift (Section 6.2).  Post-build writes therefore never touch the
+immutable **base tier**: ``insert`` stages entries into a small
+self-partitioned **delta tier** (:class:`~repro.core.delta.DeltaTier`)
+and ``remove`` of a base-tier key adds a **tombstone**.  Every query
+entry point answers from both tiers, filtering tombstones out of the
+base results.  A **drift monitor** (:meth:`LSHEnsemble.drift_stats`)
+tracks partition-depth imbalance, write churn and size-distribution
+skewness shift; when drift warrants it — manually, or automatically via
+``auto_rebalance_at`` — :meth:`LSHEnsemble.rebalance` folds both tiers
+into a freshly partitioned base through the vectorised bulk-build path.
 """
 
 from __future__ import annotations
@@ -24,10 +39,12 @@ from collections.abc import Hashable, Iterable, Sequence
 
 import numpy as np
 
+from repro.core.delta import DeltaTier
 from repro.core.partitioner import (
     Partition,
     assign_partition,
     equi_depth_partitions,
+    partition_depth_cv,
 )
 from repro.core.tuning import (
     TuningResult,
@@ -39,8 +56,69 @@ from repro.lsh.storage import DictHashTableStorage
 from repro.minhash.batch import SignatureBatch
 from repro.minhash.lean import LeanMinHash
 from repro.minhash.minhash import MinHash
+from repro.stats.skewness import skewness_from_sums
 
 __all__ = ["LSHEnsemble", "PartitionQueryReport"]
+
+# The top-k search's descending threshold ladder: probe at START, step
+# down by STEP until k candidates accumulate (or min_threshold).
+# Shared with the sharded fan-out (repro.parallel.sharded), whose
+# bit-exact parity with the flat index depends on walking the very same
+# rungs.
+TOPK_LADDER_START = 0.95
+TOPK_LADDER_STEP = 0.15
+
+
+def _validate_topk_args(k: int, min_threshold: float) -> None:
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if not 0.0 < min_threshold <= 1.0:
+        raise ValueError("min_threshold must be in (0, 1]")
+
+
+def _ladder_candidates(query_at, k: int, min_threshold: float) -> set:
+    """Candidates accumulated down the shared top-k threshold ladder.
+
+    ``query_at(threshold) -> set``.  Rungs descend from
+    ``TOPK_LADDER_START`` by ``TOPK_LADDER_STEP`` until ``k``
+    candidates accumulate or the ``min_threshold`` floor rung has been
+    probed.  The flat and sharded searches both walk this exact ladder
+    — their bit-exact parity (pinned by tests) is structural, not a
+    matter of keeping two copies in sync.
+    """
+    candidates: set = set()
+    threshold = TOPK_LADDER_START
+    while True:
+        candidates |= query_at(threshold)
+        if len(candidates) >= k or threshold <= min_threshold:
+            break
+        threshold = max(min_threshold, threshold - TOPK_LADDER_STEP)
+    return candidates
+
+
+def _ladder_candidates_batch(query_rows_at, n: int, k: int,
+                             min_threshold: float) -> list[set]:
+    """Per-row ladder candidates; each rung answers only the rows that
+    still need candidates.
+
+    ``query_rows_at(rows, threshold) -> list[set]`` aligned with
+    ``rows``.  Row ``j`` stops descending once it holds ``k``
+    candidates (the same stop rule as :func:`_ladder_candidates`), so
+    the expensive early rungs are shared by the whole batch.
+    """
+    candidates: list[set] = [set() for _ in range(n)]
+    active = list(range(n))
+    threshold = TOPK_LADDER_START
+    while active:
+        found = query_rows_at(active, threshold)
+        still_active = []
+        for j, hits in zip(active, found):
+            candidates[j] |= hits
+            if len(candidates[j]) < k and threshold > min_threshold:
+                still_active.append(j)
+        active = still_active
+        threshold = max(min_threshold, threshold - TOPK_LADDER_STEP)
+    return candidates
 
 
 class PartitionQueryReport:
@@ -51,27 +129,34 @@ class PartitionQueryReport:
     per-partition cost for exactly that reason), so the parallel-model
     query time of a whole ensemble query is ``max`` over these, while the
     single-worker time is their sum.
+
+    ``tier`` names the tier the partition belongs to: ``"base"`` for the
+    immutable built index, ``"delta"`` for the write tier's
+    self-partitioned side index.
     """
 
     __slots__ = ("partition", "tuning", "num_candidates", "pruned",
-                 "elapsed_seconds")
+                 "elapsed_seconds", "tier")
 
     def __init__(self, partition: Partition, tuning: TuningResult | None,
                  num_candidates: int, pruned: bool,
-                 elapsed_seconds: float = 0.0) -> None:
+                 elapsed_seconds: float = 0.0, tier: str = "base") -> None:
         self.partition = partition
         self.tuning = tuning
         self.num_candidates = num_candidates
         self.pruned = pruned
         self.elapsed_seconds = elapsed_seconds
+        self.tier = tier
 
     def __repr__(self) -> str:
+        suffix = "" if self.tier == "base" else ", tier=%s" % self.tier
         if self.pruned:
-            return "PartitionQueryReport([%d, %d), pruned)" % (
-                self.partition.lower, self.partition.upper)
-        return ("PartitionQueryReport([%d, %d), b=%d, r=%d, candidates=%d)"
+            return "PartitionQueryReport([%d, %d), pruned%s)" % (
+                self.partition.lower, self.partition.upper, suffix)
+        return ("PartitionQueryReport([%d, %d), b=%d, r=%d, candidates=%d%s)"
                 % (self.partition.lower, self.partition.upper,
-                   self.tuning.b, self.tuning.r, self.num_candidates))
+                   self.tuning.b, self.tuning.r, self.num_candidates,
+                   suffix))
 
 
 def _as_lean(signature: MinHash | LeanMinHash) -> LeanMinHash:
@@ -113,24 +198,37 @@ class LSHEnsemble:
         data, or a custom callable.
     storage_factory:
         Bucket backend for the underlying forests.
+    auto_rebalance_at:
+        Optional drift-score threshold in ``(0, 1]``.  When set, every
+        :meth:`insert` / :meth:`remove` checks the (O(partitions)) drift
+        score and triggers :meth:`rebalance` once it reaches the
+        threshold.  ``None`` (default) leaves compaction fully manual.
 
-    The index is built in one shot with :meth:`index` (partition bounds are
-    derived from the data, as in the paper), after which new domains can
-    still be added with :meth:`insert` — they are routed to the existing
-    partition covering their size (the Figure 8 dynamic-data regime).
+    The index is built in one shot with :meth:`index` (partition bounds
+    are derived from the data, as in the paper).  After the build the
+    base tier is immutable: :meth:`insert` stages new domains in the
+    self-partitioned delta tier and :meth:`remove` tombstones base-tier
+    keys, until :meth:`rebalance` folds everything into a freshly
+    partitioned base (see the module docstring).
     """
 
     def __init__(self, threshold: float = 0.8, num_perm: int = 256,
                  num_partitions: int = 8,
                  num_trees: int | None = None, max_depth: int | None = None,
                  partitioner=equi_depth_partitions,
-                 storage_factory=DictHashTableStorage) -> None:
+                 storage_factory=DictHashTableStorage,
+                 auto_rebalance_at: float | None = None) -> None:
         if not 0.0 <= threshold <= 1.0:
             raise ValueError("threshold must be in [0, 1]")
         if num_partitions < 1:
             raise ValueError("num_partitions must be >= 1")
         if num_perm < 2:
             raise ValueError("num_perm must be at least 2")
+        if auto_rebalance_at is not None:
+            auto_rebalance_at = float(auto_rebalance_at)
+            if not 0.0 < auto_rebalance_at <= 1.0:
+                raise ValueError("auto_rebalance_at must be in (0, 1]")
+        self.auto_rebalance_at = auto_rebalance_at
         self.threshold = float(threshold)
         self.num_perm = int(num_perm)
         self.num_partitions = int(num_partitions)
@@ -149,12 +247,37 @@ class LSHEnsemble:
         self._storage_factory = storage_factory
         self._partitions: list[Partition] = []
         self._forests: list[PrefixForest] = []
+        # Keys *physically* present in the base-tier forests, including
+        # tombstoned ones (the base tier is immutable after the build;
+        # removal is logical).  The live key set is
+        # (base - tombstones) | delta.
         self._sizes: dict[Hashable, int] = {}
-        # Largest *true* size routed into each partition.  Clamped inserts
-        # (sizes beyond the built range, Section 6.2's drift regime) can
-        # exceed the partition's nominal upper bound; queries must use the
-        # larger of the two or pruning/tuning would lose those domains.
+        # Largest *live* true size routed into each partition.  Sizes
+        # clamped at build time (explicit partitions narrower than the
+        # data) can exceed the partition's nominal upper bound; queries
+        # must use the larger of the two or pruning/tuning would lose
+        # those domains.  Tombstoning a partition's maximal key marks
+        # this dirty; it is recomputed lazily (_resolve_live_max) so the
+        # tuning bound u never stays inflated by removed domains.
         self._partition_max_size: list[int] = []
+        self._live_max_dirty = False
+        # Dynamic tiers.
+        self._delta: DeltaTier | None = None
+        self._tombstones: set = set()
+        self._generation = 0
+        # Drift monitor state: per-base-partition live counts (base-tier
+        # live keys, and delta keys routed by the *base* partitions), and
+        # exact integer power sums (n, Σx, Σx², Σx³) of the live size
+        # distribution for O(1) incremental skewness.
+        self._base_live_counts: list[int] = []
+        self._delta_routed_counts: list[int] = []
+        self._moments: list[int] = [0, 0, 0, 0]
+        self._baseline_depth_cv = 0.0
+        self._baseline_skew = 0.0
+        # Set by the persistence layer when this index was restored from
+        # a manifest segment; lets a re-save into the same directory
+        # reuse the unchanged base segment.  rebalance() clears it.
+        self._base_source = None
 
     # ------------------------------------------------------------------ #
     # Build
@@ -229,6 +352,8 @@ class LSHEnsemble:
         """
         for forest in self._forests:
             forest.materialize()
+        if self._delta is not None:
+            self._delta.materialize()
 
     def _assign_partitions(self, clamped: np.ndarray) -> np.ndarray:
         """Partition index per (already clamped) size, vectorised."""
@@ -248,8 +373,15 @@ class LSHEnsemble:
             dtype=np.intp, count=len(clamped))
 
     def _bulk_fill(self, keys: list, sizes: list[int], matrix: np.ndarray,
-                   seeds: np.ndarray) -> None:
-        """Group rows by partition and bulk-insert each group's block."""
+                   seeds: np.ndarray, initial: bool = True) -> None:
+        """Group rows by partition and bulk-insert each group's block.
+
+        ``initial=True`` (a build/restore/rebalance) seeds the drift
+        monitor from this fill; ``initial=False`` (the delta tier's
+        vectorised top-up flush) adds the rows to existing forests and
+        folds them into the monitor incrementally.  Callers own key
+        deduplication against the existing contents.
+        """
         parts = self._partitions
         sizes_arr = np.asarray(sizes, dtype=np.int64)
         clamped = np.clip(sizes_arr, parts[0].lower, parts[-1].upper - 1)
@@ -279,6 +411,47 @@ class LSHEnsemble:
                     self._partition_max_size[i] = peak
             off += count
         self._sizes.update(zip(keys, sizes))
+        if initial:
+            self._init_drift_state(counts, sizes)
+        else:
+            for i, count in enumerate(counts):
+                self._base_live_counts[i] += int(count)
+            added = self._moments_of(sizes)
+            self._moments = [have + new for have, new
+                             in zip(self._moments, added)]
+            self._base_source = None
+
+    def _init_drift_state(self, counts: list[int],
+                          sizes: Iterable[int]) -> None:
+        """Seed the drift monitor from a freshly filled base tier."""
+        self._base_live_counts = [int(c) for c in counts]
+        self._delta_routed_counts = [0] * len(self._partitions)
+        self._moments = self._moments_of(sizes)
+        self._baseline_depth_cv = partition_depth_cv(self._base_live_counts)
+        self._baseline_skew = skewness_from_sums(*self._moments)
+
+    @staticmethod
+    def _moments_of(sizes: Iterable[int]) -> list[int]:
+        """Exact integer power sums (n, Σx, Σx², Σx³) of ``sizes``."""
+        n = s1 = s2 = s3 = 0
+        for s in sizes:
+            s = int(s)
+            sq = s * s
+            n += 1
+            s1 += s
+            s2 += sq
+            s3 += sq * s
+        return [n, s1, s2, s3]
+
+    def _track_size(self, size: int, sign: int) -> None:
+        """Add (+1) or drop (-1) one live size from the moment sums."""
+        s = int(size)
+        sq = s * s
+        m = self._moments
+        m[0] += sign
+        m[1] += sign * s
+        m[2] += sign * sq
+        m[3] += sign * sq * s
 
     def _restore_columnar(self, partitions: Sequence[Partition], keys: list,
                           sizes: list[int], matrix: np.ndarray,
@@ -314,42 +487,330 @@ class LSHEnsemble:
                     keys[off:off + count], matrix[off:off + count],
                     seeds if scalar_seeds else seeds[off:off + count])
             off += count
-        self._sizes.update(zip(keys, (int(s) for s in sizes)))
+        sizes = [int(s) for s in sizes]
+        self._sizes.update(zip(keys, sizes))
+        self._init_drift_state(list(partition_rows), sizes)
 
     def insert(self, key: Hashable, signature: MinHash | LeanMinHash,
                size: int) -> None:
         """Add one domain to an already-built index.
 
-        Sizes beyond the built range are clamped into the boundary
-        partitions; heavy drift degrades the equi-depth optimality (the
-        paper's Section 6.2) but never correctness of what is stored.
+        The base tier is immutable: the entry is staged in the delta
+        tier (O(1) — no bucket work until the next query flushes it),
+        where it gets partitions fitted to the delta's own size
+        distribution instead of clamping into the base tier's stale
+        boundary partitions.  :meth:`rebalance` later folds the delta
+        into a freshly partitioned base.
         """
         if not self._forests:
             raise RuntimeError("call index() before insert()")
         if size < 1:
             raise ValueError("domain size must be >= 1")
-        self._route(key, signature, size)
+        lean = _as_lean(signature)
+        if lean.num_perm != self.num_perm:
+            raise ValueError(
+                "signature num_perm %d does not match index num_perm %d"
+                % (lean.num_perm, self.num_perm)
+            )
+        if key in self:
+            raise ValueError("key %r is already in the index" % (key,))
+        size = int(size)
+        if self._delta is None:
+            self._delta = DeltaTier(self._delta_factory)
+        self._delta.add(key, lean, size)
+        self._delta_routed_counts[self._route_index(size)] += 1
+        self._track_size(size, +1)
+        self._maybe_auto_rebalance()
+
+    def _delta_factory(self) -> "LSHEnsemble":
+        """An empty delta-tier inner index bound to this configuration.
+
+        The delta stays small between rebalances, so it gets at most 4
+        partitions — enough self-partitioning to keep drifted sizes out
+        of degenerate clamping, cheap enough to rebuild on flush.
+        """
+        return LSHEnsemble(
+            threshold=self.threshold, num_perm=self.num_perm,
+            num_partitions=min(4, self.num_partitions),
+            num_trees=self.num_trees, max_depth=self.max_depth,
+            partitioner=self._partitioner,
+            storage_factory=self._storage_factory)
+
+    def _route_index(self, size: int) -> int:
+        """Base partition index for ``size`` (clamped into range)."""
+        clamped = min(max(size, self._partitions[0].lower),
+                      self._partitions[-1].upper - 1)
+        return assign_partition(clamped, self._partitions)
 
     def _route(self, key: Hashable, signature: MinHash | LeanMinHash,
                size: int) -> None:
+        """Physically insert into the base-tier forests (build-time
+        routing; used by the delta tier's inner index, never by public
+        :meth:`insert`)."""
         if key in self._sizes:
             raise ValueError("key %r is already in the index" % (key,))
-        clamped = min(max(size, self._partitions[0].lower),
-                      self._partitions[-1].upper - 1)
-        i = assign_partition(clamped, self._partitions)
+        i = self._route_index(size)
         self._forests[i].insert(key, _as_lean(signature))
         self._sizes[key] = size
         if size > self._partition_max_size[i]:
             self._partition_max_size[i] = size
+        self._base_live_counts[i] += 1
+        self._track_size(size, +1)
+        self._base_source = None
 
-    def remove(self, key: Hashable) -> None:
-        """Remove a domain from the index."""
+    def _remove_physical(self, key: Hashable) -> None:
+        """Physically remove from the base-tier forests (delta inner
+        index only — the public :meth:`remove` tombstones instead)."""
         size = self._sizes.pop(key, None)
         if size is None:
             raise KeyError(key)
-        clamped = min(max(size, self._partitions[0].lower),
-                      self._partitions[-1].upper - 1)
-        self._forests[assign_partition(clamped, self._partitions)].remove(key)
+        i = self._route_index(size)
+        self._forests[i].remove(key)
+        self._base_live_counts[i] -= 1
+        self._track_size(size, -1)
+        if size >= self._partition_max_size[i]:
+            # The partition's maximal key may be gone: recompute the
+            # tuning bound lazily instead of serving an inflated u.
+            self._live_max_dirty = True
+        self._base_source = None
+
+    def remove(self, key: Hashable) -> None:
+        """Remove a domain from the index.
+
+        Delta-tier entries are dropped outright; base-tier keys get a
+        tombstone (the columnar base stays untouched — crucially, this
+        no longer forces lazily loaded bucket tables to materialise).
+        Tombstoned keys are filtered out of every query and reclaimed by
+        :meth:`rebalance`.
+        """
+        if self._delta is not None and key in self._delta:
+            size = self._delta.discard(key)
+            self._delta_routed_counts[self._route_index(size)] -= 1
+            self._track_size(size, -1)
+        elif key in self._sizes and key not in self._tombstones:
+            size = self._sizes[key]
+            self._tombstones.add(key)
+            i = self._route_index(size)
+            self._base_live_counts[i] -= 1
+            self._track_size(size, -1)
+            if size >= self._partition_max_size[i]:
+                self._live_max_dirty = True
+        else:
+            raise KeyError(key)
+        self._maybe_auto_rebalance()
+
+    def _resolve_live_max(self) -> None:
+        """Recompute per-partition live maxima if removals dirtied them.
+
+        ``remove()`` of a partition's maximal key would otherwise leave
+        the old maximum as the tuning bound ``u`` forever, inflating
+        every subsequent (b, r) selection for that partition.  One
+        vectorised pass over the live base keys restores the exact
+        bound; delta entries carry their own partitions and do not
+        participate.
+        """
+        if not self._live_max_dirty:
+            return
+        live_max = [0] * len(self._partitions)
+        if self._sizes:
+            keys = list(self._sizes)
+            sizes = np.fromiter((self._sizes[k] for k in keys),
+                                dtype=np.int64, count=len(keys))
+            if self._tombstones:
+                tombstones = self._tombstones
+                mask = np.fromiter((k not in tombstones for k in keys),
+                                   dtype=bool, count=len(keys))
+                sizes = sizes[mask]
+            if sizes.size:
+                parts = self._partitions
+                clamped = np.clip(sizes, parts[0].lower,
+                                  parts[-1].upper - 1)
+                idx = self._assign_partitions(clamped)
+                peaks = np.zeros(len(parts), dtype=np.int64)
+                np.maximum.at(peaks, idx, sizes)
+                live_max = [int(m) for m in peaks]
+        self._partition_max_size = live_max
+        # Cleared only after the swap: a concurrent query that observes
+        # the flag down must also observe the recomputed bounds (the
+        # recompute is idempotent, so a duplicated pass is benign).
+        self._live_max_dirty = False
+
+    # ------------------------------------------------------------------ #
+    # Drift monitor + compaction
+    # ------------------------------------------------------------------ #
+
+    def drift_stats(self) -> dict:
+        """How far the live corpus has drifted from the built partitioning.
+
+        All O(num_partitions) — safe to poll on every mutation.  The
+        components (each reported clipped to ``[0, 1]``):
+
+        * ``depth_excess`` — growth of the partition-depth coefficient
+          of variation (:func:`~repro.core.partitioner.partition_depth_cv`
+          of the live counts, with delta keys routed by the base
+          partitions) over the value recorded at build time.  The
+          scale-free form of Figure 8's x-axis.
+        * ``churn_ratio`` — fraction of the live corpus carried by the
+          write tiers (delta entries + tombstones): how much work a
+          :meth:`rebalance` would fold in.
+        * ``skewness_shift`` — relative change of the live size
+          distribution's skewness (Eq. 29, kept incrementally via
+          :func:`~repro.stats.skewness.skewness_from_sums`) against the
+          build-time baseline.
+
+        ``drift_score`` is the max of the three; ``auto_rebalance_at``
+        compares against it.
+        """
+        if not self._forests:
+            raise RuntimeError("the index is empty; call index() first")
+        counts = [b + d for b, d in zip(self._base_live_counts,
+                                        self._delta_routed_counts)]
+        total = sum(counts)
+        depth_cv = partition_depth_cv(counts)
+        # Every reported component is clipped to [0, 1] (the scale the
+        # README documents for operators), not just the aggregate.
+        depth_excess = min(1.0, max(0.0,
+                                    depth_cv - self._baseline_depth_cv))
+        delta_keys = len(self._delta) if self._delta is not None else 0
+        churned = delta_keys + len(self._tombstones)
+        # A fully-tombstoned index is all churn, not zero churn — an
+        # operator must see it as maximally drifted, not healthy.
+        churn = min(1.0, churned / total) if total else (
+            1.0 if churned else 0.0)
+        skew = skewness_from_sums(*self._moments)
+        skew_shift = min(1.0, abs(skew - self._baseline_skew)
+                         / (1.0 + abs(self._baseline_skew)))
+        score = max(depth_excess, churn, skew_shift)
+        return {
+            "generation": self._generation,
+            "base_keys": len(self._sizes) - len(self._tombstones),
+            "delta_keys": delta_keys,
+            "tombstones": len(self._tombstones),
+            "live_counts": counts,
+            "depth_cv": depth_cv,
+            "baseline_depth_cv": self._baseline_depth_cv,
+            "depth_excess": depth_excess,
+            "churn_ratio": churn,
+            "size_skewness": skew,
+            "baseline_skewness": self._baseline_skew,
+            "skewness_shift": skew_shift,
+            "drift_score": score,
+            "auto_rebalance_at": self.auto_rebalance_at,
+        }
+
+    def _maybe_auto_rebalance(self) -> None:
+        if self.auto_rebalance_at is None or len(self) == 0:
+            return
+        if self.drift_stats()["drift_score"] >= self.auto_rebalance_at:
+            self.rebalance()
+
+    def rebalance(self, num_partitions: int | None = None) -> dict:
+        """Fold the write tiers into a freshly partitioned base (compaction).
+
+        Recomputes the partitioning over the merged live size
+        distribution with the configured partitioner (Theorem 1/2
+        applied to what the corpus looks like *now*), rebuilds the
+        forests through the vectorised columnar bulk path, and resets
+        the delta tier, tombstones and drift baselines.  The rebuilt
+        index answers queries identically to a from-scratch
+        :meth:`index` over the live entries.
+
+        Signature rows backed by a memory-mapped snapshot are copied
+        into fresh memory here — after a rebalance the index no longer
+        aliases the file it was loaded from.
+
+        Returns a summary dict (timings, tier sizes folded in, drift
+        before/after) and bumps ``generation``.
+        """
+        if not self._forests:
+            raise RuntimeError("the index is empty; call index() first")
+        n = len(self)
+        if n == 0:
+            raise ValueError("cannot rebalance an index with no live keys")
+        before = self.drift_stats()
+        t0 = time.perf_counter()
+        folded = {"base": len(self._sizes) - len(self._tombstones),
+                  "delta": len(self._delta) if self._delta else 0,
+                  "tombstones": len(self._tombstones)}
+        matrix = np.empty((n, self.num_perm), dtype=np.uint64)
+        seeds = np.empty(n, dtype=np.int64)
+        keys: list = []
+        sizes: list[int] = []
+        row = 0
+        tombstones = self._tombstones
+        for key, size in self._sizes.items():
+            if key in tombstones:
+                continue
+            signature = self._forests[
+                self._route_index(size)].get_signature(key)
+            matrix[row] = signature.hashvalues
+            seeds[row] = signature.seed
+            keys.append(key)
+            sizes.append(int(size))
+            row += 1
+        if self._delta is not None:
+            for key, signature, size in self._delta.items():
+                matrix[row] = signature.hashvalues
+                seeds[row] = signature.seed
+                keys.append(key)
+                sizes.append(int(size))
+                row += 1
+        if num_partitions is not None:
+            if num_partitions < 1:
+                raise ValueError("num_partitions must be >= 1")
+            self.num_partitions = int(num_partitions)
+        partitions = self._partitioner(sizes, self.num_partitions)
+        self._partitions = list(partitions)
+        self._forests = [
+            PrefixForest(self.num_perm, self.num_trees, self.max_depth,
+                         storage_factory=self._storage_factory)
+            for _ in self._partitions
+        ]
+        self._partition_max_size = [0] * len(self._partitions)
+        self._live_max_dirty = False
+        self._sizes = {}
+        self._tombstones = set()
+        self._delta = None
+        self._moments = [0, 0, 0, 0]
+        self._bulk_fill(keys, sizes, matrix, seeds)
+        self.materialize()
+        self._generation += 1
+        self._base_source = None
+        after = self.drift_stats()
+        return {
+            "seconds": time.perf_counter() - t0,
+            "generation": self._generation,
+            "live_keys": n,
+            "folded": folded,
+            "num_partitions": len(self._partitions),
+            "depth_cv_before": before["depth_cv"],
+            "depth_cv_after": after["depth_cv"],
+            "drift_score_before": before["drift_score"],
+            "drift_score_after": after["drift_score"],
+        }
+
+    def _attach_dynamic_state(self, tombstones: Iterable[Hashable],
+                              delta_index: "LSHEnsemble | None",
+                              generation: int) -> None:
+        """Reattach delta/tombstone state after a manifest load.
+
+        ``delta_index`` is a physically clean ensemble holding the delta
+        entries (the loaded delta segment); ``tombstones`` must all name
+        physical base keys.  Used by :mod:`repro.persistence`.
+        """
+        for key in tombstones:
+            size = self._sizes[key]
+            i = self._route_index(size)
+            self._base_live_counts[i] -= 1
+            self._track_size(size, -1)
+        self._tombstones = set(tombstones)
+        self._live_max_dirty = bool(self._tombstones)
+        if delta_index is not None and len(delta_index._sizes):
+            self._delta = DeltaTier.adopt(delta_index, self._delta_factory)
+            for _, __, size in self._delta.items():
+                self._delta_routed_counts[self._route_index(size)] += 1
+                self._track_size(size, +1)
+        self._generation = int(generation)
 
     # ------------------------------------------------------------------ #
     # Query
@@ -387,12 +848,14 @@ class LSHEnsemble:
         q = int(size) if size is not None else max(1, lean.count())
         if q < 1:
             raise ValueError("query size must be >= 1")
+        self._resolve_live_max()
+        tombstones = self._tombstones
         results: set = set()
         reports: list[PartitionQueryReport] = []
         for i, (partition, forest) in enumerate(
                 zip(self._partitions, self._forests)):
-            # Clamped inserts can exceed the nominal bound; stay
-            # conservative (remove() never shrinks the tracked max).
+            # Build-time clamped entries can exceed the nominal bound;
+            # stay conservative (u tracks the live per-partition max).
             u = max(partition.upper - 1, self._partition_max_size[i])
             if forest.is_empty():
                 reports.append(PartitionQueryReport(partition, None, 0, True))
@@ -405,12 +868,21 @@ class LSHEnsemble:
             tuning = tune_params_quantized(u, q, t_star, self.num_trees,
                                            self.max_depth, self.num_perm)
             found = forest.query(lean, tuning.b, tuning.r)
+            if tombstones:
+                found -= tombstones
             elapsed = time.perf_counter() - t0
             results |= found
             reports.append(
                 PartitionQueryReport(partition, tuning, len(found), False,
                                      elapsed)
             )
+        if self._delta is not None and len(self._delta):
+            delta_found, delta_reports = self._delta.query_with_report(
+                lean, q, t_star)
+            results |= delta_found
+            for report in delta_reports:
+                report.tier = "delta"
+            reports.extend(delta_reports)
         return results, reports
 
     def query_batch(self, batch, sizes: Sequence[int] | None = None,
@@ -463,6 +935,7 @@ class LSHEnsemble:
         else:
             qs = [max(1, int(c)) for c in sb.counts()]
         qs_arr = np.asarray(qs, dtype=np.float64)
+        self._resolve_live_max()
         results: list[set] = [set() for _ in range(n)]
         for i, (partition, forest) in enumerate(
                 zip(self._partitions, self._forests)):
@@ -494,6 +967,17 @@ class LSHEnsemble:
                 # Merge straight into the global result sets — no
                 # per-partition intermediates.
                 forest.query_batch_into(sb.take(rows), b, r, results, rows)
+        # Tombstones filter only the base-tier candidates; a key
+        # re-inserted after removal lives in the delta and must survive.
+        if self._tombstones:
+            tombstones = self._tombstones
+            for found in results:
+                if found:
+                    found.difference_update(tombstones)
+        if self._delta is not None and len(self._delta):
+            for found, extra in zip(results,
+                                    self._delta.query_batch(sb, qs, t_star)):
+                found |= extra
         return results
 
     def query_top_k(self, signature: MinHash | LeanMinHash, k: int,
@@ -514,22 +998,16 @@ class LSHEnsemble:
         """
         from repro.core.estimation import rank_candidates
 
-        if k < 1:
-            raise ValueError("k must be >= 1")
-        if not 0.0 < min_threshold <= 1.0:
-            raise ValueError("min_threshold must be in (0, 1]")
+        _validate_topk_args(k, min_threshold)
         lean = _as_lean(signature)
         q = int(size) if size is not None else max(1, lean.count())
-        candidates: set = set()
-        threshold = 0.95
-        while True:
-            candidates |= self.query(lean, size=q, threshold=threshold)
-            if len(candidates) >= k or threshold <= min_threshold:
-                break
-            threshold = max(min_threshold, threshold - 0.15)
+        candidates = _ladder_candidates(
+            lambda threshold: self.query(lean, size=q,
+                                         threshold=threshold),
+            k, min_threshold)
         pool = {key: self._signature_of(key) for key in candidates}
         ranked = rank_candidates(lean, pool, query_size=q,
-                                 sizes={key: self._sizes[key]
+                                 sizes={key: self.size_of(key)
                                         for key in candidates})
         return ranked[:k]
 
@@ -548,10 +1026,7 @@ class LSHEnsemble:
         """
         from repro.core.estimation import rank_candidates
 
-        if k < 1:
-            raise ValueError("k must be >= 1")
-        if not 0.0 < min_threshold <= 1.0:
-            raise ValueError("min_threshold must be in (0, 1]")
+        _validate_topk_args(k, min_threshold)
         if not self._forests:
             raise RuntimeError("the index is empty; call index() first")
         sb = _as_batch(batch)
@@ -566,35 +1041,25 @@ class LSHEnsemble:
             qs = [int(s) for s in sizes]
         else:
             qs = [max(1, int(c)) for c in sb.counts()]
-        candidates: list[set] = [set() for _ in range(n)]
-        active = list(range(n))
-        threshold = 0.95
-        while active:
-            found = self.query_batch(
-                SignatureBatch(None, sb.take(active), seed=sb.seed),
-                sizes=[qs[j] for j in active], threshold=threshold)
-            still_active = []
-            for j, hits in zip(active, found):
-                candidates[j] |= hits
-                # Same stop rule as the single-query ladder: enough
-                # candidates, or the floor rung has been probed.
-                if len(candidates[j]) < k and threshold > min_threshold:
-                    still_active.append(j)
-            active = still_active
-            threshold = max(min_threshold, threshold - 0.15)
+        candidates = _ladder_candidates_batch(
+            lambda rows, threshold: self.query_batch(
+                SignatureBatch(None, sb.take(rows), seed=sb.seed),
+                sizes=[qs[j] for j in rows], threshold=threshold),
+            n, k, min_threshold)
         out: list[list[tuple[Hashable, float]]] = []
         for j in range(n):
             pool = {key: self._signature_of(key) for key in candidates[j]}
             ranked = rank_candidates(sb[j], pool, query_size=qs[j],
-                                     sizes={key: self._sizes[key]
+                                     sizes={key: self.size_of(key)
                                             for key in candidates[j]})
             out.append(ranked[:k])
         return out
 
     def _signature_of(self, key: Hashable) -> LeanMinHash:
-        clamped = min(max(self._sizes[key], self._partitions[0].lower),
-                      self._partitions[-1].upper - 1)
-        forest = self._forests[assign_partition(clamped, self._partitions)]
+        """Signature of a *live* key (either tier); no tombstone check."""
+        if self._delta is not None and key in self._delta:
+            return self._delta.get_signature(key)
+        forest = self._forests[self._route_index(self._sizes[key])]
         return forest.get_signature(key)
 
     # ------------------------------------------------------------------ #
@@ -603,17 +1068,31 @@ class LSHEnsemble:
 
     def get_signature(self, key: Hashable) -> LeanMinHash:
         """The stored signature for ``key`` (KeyError when absent)."""
-        if key not in self._sizes:
+        if self._delta is not None and key in self._delta:
+            return self._delta.get_signature(key)
+        if key not in self._sizes or key in self._tombstones:
             raise KeyError(key)
         return self._signature_of(key)
+
+    def _live_items(self) -> Iterable[tuple[Hashable, int]]:
+        """``(key, size)`` for every live domain, base tier first."""
+        tombstones = self._tombstones
+        for key, size in self._sizes.items():
+            if key not in tombstones:
+                yield key, size
+        if self._delta is not None:
+            for key, _, size in self._delta.items():
+                yield key, size
 
     def stats(self) -> dict:
         """Operational statistics: partition fill and size spread.
 
-        Returns a dict with one entry per partition: bounds, domain
-        count, and the min/max stored size routed there — the numbers an
+        Returns a dict with one entry per partition: bounds, live domain
+        count, and the min/max live size routed there (delta entries are
+        routed by the base partitions for this report) — the numbers an
         operator watches to decide when distribution drift warrants a
-        rebuild (Section 6.2).
+        :meth:`rebalance`, plus the tier sizes themselves.  See
+        :meth:`drift_stats` for the condensed drift score.
         """
         if not self._forests:
             raise RuntimeError("the index is empty; call index() first")
@@ -629,7 +1108,7 @@ class LSHEnsemble:
             }
             for p in self._partitions
         ]
-        for key, size in self._sizes.items():
+        for key, size in self._live_items():
             clamped = min(max(size, lo), hi)
             i = assign_partition(clamped, self._partitions)
             entry = per_partition[i]
@@ -642,34 +1121,51 @@ class LSHEnsemble:
         mean = sum(counts) / len(counts)
         variance = sum((c - mean) ** 2 for c in counts) / len(counts)
         return {
-            "num_domains": len(self._sizes),
+            "num_domains": len(self),
             "num_partitions": len(self._partitions),
             "partition_count_std": variance ** 0.5,
             "partitions": per_partition,
+            "base_keys": len(self._sizes) - len(self._tombstones),
+            "delta_keys": len(self._delta) if self._delta is not None else 0,
+            "tombstones": len(self._tombstones),
+            "generation": self._generation,
         }
 
     @property
     def partitions(self) -> list[Partition]:
-        """The partition intervals the index was built with."""
+        """The partition intervals the base tier was built with."""
         return list(self._partitions)
+
+    @property
+    def generation(self) -> int:
+        """Compaction generation: 0 at build, +1 per :meth:`rebalance`."""
+        return self._generation
 
     def size_of(self, key: Hashable) -> int:
         """The recorded domain size for ``key``."""
+        if self._delta is not None and key in self._delta:
+            return self._delta.size_of(key)
+        if key in self._tombstones:
+            raise KeyError(key)
         return self._sizes[key]
 
     def keys(self) -> Iterable[Hashable]:
-        return self._sizes.keys()
+        return (key for key, _ in self._live_items())
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._sizes
+        if self._delta is not None and key in self._delta:
+            return True
+        return key in self._sizes and key not in self._tombstones
 
     def __len__(self) -> int:
-        return len(self._sizes)
+        delta = len(self._delta) if self._delta is not None else 0
+        return len(self._sizes) - len(self._tombstones) + delta
 
     def is_empty(self) -> bool:
-        return not self._sizes
+        return len(self) == 0
 
     def __repr__(self) -> str:
         return ("LSHEnsemble(threshold=%.2f, num_perm=%d, partitions=%d, "
-                "keys=%d)" % (self.threshold, self.num_perm,
-                              len(self._partitions), len(self._sizes)))
+                "keys=%d, generation=%d)"
+                % (self.threshold, self.num_perm, len(self._partitions),
+                   len(self), self._generation))

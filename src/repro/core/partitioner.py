@@ -40,6 +40,7 @@ __all__ = [
     "optimal_partitions",
     "partition_counts",
     "partition_size_std",
+    "partition_depth_cv",
     "assign_partition",
     "register_partitioner",
     "resolve_partitioner",
@@ -259,6 +260,24 @@ def partition_size_std(sizes: Sequence[int] | np.ndarray,
     """Standard deviation of partition counts — Figure 8's x-axis."""
     counts = partition_counts(sizes, partitions)
     return float(np.std(counts))
+
+
+def partition_depth_cv(counts: Sequence[int]) -> float:
+    """Coefficient of variation of partition depths (counts).
+
+    The scale-free form of Figure 8's x-axis: 0 for a perfectly
+    equi-depth partitioning and growing as the per-partition counts
+    drift apart, independent of the corpus size.  This is the
+    partition-depth-imbalance component of the dynamic index's drift
+    monitor (:meth:`~repro.core.ensemble.LSHEnsemble.drift_stats`).
+    """
+    arr = np.asarray(counts, dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    mean = float(arr.mean())
+    if mean <= 0.0:
+        return 0.0
+    return float(arr.std() / mean)
 
 
 # --------------------------------------------------------------------- #

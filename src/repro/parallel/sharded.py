@@ -6,30 +6,36 @@ results (Section 6.3).  :class:`ShardedEnsemble` reproduces that topology
 in-process: round-robin sharding, a thread pool for the fan-out, and a
 plain set-union of per-shard answers.  Result semantics are identical to a
 single ensemble over the full corpus built with per-shard partitioning.
+
+The dynamic lifecycle threads through: every shard owns a delta write
+tier, :meth:`ShardedEnsemble.insert` routes new domains to the
+least-loaded shard, :meth:`ShardedEnsemble.rebalance` compacts the whole
+cluster (concurrently when parallel), and
+:meth:`ShardedEnsemble.drift_stats` aggregates the per-shard drift
+monitors.
 """
 
 from __future__ import annotations
 
 import json
-import os
+import shutil
 from collections.abc import Hashable, Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
-from repro.core.ensemble import LSHEnsemble, _as_batch
+from repro.core.ensemble import (
+    LSHEnsemble,
+    _as_batch,
+    _as_lean,
+    _ladder_candidates,
+    _ladder_candidates_batch,
+    _validate_topk_args,
+)
+from repro.minhash.batch import SignatureBatch
 from repro.minhash.lean import LeanMinHash
 from repro.minhash.minhash import MinHash
 
 __all__ = ["ShardedEnsemble"]
-
-
-def _fsync_dir(path: Path) -> None:
-    """Flush a directory's entries to disk (rename durability)."""
-    dir_fd = os.open(path, os.O_RDONLY)
-    try:
-        os.fsync(dir_fd)
-    finally:
-        os.close(dir_fd)
 
 
 class ShardedEnsemble:
@@ -93,6 +99,84 @@ class ShardedEnsemble:
         """Number of shards actually built (0 before :meth:`index`)."""
         return len(self._shards)
 
+    # ------------------------------------------------------------------ #
+    # Dynamic lifecycle (per-shard delta tiers)
+    # ------------------------------------------------------------------ #
+
+    def insert(self, key: Hashable, signature: MinHash | LeanMinHash,
+               size: int) -> None:
+        """Add one domain to the cluster.
+
+        The entry lands in the delta tier of the least-loaded shard
+        (fewest live keys; ties go to the lowest shard id), keeping the
+        round-robin balance of the initial build under sustained writes.
+        """
+        if not self._shards:
+            raise RuntimeError("the index is empty; call index() first")
+        if any(key in shard for shard in self._shards):
+            raise ValueError("key %r is already in the cluster" % (key,))
+        min(self._shards, key=len).insert(key, signature, size)
+
+    def remove(self, key: Hashable) -> None:
+        """Remove a domain from whichever shard holds it."""
+        for shard in self._shards:
+            if key in shard:
+                shard.remove(key)
+                return
+        raise KeyError(key)
+
+    def rebalance(self) -> list[dict]:
+        """Fold every shard's write tiers into freshly partitioned bases.
+
+        Each shard repartitions over its *own* live size distribution
+        (the paper's deployment builds per-node partitionings the same
+        way); shards rebalance concurrently when the cluster is
+        parallel.  A shard whose every key was removed has nothing left
+        to partition and is decommissioned from the topology instead
+        (``num_shards`` shrinks).  Returns the per-shard summaries of
+        :meth:`repro.core.ensemble.LSHEnsemble.rebalance` for the
+        surviving shards.
+        """
+        if not self._shards:
+            raise RuntimeError("the index is empty; call index() first")
+        live = [shard for shard in self._shards if len(shard)]
+        if not live:
+            raise ValueError("cannot rebalance a cluster with no live keys")
+        if self.parallel and self._executor is not None:
+            futures = [self._executor.submit(shard.rebalance)
+                       for shard in live]
+            summaries = [f.result() for f in futures]
+        else:
+            summaries = [shard.rebalance() for shard in live]
+        if len(live) != len(self._shards):
+            self._shards = live
+            self.num_shards = len(live)
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = ThreadPoolExecutor(
+                    max_workers=len(live),
+                    thread_name_prefix="lshensemble-shard",
+                )
+        return summaries
+
+    def drift_stats(self) -> dict:
+        """Cluster-wide drift summary: per-shard stats plus aggregates.
+
+        ``drift_score`` is the max over shards — one badly drifted node
+        dominates tail latency, so it is what an operator alarms on.
+        """
+        if not self._shards:
+            raise RuntimeError("the index is empty; call index() first")
+        per_shard = [shard.drift_stats() for shard in self._shards]
+        return {
+            "shards": per_shard,
+            "drift_score": max(s["drift_score"] for s in per_shard),
+            "delta_keys": sum(s["delta_keys"] for s in per_shard),
+            "tombstones": sum(s["tombstones"] for s in per_shard),
+            "base_keys": sum(s["base_keys"] for s in per_shard),
+            "generation": max(s["generation"] for s in per_shard),
+        }
+
     def query(self, signature: MinHash | LeanMinHash,
               size: int | None = None,
               threshold: float | None = None) -> set:
@@ -150,6 +234,96 @@ class ShardedEnsemble:
                 results[j] |= hits
         return results
 
+    def _shard_holding(self, key: Hashable) -> LSHEnsemble:
+        for shard in self._shards:
+            if key in shard:
+                return shard
+        raise KeyError(key)
+
+    def _candidate_pool(self, candidates) -> tuple[dict, dict]:
+        """(signatures, sizes) of candidate keys from their owning
+        shards, for one shared rank_candidates call."""
+        pool: dict = {}
+        candidate_sizes: dict = {}
+        for key in candidates:
+            shard = self._shard_holding(key)
+            pool[key] = shard.get_signature(key)
+            candidate_sizes[key] = shard.size_of(key)
+        return pool, candidate_sizes
+
+    def query_top_k(self, signature: MinHash | LeanMinHash, k: int,
+                    size: int | None = None, min_threshold: float = 0.05,
+                    ) -> list[tuple[Hashable, float]]:
+        """The ``k`` cluster-wide best domains by estimated containment.
+
+        Walks the same descending threshold ladder as
+        :meth:`repro.core.ensemble.LSHEnsemble.query_top_k`, but each
+        rung is one parallel :meth:`query` fan-out, so candidate
+        recovery and the stop rule see the *union* over shards at every
+        rung — a global ladder, not per-shard ladders merged after the
+        fact (per-shard ladders would descend further on sparse shards
+        and surface candidates a flat index never ranks).  The final
+        ranking pools candidate signatures from their owning shards
+        through one shared :func:`~repro.core.estimation.rank_candidates`
+        call, preserving the flat index's ordering and tie-breaks.
+        """
+        from repro.core.estimation import rank_candidates
+
+        _validate_topk_args(k, min_threshold)
+        if not self._shards:
+            raise RuntimeError("the index is empty; call index() first")
+        lean = _as_lean(signature)
+        q = int(size) if size is not None else max(1, lean.count())
+        candidates = _ladder_candidates(
+            lambda threshold: self.query(lean, size=q,
+                                         threshold=threshold),
+            k, min_threshold)
+        pool, candidate_sizes = self._candidate_pool(candidates)
+        ranked = rank_candidates(lean, pool, query_size=q,
+                                 sizes=candidate_sizes)
+        return ranked[:k]
+
+    def query_top_k_batch(self, batch, k: int,
+                          sizes: Sequence[int] | None = None,
+                          min_threshold: float = 0.05,
+                          ) -> list[list[tuple[Hashable, float]]]:
+        """:meth:`query_top_k` for many signatures in one pass.
+
+        Each ladder rung answers only the still-unsatisfied rows through
+        :meth:`query_batch` (whole-batch shard fan-out), mirroring
+        :meth:`repro.core.ensemble.LSHEnsemble.query_top_k_batch` row
+        for row.
+        """
+        from repro.core.estimation import rank_candidates
+
+        _validate_topk_args(k, min_threshold)
+        if not self._shards:
+            raise RuntimeError("the index is empty; call index() first")
+        sb = _as_batch(batch)
+        n = len(sb)
+        if n == 0:
+            return []
+        if sizes is not None:
+            if len(sizes) != n:
+                raise ValueError(
+                    "got %d sizes for %d signatures" % (len(sizes), n)
+                )
+            qs = [int(s) for s in sizes]
+        else:
+            qs = [max(1, int(c)) for c in sb.counts()]
+        candidates = _ladder_candidates_batch(
+            lambda rows, threshold: self.query_batch(
+                SignatureBatch(None, sb.take(rows), seed=sb.seed),
+                sizes=[qs[j] for j in rows], threshold=threshold),
+            n, k, min_threshold)
+        out: list[list[tuple[Hashable, float]]] = []
+        for j in range(n):
+            pool, candidate_sizes = self._candidate_pool(candidates[j])
+            ranked = rank_candidates(sb[j], pool, query_size=qs[j],
+                                     sizes=candidate_sizes)
+            out.append(ranked[:k])
+        return out
+
     @property
     def shards(self) -> list[LSHEnsemble]:
         return list(self._shards)
@@ -177,11 +351,21 @@ class ShardedEnsemble:
         files the current manifest points at, the manifest is replaced
         atomically, and files no longer referenced are removed only
         after the new manifest is durable.
+
+        A shard that carries dynamic state (delta-tier writes or
+        tombstones) is saved as its own nested manifest directory
+        rather than a single file — ``load`` handles both forms
+        transparently.
         """
-        from repro.persistence import _atomic_write, save_ensemble
+        from repro.persistence import _atomic_write, _fsync_dir, save_ensemble
 
         if not self._shards:
             raise RuntimeError("the index is empty; call index() first")
+        # A fully-emptied shard has nothing persistable (an empty index
+        # cannot be saved); it simply drops out of the saved topology.
+        shards = [shard for shard in self._shards if len(shard)]
+        if not shards:
+            raise ValueError("refusing to save a cluster with no live keys")
         root = Path(path)
         root.mkdir(parents=True, exist_ok=True)
         generation = -1
@@ -191,11 +375,11 @@ class ShardedEnsemble:
                 generation = max(generation, int(fields[1]))
         generation += 1
         names = []
-        for i, shard in enumerate(self._shards):
+        for i, shard in enumerate(shards):
             name = "shard-%03d-%05d.lshe" % (generation, i)
             save_ensemble(shard, root / name)
             names.append(name)
-        manifest = {"num_shards": len(self._shards),
+        manifest = {"num_shards": len(shards),
                     "parallel": self.parallel, "shards": names}
         payload = json.dumps(manifest, indent=2).encode("utf-8")
         # Ordering matters for crash safety: make the shard files'
@@ -208,7 +392,10 @@ class ShardedEnsemble:
         _fsync_dir(root)
         for stale in root.glob("shard-*.lshe"):
             if stale.name not in names:
-                stale.unlink()
+                if stale.is_dir():
+                    shutil.rmtree(stale)
+                else:
+                    stale.unlink()
 
     @classmethod
     def load(cls, path: str | Path, *, parallel: bool | None = None,

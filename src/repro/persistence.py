@@ -8,6 +8,33 @@ structures re-derive deterministically from the signatures, so they are
 never persisted — only the entries, the configuration, and the
 partition state.
 
+Dynamic indexes (post-build delta-tier writes and/or tombstones) are
+saved as a **generation-numbered manifest directory** instead of a
+single file::
+
+    path/
+      manifest.json        format marker, compaction generation,
+                           segment names, tombstoned keys
+      base-%05d.seg        the immutable base tier — a v2 single-file
+                           snapshot of the *physical* base (including
+                           tombstoned rows)
+      delta-%05d.seg       the flushed delta tier (absent when empty),
+                           same v2 format
+
+    Segment files are never overwritten: each save writes a new save
+    generation and the manifest replace is atomic, so a crash mid-save
+    leaves the previous manifest fully loadable; superseded segments
+    are deleted only after the new manifest is durable.  A re-save into
+    the directory an index was loaded from reuses the (immutable) base
+    segment when only the write tiers changed, making incremental saves
+    O(delta), not O(N).
+
+``save_ensemble`` picks the layout automatically: clean indexes keep
+the single-file v2 format below (and stay readable forever), dynamic
+ones get the manifest; ``version=3`` forces the manifest, ``version=2``
+/ ``version=1`` refuse dynamic state.  ``load_ensemble`` accepts both
+transparently.
+
 Format v2 (current, little-endian) — zero-copy columnar::
 
     magic   b"LSHE"            4 bytes
@@ -60,6 +87,7 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 import struct
 import tempfile
 from pathlib import Path
@@ -82,11 +110,23 @@ __all__ = ["save_ensemble", "load_ensemble", "read_header", "FormatError"]
 
 _MAGIC = b"LSHE"
 _VERSION = 2
+_MANIFEST_VERSION = 3
+_MANIFEST_NAME = "manifest.json"
+_MANIFEST_FORMAT = "lshe-dynamic"
 _U32 = struct.Struct("<I")
 
 
 class FormatError(ValueError):
     """The file is not a valid serialised LSH Ensemble."""
+
+
+def _fsync_dir(path: Path) -> None:
+    """Flush a directory's entries to disk (rename durability)."""
+    dir_fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
 
 
 def _process_umask() -> int:
@@ -125,16 +165,40 @@ def _decode_key(key: object) -> object:
 # --------------------------------------------------------------------- #
 
 
+def _has_dynamic_state(index: LSHEnsemble) -> bool:
+    return bool(index._tombstones) or (index._delta is not None
+                                       and len(index._delta) > 0)
+
+
 def save_ensemble(index: LSHEnsemble, path: str | Path,
-                  version: int = _VERSION) -> None:
+                  version: int | None = None) -> None:
     """Serialise a built index to ``path``.
 
-    ``version`` selects the on-disk format: 2 (default) writes the
-    columnar layout above; 1 writes the legacy per-entry blob format
-    for compatibility testing.
+    ``version`` selects the on-disk format:
+
+    * ``None`` (default) — automatic: the generation-numbered manifest
+      directory when the index carries dynamic state (delta-tier writes
+      or tombstones) or ``path`` is already a manifest directory; the
+      single-file columnar v2 format otherwise.
+    * ``3`` — always the manifest directory.
+    * ``2`` / ``1`` — the single-file columnar / legacy per-entry
+      formats; both refuse dynamic state (``rebalance()`` first, or let
+      the automatic mode write a manifest).
     """
     if index.is_empty():
         raise ValueError("refusing to save an empty index")
+    path = Path(path)
+    dynamic = _has_dynamic_state(index)
+    if version is None:
+        version = (_MANIFEST_VERSION if dynamic or path.is_dir()
+                   else _VERSION)
+    if version == _MANIFEST_VERSION:
+        _save_manifest(index, path)
+        return
+    if dynamic:
+        raise ValueError(
+            "index has delta-tier writes or tombstones; call rebalance() "
+            "first or save as a dynamic manifest (version=3)")
     if version == 1:
         _atomic_write(path, lambda fh: _save_v1(index, fh))
     elif version == 2:
@@ -207,11 +271,16 @@ def _save_v1(index: LSHEnsemble, fh) -> None:
 def _save_v2(index: LSHEnsemble, fh) -> None:
     partitions = index.partitions
     lo, hi = partitions[0].lower, partitions[-1].upper - 1
+    # Resolve any pending lazy live-max recompute so the header records
+    # the exact (non-inflated) per-partition tuning bounds.
+    index._resolve_live_max()
     # Group keys partition-major (stable within a partition) so every
     # partition's rows land contiguous on disk and load as views; the
     # routing reuses the index's own vectorised clamp + assign pass.
-    all_keys = list(index.keys())
-    sizes = np.fromiter((index.size_of(k) for k in all_keys),
+    # Keys come from the *physical* base tier — for a dynamic index this
+    # includes tombstoned rows (the manifest carries the tombstones).
+    all_keys = list(index._sizes)
+    sizes = np.fromiter((index._sizes[k] for k in all_keys),
                         dtype=np.int64, count=len(all_keys))
     routed = index._assign_partitions(np.clip(sizes, lo, hi))
     order = np.argsort(routed, kind="stable").tolist()
@@ -237,6 +306,10 @@ def _save_v2(index: LSHEnsemble, fh) -> None:
         "storage": storage_backend_name(index._storage_factory),
         "partitioner": partitioner_name(index._partitioner),
         "seed_dtype": seed_dtype,
+        "generation": index._generation,
+        "auto_rebalance_at": index.auto_rebalance_at,
+        "baseline_depth_cv": index._baseline_depth_cv,
+        "baseline_skew": index._baseline_skew,
     })
     _write_header(fh, 2, header)
     fh.write(memoryview(np.ascontiguousarray(
@@ -255,6 +328,116 @@ def _save_v2(index: LSHEnsemble, fh) -> None:
 
 
 # --------------------------------------------------------------------- #
+# Dynamic manifest (base + delta + tombstones)
+# --------------------------------------------------------------------- #
+
+
+def _scan_save_generation(root: Path) -> int:
+    """Next unused segment save-generation in ``root``."""
+    generation = -1
+    for existing in root.glob("*.seg"):
+        fields = existing.stem.split("-")
+        if len(fields) == 2 and fields[1].isdigit():
+            generation = max(generation, int(fields[1]))
+    return generation + 1
+
+
+def _save_manifest(index: LSHEnsemble, root: Path) -> None:
+    if root.exists() and not root.is_dir():
+        # Converting a single-file snapshot in place: stage the whole
+        # manifest tree beside it, move the old file aside, and swap.
+        # The file->directory conversion cannot be one atomic rename,
+        # but no state of the sequence destroys data: a crash in the
+        # tiny window between the two renames leaves both the staged
+        # tree and the old snapshot (as <name>.pre-manifest) on disk.
+        parent = root.parent
+        tmp = Path(tempfile.mkdtemp(dir=str(parent) or ".",
+                                    prefix=root.name + ".", suffix=".tmpdir"))
+        backup = root.with_name(root.name + ".pre-manifest")
+        try:
+            os.chmod(tmp, 0o777 & ~_process_umask())
+            base_name = _write_manifest_tree(index, tmp, 0)
+            os.replace(root, backup)
+            try:
+                os.rename(tmp, root)
+            except BaseException:
+                os.replace(backup, root)
+                raise
+        except BaseException:
+            shutil.rmtree(tmp, ignore_errors=True)
+            raise
+        # The staging path recorded during the tree write died with the
+        # rename; repoint at the final segment so later re-saves into
+        # this directory can reuse it.
+        index._base_source = str((root / base_name).resolve())
+        _fsync_dir(parent)
+        os.unlink(backup)
+        return
+    root.mkdir(parents=True, exist_ok=True)
+    if any(root.iterdir()):
+        # Never adopt (and then clean segments out of) a non-empty
+        # directory that is not already a dynamic manifest — it could
+        # be a ShardedEnsemble snapshot or unrelated data.
+        _read_manifest(root)
+    _write_manifest_tree(index, root, _scan_save_generation(root))
+
+
+def _write_manifest_tree(index: LSHEnsemble, root: Path,
+                         generation: int) -> str:
+    """Write segments + manifest into ``root`` (an existing directory).
+
+    Ordering matters for crash safety: segment files become durable
+    directory entries before the manifest can name them, and segments
+    the old manifest referenced are deleted only after the replacement
+    manifest is durable.  Returns the base segment's name.
+    """
+    delta_inner = (index._delta.inner_index()
+                   if index._delta is not None else None)
+    base_name = None
+    if index._base_source is not None:
+        # Loaded from this very directory and the base tier is still the
+        # same immutable segment: reuse it instead of rewriting O(N)
+        # signature bytes.
+        source = Path(index._base_source)
+        try:
+            if source.parent.resolve() == root.resolve() \
+                    and source.is_file():
+                base_name = source.name
+        except OSError:
+            base_name = None
+    if base_name is None:
+        base_name = "base-%05d.seg" % generation
+        _atomic_write(root / base_name, lambda fh: _save_v2(index, fh))
+        index._base_source = str((root / base_name).resolve())
+    delta_name = None
+    if delta_inner is not None:
+        delta_name = "delta-%05d.seg" % generation
+        _atomic_write(root / delta_name,
+                      lambda fh: _save_v2(delta_inner, fh))
+    manifest = {
+        "format": _MANIFEST_FORMAT,
+        "version": _MANIFEST_VERSION,
+        "generation": index._generation,
+        "base": base_name,
+        "delta": delta_name,
+        "tombstones": [_encode_key(k)
+                       for k in sorted(index._tombstones, key=str)],
+        # Mutable without a base rewrite, so the (always rewritten)
+        # manifest is its authoritative home — a reused base segment's
+        # header may hold a stale value.
+        "auto_rebalance_at": index.auto_rebalance_at,
+    }
+    payload = json.dumps(manifest, indent=2).encode("utf-8")
+    _fsync_dir(root)
+    _atomic_write(root / _MANIFEST_NAME, lambda fh: fh.write(payload))
+    _fsync_dir(root)
+    for stale in root.glob("*.seg"):
+        if stale.name not in (base_name, delta_name):
+            stale.unlink()
+    return base_name
+
+
+# --------------------------------------------------------------------- #
 # Load
 # --------------------------------------------------------------------- #
 
@@ -263,12 +446,57 @@ def read_header(path: str | Path) -> dict:
     """The decoded JSON header of a saved index, plus ``"version"``.
 
     Cheap metadata inspection (``cli info`` uses it to report the
-    on-disk format) — no payload bytes are touched.
+    on-disk format) — no payload bytes are touched.  For a dynamic
+    manifest directory the base segment's header is returned, with
+    ``"version"`` set to 3 plus ``"generation"``, ``"tombstones"`` (a
+    count) and ``"delta_keys"``.
     """
+    path = Path(path)
+    if path.is_dir():
+        manifest = _read_manifest(path)
+        try:
+            header = read_header(path / manifest["base"])
+            delta_name = manifest.get("delta")
+            delta_keys = (len(read_header(path / delta_name)["keys"])
+                          if delta_name else 0)
+        except FileNotFoundError as exc:
+            raise FormatError(
+                "manifest names segment %s but it is missing"
+                % Path(exc.filename).name) from None
+        header["version"] = _MANIFEST_VERSION
+        header["generation"] = int(manifest.get("generation", 0))
+        header["tombstones"] = len(manifest.get("tombstones") or [])
+        header["delta_keys"] = delta_keys
+        return header
     with open(path, "rb") as fh:
         version, header, _ = _read_preamble(fh)
     header["version"] = version
     return header
+
+
+def _read_manifest(root: Path) -> dict:
+    try:
+        manifest = json.loads(
+            (root / _MANIFEST_NAME).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise FormatError(
+            "%s is not a saved LSH Ensemble (no %s)"
+            % (root, _MANIFEST_NAME)) from None
+    except json.JSONDecodeError as exc:
+        raise FormatError("corrupt manifest: %s" % exc) from exc
+    if isinstance(manifest, dict) and "shards" in manifest:
+        raise FormatError(
+            "%s holds a saved ShardedEnsemble; load it with "
+            "repro.parallel.ShardedEnsemble.load" % root)
+    if (not isinstance(manifest, dict)
+            or manifest.get("format") != _MANIFEST_FORMAT):
+        raise FormatError(
+            "unrecognised manifest format %r"
+            % (manifest.get("format") if isinstance(manifest, dict)
+               else manifest))
+    if not isinstance(manifest.get("base"), str):
+        raise FormatError("corrupt manifest: missing base segment name")
+    return manifest
 
 
 def _read_preamble(fh) -> tuple[int, dict, int]:
@@ -338,6 +566,8 @@ def _make_ensemble(header: dict, storage_factory, partitioner) -> LSHEnsemble:
         kwargs["storage_factory"] = storage_factory
     if partitioner is not None:
         kwargs["partitioner"] = partitioner
+    if header.get("auto_rebalance_at") is not None:
+        kwargs["auto_rebalance_at"] = float(header["auto_rebalance_at"])
     return LSHEnsemble(
         threshold=header["threshold"],
         num_perm=header["num_perm"],
@@ -371,14 +601,76 @@ def load_ensemble(path: str | Path, *, storage_factory=None,
         apply unless overridden here.
     mmap:
         Memory-map the v2 signature matrix instead of reading it into
-        memory (ignored for v1 files).
+        memory (ignored for v1 files; for a manifest, applies to the
+        base segment — the small mutable delta segment is always read
+        into memory).
     """
+    path = Path(path)
+    if path.is_dir():
+        return _load_manifest(path, storage_factory, partitioner, mmap)
     with open(path, "rb") as fh:
         version, header, offset = _read_preamble(fh)
         if version == 1:
             return _load_v1(fh, header, storage_factory, partitioner)
         return _load_v2(fh, path, header, offset, storage_factory,
                         partitioner, mmap)
+
+
+def _load_manifest(root: Path, storage_factory, partitioner,
+                   mmap: bool) -> LSHEnsemble:
+    manifest = _read_manifest(root)
+    base_path = root / manifest["base"]
+    try:
+        index = load_ensemble(base_path, storage_factory=storage_factory,
+                              partitioner=partitioner, mmap=mmap)
+    except FileNotFoundError:
+        raise FormatError(
+            "manifest names base segment %s but it is missing"
+            % manifest["base"]) from None
+    delta_index = None
+    delta_name = manifest.get("delta")
+    if delta_name is not None:
+        try:
+            delta_index = load_ensemble(
+                root / delta_name, storage_factory=storage_factory,
+                partitioner=partitioner, mmap=False)
+        except FileNotFoundError:
+            raise FormatError(
+                "manifest names delta segment %s but it is missing"
+                % delta_name) from None
+    tombstones = [_decode_key(k)
+                  for k in manifest.get("tombstones") or []]
+    if len(set(tombstones)) != len(tombstones):
+        raise FormatError("duplicate tombstones in manifest")
+    missing = [k for k in tombstones if k not in index._sizes]
+    if missing:
+        raise FormatError(
+            "tombstone %r does not name a base-tier key" % (missing[0],))
+    if delta_index is not None:
+        tombstone_set = set(tombstones)
+        for key in delta_index._sizes:
+            if key in index._sizes and key not in tombstone_set:
+                raise FormatError(
+                    "delta key %r is still live in the base tier"
+                    % (key,))
+    index._attach_dynamic_state(tombstones, delta_index,
+                                int(manifest.get("generation", 0)))
+    if "auto_rebalance_at" in manifest:
+        value = manifest["auto_rebalance_at"]
+        if value is not None:
+            try:
+                value = float(value)
+            except (TypeError, ValueError) as exc:
+                raise FormatError(
+                    "corrupt manifest: bad auto_rebalance_at %r"
+                    % (value,)) from exc
+            if not 0.0 < value <= 1.0:
+                raise FormatError(
+                    "corrupt manifest: auto_rebalance_at %r is outside "
+                    "(0, 1]" % (value,))
+        index.auto_rebalance_at = value
+    index._base_source = str(base_path.resolve())
+    return index
 
 
 def _header_entry_tables(header: dict) -> tuple[list, list]:
@@ -452,20 +744,33 @@ def _load_v2(fh, path, header: dict, offset: int, storage_factory,
             "trailing bytes after the signature matrix (%d extra); "
             "the file is corrupt (truncated-then-concatenated or "
             "doubly written)" % (actual - expected))
-    if n == 0:
+    if n == 0 and not partitions:
         return _make_ensemble(header, storage_factory, partitioner)
-    seeds_raw = fh.read(seeds_nbytes)
-    if len(seeds_raw) != seeds_nbytes:
-        raise FormatError("truncated seed column")
-    seeds = np.frombuffer(seeds_raw, dtype=seed_dtype).astype(np.int64)
-    matrix_offset = offset + seeds_nbytes
-    if mmap:
-        matrix = np.memmap(path, dtype="<u8", mode="r",
-                           offset=matrix_offset, shape=(n, num_perm))
+    if n == 0:
+        # A dynamic index whose base tier emptied out entirely (every
+        # built key tombstoned away) still carries its partition
+        # structure; restore it so the write tiers can be reattached.
+        matrix = np.empty((0, num_perm), dtype="<u8")
+        seeds = np.empty(0, dtype=np.int64)
     else:
-        payload = fh.read(matrix_nbytes)
-        matrix = np.frombuffer(payload, dtype="<u8").reshape(n, num_perm)
+        seeds_raw = fh.read(seeds_nbytes)
+        if len(seeds_raw) != seeds_nbytes:
+            raise FormatError("truncated seed column")
+        seeds = np.frombuffer(seeds_raw, dtype=seed_dtype).astype(np.int64)
+        matrix_offset = offset + seeds_nbytes
+        if mmap:
+            matrix = np.memmap(path, dtype="<u8", mode="r",
+                               offset=matrix_offset, shape=(n, num_perm))
+        else:
+            payload = fh.read(matrix_nbytes)
+            matrix = np.frombuffer(payload,
+                                   dtype="<u8").reshape(n, num_perm)
     index = _make_ensemble(header, storage_factory, partitioner)
     index._restore_columnar(partitions, keys, sizes, matrix, seeds,
                             partition_rows, partition_max_size)
+    index._generation = int(header.get("generation", 0))
+    if header.get("baseline_depth_cv") is not None:
+        index._baseline_depth_cv = float(header["baseline_depth_cv"])
+    if header.get("baseline_skew") is not None:
+        index._baseline_skew = float(header["baseline_skew"])
     return index

@@ -1,11 +1,12 @@
 """Distribution statistics: skewness (Eq. 29) and power-law diagnostics."""
 
 from repro.stats.powerlaw import fit_alpha, is_power_law_like, log2_histogram
-from repro.stats.skewness import central_moment, skewness
+from repro.stats.skewness import central_moment, skewness, skewness_from_sums
 
 __all__ = [
     "skewness",
     "central_moment",
+    "skewness_from_sums",
     "fit_alpha",
     "log2_histogram",
     "is_power_law_like",

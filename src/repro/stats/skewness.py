@@ -12,7 +12,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
-__all__ = ["central_moment", "skewness"]
+__all__ = ["central_moment", "skewness", "skewness_from_sums"]
 
 
 def central_moment(values: Sequence[float] | np.ndarray, order: int) -> float:
@@ -39,4 +39,29 @@ def skewness(values: Sequence[float] | np.ndarray) -> float:
     if m2 == 0.0:
         return 0.0
     m3 = central_moment(arr, 3)
+    return float(m3 / m2 ** 1.5)
+
+
+def skewness_from_sums(n: int, s1: int, s2: int, s3: int) -> float:
+    """:func:`skewness` from the raw power sums ``Σx``, ``Σx²``, ``Σx³``.
+
+    The dynamic index's drift monitor keeps these sums incrementally
+    (O(1) exact integer updates per insert/remove) so the live size
+    distribution's skewness is available at every mutation without an
+    O(N) pass.  Uses the standard raw→central moment identities::
+
+        m2 = s2/n − mean²
+        m3 = s3/n − 3·mean·s2/n + 2·mean³
+
+    Degenerate inputs (``n <= 0`` or zero variance, including the tiny
+    negative ``m2`` float rounding can produce) yield 0 by the same
+    convention as :func:`skewness`.
+    """
+    if n <= 0:
+        return 0.0
+    mean = s1 / n
+    m2 = s2 / n - mean * mean
+    if m2 <= 0.0:
+        return 0.0
+    m3 = s3 / n - 3.0 * mean * (s2 / n) + 2.0 * mean ** 3
     return float(m3 / m2 ** 1.5)

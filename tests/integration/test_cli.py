@@ -221,3 +221,105 @@ class TestBuildBackend:
         assert "format:         v2" in out
         assert "backend:        None" in out
         assert "not loadable without overrides" in out
+
+
+@pytest.fixture()
+def more_corpus_file(tmp_path):
+    more = {"late%d" % i: ["L%d_%d" % (i, j) for j in range(100 + 15 * i)]
+            for i in range(8)}
+    path = tmp_path / "more.json"
+    path.write_text(json.dumps(more))
+    return path
+
+
+class TestDynamicCommands:
+    def test_insert_converts_to_manifest_and_answers(self, built,
+                                                     more_corpus_file,
+                                                     capsys):
+        rc = main(["insert", str(built), str(more_corpus_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "inserted 8 domains" in out
+        assert "delta 8" in out
+        assert built.is_dir()  # single file converted in place
+        rc = main(["query", str(built), "--values"]
+                  + ["L3_%d" % j for j in range(145)]
+                  + ["--threshold", "0.9"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "late3" in out
+
+    def test_insert_duplicate_key_fails(self, built, tmp_path, capsys):
+        dup = tmp_path / "dup.json"
+        dup.write_text(json.dumps({"small": ["zz"]}))
+        with pytest.raises(SystemExit, match="already in the index"):
+            main(["insert", str(built), str(dup)])
+
+    def test_remove_then_query_excludes(self, built, capsys):
+        rc = main(["remove", str(built), "unrelated"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "removed 1 domains" in out
+        assert "tombstones 1" in out
+        rc = main(["query", str(built), "--values"]
+                  + ["u%d" % i for i in range(40)] + ["--threshold", "0.5"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "unrelated" not in out
+
+    def test_remove_repeated_key_counts_once(self, built, capsys):
+        rc = main(["remove", str(built), "unrelated", "unrelated"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "removed 1 domains" in out
+        assert "tombstones 1" in out
+
+    def test_remove_missing_key_fails_without_saving(self, built, capsys):
+        with pytest.raises(SystemExit, match="ghost"):
+            main(["remove", str(built), "small", "ghost"])
+        rc = main(["query", str(built), "--values", "a", "b", "c", "d",
+                   "e", "--threshold", "1.0"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "small" in out  # the partial removal was not persisted
+
+    def test_rebalance_compacts_manifest(self, built, more_corpus_file,
+                                         capsys):
+        main(["insert", str(built), str(more_corpus_file)])
+        main(["remove", str(built), "small"])
+        capsys.readouterr()
+        rc = main(["rebalance", str(built)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "rebalanced to generation 1" in out
+        rc = main(["info", str(built)])
+        out = capsys.readouterr().out
+        assert "delta 0, tombstones 0 (generation 1)" in out
+
+    def test_rebalance_respects_drift_gate(self, built, capsys):
+        rc = main(["rebalance", str(built), "--if-drift-above", "0.9"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "leaving generation 0 untouched" in out
+
+    def test_info_reports_tiers_and_drift(self, built, more_corpus_file,
+                                          capsys):
+        main(["insert", str(built), str(more_corpus_file)])
+        capsys.readouterr()
+        rc = main(["info", str(built)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "v3 (dynamic manifest)" in out
+        assert "delta 8" in out
+        assert "drift score:" in out
+
+    def test_insert_auto_rebalance_threshold(self, built, more_corpus_file,
+                                             capsys):
+        rc = main(["insert", str(built), str(more_corpus_file),
+                   "--auto-rebalance-at", "0.05"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "auto-rebalanced to generation" in out
+        rc = main(["info", str(built)])
+        out = capsys.readouterr().out
+        assert "auto-rebalance: at drift score >= 0.05" in out

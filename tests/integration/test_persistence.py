@@ -365,18 +365,21 @@ class TestBackendFidelity:
 
 class TestEdgeCases:
     def test_empty_partition_roundtrip(self, tmp_path):
+        # Explicit partitions with a hole no domain size falls into: its
+        # partition_rows entry becomes 0 and the loaded forest must come
+        # back empty but functional.  (Removals no longer empty physical
+        # partitions — they only tombstone — so the hole is built in.)
+        from repro.core.partitioner import Partition
+
         domains = {"a%d" % i: {"v%d_%d" % (i, j) for j in range(10 + i)}
                    for i in range(20)}
-        index = LSHEnsemble(threshold=0.6, num_perm=NUM_PERM,
-                            num_partitions=4)
-        index.index((k, sig(v), len(v)) for k, v in domains.items())
-        # Empty one partition entirely: its partition_rows entry becomes
-        # 0 and the loaded forest must come back empty but functional.
-        bounds = index.partitions[1]
-        for key in list(index.keys()):
-            if index.size_of(key) in bounds:
-                index.remove(key)
-                del domains[key]
+        domains["big"] = {"b%d" % j for j in range(120)}
+        index = LSHEnsemble(threshold=0.6, num_perm=NUM_PERM)
+        index.index(
+            ((k, sig(v), len(v)) for k, v in domains.items()),
+            partitions=[Partition(10, 40), Partition(40, 100),
+                        Partition(100, 121)],
+        )
         path = tmp_path / "holes.lshe"
         save_ensemble(index, path)
         assert 0 in read_header(path)["partition_rows"]

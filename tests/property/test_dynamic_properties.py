@@ -1,0 +1,121 @@
+"""Property-based tests for the dynamic lifecycle.
+
+The load-bearing property (the ISSUE's acceptance criterion): after any
+mix of drift-inducing inserts and removals, ``rebalance()`` leaves an
+index that answers ``query`` / ``query_batch`` *bit-identically* to a
+from-scratch build over the same live entries — compaction is a pure
+re-layout, never a semantic change.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ensemble import LSHEnsemble
+from repro.minhash.batch import SignatureBatch
+from repro.minhash.minhash import MinHash
+
+NUM_PERM = 64
+
+
+def sig(values):
+    return MinHash.from_values(values, num_perm=NUM_PERM)
+
+
+initial_corpora = st.dictionaries(
+    keys=st.text(min_size=1, max_size=6),
+    values=st.sets(st.integers(0, 500), min_size=1, max_size=50),
+    min_size=3,
+    max_size=20,
+)
+# Drifted writes: larger value universe so sizes skew upward.
+drift_corpora = st.dictionaries(
+    keys=st.text(min_size=7, max_size=10),
+    values=st.sets(st.integers(0, 5000), min_size=20, max_size=200),
+    min_size=0,
+    max_size=10,
+)
+
+
+def _mutate(index, domains, drift, removals):
+    for key, values in drift.items():
+        index.insert(key, sig(values), len(values))
+        domains[key] = values
+    keys = sorted(domains)
+    for pick in removals:
+        if len(domains) <= 1:
+            break
+        key = keys[pick % len(keys)]
+        if key in domains:
+            index.remove(key)
+            del domains[key]
+    return domains
+
+
+@settings(max_examples=20, deadline=None)
+@given(initial=initial_corpora, drift=drift_corpora,
+       removals=st.lists(st.integers(0, 1000), max_size=5))
+def test_rebalance_equals_fresh_build(initial, drift, removals):
+    index = LSHEnsemble(num_perm=NUM_PERM, num_partitions=3)
+    index.index((k, sig(v), len(v)) for k, v in initial.items())
+    domains = _mutate(index, dict(initial), drift, removals)
+    index.rebalance()
+    fresh = LSHEnsemble(num_perm=NUM_PERM, num_partitions=3)
+    fresh.index((k, sig(v), len(v)) for k, v in domains.items())
+    assert index.partitions == fresh.partitions
+    names = sorted(domains)
+    probes = [sig(domains[k]) for k in names]
+    sizes = [len(domains[k]) for k in names]
+    batch = SignatureBatch.from_signatures(probes)
+    for threshold in (0.0, 0.6, 1.0):
+        expected = [fresh.query(p, size=c, threshold=threshold)
+                    for p, c in zip(probes, sizes)]
+        assert [index.query(p, size=c, threshold=threshold)
+                for p, c in zip(probes, sizes)] == expected
+        assert index.query_batch(batch, sizes=sizes,
+                                 threshold=threshold) == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(initial=initial_corpora, drift=drift_corpora,
+       removals=st.lists(st.integers(0, 1000), max_size=5))
+def test_unchanged_keys_found_across_rebalance(initial, drift, removals):
+    """Self-queries of unchanged keys succeed both before and after
+    compaction (an indexed copy collides in every band)."""
+    index = LSHEnsemble(num_perm=NUM_PERM, num_partitions=3)
+    index.index((k, sig(v), len(v)) for k, v in initial.items())
+    domains = _mutate(index, dict(initial), drift, removals)
+    for key, values in list(domains.items())[:5]:
+        assert key in index.query(sig(values), size=len(values),
+                                  threshold=1.0)
+    index.rebalance()
+    for key, values in list(domains.items())[:5]:
+        assert key in index.query(sig(values), size=len(values),
+                                  threshold=1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(initial=initial_corpora, drift=drift_corpora)
+def test_results_never_contain_removed_or_foreign_keys(initial, drift):
+    index = LSHEnsemble(num_perm=NUM_PERM, num_partitions=3)
+    index.index((k, sig(v), len(v)) for k, v in initial.items())
+    domains = _mutate(index, dict(initial), drift, [])
+    removed = sorted(domains)[0]
+    index.remove(removed)
+    del domains[removed]
+    for key, values in list(domains.items())[:5]:
+        found = index.query(sig(values), size=len(values), threshold=0.0)
+        assert found <= set(domains)
+        assert removed not in found
+
+
+@settings(max_examples=15, deadline=None)
+@given(initial=initial_corpora, drift=drift_corpora,
+       removals=st.lists(st.integers(0, 1000), max_size=4))
+def test_drift_monitor_moments_stay_exact(initial, drift, removals):
+    """Incremental power sums equal a from-scratch recompute after any
+    mutation sequence."""
+    index = LSHEnsemble(num_perm=NUM_PERM, num_partitions=3)
+    index.index((k, sig(v), len(v)) for k, v in initial.items())
+    domains = _mutate(index, dict(initial), drift, removals)
+    sizes = [len(v) for v in domains.values()]
+    assert index._moments == LSHEnsemble._moments_of(sizes)

@@ -61,3 +61,41 @@ class TestSkewness:
                                 max_size=500_000, seed=4)
         s = skewness(sizes)
         assert 0.5 < s < 200
+
+
+class TestSkewnessFromSums:
+    def test_matches_direct_computation(self):
+        import numpy as np
+
+        from repro.stats.skewness import skewness, skewness_from_sums
+
+        rng = np.random.default_rng(7)
+        values = (10 * (1 + rng.pareto(1.8, size=5000))).astype(int)
+        n = len(values)
+        s1 = int(values.sum())
+        s2 = sum(int(v) ** 2 for v in values)
+        s3 = sum(int(v) ** 3 for v in values)
+        assert skewness_from_sums(n, s1, s2, s3) == pytest.approx(
+            skewness(values.astype(float)), rel=1e-9)
+
+    def test_degenerate_cases(self):
+        from repro.stats.skewness import skewness_from_sums
+
+        assert skewness_from_sums(0, 0, 0, 0) == 0.0
+        # Constant data: zero variance -> 0 by convention.
+        assert skewness_from_sums(4, 20, 100, 500) == 0.0
+
+    def test_exported_from_package(self):
+        from repro.stats import skewness_from_sums  # noqa: F401
+
+    def test_incremental_add_remove_consistency(self):
+        from repro.stats.skewness import skewness, skewness_from_sums
+
+        values = [3, 9, 27, 81, 243]
+        n = s1 = s2 = s3 = 0
+        for v in values:
+            n, s1, s2, s3 = n + 1, s1 + v, s2 + v * v, s3 + v ** 3
+        v = values.pop()
+        n, s1, s2, s3 = n - 1, s1 - v, s2 - v * v, s3 - v ** 3
+        assert skewness_from_sums(n, s1, s2, s3) == pytest.approx(
+            skewness(values), rel=1e-12)
