@@ -1,0 +1,193 @@
+"""Served throughput — request coalescing vs sequential single-query serving.
+
+The serving layer's claim (ISSUE 4, following the distributed-LSH
+literature: once the sketch math is vectorised, the serving layer is
+the bottleneck) is that collecting concurrent HTTP requests into
+micro-batches dispatched through ``query_batch`` beats answering each
+request with its own single-query dispatch.  This benchmark stands up
+the real asyncio HTTP server twice over one index —
+
+* **coalesced**: ``max_batch=64``, a few-ms collection window;
+* **sequential**: ``max_batch=1`` (every query dispatches alone — the
+  same HTTP stack, parser, executor and index, minus the batching);
+
+fires 64 concurrent keep-alive clients at each, and asserts the
+coalesced configuration clears ``>= 2x`` the sequential throughput
+while returning byte-identical response bodies.  The result cache is
+disabled so the comparison measures query work, not memoisation.
+
+Environment knobs: ``REPRO_BENCH_SERVE_DOMAINS`` (corpus size, default
+6000), ``REPRO_BENCH_SERVE_ROUNDS`` (requests per client, default 6).
+
+Run directly (``python benchmarks/bench_serve.py``) or via pytest.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+try:
+    from benchmarks.common import emit
+except ModuleNotFoundError:  # direct `python benchmarks/bench_serve.py` run
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+    from benchmarks.common import emit
+from repro.core.ensemble import LSHEnsemble
+from repro.eval.reports import format_table
+from repro.minhash.generator import sample_signatures
+from repro.serve import start_in_thread
+
+NUM_DOMAINS = int(os.environ.get("REPRO_BENCH_SERVE_DOMAINS", "6000"))
+ROUNDS = int(os.environ.get("REPRO_BENCH_SERVE_ROUNDS", "6"))
+NUM_CLIENTS = 64
+NUM_PERM = 128
+NUM_PARTITIONS = 16
+THRESHOLD = 0.5
+CORPUS_SEED = 42
+MIN_SPEEDUP = 2.0
+
+
+def _build_index() -> tuple[LSHEnsemble, list]:
+    rng = np.random.default_rng(CORPUS_SEED)
+    sizes = np.clip(
+        (10 * (1 + rng.pareto(1.5, size=NUM_DOMAINS))).astype(int),
+        10, 100_000)
+    signatures = sample_signatures(sizes.tolist(), num_perm=NUM_PERM,
+                                   seed=1, rng=rng)
+    entries = [("d%d" % i, sig, int(size))
+               for i, (sig, size) in enumerate(zip(signatures, sizes))]
+    index = LSHEnsemble(num_perm=NUM_PERM, num_partitions=NUM_PARTITIONS,
+                        threshold=THRESHOLD)
+    index.index(entries)
+    return index, entries
+
+
+def _query_payloads(entries) -> list[str]:
+    """One distinct pre-serialised request body per (client, round)."""
+    rng = np.random.default_rng(7)
+    picks = rng.choice(len(entries), size=NUM_CLIENTS * ROUNDS,
+                       replace=True)
+    bodies = []
+    for i in picks:
+        _, sig, size = entries[int(i)]
+        bodies.append(json.dumps({
+            "queries": [{"signature": [int(v) for v in sig.hashvalues],
+                         "seed": int(sig.seed), "size": int(size)}],
+            "threshold": THRESHOLD,
+        }))
+    return bodies
+
+
+def _fire(port: int, bodies: list[str]) -> tuple[float, list]:
+    """64 concurrent keep-alive clients splitting ``bodies`` round-robin.
+
+    Returns (elapsed seconds, per-request result lists in a stable
+    order) so the two server configurations can be checked for
+    byte-identical answers.
+    """
+    rounds = len(bodies) // NUM_CLIENTS
+    barrier = threading.Barrier(NUM_CLIENTS + 1)
+    results: list = [None] * len(bodies)
+    errors: list = []
+
+    def client(cid: int) -> None:
+        conn = http.client.HTTPConnection("127.0.0.1", port)
+        try:
+            barrier.wait()
+            for round_no in range(rounds):
+                j = round_no * NUM_CLIENTS + cid
+                conn.request("POST", "/query", bodies[j],
+                             {"Content-Type": "application/json"})
+                response = conn.getresponse()
+                payload = json.loads(response.read())
+                if response.status != 200:
+                    raise RuntimeError("HTTP %d: %s"
+                                       % (response.status, payload))
+                results[j] = payload["results"][0]
+        except Exception as exc:  # noqa: BLE001 — reported by the main thread
+            errors.append(exc)
+        finally:
+            conn.close()
+
+    threads = [threading.Thread(target=client, args=(cid,))
+               for cid in range(NUM_CLIENTS)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - t0
+    if errors:
+        raise errors[0]
+    return elapsed, results
+
+
+def run_benchmark():
+    index, entries = _build_index()
+    bodies = _query_payloads(entries)
+    total = len(bodies)
+
+    configs = {
+        "sequential": dict(max_batch=1, window_ms=0.0),
+        "coalesced": dict(max_batch=NUM_CLIENTS, window_ms=5.0),
+    }
+    timings = {}
+    answers = {}
+    batch_stats = {}
+    for name, config in configs.items():
+        with start_in_thread(index, cache_size=0,
+                             max_pending=4 * NUM_CLIENTS,
+                             **config) as handle:
+            # One warm-up round outside the timed window.
+            _fire(handle.port, bodies[:NUM_CLIENTS])
+            elapsed, results = _fire(handle.port, bodies)
+            timings[name] = elapsed
+            answers[name] = results
+            batch_stats[name] = handle.server.coalescer.stats()
+
+    speedup = timings["sequential"] / timings["coalesced"]
+    identical = answers["sequential"] == answers["coalesced"]
+    rows = [
+        [name,
+         "%.3f" % timings[name],
+         "%.1f" % (total / timings[name]),
+         "%.1f" % batch_stats[name]["mean_batch_size"],
+         "%d" % batch_stats[name]["largest_batch"]]
+        for name in configs
+    ]
+    table = format_table(
+        ["serving mode", "seconds", "req/s", "mean batch", "largest batch"],
+        rows,
+        title="HTTP serving throughput (%d domains, m = %d, t* = %.1f; "
+              "%d clients x %d requests, cache disabled)"
+              % (NUM_DOMAINS, NUM_PERM, THRESHOLD, NUM_CLIENTS, ROUNDS),
+    )
+    note = ("coalesced vs sequential: %.2fx; responses identical: %s"
+            % (speedup, "yes" if identical else "NO"))
+    return table + "\n\n" + note, speedup, identical, batch_stats
+
+
+def test_serve_coalescing_speedup():
+    report, speedup, identical, batch_stats = run_benchmark()
+    emit("serve_throughput", report)
+    assert identical, "served answers diverged between serving modes"
+    assert batch_stats["coalesced"]["largest_batch"] >= 8, (
+        "coalescer never formed a real batch (largest %d)"
+        % batch_stats["coalesced"]["largest_batch"])
+    assert speedup >= MIN_SPEEDUP, (
+        "coalesced serving was %.2fx sequential, expected >= %.1fx"
+        % (speedup, MIN_SPEEDUP))
+
+
+if __name__ == "__main__":
+    report, speedup, identical, _ = run_benchmark()
+    emit("serve_throughput", report)
+    print("\nspeedup: %.2fx, identical: %s" % (speedup, identical))

@@ -52,6 +52,7 @@ from repro.persistence import (
     read_header,
     save_ensemble,
 )
+from repro.serve import QueryServer, start_in_thread
 
 __version__ = "1.0.0"
 
@@ -84,5 +85,7 @@ __all__ = [
     "register_partitioner",
     "JoinDiscovery",
     "JoinCandidate",
+    "QueryServer",
+    "start_in_thread",
     "__version__",
 ]

@@ -12,6 +12,7 @@ Build, persist, mutate, and query LSH Ensemble indexes from the shell::
     python -m repro.cli remove index.lshe old-domain other-domain
     python -m repro.cli rebalance index.lshe --if-drift-above 0.3
     python -m repro.cli info  index.lshe
+    python -m repro.cli serve index.lshe --port 8080 --max-batch 64
 
 ``--query-file`` answers each entry with an independent single query;
 ``--batch-file`` hashes all entries into one signature matrix and answers
@@ -24,6 +25,12 @@ generation-numbered manifest directory (an ``insert`` into a single-file
 snapshot converts it in place).  ``rebalance`` compacts the write tiers
 into a freshly partitioned base; ``info`` reports tier sizes and the
 drift monitor's metrics alongside the static layout.
+
+``serve`` fronts any saved index — a single-file v2 snapshot, a dynamic
+manifest directory, or a sharded cluster directory — with the asyncio
+HTTP server of :mod:`repro.serve`: concurrent requests are coalesced
+into vectorised batch queries, results are cached under the index's
+mutation epoch, and overload is shed with 503s.
 
 The JSON corpus format is deliberately simple: one object whose keys are
 domain names and whose values are arrays of (string or numeric) domain
@@ -124,6 +131,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_info = sub.add_parser("info", help="describe a built index")
     p_info.add_argument("index", type=Path)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve a saved index over HTTP with request coalescing "
+             "and an epoch-keyed result cache")
+    p_serve.add_argument("index", type=Path,
+                         help="a v2 snapshot file, a dynamic manifest "
+                              "directory, or a ShardedEnsemble directory")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080,
+                         help="TCP port (0 picks a free one and prints it)")
+    p_serve.add_argument("--max-batch", type=int, default=64,
+                         help="dispatch a coalesced batch at this many "
+                              "queries (1 disables coalescing)")
+    p_serve.add_argument("--window-ms", type=float, default=2.0,
+                         help="how long the first query of a batch waits "
+                              "for company")
+    p_serve.add_argument("--cache-size", type=int, default=4096,
+                         help="result-cache capacity (0 disables caching)")
+    p_serve.add_argument("--max-pending", type=int, default=1024,
+                         help="shed requests beyond this many queued "
+                              "queries (load-shed 503s)")
+    p_serve.add_argument("--no-mmap", action="store_true",
+                         help="read signature matrices into memory "
+                              "instead of memory-mapping them")
     return parser
 
 
@@ -210,12 +242,19 @@ def _run_batch_query(index: LSHEnsemble, path: Path,
         elapsed = time.perf_counter() - t0
         for name, found in zip(batch.keys, results):
             _print_hits(name, found, threshold)
-    print("[%d queries answered in %.3fs, %.1f queries/s]"
-          % (len(batch), elapsed, len(batch) / elapsed if elapsed else 0.0))
+    print("[%d queries answered in %.3fs, %.1f queries/s; "
+          "generation %d, mutation epoch %d]"
+          % (len(batch), elapsed, len(batch) / elapsed if elapsed else 0.0,
+             index.generation, index.mutation_epoch))
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
     index = load_ensemble(args.index, mmap=not args.no_mmap)
+    # Generation alone cannot distinguish two states of a live index
+    # (it only moves on rebalance); the mutation epoch pins exactly
+    # which contents these answers reflect.
+    print("index generation %d, mutation epoch %d"
+          % (index.generation, index.mutation_epoch))
     if args.values is not None:
         _run_one_query(index, "query", set(args.values), args.threshold,
                        args.top_k)
@@ -303,11 +342,63 @@ def _cmd_rebalance(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_serving_index(path: Path, mmap: bool):
+    """Load any saved index for serving: flat file, dynamic manifest
+    directory, or ShardedEnsemble cluster directory."""
+    if path.is_dir():
+        manifest_path = path / "manifest.json"
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise SystemExit(
+                "error: %s is not a saved index (no manifest.json)" % path)
+        except json.JSONDecodeError as exc:
+            raise SystemExit("error: corrupt manifest in %s: %s"
+                             % (path, exc))
+        if isinstance(manifest, dict) and "shards" in manifest:
+            from repro.parallel.sharded import ShardedEnsemble
+
+            return ShardedEnsemble.load(path, mmap=mmap)
+    return load_ensemble(path, mmap=mmap)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import QueryServer
+
+    index = _load_serving_index(args.index, mmap=not args.no_mmap)
+    server = QueryServer(
+        index, host=args.host, port=args.port,
+        max_batch=args.max_batch, window_ms=args.window_ms,
+        cache_size=args.cache_size, max_pending=args.max_pending)
+
+    async def _main() -> None:
+        await server.start()
+        print("serving %s (%d domains, generation %d, mutation epoch %d) "
+              "on http://%s:%d"
+              % (args.index, len(index), server.engine.generation,
+                 server.engine.mutation_epoch, server.host, server.port),
+              flush=True)
+        print("endpoints: POST /query, POST /query_top_k, GET /healthz, "
+              "GET /stats", flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.aclose()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _print_drift(drift: dict) -> None:
     print("tiers:          base %d, delta %d, tombstones %d "
-          "(generation %d)"
+          "(generation %d, mutation epoch %d)"
           % (drift["base_keys"], drift["delta_keys"], drift["tombstones"],
-             drift["generation"]))
+             drift["generation"], drift["mutation_epoch"]))
     print("drift score:    %.3f (depth excess %.3f, churn %.3f, "
           "skew shift %.3f)"
           % (drift["drift_score"], drift["depth_excess"],
@@ -364,6 +455,7 @@ def main(argv: list[str] | None = None) -> int:
         "remove": _cmd_remove,
         "rebalance": _cmd_rebalance,
         "info": _cmd_info,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

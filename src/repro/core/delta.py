@@ -40,11 +40,12 @@ leaves the staged entries intact for the next attempt.  Only the small
 delta tier serialises; base-tier probes (the bulk of query work) remain
 lock-free, and each shard of a
 :class:`~repro.parallel.sharded.ShardedEnsemble` owns its own tier, so
-cross-shard parallelism is unaffected.  Running *mutations* (and
-``rebalance``) concurrently with queries still requires external
-coordination, exactly as it did before the write tier existed — the
-ensemble's base-adjacent state (tombstone set, partition swaps) is not
-lock-protected.
+cross-shard parallelism is unaffected.  The ensemble's base-adjacent
+state (tombstone set, partition swaps) is guarded one level up: every
+public mutator and query entry point of
+:class:`~repro.core.ensemble.LSHEnsemble` serialises on the ensemble's
+own reentrant lock, so mutations and ``rebalance`` are safe to run
+concurrently with queries without external coordination.
 """
 
 from __future__ import annotations

@@ -30,10 +30,29 @@ tracks partition-depth imbalance, write churn and size-distribution
 skewness shift; when drift warrants it — manually, or automatically via
 ``auto_rebalance_at`` — :meth:`LSHEnsemble.rebalance` folds both tiers
 into a freshly partitioned base through the vectorised bulk-build path.
+
+Concurrency and the mutation epoch
+----------------------------------
+
+All public mutators and query entry points serialise on one reentrant
+lock, so threads may freely race ``insert``/``remove``/``rebalance``
+against ``query``/``query_batch``: a query never observes a
+half-swapped base tier or a cleared-but-unreplaced tombstone set.
+Queries are writers too (the first probe after a write flushes the
+delta tier; removals dirty the lazily recomputed tuning bounds), which
+is why a plain exclusive lock — not a reader-writer split — is the
+honest choice; the serving layer regains cross-request throughput by
+coalescing concurrent requests into single ``query_batch`` calls
+rather than by running queries concurrently.
+Every logical mutation also bumps a monotonic
+:attr:`LSHEnsemble.mutation_epoch` (``generation`` only moves on
+rebalance), giving layered caches — e.g. the HTTP serving tier in
+:mod:`repro.serve` — an exact invalidation key.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections.abc import Hashable, Iterable, Sequence
 
@@ -265,6 +284,21 @@ class LSHEnsemble:
         self._delta: DeltaTier | None = None
         self._tombstones: set = set()
         self._generation = 0
+        # Monotonic count of *logical* mutations (insert/remove/
+        # rebalance).  Unlike ``generation`` — which only bumps on
+        # rebalance — every content change bumps it, which is what lets
+        # a serving layer key result caches on it.  Bumped strictly
+        # after the mutation's state changes, under the same lock that
+        # serialises queries, so a query observing epoch E always sees
+        # exactly the contents of epoch E.
+        self._mutation_epoch = 0
+        # Serialises mutations against the query paths.  Queries are not
+        # pure reads (the first query after a write flushes the delta
+        # tier, and removals dirty the lazily recomputed tuning bounds),
+        # and rebalance() swaps out every base structure; the reentrant
+        # lock makes insert/remove/rebalance safe to race against
+        # query/query_batch from other threads.
+        self._lock = threading.RLock()
         # Drift monitor state: per-base-partition live counts (base-tier
         # live keys, and delta keys routed by the *base* partitions), and
         # exact integer power sums (n, Σx, Σx², Σx³) of the live size
@@ -512,15 +546,17 @@ class LSHEnsemble:
                 "signature num_perm %d does not match index num_perm %d"
                 % (lean.num_perm, self.num_perm)
             )
-        if key in self:
-            raise ValueError("key %r is already in the index" % (key,))
-        size = int(size)
-        if self._delta is None:
-            self._delta = DeltaTier(self._delta_factory)
-        self._delta.add(key, lean, size)
-        self._delta_routed_counts[self._route_index(size)] += 1
-        self._track_size(size, +1)
-        self._maybe_auto_rebalance()
+        with self._lock:
+            if key in self:
+                raise ValueError("key %r is already in the index" % (key,))
+            size = int(size)
+            if self._delta is None:
+                self._delta = DeltaTier(self._delta_factory)
+            self._delta.add(key, lean, size)
+            self._delta_routed_counts[self._route_index(size)] += 1
+            self._track_size(size, +1)
+            self._mutation_epoch += 1
+            self._maybe_auto_rebalance()
 
     def _delta_factory(self) -> "LSHEnsemble":
         """An empty delta-tier inner index bound to this configuration.
@@ -583,21 +619,23 @@ class LSHEnsemble:
         Tombstoned keys are filtered out of every query and reclaimed by
         :meth:`rebalance`.
         """
-        if self._delta is not None and key in self._delta:
-            size = self._delta.discard(key)
-            self._delta_routed_counts[self._route_index(size)] -= 1
-            self._track_size(size, -1)
-        elif key in self._sizes and key not in self._tombstones:
-            size = self._sizes[key]
-            self._tombstones.add(key)
-            i = self._route_index(size)
-            self._base_live_counts[i] -= 1
-            self._track_size(size, -1)
-            if size >= self._partition_max_size[i]:
-                self._live_max_dirty = True
-        else:
-            raise KeyError(key)
-        self._maybe_auto_rebalance()
+        with self._lock:
+            if self._delta is not None and key in self._delta:
+                size = self._delta.discard(key)
+                self._delta_routed_counts[self._route_index(size)] -= 1
+                self._track_size(size, -1)
+            elif key in self._sizes and key not in self._tombstones:
+                size = self._sizes[key]
+                self._tombstones.add(key)
+                i = self._route_index(size)
+                self._base_live_counts[i] -= 1
+                self._track_size(size, -1)
+                if size >= self._partition_max_size[i]:
+                    self._live_max_dirty = True
+            else:
+                raise KeyError(key)
+            self._mutation_epoch += 1
+            self._maybe_auto_rebalance()
 
     def _resolve_live_max(self) -> None:
         """Recompute per-partition live maxima if removals dirtied them.
@@ -661,6 +699,10 @@ class LSHEnsemble:
         ``drift_score`` is the max of the three; ``auto_rebalance_at``
         compares against it.
         """
+        with self._lock:
+            return self._drift_stats_locked()
+
+    def _drift_stats_locked(self) -> dict:
         if not self._forests:
             raise RuntimeError("the index is empty; call index() first")
         counts = [b + d for b, d in zip(self._base_live_counts,
@@ -683,6 +725,7 @@ class LSHEnsemble:
         score = max(depth_excess, churn, skew_shift)
         return {
             "generation": self._generation,
+            "mutation_epoch": self._mutation_epoch,
             "base_keys": len(self._sizes) - len(self._tombstones),
             "delta_keys": delta_keys,
             "tombstones": len(self._tombstones),
@@ -705,6 +748,16 @@ class LSHEnsemble:
             self.rebalance()
 
     def rebalance(self, num_partitions: int | None = None) -> dict:
+        """Fold the write tiers into a freshly partitioned base (compaction).
+
+        See :meth:`_rebalance_locked`; the whole compaction holds the
+        index lock, so concurrent queries block briefly instead of
+        observing a half-swapped base tier.
+        """
+        with self._lock:
+            return self._rebalance_locked(num_partitions)
+
+    def _rebalance_locked(self, num_partitions: int | None = None) -> dict:
         """Fold the write tiers into a freshly partitioned base (compaction).
 
         Recomputes the partitioning over the merged live size
@@ -775,6 +828,7 @@ class LSHEnsemble:
         self._bulk_fill(keys, sizes, matrix, seeds)
         self.materialize()
         self._generation += 1
+        self._mutation_epoch += 1
         self._base_source = None
         after = self.drift_stats()
         return {
@@ -839,6 +893,14 @@ class LSHEnsemble:
                           threshold: float | None = None,
                           ) -> tuple[set, list[PartitionQueryReport]]:
         """:meth:`query` plus per-partition tuning diagnostics."""
+        with self._lock:
+            return self._query_with_report_locked(signature, size, threshold)
+
+    def _query_with_report_locked(self, signature: MinHash | LeanMinHash,
+                                  size: int | None = None,
+                                  threshold: float | None = None,
+                                  ) -> tuple[set,
+                                             list[PartitionQueryReport]]:
         if not self._forests:
             raise RuntimeError("the index is empty; call index() first")
         lean = _as_lean(signature)
@@ -910,6 +972,11 @@ class LSHEnsemble:
             Containment threshold ``t*`` shared by the whole batch;
             defaults to the constructor threshold.
         """
+        with self._lock:
+            return self._query_batch_locked(batch, sizes, threshold)
+
+    def _query_batch_locked(self, batch, sizes: Sequence[int] | None = None,
+                            threshold: float | None = None) -> list[set]:
         if not self._forests:
             raise RuntimeError("the index is empty; call index() first")
         sb = _as_batch(batch)
@@ -1001,14 +1068,15 @@ class LSHEnsemble:
         _validate_topk_args(k, min_threshold)
         lean = _as_lean(signature)
         q = int(size) if size is not None else max(1, lean.count())
-        candidates = _ladder_candidates(
-            lambda threshold: self.query(lean, size=q,
-                                         threshold=threshold),
-            k, min_threshold)
-        pool = {key: self._signature_of(key) for key in candidates}
-        ranked = rank_candidates(lean, pool, query_size=q,
-                                 sizes={key: self.size_of(key)
-                                        for key in candidates})
+        with self._lock:
+            candidates = _ladder_candidates(
+                lambda threshold: self.query(lean, size=q,
+                                             threshold=threshold),
+                k, min_threshold)
+            pool = {key: self._signature_of(key) for key in candidates}
+            ranked = rank_candidates(lean, pool, query_size=q,
+                                     sizes={key: self.size_of(key)
+                                            for key in candidates})
         return ranked[:k]
 
     def query_top_k_batch(self, batch, k: int,
@@ -1041,18 +1109,20 @@ class LSHEnsemble:
             qs = [int(s) for s in sizes]
         else:
             qs = [max(1, int(c)) for c in sb.counts()]
-        candidates = _ladder_candidates_batch(
-            lambda rows, threshold: self.query_batch(
-                SignatureBatch(None, sb.take(rows), seed=sb.seed),
-                sizes=[qs[j] for j in rows], threshold=threshold),
-            n, k, min_threshold)
-        out: list[list[tuple[Hashable, float]]] = []
-        for j in range(n):
-            pool = {key: self._signature_of(key) for key in candidates[j]}
-            ranked = rank_candidates(sb[j], pool, query_size=qs[j],
-                                     sizes={key: self.size_of(key)
-                                            for key in candidates[j]})
-            out.append(ranked[:k])
+        with self._lock:
+            candidates = _ladder_candidates_batch(
+                lambda rows, threshold: self.query_batch(
+                    SignatureBatch(None, sb.take(rows), seed=sb.seed),
+                    sizes=[qs[j] for j in rows], threshold=threshold),
+                n, k, min_threshold)
+            out: list[list[tuple[Hashable, float]]] = []
+            for j in range(n):
+                pool = {key: self._signature_of(key)
+                        for key in candidates[j]}
+                ranked = rank_candidates(sb[j], pool, query_size=qs[j],
+                                         sizes={key: self.size_of(key)
+                                                for key in candidates[j]})
+                out.append(ranked[:k])
         return out
 
     def _signature_of(self, key: Hashable) -> LeanMinHash:
@@ -1094,6 +1164,10 @@ class LSHEnsemble:
         :meth:`rebalance`, plus the tier sizes themselves.  See
         :meth:`drift_stats` for the condensed drift score.
         """
+        with self._lock:
+            return self._stats_locked()
+
+    def _stats_locked(self) -> dict:
         if not self._forests:
             raise RuntimeError("the index is empty; call index() first")
         lo = self._partitions[0].lower
@@ -1129,6 +1203,7 @@ class LSHEnsemble:
             "delta_keys": len(self._delta) if self._delta is not None else 0,
             "tombstones": len(self._tombstones),
             "generation": self._generation,
+            "mutation_epoch": self._mutation_epoch,
         }
 
     @property
@@ -1140,6 +1215,19 @@ class LSHEnsemble:
     def generation(self) -> int:
         """Compaction generation: 0 at build, +1 per :meth:`rebalance`."""
         return self._generation
+
+    @property
+    def mutation_epoch(self) -> int:
+        """Monotonic logical-mutation counter: 0 at build, +1 per
+        :meth:`insert` / :meth:`remove` / :meth:`rebalance`.
+
+        ``generation`` only moves on compaction, so two snapshots of the
+        index can share a generation yet answer differently; the epoch
+        distinguishes them.  A result computed at epoch E is valid
+        exactly while ``mutation_epoch == E`` — the serving layer's
+        result cache keys on it.
+        """
+        return self._mutation_epoch
 
     def size_of(self, key: Hashable) -> int:
         """The recorded domain size for ``key``."""

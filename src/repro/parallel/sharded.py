@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 import shutil
+import threading
 from collections.abc import Hashable, Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
@@ -63,6 +64,15 @@ class ShardedEnsemble:
         self.parallel = bool(parallel)
         self._shards: list[LSHEnsemble] = []
         self._executor: ThreadPoolExecutor | None = None
+        # Cluster-level logical-mutation counter.  A per-shard sum
+        # would go *backwards* when rebalance() decommissions an
+        # emptied shard, so the cluster keeps its own monotone count;
+        # see LSHEnsemble.mutation_epoch for the semantics.
+        self._mutation_epoch = 0
+        # Serialises topology changes (rebalance's shard/executor swap)
+        # against the query fan-outs and cluster mutations; per-shard
+        # work still parallelises across shards inside one holder.
+        self._lock = threading.RLock()
 
     def index(self, entries: Iterable[tuple[Hashable, MinHash | LeanMinHash,
                                             int]]) -> None:
@@ -111,19 +121,24 @@ class ShardedEnsemble:
         (fewest live keys; ties go to the lowest shard id), keeping the
         round-robin balance of the initial build under sustained writes.
         """
-        if not self._shards:
-            raise RuntimeError("the index is empty; call index() first")
-        if any(key in shard for shard in self._shards):
-            raise ValueError("key %r is already in the cluster" % (key,))
-        min(self._shards, key=len).insert(key, signature, size)
+        with self._lock:
+            if not self._shards:
+                raise RuntimeError("the index is empty; call index() first")
+            if any(key in shard for shard in self._shards):
+                raise ValueError(
+                    "key %r is already in the cluster" % (key,))
+            min(self._shards, key=len).insert(key, signature, size)
+            self._mutation_epoch += 1
 
     def remove(self, key: Hashable) -> None:
         """Remove a domain from whichever shard holds it."""
-        for shard in self._shards:
-            if key in shard:
-                shard.remove(key)
-                return
-        raise KeyError(key)
+        with self._lock:
+            for shard in self._shards:
+                if key in shard:
+                    shard.remove(key)
+                    self._mutation_epoch += 1
+                    return
+            raise KeyError(key)
 
     def rebalance(self) -> list[dict]:
         """Fold every shard's write tiers into freshly partitioned bases.
@@ -137,27 +152,30 @@ class ShardedEnsemble:
         :meth:`repro.core.ensemble.LSHEnsemble.rebalance` for the
         surviving shards.
         """
-        if not self._shards:
-            raise RuntimeError("the index is empty; call index() first")
-        live = [shard for shard in self._shards if len(shard)]
-        if not live:
-            raise ValueError("cannot rebalance a cluster with no live keys")
-        if self.parallel and self._executor is not None:
-            futures = [self._executor.submit(shard.rebalance)
-                       for shard in live]
-            summaries = [f.result() for f in futures]
-        else:
-            summaries = [shard.rebalance() for shard in live]
-        if len(live) != len(self._shards):
-            self._shards = live
-            self.num_shards = len(live)
-            if self._executor is not None:
-                self._executor.shutdown(wait=True)
-                self._executor = ThreadPoolExecutor(
-                    max_workers=len(live),
-                    thread_name_prefix="lshensemble-shard",
-                )
-        return summaries
+        with self._lock:
+            if not self._shards:
+                raise RuntimeError("the index is empty; call index() first")
+            live = [shard for shard in self._shards if len(shard)]
+            if not live:
+                raise ValueError(
+                    "cannot rebalance a cluster with no live keys")
+            if self.parallel and self._executor is not None:
+                futures = [self._executor.submit(shard.rebalance)
+                           for shard in live]
+                summaries = [f.result() for f in futures]
+            else:
+                summaries = [shard.rebalance() for shard in live]
+            if len(live) != len(self._shards):
+                self._shards = live
+                self.num_shards = len(live)
+                if self._executor is not None:
+                    self._executor.shutdown(wait=True)
+                    self._executor = ThreadPoolExecutor(
+                        max_workers=len(live),
+                        thread_name_prefix="lshensemble-shard",
+                    )
+            self._mutation_epoch += 1
+            return summaries
 
     def drift_stats(self) -> dict:
         """Cluster-wide drift summary: per-shard stats plus aggregates.
@@ -165,37 +183,55 @@ class ShardedEnsemble:
         ``drift_score`` is the max over shards — one badly drifted node
         dominates tail latency, so it is what an operator alarms on.
         """
+        with self._lock:
+            if not self._shards:
+                raise RuntimeError("the index is empty; call index() first")
+            per_shard = [shard.drift_stats() for shard in self._shards]
+            return {
+                "shards": per_shard,
+                "drift_score": max(s["drift_score"] for s in per_shard),
+                "delta_keys": sum(s["delta_keys"] for s in per_shard),
+                "tombstones": sum(s["tombstones"] for s in per_shard),
+                "base_keys": sum(s["base_keys"] for s in per_shard),
+                "generation": max(s["generation"] for s in per_shard),
+                "mutation_epoch": self._mutation_epoch,
+            }
+
+    @property
+    def mutation_epoch(self) -> int:
+        """Cluster-wide logical-mutation counter; see
+        :attr:`repro.core.ensemble.LSHEnsemble.mutation_epoch`."""
+        return self._mutation_epoch
+
+    @property
+    def generation(self) -> int:
+        """Highest compaction generation across the shards (0 before
+        any rebalance)."""
         if not self._shards:
-            raise RuntimeError("the index is empty; call index() first")
-        per_shard = [shard.drift_stats() for shard in self._shards]
-        return {
-            "shards": per_shard,
-            "drift_score": max(s["drift_score"] for s in per_shard),
-            "delta_keys": sum(s["delta_keys"] for s in per_shard),
-            "tombstones": sum(s["tombstones"] for s in per_shard),
-            "base_keys": sum(s["base_keys"] for s in per_shard),
-            "generation": max(s["generation"] for s in per_shard),
-        }
+            return 0
+        return max(shard.generation for shard in self._shards)
 
     def query(self, signature: MinHash | LeanMinHash,
               size: int | None = None,
               threshold: float | None = None) -> set:
         """Union of all shard answers (Partitioned-Containment-Search)."""
-        if not self._shards:
-            raise RuntimeError("the index is empty; call index() first")
-        if self.parallel and self._executor is not None:
-            futures = [
-                self._executor.submit(shard.query, signature, size, threshold)
-                for shard in self._shards
-            ]
-            out: set = set()
-            for f in futures:
-                out |= f.result()
+        with self._lock:
+            if not self._shards:
+                raise RuntimeError("the index is empty; call index() first")
+            if self.parallel and self._executor is not None:
+                futures = [
+                    self._executor.submit(shard.query, signature, size,
+                                          threshold)
+                    for shard in self._shards
+                ]
+                out: set = set()
+                for f in futures:
+                    out |= f.result()
+                return out
+            out = set()
+            for shard in self._shards:
+                out |= shard.query(signature, size, threshold)
             return out
-        out = set()
-        for shard in self._shards:
-            out |= shard.query(signature, size, threshold)
-        return out
 
     def query_batch(self, batch, sizes: Sequence[int] | None = None,
                     threshold: float | None = None) -> list[set]:
@@ -215,19 +251,22 @@ class ShardedEnsemble:
         batch = _as_batch(batch)
         if len(batch) == 0:
             return []
-        if sizes is None:
-            # Estimate cardinalities once for all shards.
-            sizes = [max(1, int(c)) for c in batch.counts()]
-        if self.parallel and self._executor is not None:
-            futures = [
-                self._executor.submit(shard.query_batch, batch, sizes,
-                                      threshold)
-                for shard in self._shards
-            ]
-            per_shard = [f.result() for f in futures]
-        else:
-            per_shard = [shard.query_batch(batch, sizes, threshold)
-                         for shard in self._shards]
+        with self._lock:
+            if not self._shards:
+                raise RuntimeError("the index is empty; call index() first")
+            if sizes is None:
+                # Estimate cardinalities once for all shards.
+                sizes = [max(1, int(c)) for c in batch.counts()]
+            if self.parallel and self._executor is not None:
+                futures = [
+                    self._executor.submit(shard.query_batch, batch, sizes,
+                                          threshold)
+                    for shard in self._shards
+                ]
+                per_shard = [f.result() for f in futures]
+            else:
+                per_shard = [shard.query_batch(batch, sizes, threshold)
+                             for shard in self._shards]
         results: list[set] = [set() for _ in range(len(batch))]
         for shard_results in per_shard:
             for j, hits in enumerate(shard_results):
@@ -274,13 +313,14 @@ class ShardedEnsemble:
             raise RuntimeError("the index is empty; call index() first")
         lean = _as_lean(signature)
         q = int(size) if size is not None else max(1, lean.count())
-        candidates = _ladder_candidates(
-            lambda threshold: self.query(lean, size=q,
-                                         threshold=threshold),
-            k, min_threshold)
-        pool, candidate_sizes = self._candidate_pool(candidates)
-        ranked = rank_candidates(lean, pool, query_size=q,
-                                 sizes=candidate_sizes)
+        with self._lock:
+            candidates = _ladder_candidates(
+                lambda threshold: self.query(lean, size=q,
+                                             threshold=threshold),
+                k, min_threshold)
+            pool, candidate_sizes = self._candidate_pool(candidates)
+            ranked = rank_candidates(lean, pool, query_size=q,
+                                     sizes=candidate_sizes)
         return ranked[:k]
 
     def query_top_k_batch(self, batch, k: int,
@@ -311,17 +351,18 @@ class ShardedEnsemble:
             qs = [int(s) for s in sizes]
         else:
             qs = [max(1, int(c)) for c in sb.counts()]
-        candidates = _ladder_candidates_batch(
-            lambda rows, threshold: self.query_batch(
-                SignatureBatch(None, sb.take(rows), seed=sb.seed),
-                sizes=[qs[j] for j in rows], threshold=threshold),
-            n, k, min_threshold)
-        out: list[list[tuple[Hashable, float]]] = []
-        for j in range(n):
-            pool, candidate_sizes = self._candidate_pool(candidates[j])
-            ranked = rank_candidates(sb[j], pool, query_size=qs[j],
-                                     sizes=candidate_sizes)
-            out.append(ranked[:k])
+        with self._lock:
+            candidates = _ladder_candidates_batch(
+                lambda rows, threshold: self.query_batch(
+                    SignatureBatch(None, sb.take(rows), seed=sb.seed),
+                    sizes=[qs[j] for j in rows], threshold=threshold),
+                n, k, min_threshold)
+            out: list[list[tuple[Hashable, float]]] = []
+            for j in range(n):
+                pool, candidate_sizes = self._candidate_pool(candidates[j])
+                ranked = rank_candidates(sb[j], pool, query_size=qs[j],
+                                         sizes=candidate_sizes)
+                out.append(ranked[:k])
         return out
 
     @property
@@ -357,6 +398,13 @@ class ShardedEnsemble:
         rather than a single file — ``load`` handles both forms
         transparently.
         """
+        with self._lock:
+            self._save_locked(path)
+
+    def _save_locked(self, path: str | Path) -> None:
+        # Holding the cluster lock keeps the snapshot consistent: no
+        # concurrent insert/remove/rebalance can land between shard
+        # files, and the recorded mutation_epoch matches the contents.
         from repro.persistence import _atomic_write, _fsync_dir, save_ensemble
 
         if not self._shards:
@@ -380,7 +428,8 @@ class ShardedEnsemble:
             save_ensemble(shard, root / name)
             names.append(name)
         manifest = {"num_shards": len(shards),
-                    "parallel": self.parallel, "shards": names}
+                    "parallel": self.parallel, "shards": names,
+                    "mutation_epoch": self._mutation_epoch}
         payload = json.dumps(manifest, indent=2).encode("utf-8")
         # Ordering matters for crash safety: make the shard files'
         # directory entries durable before the manifest can name them,
@@ -438,6 +487,11 @@ class ShardedEnsemble:
                     "manifest names shard file %s but it is missing"
                     % name) from exc
         cluster._shards = shards
+        # Older manifests predate the counter; the sum of the shard
+        # epochs restores a monotone (if conservative) starting point.
+        cluster._mutation_epoch = int(manifest.get(
+            "mutation_epoch",
+            sum(shard.mutation_epoch for shard in shards)))
         if cluster.parallel:
             cluster._executor = ThreadPoolExecutor(
                 max_workers=len(cluster._shards),

@@ -185,26 +185,31 @@ def save_ensemble(index: LSHEnsemble, path: str | Path,
       formats; both refuse dynamic state (``rebalance()`` first, or let
       the automatic mode write a manifest).
     """
-    if index.is_empty():
-        raise ValueError("refusing to save an empty index")
-    path = Path(path)
-    dynamic = _has_dynamic_state(index)
-    if version is None:
-        version = (_MANIFEST_VERSION if dynamic or path.is_dir()
-                   else _VERSION)
-    if version == _MANIFEST_VERSION:
-        _save_manifest(index, path)
-        return
-    if dynamic:
-        raise ValueError(
-            "index has delta-tier writes or tombstones; call rebalance() "
-            "first or save as a dynamic manifest (version=3)")
-    if version == 1:
-        _atomic_write(path, lambda fh: _save_v1(index, fh))
-    elif version == 2:
-        _atomic_write(path, lambda fh: _save_v2(index, fh))
-    else:
-        raise ValueError("unsupported save version %d" % version)
+    # Saving reads every tier; hold the index's mutation/query lock so
+    # a concurrent insert/remove/rebalance (now supported — the serving
+    # layer mutates live indexes) cannot tear the snapshot.
+    with index._lock:
+        if index.is_empty():
+            raise ValueError("refusing to save an empty index")
+        path = Path(path)
+        dynamic = _has_dynamic_state(index)
+        if version is None:
+            version = (_MANIFEST_VERSION if dynamic or path.is_dir()
+                       else _VERSION)
+        if version == _MANIFEST_VERSION:
+            _save_manifest(index, path)
+            return
+        if dynamic:
+            raise ValueError(
+                "index has delta-tier writes or tombstones; call "
+                "rebalance() first or save as a dynamic manifest "
+                "(version=3)")
+        if version == 1:
+            _atomic_write(path, lambda fh: _save_v1(index, fh))
+        elif version == 2:
+            _atomic_write(path, lambda fh: _save_v2(index, fh))
+        else:
+            raise ValueError("unsupported save version %d" % version)
 
 
 def _atomic_write(path: str | Path, writer) -> None:
@@ -307,6 +312,7 @@ def _save_v2(index: LSHEnsemble, fh) -> None:
         "partitioner": partitioner_name(index._partitioner),
         "seed_dtype": seed_dtype,
         "generation": index._generation,
+        "mutation_epoch": index._mutation_epoch,
         "auto_rebalance_at": index.auto_rebalance_at,
         "baseline_depth_cv": index._baseline_depth_cv,
         "baseline_skew": index._baseline_skew,
@@ -423,9 +429,10 @@ def _write_manifest_tree(index: LSHEnsemble, root: Path,
         "tombstones": [_encode_key(k)
                        for k in sorted(index._tombstones, key=str)],
         # Mutable without a base rewrite, so the (always rewritten)
-        # manifest is its authoritative home — a reused base segment's
-        # header may hold a stale value.
+        # manifest is their authoritative home — a reused base
+        # segment's header may hold stale values.
         "auto_rebalance_at": index.auto_rebalance_at,
+        "mutation_epoch": index._mutation_epoch,
     }
     payload = json.dumps(manifest, indent=2).encode("utf-8")
     _fsync_dir(root)
@@ -465,6 +472,9 @@ def read_header(path: str | Path) -> dict:
                 % Path(exc.filename).name) from None
         header["version"] = _MANIFEST_VERSION
         header["generation"] = int(manifest.get("generation", 0))
+        if "mutation_epoch" in manifest:
+            # Manifest wins: a reused base segment's header is stale.
+            header["mutation_epoch"] = int(manifest["mutation_epoch"])
         header["tombstones"] = len(manifest.get("tombstones") or [])
         header["delta_keys"] = delta_keys
         return header
@@ -655,6 +665,10 @@ def _load_manifest(root: Path, storage_factory, partitioner,
                     % (key,))
     index._attach_dynamic_state(tombstones, delta_index,
                                 int(manifest.get("generation", 0)))
+    # The manifest (always rewritten) is authoritative over the base
+    # segment's header, which may be a reused file with a stale epoch.
+    if "mutation_epoch" in manifest:
+        index._mutation_epoch = int(manifest["mutation_epoch"])
     if "auto_rebalance_at" in manifest:
         value = manifest["auto_rebalance_at"]
         if value is not None:
@@ -769,6 +783,7 @@ def _load_v2(fh, path, header: dict, offset: int, storage_factory,
     index._restore_columnar(partitions, keys, sizes, matrix, seeds,
                             partition_rows, partition_max_size)
     index._generation = int(header.get("generation", 0))
+    index._mutation_epoch = int(header.get("mutation_epoch", 0))
     if header.get("baseline_depth_cv") is not None:
         index._baseline_depth_cv = float(header["baseline_depth_cv"])
     if header.get("baseline_skew") is not None:

@@ -1,0 +1,97 @@
+"""Generation-keyed LRU result cache for the serving layer.
+
+Served query results are cached under a key that *includes the index's
+mutation epoch* (:attr:`repro.core.ensemble.LSHEnsemble.mutation_epoch`):
+``(digest, epoch)`` where ``digest`` already encodes the signature
+bytes, seed, size, and query parameters.  Because every ``insert`` /
+``remove`` / ``rebalance`` bumps the epoch, a mutation never has to
+*find* the affected entries — it makes every pre-mutation key
+unreachable at once, and the LRU order drains the dead entries out as
+fresh traffic arrives.  Read-only traffic leaves the epoch untouched,
+so hot queries keep hitting.
+
+The cache is thread-safe (the coalescer's dispatch thread populates it
+while the event loop reads it) and size-bounded; ``capacity=0``
+disables caching entirely (every ``get`` is a bypass, no entry is ever
+stored), which the benchmark uses to measure raw serving throughput.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+__all__ = ["ResultCache", "MISS"]
+
+# Sentinel distinguishing "no entry" from a cached falsy value.
+MISS = object()
+
+
+class ResultCache:
+    """Bounded LRU mapping with hit/miss/eviction accounting.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached entries; inserting beyond it evicts the
+        least-recently-used entry.  ``0`` disables the cache.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key):
+        """The cached value for ``key``, or :data:`MISS`.
+
+        A hit refreshes the entry's LRU position.
+        """
+        if self.capacity == 0:
+            return MISS
+        with self._lock:
+            value = self._entries.get(key, MISS)
+            if value is MISS:
+                self.misses += 1
+            else:
+                self.hits += 1
+                self._entries.move_to_end(key)
+            return value
+
+    def put(self, key, value) -> None:
+        """Store ``value`` under ``key``, evicting LRU entries as needed."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def __repr__(self) -> str:
+        return "ResultCache(capacity=%d, entries=%d, hits=%d, misses=%d)" % (
+            self.capacity, len(self), self.hits, self.misses)

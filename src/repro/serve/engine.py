@@ -1,0 +1,150 @@
+"""Uniform serving facade over flat and sharded ensembles.
+
+The HTTP layer should not care whether it fronts a single
+:class:`~repro.core.ensemble.LSHEnsemble` (freshly built, or loaded
+from a v2 snapshot / dynamic manifest directory) or a whole
+:class:`~repro.parallel.sharded.ShardedEnsemble` cluster.
+:class:`ServingEngine` normalises the few points where their surfaces
+differ (``num_perm`` lives on the shards, drift reports nest), turns
+coalesced batches into the appropriate vectorised ``query_batch`` /
+``query_top_k_batch`` call, and canonicalises results into
+JSON-serialisable, deterministically ordered form — the exact same
+ordering for the same inputs regardless of topology, which is what the
+served-parity golden tests pin.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.minhash.batch import SignatureBatch
+
+__all__ = ["ServingEngine", "sorted_keys"]
+
+
+def sorted_keys(found: set) -> list:
+    """Canonical result ordering: the CLI's ``sorted(found, key=str)``."""
+    return sorted(found, key=str)
+
+
+class ServingEngine:
+    """Dispatch/introspection adapter around one index (flat or sharded).
+
+    Parameters
+    ----------
+    index:
+        A built :class:`~repro.core.ensemble.LSHEnsemble` or
+        :class:`~repro.parallel.sharded.ShardedEnsemble`.
+    """
+
+    def __init__(self, index) -> None:
+        self.index = index
+
+    # ------------------------------------------------------------------ #
+    # Normalised introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_perm(self) -> int:
+        num_perm = getattr(self.index, "num_perm", None)
+        if num_perm is not None:
+            return int(num_perm)
+        return int(self.index.shards[0].num_perm)
+
+    @property
+    def mutation_epoch(self) -> int:
+        return int(self.index.mutation_epoch)
+
+    @property
+    def generation(self) -> int:
+        return int(self.index.generation)
+
+    @property
+    def is_sharded(self) -> bool:
+        return hasattr(self.index, "shards")
+
+    def signature_seed(self) -> int:
+        """The permutation seed of the stored signatures.
+
+        Server-side hashing of ``values`` payloads must use the same
+        seed the index was built with, or the comparison is
+        meaningless; sample it from any stored signature (one shared
+        seed per index is the supported regime — mixed-seed entries are
+        not comparable to each other either).
+        """
+        index = (self.index.shards[0] if self.is_sharded else self.index)
+        for key in index.keys():
+            return int(index.get_signature(key).seed)
+        return 1
+
+    def describe(self) -> dict:
+        """The ``/healthz`` payload: liveness plus version counters."""
+        return {
+            "status": "ok",
+            "index": type(self.index).__name__,
+            "keys": len(self.index),
+            "num_perm": self.num_perm,
+            "generation": self.generation,
+            "mutation_epoch": self.mutation_epoch,
+        }
+
+    def stats(self) -> dict:
+        """Tier sizes and the full drift report (``/stats`` core)."""
+        drift = self.index.drift_stats()
+        return {
+            "index": type(self.index).__name__,
+            "keys": len(self.index),
+            "generation": self.generation,
+            "mutation_epoch": self.mutation_epoch,
+            "tiers": {
+                "base": drift["base_keys"],
+                "delta": drift["delta_keys"],
+                "tombstones": drift["tombstones"],
+            },
+            "drift": drift,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Batched dispatch (called from the coalescer's worker thread)
+    # ------------------------------------------------------------------ #
+
+    def dispatch(self, group_key, payloads) -> list:
+        """Answer one coalesced group through the vectorised batch path.
+
+        ``group_key`` is ``("query", seed, threshold)`` or
+        ``("top_k", seed, k, min_threshold)``; ``payloads`` is a list of
+        ``(hashvalues_row, size)``.  Returns one JSON-ready result per
+        payload: a ``sorted(..., key=str)`` key list for threshold
+        queries, a ``[key, score]`` ranking for top-k.
+        """
+        kind, seed = group_key[0], group_key[1]
+        matrix = np.vstack([row for row, _ in payloads])
+        sizes = [size for _, size in payloads]
+        batch = SignatureBatch(None, matrix, seed=seed)
+        if kind == "query":
+            threshold = group_key[2]
+            found = self.index.query_batch(batch, sizes=sizes,
+                                           threshold=threshold)
+            return [sorted_keys(f) for f in found]
+        if kind == "top_k":
+            k, min_threshold = group_key[2], group_key[3]
+            ranked = self.index.query_top_k_batch(
+                batch, k, sizes=sizes, min_threshold=min_threshold)
+            return [[[key, float(score)] for key, score in row]
+                    for row in ranked]
+        raise ValueError("unknown dispatch kind %r" % (kind,))
+
+    @staticmethod
+    def digest(group_key, row: np.ndarray, size: int) -> bytes:
+        """Cache digest of one query: parameters + signature bytes.
+
+        Combined with the mutation epoch by the caller, this forms the
+        full cache key; two requests digest equal iff they would be
+        answered from identical inputs.
+        """
+        h = hashlib.sha1()
+        h.update(repr((group_key, int(size))).encode("utf-8"))
+        h.update(np.ascontiguousarray(row).tobytes())
+        return h.digest()

@@ -294,7 +294,7 @@ class TestDynamicCommands:
         assert "rebalanced to generation 1" in out
         rc = main(["info", str(built)])
         out = capsys.readouterr().out
-        assert "delta 0, tombstones 0 (generation 1)" in out
+        assert "delta 0, tombstones 0 (generation 1, mutation epoch" in out
 
     def test_rebalance_respects_drift_gate(self, built, capsys):
         rc = main(["rebalance", str(built), "--if-drift-above", "0.9"])

@@ -1,0 +1,202 @@
+"""Concurrency stress: threads racing mutations against batch queries.
+
+ISSUE 4's serving layer lets HTTP traffic and operator mutations hit
+one index from different threads, so the ensemble's lock must make
+``insert`` / ``remove`` / ``rebalance`` safe to race against
+``query_batch`` on both the flat and the sharded index.  The contract
+checked here:
+
+* no thread observes an exception (no half-swapped base tier, no
+  executor submitted to mid-shutdown);
+* a key whose ``remove()`` *completed before a query started* never
+  appears in that query's results (tombstones / physical removal are
+  atomic with respect to queries);
+* the mutation epoch observed by query threads is monotone
+  non-decreasing, and by the end equals the number of mutations.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.ensemble import LSHEnsemble
+from repro.minhash.batch import SignatureBatch
+from repro.minhash.generator import sample_signatures
+from repro.parallel.sharded import ShardedEnsemble
+
+NUM_PERM = 64
+NUM_BASE = 240
+NUM_DOOMED = 40
+NUM_INSERTS = 60
+NUM_REBALANCES = 3
+QUERY_BATCH = 16
+JOIN_TIMEOUT = 120
+
+
+def _corpus():
+    sizes = [10 + 7 * (i % 50) for i in range(NUM_BASE + NUM_INSERTS)]
+    signatures = sample_signatures(sizes, num_perm=NUM_PERM, seed=1)
+    entries = [("base-%d" % i, sig, size)
+               for i, (sig, size) in enumerate(zip(signatures, sizes))]
+    base, extra = entries[:NUM_BASE], entries[NUM_BASE:]
+    extra = [("new-%d" % i, sig, size)
+             for i, (_, sig, size) in enumerate(extra)]
+    return base, extra
+
+
+class _Stress:
+    """Drives writer/remover/rebalancer/query threads over one index."""
+
+    def __init__(self, index, base, extra):
+        self.index = index
+        self.extra = extra
+        self.doomed = [key for key, _, __ in base[:NUM_DOOMED]]
+        self.removed_done: set = set()
+        self.removed_lock = threading.Lock()
+        self.errors: list[BaseException] = []
+        self.done = threading.Event()
+        rows = [sig.hashvalues for _, sig, __ in base[:QUERY_BATCH]]
+        self.batch = SignatureBatch(
+            None, [list(map(int, row)) for row in rows], seed=1)
+        self.sizes = [size for _, __, size in base[:QUERY_BATCH]]
+        self.epoch_observations = 0
+
+    def _guard(self, fn):
+        try:
+            fn()
+        except BaseException as exc:  # noqa: BLE001 — reported by main thread
+            self.errors.append(exc)
+            self.done.set()
+
+    def writer(self):
+        for key, sig, size in self.extra:
+            self.index.insert(key, sig, size)
+
+    def remover(self):
+        for key in self.doomed:
+            self.index.remove(key)
+            with self.removed_lock:
+                self.removed_done.add(key)
+
+    def rebalancer(self):
+        for _ in range(NUM_REBALANCES):
+            self.index.rebalance()
+
+    def querier(self):
+        last_epoch = -1
+        while not self.done.is_set():
+            with self.removed_lock:
+                gone = set(self.removed_done)
+            epoch = self.index.mutation_epoch
+            assert epoch >= last_epoch, (
+                "mutation epoch went backwards: %d -> %d"
+                % (last_epoch, epoch))
+            last_epoch = epoch
+            self.epoch_observations += 1
+            results = self.index.query_batch(self.batch, sizes=self.sizes,
+                                             threshold=0.05)
+            for found in results:
+                stale = found & gone
+                assert not stale, (
+                    "query returned removed keys %r" % sorted(stale))
+
+    def run(self, num_queriers: int = 2):
+        mutators = [threading.Thread(target=self._guard, args=(fn,))
+                    for fn in (self.writer, self.remover, self.rebalancer)]
+        queriers = [threading.Thread(target=self._guard,
+                                     args=(self.querier,))
+                    for _ in range(num_queriers)]
+        for thread in queriers + mutators:
+            thread.start()
+        for thread in mutators:
+            thread.join(timeout=JOIN_TIMEOUT)
+            assert not thread.is_alive(), "mutator thread hung"
+        self.done.set()
+        for thread in queriers:
+            thread.join(timeout=JOIN_TIMEOUT)
+            assert not thread.is_alive(), "query thread hung"
+        if self.errors:
+            raise self.errors[0]
+
+
+def _check_final_state(stress, index):
+    assert not stress.errors
+    assert stress.epoch_observations > 0
+    for key in stress.doomed:
+        assert key not in index
+    for key, _, __ in stress.extra:
+        assert key in index
+    assert len(index) == NUM_BASE - NUM_DOOMED + NUM_INSERTS
+    # Every mutation bumped the epoch exactly once (rebalances too).
+    assert index.mutation_epoch == (NUM_INSERTS + NUM_DOOMED
+                                    + NUM_REBALANCES)
+
+
+class TestFlatEnsembleUnderRace:
+    def test_mutations_race_query_batch(self):
+        base, extra = _corpus()
+        index = LSHEnsemble(num_perm=NUM_PERM, num_partitions=4,
+                            threshold=0.5)
+        index.index(base)
+        stress = _Stress(index, base, extra)
+        stress.run()
+        _check_final_state(stress, index)
+        # The raced index answers like a freshly built one.
+        fresh = LSHEnsemble(num_perm=NUM_PERM, num_partitions=4,
+                            threshold=0.5)
+        fresh.index([(key, index.get_signature(key), index.size_of(key))
+                     for key in index.keys()])
+        assert (index.query_batch(stress.batch, sizes=stress.sizes,
+                                  threshold=0.05)
+                == fresh.query_batch(stress.batch, sizes=stress.sizes,
+                                     threshold=0.05))
+
+
+class TestShardedEnsembleUnderRace:
+    @pytest.mark.parametrize("parallel", [True, False])
+    def test_mutations_race_query_batch(self, parallel):
+        base, extra = _corpus()
+        cluster = ShardedEnsemble(
+            num_shards=3, parallel=parallel,
+            ensemble_factory=lambda: LSHEnsemble(
+                num_perm=NUM_PERM, num_partitions=4, threshold=0.5))
+        cluster.index(base)
+        with cluster:
+            stress = _Stress(cluster, base, extra)
+            stress.run()
+            _check_final_state(stress, cluster)
+
+    def test_rebalance_decommission_races_queries(self):
+        """Cluster rebalance that *shrinks the topology* (a fully
+        emptied shard is decommissioned, the executor is swapped) must
+        stay invisible to concurrent query threads."""
+        base, _ = _corpus()
+        cluster = ShardedEnsemble(
+            num_shards=4,
+            ensemble_factory=lambda: LSHEnsemble(
+                num_perm=NUM_PERM, num_partitions=4, threshold=0.5))
+        cluster.index(base)
+        with cluster:
+            victim = cluster.shards[-1]
+            victim_keys = list(victim.keys())
+            stress = _Stress(cluster, base, [])
+            stress.doomed = []
+
+            def empty_one_shard():
+                for key in victim_keys:
+                    cluster.remove(key)
+                    with stress.removed_lock:
+                        stress.removed_done.add(key)
+                cluster.rebalance()
+
+            stress.writer = empty_one_shard
+            stress.remover = lambda: None
+            stress.rebalancer = lambda: None
+            stress.run()
+            assert not stress.errors
+            assert cluster.active_shards == 3
+            assert len(cluster) == NUM_BASE - len(victim_keys)
+            for key in victim_keys:
+                assert key not in cluster

@@ -15,14 +15,15 @@ EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
 ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
 # Fast enough to execute in CI; the scale/demo scripts are compile-only.
 RUNNABLE = ["quickstart.py", "open_data_join_search.py",
-            "batch_queries.py"]
+            "batch_queries.py", "serve_demo.py"]
 
 
 def test_examples_exist():
     names = {p.name for p in ALL_EXAMPLES}
     assert {"quickstart.py", "open_data_join_search.py",
             "web_table_scale.py", "dynamic_corpus.py",
-            "topk_and_persistence.py", "batch_queries.py"} <= names
+            "topk_and_persistence.py", "batch_queries.py",
+            "serve_demo.py"} <= names
 
 
 @pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)

@@ -1,0 +1,189 @@
+"""Result-cache correctness: LRU mechanics and epoch-keyed invalidation.
+
+The serving cache's contract (ISSUE 4): a hit before a mutation, a miss
+after (``insert``/``remove``/``rebalance`` all bump the epoch the key
+embeds), read-only traffic leaves the cache hot, capacity evicts LRU,
+and nothing stale survives a rebalance.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.core.ensemble import LSHEnsemble
+from repro.minhash.generator import MinHashGenerator
+from repro.serve import MISS, ResultCache, start_in_thread
+
+NUM_PERM = 64
+
+
+class TestResultCacheUnit:
+    def test_get_put_hit_miss_accounting(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get("a") is MISS
+        cache.put("a", [1, 2])
+        assert cache.get("a") == [1, 2]
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["entries"] == 1
+
+    def test_eviction_at_capacity_is_lru(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"; "b" becomes LRU
+        cache.put("c", 3)
+        assert cache.get("b") is MISS
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats()["evictions"] == 1
+
+    def test_zero_capacity_disables_caching(self):
+        cache = ResultCache(capacity=0)
+        cache.put("a", 1)
+        assert cache.get("a") is MISS
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=-1)
+
+    def test_clear(self):
+        cache = ResultCache(capacity=4)
+        cache.put("a", 1)
+        cache.clear()
+        assert cache.get("a") is MISS
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    domains = {"d%d" % i: {"v%d" % j for j in range(i, i + 25)}
+               for i in range(60)}
+    generator = MinHashGenerator(num_perm=NUM_PERM)
+    return domains, generator, generator.bulk(domains)
+
+
+def _build(corpus):
+    domains, _, batch = corpus
+    index = LSHEnsemble(num_perm=NUM_PERM, num_partitions=4, threshold=0.5)
+    index.index((key, batch[j], len(domains[key]))
+                for j, key in enumerate(batch.keys))
+    return index
+
+
+def _post(port: int, path: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        "http://127.0.0.1:%d%s" % (port, path),
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"}, method="POST")
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read())
+
+
+def _get(port: int, path: str) -> dict:
+    with urllib.request.urlopen(
+            "http://127.0.0.1:%d%s" % (port, path)) as response:
+        return json.loads(response.read())
+
+
+def _query_payload(batch, row: int, size: int, threshold: float = 0.3):
+    return {
+        "queries": [{"signature": [int(v) for v in batch.matrix[row]],
+                     "seed": batch.seed, "size": size}],
+        "threshold": threshold,
+    }
+
+
+class TestServedCacheInvalidation:
+    def test_hit_then_mutation_then_miss(self, corpus):
+        domains, _, batch = corpus
+        index = _build(corpus)
+        payload = _query_payload(batch, 0, len(domains["d0"]))
+        with start_in_thread(index) as handle:
+            first = _post(handle.port, "/query", payload)
+            assert first["cached"] == [False]
+            again = _post(handle.port, "/query", payload)
+            assert again["cached"] == [True]
+            assert again["results"] == first["results"]
+            assert again["mutation_epoch"] == first["mutation_epoch"]
+
+            # insert bumps the epoch: same request misses, and the
+            # fresh answer includes the newly inserted near-duplicate.
+            index.insert("clone-of-d0", batch[0], len(domains["d0"]))
+            after_insert = _post(handle.port, "/query", payload)
+            assert after_insert["cached"] == [False]
+            assert after_insert["mutation_epoch"] \
+                == first["mutation_epoch"] + 1
+            assert "clone-of-d0" in after_insert["results"][0]
+
+            # remove bumps it again and the key drops out of results.
+            index.remove("clone-of-d0")
+            after_remove = _post(handle.port, "/query", payload)
+            assert after_remove["cached"] == [False]
+            assert "clone-of-d0" not in after_remove["results"][0]
+            assert after_remove["results"] == first["results"]
+
+    def test_read_only_traffic_keeps_cache_hot(self, corpus):
+        domains, _, batch = corpus
+        index = _build(corpus)
+        with start_in_thread(index) as handle:
+            payloads = [_query_payload(batch, row,
+                                       len(domains["d%d" % row]))
+                        for row in range(5)]
+            for payload in payloads:
+                _post(handle.port, "/query", payload)
+            epoch = index.mutation_epoch
+            for _ in range(3):
+                for payload in payloads:
+                    response = _post(handle.port, "/query", payload)
+                    assert response["cached"] == [True]
+                    assert response["mutation_epoch"] == epoch
+            stats = _get(handle.port, "/stats")
+            assert stats["cache"]["hits"] == 15
+            assert stats["cache"]["misses"] == 5
+
+    def test_eviction_at_capacity_over_http(self, corpus):
+        domains, _, batch = corpus
+        index = _build(corpus)
+        with start_in_thread(index, cache_size=2) as handle:
+            payloads = [_query_payload(batch, row,
+                                       len(domains["d%d" % row]))
+                        for row in range(3)]
+            for payload in payloads:
+                _post(handle.port, "/query", payload)
+            # 3 distinct entries through a 2-entry cache: the first is
+            # evicted, re-querying it misses; the most recent still hits.
+            assert _post(handle.port, "/query",
+                         payloads[0])["cached"] == [False]
+            assert _post(handle.port, "/query",
+                         payloads[2])["cached"] == [True]
+
+    def test_no_stale_results_after_rebalance(self, corpus):
+        domains, _, batch = corpus
+        index = _build(corpus)
+        payload = _query_payload(batch, 0, len(domains["d0"]))
+        with start_in_thread(index) as handle:
+            index.insert("clone-of-d0", batch[0], len(domains["d0"]))
+            before = _post(handle.port, "/query", payload)
+            assert "clone-of-d0" in before["results"][0]
+            index.remove("clone-of-d0")
+            index.rebalance()
+            after = _post(handle.port, "/query", payload)
+            assert after["cached"] == [False]
+            assert after["mutation_epoch"] > before["mutation_epoch"]
+            assert "clone-of-d0" not in after["results"][0]
+            # The fresh (post-rebalance) answer caches and hits again.
+            assert _post(handle.port, "/query",
+                         payload)["cached"] == [True]
+
+    def test_cache_disabled_never_reports_cached(self, corpus):
+        domains, _, batch = corpus
+        index = _build(corpus)
+        payload = _query_payload(batch, 0, len(domains["d0"]))
+        with start_in_thread(index, cache_size=0) as handle:
+            for _ in range(3):
+                assert _post(handle.port, "/query",
+                             payload)["cached"] == [False]
