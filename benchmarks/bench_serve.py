@@ -11,7 +11,8 @@ the real asyncio HTTP server twice over one index —
 * **sequential**: ``max_batch=1`` (every query dispatches alone — the
   same HTTP stack, parser, executor and index, minus the batching);
 
-fires 64 concurrent keep-alive clients at each, and asserts the
+fires ``NUM_CLIENTS`` (scaled to the runner's cores, floor 16, cap 64)
+concurrent keep-alive clients at each, and asserts the
 coalesced configuration clears ``>= 2x`` the sequential throughput
 while returning byte-identical response bodies.  The result cache is
 disabled so the comparison measures query work, not memoisation.
@@ -35,10 +36,10 @@ from pathlib import Path
 import numpy as np
 
 try:
-    from benchmarks.common import emit
+    from benchmarks.common import emit, scaled_concurrency
 except ModuleNotFoundError:  # direct `python benchmarks/bench_serve.py` run
     sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
-    from benchmarks.common import emit
+    from benchmarks.common import emit, scaled_concurrency
 from repro.core.ensemble import LSHEnsemble
 from repro.eval.reports import format_table
 from repro.minhash.generator import sample_signatures
@@ -46,7 +47,9 @@ from repro.serve import start_in_thread
 
 NUM_DOMAINS = int(os.environ.get("REPRO_BENCH_SERVE_DOMAINS", "6000"))
 ROUNDS = int(os.environ.get("REPRO_BENCH_SERVE_ROUNDS", "6"))
-NUM_CLIENTS = 64
+# Scaled to the runner (floor 16, cap 64): 64 hard-coded clients on a
+# 2-core CI box measured scheduler thrash, not coalescing.
+NUM_CLIENTS = scaled_concurrency()
 NUM_PERM = 128
 NUM_PARTITIONS = 16
 THRESHOLD = 0.5
@@ -86,7 +89,8 @@ def _query_payloads(entries) -> list[str]:
 
 
 def _fire(port: int, bodies: list[str]) -> tuple[float, list]:
-    """64 concurrent keep-alive clients splitting ``bodies`` round-robin.
+    """NUM_CLIENTS concurrent keep-alive clients splitting ``bodies``
+    round-robin.
 
     Returns (elapsed seconds, per-request result lists in a stable
     order) so the two server configurations can be checked for

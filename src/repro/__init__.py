@@ -43,7 +43,7 @@ from repro.minhash import (
     SignatureBatch,
     SignatureFactory,
 )
-from repro.parallel import ShardedEnsemble
+from repro.parallel import PooledIndex, ProcPool, ShardedEnsemble
 from repro.core.partitioner import register_partitioner
 from repro.lsh.storage import register_storage_backend
 from repro.persistence import (
@@ -70,6 +70,8 @@ __all__ = [
     "AsymmetricMinHashLSH",
     "InvertedIndex",
     "ShardedEnsemble",
+    "ProcPool",
+    "PooledIndex",
     "Partition",
     "equi_depth_partitions",
     "equi_width_partitions",

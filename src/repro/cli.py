@@ -78,11 +78,27 @@ def build_parser() -> argparse.ArgumentParser:
                          help="bucket storage backend (recorded in the "
                               "index header and restored on load)")
 
+    def add_executor_args(p) -> None:
+        p.add_argument("--executor", choices=("thread", "process"),
+                       default="thread",
+                       help="answer queries in-process (thread, the "
+                            "default) or on a pool of worker processes "
+                            "sharing the snapshot via mmap (process)")
+        p.add_argument("--workers", type=int, default=None,
+                       help="process-pool size (default: cpu count; "
+                            "--executor process only)")
+        p.add_argument("--start-method",
+                       choices=("fork", "spawn", "forkserver"),
+                       default=None,
+                       help="multiprocessing start method for the "
+                            "worker pool (default: platform default)")
+
     p_query = sub.add_parser("query", help="search a built index")
     p_query.add_argument("index", type=Path)
     p_query.add_argument("--no-mmap", action="store_true",
                          help="read the signature matrix into memory "
                               "instead of memory-mapping it")
+    add_executor_args(p_query)
     group = p_query.add_mutually_exclusive_group(required=True)
     group.add_argument("--values", nargs="+",
                        help="query domain values inline")
@@ -156,6 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--no-mmap", action="store_true",
                          help="read signature matrices into memory "
                               "instead of memory-mapping them")
+    add_executor_args(p_serve)
     return parser
 
 
@@ -193,8 +210,9 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_one_query(index: LSHEnsemble, name: str, values: set,
+def _run_one_query(index, name: str, values: set,
                    threshold: float | None, top_k: int | None) -> None:
+    """``index`` is an LSHEnsemble or a PooledIndex (same query API)."""
     factory = SignatureFactory(num_perm=index.num_perm)
     sig = factory.lean(values)
     if top_k is not None:
@@ -220,7 +238,7 @@ def _print_ranked(name: str, ranked: list, k: int) -> None:
         print("  %-40s ~t = %.3f" % (key, score))
 
 
-def _run_batch_query(index: LSHEnsemble, path: Path,
+def _run_batch_query(index, path: Path,
                      threshold: float | None, top_k: int | None) -> None:
     data = json.loads(path.read_text(encoding="utf-8"))
     if not isinstance(data, dict) or not data:
@@ -255,24 +273,40 @@ def _cmd_query(args: argparse.Namespace) -> int:
     # which contents these answers reflect.
     print("index generation %d, mutation epoch %d"
           % (index.generation, index.mutation_epoch))
-    if args.values is not None:
-        _run_one_query(index, "query", set(args.values), args.threshold,
-                       args.top_k)
+    target = index
+    if args.executor == "process":
+        from repro.parallel.procpool import PooledIndex
+
+        # PooledIndex reuses the loaded snapshot / manifest base
+        # segment (index._base_source) automatically; only v1 loads
+        # spill a fresh v2 segment.
+        target = PooledIndex(index, num_workers=args.workers,
+                             start_method=args.start_method,
+                             mmap=not args.no_mmap)
+    try:
+        if args.values is not None:
+            _run_one_query(target, "query", set(args.values),
+                           args.threshold, args.top_k)
+            return 0
+        if args.batch_file is not None:
+            _run_batch_query(target, args.batch_file, args.threshold,
+                             args.top_k)
+            return 0
+        data = json.loads(args.query_file.read_text(encoding="utf-8"))
+        if isinstance(data, list):
+            _run_one_query(target, str(args.query_file), set(data),
+                           args.threshold, args.top_k)
+        elif isinstance(data, dict):
+            for name, values in data.items():
+                _run_one_query(target, name, set(values), args.threshold,
+                               args.top_k)
+        else:
+            raise SystemExit(
+                "error: query file must be a JSON array or object")
         return 0
-    if args.batch_file is not None:
-        _run_batch_query(index, args.batch_file, args.threshold, args.top_k)
-        return 0
-    data = json.loads(args.query_file.read_text(encoding="utf-8"))
-    if isinstance(data, list):
-        _run_one_query(index, str(args.query_file), set(data),
-                       args.threshold, args.top_k)
-    elif isinstance(data, dict):
-        for name, values in data.items():
-            _run_one_query(index, name, set(values), args.threshold,
-                           args.top_k)
-    else:
-        raise SystemExit("error: query file must be a JSON array or object")
-    return 0
+    finally:
+        if target is not index:
+            target.close()
 
 
 def _cmd_insert(args: argparse.Namespace) -> int:
@@ -342,9 +376,16 @@ def _cmd_rebalance(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_serving_index(path: Path, mmap: bool):
+def _load_serving_index(path: Path, mmap: bool, executor: str = "thread",
+                        workers: int | None = None,
+                        start_method: str | None = None):
     """Load any saved index for serving: flat file, dynamic manifest
-    directory, or ShardedEnsemble cluster directory."""
+    directory, or ShardedEnsemble cluster directory.
+
+    A sharded cluster adopts the requested executor itself (its fan-out
+    owns the worker pool); flat indexes are wrapped at the serving
+    layer instead.
+    """
     if path.is_dir():
         manifest_path = path / "manifest.json"
         try:
@@ -358,7 +399,10 @@ def _load_serving_index(path: Path, mmap: bool):
         if isinstance(manifest, dict) and "shards" in manifest:
             from repro.parallel.sharded import ShardedEnsemble
 
-            return ShardedEnsemble.load(path, mmap=mmap)
+            return ShardedEnsemble.load(path, mmap=mmap,
+                                        executor=executor,
+                                        num_workers=workers,
+                                        start_method=start_method)
     return load_ensemble(path, mmap=mmap)
 
 
@@ -367,18 +411,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serve import QueryServer
 
-    index = _load_serving_index(args.index, mmap=not args.no_mmap)
+    index = _load_serving_index(args.index, mmap=not args.no_mmap,
+                                executor=args.executor,
+                                workers=args.workers,
+                                start_method=args.start_method)
+    sharded = hasattr(index, "shards")
     server = QueryServer(
         index, host=args.host, port=args.port,
         max_batch=args.max_batch, window_ms=args.window_ms,
-        cache_size=args.cache_size, max_pending=args.max_pending)
+        cache_size=args.cache_size, max_pending=args.max_pending,
+        executor="thread" if sharded else args.executor,
+        workers=args.workers, start_method=args.start_method,
+        mmap=not args.no_mmap)
 
     async def _main() -> None:
         await server.start()
-        print("serving %s (%d domains, generation %d, mutation epoch %d) "
-              "on http://%s:%d"
+        print("serving %s (%d domains, generation %d, mutation epoch %d, "
+              "%s executor) on http://%s:%d"
               % (args.index, len(index), server.engine.generation,
-                 server.engine.mutation_epoch, server.host, server.port),
+                 server.engine.mutation_epoch, server.engine.executor_kind,
+                 server.host, server.port),
               flush=True)
         print("endpoints: POST /query, POST /query_top_k, GET /healthz, "
               "GET /stats", flush=True)

@@ -866,6 +866,30 @@ class LSHEnsemble:
                 self._track_size(size, +1)
         self._generation = int(generation)
 
+    def _overlay_snapshot(self) -> dict:
+        """Picklable snapshot of the dynamic tiers for process workers.
+
+        Callers must hold :attr:`_lock` (the process-pool task-capture
+        path does), so the epoch, tombstones and delta contents are
+        mutually consistent.  The delta tier ships as columnar arrays
+        (the in-memory form of a v2 segment, see
+        :func:`repro.persistence.export_columnar`) so a worker
+        re-materialises a bit-identical inner index — same partitions,
+        same tuning bounds, same signatures — and answers exactly like
+        this index does at this epoch.
+        """
+        from repro.persistence import export_columnar
+
+        delta_inner = (self._delta.inner_index()
+                       if self._delta is not None else None)
+        return {
+            "epoch": self._mutation_epoch,
+            "generation": self._generation,
+            "tombstones": list(self._tombstones),
+            "delta": (export_columnar(delta_inner)
+                      if delta_inner is not None else None),
+        }
+
     # ------------------------------------------------------------------ #
     # Query
     # ------------------------------------------------------------------ #

@@ -1,5 +1,12 @@
 """Distributed deployment, simulated: sharding and parallel query fan-out."""
 
+from repro.parallel.procpool import (
+    PooledIndex,
+    ProcPool,
+    RemoteTaskError,
+    WorkerCrashError,
+)
 from repro.parallel.sharded import ShardedEnsemble
 
-__all__ = ["ShardedEnsemble"]
+__all__ = ["PooledIndex", "ProcPool", "RemoteTaskError",
+           "ShardedEnsemble", "WorkerCrashError"]

@@ -18,11 +18,14 @@ monitors.
 from __future__ import annotations
 
 import json
+import os
 import shutil
 import threading
 from collections.abc import Hashable, Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
+
+import numpy as np
 
 from repro.core.ensemble import (
     LSHEnsemble,
@@ -35,6 +38,7 @@ from repro.core.ensemble import (
 from repro.minhash.batch import SignatureBatch
 from repro.minhash.lean import LeanMinHash
 from repro.minhash.minhash import MinHash
+from repro.parallel.procpool import PooledIndex, ProcPool
 
 __all__ = ["ShardedEnsemble"]
 
@@ -53,15 +57,49 @@ class ShardedEnsemble:
     parallel:
         When False, shards are queried sequentially (useful for timing the
         pure algorithmic cost without thread overhead).
+    executor:
+        ``"thread"`` (default) fans queries out on a thread pool —
+        cheap, but CPU-bound probing serialises under the GIL.
+        ``"process"`` fans shards out across a
+        :class:`~repro.parallel.procpool.ProcPool` of worker processes
+        that open each shard's spilled v2 segment via ``np.memmap``
+        (one page-cache copy of the signature bytes, no per-worker
+        matrix copy) — the paper's multi-node deployment on one box,
+        actually using its cores.  Results are bit-identical either
+        way (pinned by the process-parity property suite).
+    num_workers, start_method:
+        Process-pool sizing and multiprocessing start method
+        (``executor="process"`` only).  Workers default to
+        ``min(active shards, cpu_count)``.
+    pool:
+        Share an existing :class:`~repro.parallel.procpool.ProcPool`
+        instead of owning one (the cluster then never closes it).
     """
 
     def __init__(self, num_shards: int = 5,
-                 ensemble_factory=None, parallel: bool = True) -> None:
+                 ensemble_factory=None, parallel: bool = True,
+                 executor: str = "thread",
+                 num_workers: int | None = None,
+                 start_method: str | None = None,
+                 pool: ProcPool | None = None) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
+        if executor not in ("thread", "process"):
+            raise ValueError(
+                "executor must be 'thread' or 'process', got %r"
+                % (executor,))
         self.num_shards = int(num_shards)
         self._factory = ensemble_factory or (lambda: LSHEnsemble())
         self.parallel = bool(parallel)
+        self.executor = executor
+        self._num_workers = num_workers
+        self._start_method = start_method
+        self._pool = pool
+        self._owns_pool = False
+        self._clients: list[PooledIndex] = []
+        # Whether pool workers mmap the shard segments; load() threads
+        # its own mmap argument through so --no-mmap reaches workers.
+        self._client_mmap = True
         self._shards: list[LSHEnsemble] = []
         self._executor: ThreadPoolExecutor | None = None
         # Cluster-level logical-mutation counter.  A per-shard sum
@@ -103,11 +141,58 @@ class ShardedEnsemble:
                 max_workers=len(self._shards),
                 thread_name_prefix="lshensemble-shard",
             )
+        if self.executor == "process":
+            self._start_process_backend()
 
     @property
     def active_shards(self) -> int:
         """Number of shards actually built (0 before :meth:`index`)."""
         return len(self._shards)
+
+    # ------------------------------------------------------------------ #
+    # Process-pool backend (executor="process")
+    # ------------------------------------------------------------------ #
+
+    def _start_process_backend(self) -> None:
+        """One shared worker pool, one spill/overlay client per shard.
+
+        Each shard's immutable base spills lazily to a v2 segment on
+        the first process-mode query; workers ``np.memmap`` those
+        segments, so cross-shard fan-out runs on real cores while the
+        parent keeps the authoritative (mutable) shards in memory.
+        """
+        if self._pool is None:
+            workers = self._num_workers or max(
+                1, min(len(self._shards), os.cpu_count() or 1))
+            self._pool = ProcPool(num_workers=workers,
+                                  start_method=self._start_method)
+            self._owns_pool = True
+        self._refresh_clients()
+
+    def _refresh_clients(self) -> None:
+        """(Re)bind one :class:`PooledIndex` per current shard, keeping
+        clients (and their spilled segments) of surviving shards."""
+        existing = {id(client.index): client for client in self._clients}
+        clients = []
+        for shard in self._shards:
+            client = existing.pop(id(shard), None)
+            clients.append(client if client is not None
+                           else PooledIndex(shard, self._pool,
+                                            mmap=self._client_mmap))
+        for client in existing.values():  # decommissioned shards
+            client.close()
+        self._clients = clients
+
+    def _process_fanout(self, method: str, args_of) -> list:
+        """One pool task per shard; ``args_of(shard_index) -> args``.
+
+        Every client captures its shard's (base token, overlay) under
+        that shard's own lock — the cluster lock is already held, so
+        the per-shard epochs are mutually consistent for this fan-out.
+        """
+        tasks = [client.task_for(method, args_of(i))
+                 for i, client in enumerate(self._clients)]
+        return self._pool.run(tasks)
 
     # ------------------------------------------------------------------ #
     # Dynamic lifecycle (per-shard delta tiers)
@@ -174,6 +259,8 @@ class ShardedEnsemble:
                         max_workers=len(live),
                         thread_name_prefix="lshensemble-shard",
                     )
+                if self._clients:
+                    self._refresh_clients()
             self._mutation_epoch += 1
             return summaries
 
@@ -218,13 +305,23 @@ class ShardedEnsemble:
         with self._lock:
             if not self._shards:
                 raise RuntimeError("the index is empty; call index() first")
+            if self.executor == "process" and self._clients:
+                lean = _as_lean(signature)
+                row = np.ascontiguousarray(lean.hashvalues,
+                                           dtype=np.uint64)
+                args = {"row": row, "seed": int(lean.seed), "size": size,
+                        "threshold": threshold}
+                out: set = set()
+                for found in self._process_fanout("query", lambda i: args):
+                    out |= found
+                return out
             if self.parallel and self._executor is not None:
                 futures = [
                     self._executor.submit(shard.query, signature, size,
                                           threshold)
                     for shard in self._shards
                 ]
-                out: set = set()
+                out = set()
                 for f in futures:
                     out |= f.result()
                 return out
@@ -257,7 +354,14 @@ class ShardedEnsemble:
             if sizes is None:
                 # Estimate cardinalities once for all shards.
                 sizes = [max(1, int(c)) for c in batch.counts()]
-            if self.parallel and self._executor is not None:
+            if self.executor == "process" and self._clients:
+                args = {"matrix": np.ascontiguousarray(batch.matrix,
+                                                       dtype=np.uint64),
+                        "seed": int(batch.seed), "sizes": list(sizes),
+                        "threshold": threshold}
+                per_shard = self._process_fanout("query_batch",
+                                                 lambda i: args)
+            elif self.parallel and self._executor is not None:
                 futures = [
                     self._executor.submit(shard.query_batch, batch, sizes,
                                           threshold)
@@ -449,11 +553,15 @@ class ShardedEnsemble:
     @classmethod
     def load(cls, path: str | Path, *, parallel: bool | None = None,
              storage_factory=None, partitioner=None,
-             mmap: bool = True) -> "ShardedEnsemble":
+             mmap: bool = True, executor: str = "thread",
+             num_workers: int | None = None,
+             start_method: str | None = None) -> "ShardedEnsemble":
         """Load a cluster saved by :meth:`save`.
 
-        ``parallel`` defaults to the saved setting; the remaining
-        keyword arguments are forwarded to each shard's
+        ``parallel`` defaults to the saved setting; ``executor`` /
+        ``num_workers`` / ``start_method`` select the fan-out backend
+        (see the constructor); the remaining keyword arguments are
+        forwarded to each shard's
         :func:`repro.persistence.load_ensemble` (same registry
         resolution and lazy-materialisation semantics).
         """
@@ -474,7 +582,10 @@ class ShardedEnsemble:
             raise FormatError("corrupt manifest: missing shard list")
         if parallel is None:
             parallel = bool(manifest.get("parallel", True))
-        cluster = cls(num_shards=len(names), parallel=parallel)
+        cluster = cls(num_shards=len(names), parallel=parallel,
+                      executor=executor, num_workers=num_workers,
+                      start_method=start_method)
+        cluster._client_mmap = bool(mmap)
         shards = []
         for name in names:
             try:
@@ -497,13 +608,21 @@ class ShardedEnsemble:
                 max_workers=len(cluster._shards),
                 thread_name_prefix="lshensemble-shard",
             )
+        if cluster.executor == "process":
+            cluster._start_process_backend()
         return cluster
 
     def close(self) -> None:
-        """Shut the fan-out thread pool down."""
+        """Shut the fan-out thread pool (and any process backend) down."""
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        for client in self._clients:
+            client.close()
+        self._clients = []
+        if self._pool is not None and self._owns_pool:
+            self._pool.close()
+            self._pool = None
 
     def __enter__(self) -> "ShardedEnsemble":
         return self

@@ -106,7 +106,8 @@ from repro.lsh.storage import (
 )
 from repro.minhash.lean import LeanMinHash
 
-__all__ = ["save_ensemble", "load_ensemble", "read_header", "FormatError"]
+__all__ = ["save_ensemble", "load_ensemble", "read_header", "FormatError",
+           "export_columnar", "import_columnar"]
 
 _MAGIC = b"LSHE"
 _VERSION = 2
@@ -273,49 +274,74 @@ def _save_v1(index: LSHEnsemble, fh) -> None:
         fh.write(blob)
 
 
-def _save_v2(index: LSHEnsemble, fh) -> None:
+def _columnar_export_state(index: LSHEnsemble) -> tuple[dict, list]:
+    """Partition-major ordering + header shared by the v2 file writer
+    and the in-memory exporter (:func:`export_columnar`).
+
+    Groups keys partition-major (stable within a partition) so every
+    partition's rows land contiguous and load as views; the routing
+    reuses the index's own vectorised clamp + assign pass.  Keys come
+    from the *physical* base tier — for a dynamic index this includes
+    tombstoned rows (the manifest carries the tombstones).  Returns
+    ``(header, signatures)`` with ``signatures`` row-aligned to
+    ``header["keys"]`` (keys raw, not JSON-encoded — the file writer
+    encodes; bit-parity of the two export paths is structural because
+    both consume this one ordering).
+    """
     partitions = index.partitions
     lo, hi = partitions[0].lower, partitions[-1].upper - 1
     # Resolve any pending lazy live-max recompute so the header records
     # the exact (non-inflated) per-partition tuning bounds.
     index._resolve_live_max()
-    # Group keys partition-major (stable within a partition) so every
-    # partition's rows land contiguous on disk and load as views; the
-    # routing reuses the index's own vectorised clamp + assign pass.
-    # Keys come from the *physical* base tier — for a dynamic index this
-    # includes tombstoned rows (the manifest carries the tombstones).
     all_keys = list(index._sizes)
     sizes = np.fromiter((index._sizes[k] for k in all_keys),
                         dtype=np.int64, count=len(all_keys))
     routed = index._assign_partitions(np.clip(sizes, lo, hi))
-    order = np.argsort(routed, kind="stable").tolist()
-    keys = [all_keys[j] for j in order]
-    partition_rows = np.bincount(
-        routed, minlength=len(partitions)).tolist()
+    order = np.argsort(routed, kind="stable")
+    order_list = order.tolist()
     # `routed` already names each key's forest; fetching through it
     # avoids re-deriving the route per key (a clamp + linear partition
     # scan) inside index.get_signature.
     forests = index._forests
     signatures = [forests[int(routed[j])].get_signature(all_keys[j])
-                  for j in order]
-    seeds = np.asarray([sig.seed for sig in signatures], dtype=np.int64)
-    seed_dtype = ("<u4" if seeds.size == 0
-                  or (0 <= seeds.min() and seeds.max() < 2 ** 32)
-                  else "<i8")
+                  for j in order_list]
     header = _base_header(index)
     header.update({
-        "keys": [_encode_key(k) for k in keys],
+        "keys": [all_keys[j] for j in order_list],
         "sizes": sizes[order].tolist(),
-        "partition_rows": partition_rows,
+        "partition_rows": np.bincount(
+            routed, minlength=len(partitions)).tolist(),
         "partition_max_size": list(index._partition_max_size),
-        "storage": storage_backend_name(index._storage_factory),
-        "partitioner": partitioner_name(index._partitioner),
-        "seed_dtype": seed_dtype,
         "generation": index._generation,
         "mutation_epoch": index._mutation_epoch,
         "auto_rebalance_at": index.auto_rebalance_at,
         "baseline_depth_cv": index._baseline_depth_cv,
         "baseline_skew": index._baseline_skew,
+    })
+    return header, signatures
+
+
+def _restore_recorded_state(index: LSHEnsemble, header: dict) -> None:
+    """Reapply the versioning/drift fields a columnar header records."""
+    index._generation = int(header.get("generation", 0))
+    index._mutation_epoch = int(header.get("mutation_epoch", 0))
+    if header.get("baseline_depth_cv") is not None:
+        index._baseline_depth_cv = float(header["baseline_depth_cv"])
+    if header.get("baseline_skew") is not None:
+        index._baseline_skew = float(header["baseline_skew"])
+
+
+def _save_v2(index: LSHEnsemble, fh) -> None:
+    header, signatures = _columnar_export_state(index)
+    seeds = np.asarray([sig.seed for sig in signatures], dtype=np.int64)
+    seed_dtype = ("<u4" if seeds.size == 0
+                  or (0 <= seeds.min() and seeds.max() < 2 ** 32)
+                  else "<i8")
+    header["keys"] = [_encode_key(k) for k in header["keys"]]
+    header.update({
+        "storage": storage_backend_name(index._storage_factory),
+        "partitioner": partitioner_name(index._partitioner),
+        "seed_dtype": seed_dtype,
     })
     _write_header(fh, 2, header)
     fh.write(memoryview(np.ascontiguousarray(
@@ -331,6 +357,76 @@ def _save_v2(index: LSHEnsemble, fh) -> None:
         for i, sig in enumerate(block):
             staging[i] = sig.hashvalues
         fh.write(memoryview(staging[:len(block)]).cast("B"))
+
+
+# --------------------------------------------------------------------- #
+# In-memory columnar round trip (process-pool task payloads)
+# --------------------------------------------------------------------- #
+
+
+def export_columnar(index: LSHEnsemble) -> dict:
+    """The v2 payload of a *physically clean* index as in-memory arrays.
+
+    Returns ``{"header": dict, "seeds": int64 array, "matrix": uint64
+    (n, num_perm) array}`` with rows ordered partition-major — exactly
+    the bytes :func:`save_ensemble` would write at ``version=2``, minus
+    the file.  The whole dict is picklable, which is what the
+    process-pool executor (:mod:`repro.parallel.procpool`) relies on to
+    ship a dynamic index's small delta tier to worker processes
+    without a disk round trip; :func:`import_columnar` rebuilds a
+    bit-identical index (same partitions, tuning bounds, signatures).
+
+    Unlike the file writer the header carries no backend/partitioner
+    registry names: the importer supplies factories explicitly (workers
+    use the factories of the base index the delta rides on).
+    """
+    with index._lock:
+        if _has_dynamic_state(index):
+            raise ValueError(
+                "export_columnar requires a physically clean index; "
+                "rebalance() first (the delta tier's inner index is "
+                "always clean)")
+        if not index.partitions:
+            raise ValueError("cannot export an unbuilt index")
+        header, signatures = _columnar_export_state(index)
+        matrix = np.empty((len(signatures), index.num_perm),
+                          dtype=np.uint64)
+        seeds = np.empty(len(signatures), dtype=np.int64)
+        for row, signature in enumerate(signatures):
+            matrix[row] = signature.hashvalues
+            seeds[row] = signature.seed
+        return {"header": header, "seeds": seeds, "matrix": matrix}
+
+
+def import_columnar(spec: dict, *, storage_factory=None,
+                    partitioner=None) -> LSHEnsemble:
+    """Rebuild an index from :func:`export_columnar` output.
+
+    The factories default to the :class:`LSHEnsemble` constructor
+    defaults; pass the base index's own ``storage_factory`` /
+    ``partitioner`` to keep a shipped delta tier on the same backend.
+    """
+    try:
+        header = spec["header"]
+        keys = list(header["keys"])
+        sizes = [int(s) for s in header["sizes"]]
+        partitions = [Partition(lo, hi) for lo, hi in header["partitions"]]
+        partition_rows = [int(c) for c in header["partition_rows"]]
+        partition_max_size = [int(m) for m in header["partition_max_size"]]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise FormatError("corrupt columnar spec: %s" % exc) from exc
+    if len(keys) != len(sizes):
+        raise FormatError("key/size table length mismatch")
+    if len(set(keys)) != len(keys):
+        raise FormatError("duplicate keys in columnar spec")
+    matrix = np.ascontiguousarray(spec["matrix"], dtype=np.uint64)
+    matrix.setflags(write=False)
+    seeds = np.asarray(spec["seeds"], dtype=np.int64)
+    index = _make_ensemble(header, storage_factory, partitioner)
+    index._restore_columnar(partitions, keys, sizes, matrix, seeds,
+                            partition_rows, partition_max_size)
+    _restore_recorded_state(index, header)
+    return index
 
 
 # --------------------------------------------------------------------- #
@@ -782,10 +878,11 @@ def _load_v2(fh, path, header: dict, offset: int, storage_factory,
     index = _make_ensemble(header, storage_factory, partitioner)
     index._restore_columnar(partitions, keys, sizes, matrix, seeds,
                             partition_rows, partition_max_size)
-    index._generation = int(header.get("generation", 0))
-    index._mutation_epoch = int(header.get("mutation_epoch", 0))
-    if header.get("baseline_depth_cv") is not None:
-        index._baseline_depth_cv = float(header["baseline_depth_cv"])
-    if header.get("baseline_skew") is not None:
-        index._baseline_skew = float(header["baseline_skew"])
+    _restore_recorded_state(index, header)
+    # The file IS the physical base tier: remember it so manifest
+    # re-saves and the process-pool executor can hand the same segment
+    # around instead of rewriting an identical copy.  Anything that
+    # changes the physical base (rebalance, physical routing) clears
+    # it; a manifest load overrides it with the base segment's path.
+    index._base_source = str(Path(path).resolve())
     return index

@@ -37,10 +37,40 @@ class ServingEngine:
     index:
         A built :class:`~repro.core.ensemble.LSHEnsemble` or
         :class:`~repro.parallel.sharded.ShardedEnsemble`.
+    pooled:
+        Optional :class:`~repro.parallel.procpool.PooledIndex` over the
+        same flat ``index``.  When present, coalesced batches dispatch
+        through it — sliced across worker processes over the shared
+        mmap segments — instead of running on the coalescer's single
+        GIL-bound thread.  Results are bit-identical either way;
+        introspection (epoch, tier sizes, signature seed) always reads
+        the authoritative in-process index.
     """
 
-    def __init__(self, index) -> None:
+    def __init__(self, index, pooled=None) -> None:
         self.index = index
+        self.pooled = pooled
+
+    @property
+    def _query_target(self):
+        """Where batches execute: the process-pool adapter when
+        attached, the in-process index otherwise."""
+        return self.pooled if self.pooled is not None else self.index
+
+    @property
+    def executor_kind(self) -> str:
+        """``"process"`` when batches run on a worker pool (flat pooled
+        adapter, or a process-mode sharded cluster), else ``"thread"``."""
+        if self.pooled is not None:
+            return "process"
+        return ("process"
+                if getattr(self.index, "executor", "thread") == "process"
+                else "thread")
+
+    def _pool(self):
+        if self.pooled is not None:
+            return self.pooled.pool
+        return getattr(self.index, "_pool", None)
 
     # ------------------------------------------------------------------ #
     # Normalised introspection
@@ -88,16 +118,18 @@ class ServingEngine:
             "num_perm": self.num_perm,
             "generation": self.generation,
             "mutation_epoch": self.mutation_epoch,
+            "executor": self.executor_kind,
         }
 
     def stats(self) -> dict:
         """Tier sizes and the full drift report (``/stats`` core)."""
         drift = self.index.drift_stats()
-        return {
+        payload = {
             "index": type(self.index).__name__,
             "keys": len(self.index),
             "generation": self.generation,
             "mutation_epoch": self.mutation_epoch,
+            "executor": self.executor_kind,
             "tiers": {
                 "base": drift["base_keys"],
                 "delta": drift["delta_keys"],
@@ -105,6 +137,10 @@ class ServingEngine:
             },
             "drift": drift,
         }
+        pool = self._pool()
+        if pool is not None:
+            payload["pool"] = pool.stats()
+        return payload
 
     # ------------------------------------------------------------------ #
     # Batched dispatch (called from the coalescer's worker thread)
@@ -123,14 +159,15 @@ class ServingEngine:
         matrix = np.vstack([row for row, _ in payloads])
         sizes = [size for _, size in payloads]
         batch = SignatureBatch(None, matrix, seed=seed)
+        target = self._query_target
         if kind == "query":
             threshold = group_key[2]
-            found = self.index.query_batch(batch, sizes=sizes,
-                                           threshold=threshold)
+            found = target.query_batch(batch, sizes=sizes,
+                                       threshold=threshold)
             return [sorted_keys(f) for f in found]
         if kind == "top_k":
             k, min_threshold = group_key[2], group_key[3]
-            ranked = self.index.query_top_k_batch(
+            ranked = target.query_top_k_batch(
                 batch, k, sizes=sizes, min_threshold=min_threshold)
             return [[[key, float(score)] for key, score in row]
                     for row in ranked]

@@ -128,12 +128,52 @@ class QueryServer:
     max_pending:
         Admission-control bound on queries queued + in flight; beyond
         it requests are shed with ``503``.
+    executor:
+        ``"thread"`` (default) answers coalesced batches on the
+        coalescer's single worker thread.  ``"process"`` dispatches
+        them through a :class:`~repro.parallel.procpool.PooledIndex` —
+        sliced across worker processes that ``np.memmap`` the spilled
+        v2 segment — so serving scales past one core.  For a
+        :class:`~repro.parallel.sharded.ShardedEnsemble` load the
+        cluster itself with ``executor="process"`` instead (its own
+        fan-out already runs on a pool).
+    workers, start_method:
+        Process-pool sizing / multiprocessing start method
+        (``executor="process"`` only).
+    source_path:
+        A v2 snapshot on disk matching the index's physical base
+        (e.g. the file it was loaded from); saves the initial spill.
+        Defaults to the segment the index was loaded from, when known.
+    mmap:
+        Whether pool workers memory-map the base segment (default) or
+        read it into memory (``executor="process"`` only).
     """
 
     def __init__(self, index, host: str = "127.0.0.1", port: int = 0, *,
                  max_batch: int = 64, window_ms: float = 2.0,
-                 cache_size: int = 4096, max_pending: int = 1024) -> None:
-        self.engine = ServingEngine(index)
+                 cache_size: int = 4096, max_pending: int = 1024,
+                 executor: str = "thread", workers: int | None = None,
+                 start_method: str | None = None,
+                 source_path=None, mmap: bool = True) -> None:
+        if executor not in ("thread", "process"):
+            raise ValueError(
+                "executor must be 'thread' or 'process', got %r"
+                % (executor,))
+        pooled = None
+        if executor == "process":
+            if hasattr(index, "shards"):
+                if getattr(index, "executor", "thread") != "process":
+                    raise ValueError(
+                        "load the sharded cluster with "
+                        "executor='process' instead of wrapping it "
+                        "at the serving layer")
+            else:
+                from repro.parallel.procpool import PooledIndex
+
+                pooled = PooledIndex(index, num_workers=workers,
+                                     start_method=start_method,
+                                     source_path=source_path, mmap=mmap)
+        self.engine = ServingEngine(index, pooled=pooled)
         self.cache = ResultCache(cache_size)
         self.coalescer = MicroBatchCoalescer(
             self.engine.dispatch, max_batch=max_batch,
@@ -165,6 +205,8 @@ class QueryServer:
             self._server.close()
             await self._server.wait_closed()
         await self.coalescer.aclose()
+        if self.engine.pooled is not None:
+            self.engine.pooled.close()
 
     # ------------------------------------------------------------------ #
     # HTTP plumbing

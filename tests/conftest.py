@@ -13,6 +13,20 @@ from repro.minhash.generator import SignatureFactory
 TEST_NUM_PERM = 128
 
 
+def pytest_configure(config):
+    # `procpool` selects the multiprocess suite (the CI matrix re-runs
+    # it under both fork and spawn start methods); `timeout` is the
+    # pytest-timeout marker, declared here so the suite stays
+    # warning-free when the plugin is not installed locally.
+    config.addinivalue_line(
+        "markers",
+        "procpool: multiprocess (process-pool executor) tests")
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): per-test timeout (enforced by pytest-timeout"
+        " when installed)")
+
+
 @pytest.fixture(scope="session")
 def small_corpus() -> DomainCorpus:
     """~300 domains with power-law sizes and planted containment."""
@@ -27,6 +41,22 @@ def small_signatures(small_corpus):
 @pytest.fixture(scope="session")
 def small_entries(small_corpus, small_signatures):
     return small_corpus.entries(small_signatures)
+
+
+@pytest.fixture(scope="session")
+def proc_pool():
+    """One shared worker pool for the whole multiprocess suite.
+
+    Spawn-mode workers cost ~a second each to start; sharing the pool
+    keeps the suite fast under the CI spawn leg.  The pool is safe to
+    share: sources are cached per PooledIndex, and crash tests leave it
+    healthy (dead workers respawn).
+    """
+    from repro.parallel.procpool import ProcPool
+
+    pool = ProcPool(num_workers=2)
+    yield pool
+    pool.close()
 
 
 @pytest.fixture()

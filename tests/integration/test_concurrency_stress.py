@@ -17,6 +17,7 @@ checked here:
 
 from __future__ import annotations
 
+import os
 import threading
 
 import pytest
@@ -33,6 +34,10 @@ NUM_INSERTS = 60
 NUM_REBALANCES = 3
 QUERY_BATCH = 16
 JOIN_TIMEOUT = 120
+# Query-thread count scaled to the runner: a floor of 2 keeps the race
+# real everywhere, the cap keeps oversubscription from turning a 2-core
+# CI runner's run into pure scheduler thrash.
+NUM_QUERIERS = max(2, min(4, os.cpu_count() or 1))
 
 
 def _corpus():
@@ -102,7 +107,7 @@ class _Stress:
                 assert not stale, (
                     "query returned removed keys %r" % sorted(stale))
 
-    def run(self, num_queriers: int = 2):
+    def run(self, num_queriers: int = NUM_QUERIERS):
         mutators = [threading.Thread(target=self._guard, args=(fn,))
                     for fn in (self.writer, self.remover, self.rebalancer)]
         queriers = [threading.Thread(target=self._guard,

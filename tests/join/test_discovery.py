@@ -8,16 +8,20 @@ from repro.join.discovery import JoinCandidate, JoinDiscovery
 
 @pytest.fixture(scope="module")
 def discovery():
+    # Subsets are sliced from *sorted* value lists: slicing a frozenset
+    # picks a PYTHONHASHSEED-dependent subset, whose MinHash containment
+    # estimate then hovers nondeterministically around the 0.4/0.7
+    # thresholds asserted below (rare full-suite flakes).
     provinces = frozenset("province_%d" % i for i in range(13))
     years = frozenset("year_%d" % i for i in range(40))
     tables = [
         Table("grants", {
             "province": provinces,
-            "year": frozenset(list(years)[:20]),
+            "year": frozenset(sorted(years)[:20]),
             "grant_id": frozenset("g%d" % i for i in range(500)),
         }),
         Table("contracts", {
-            "province": frozenset(list(provinces)[:10]),
+            "province": frozenset(sorted(provinces)[:10]),
             "year": years,
             "contract_id": frozenset("c%d" % i for i in range(300)),
         }),

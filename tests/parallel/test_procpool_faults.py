@@ -1,0 +1,198 @@
+"""Fault injection for the process-pool executor.
+
+The pool's contract under worker failure: a crashed worker is
+respawned, its task retries on a healthy worker, and the caller gets
+complete bit-correct results — never a silent partial answer.  Crashes
+are injected two ways:
+
+* deterministically, via the task-level ``_crash_on_attempts`` hook
+  (the worker ``os._exit``\\ s before executing on the listed attempt
+  numbers — indistinguishable from a SIGKILL to the parent);
+* externally, by ``kill()``-ing a live worker process mid-batch.
+
+Exceptions raised *inside* a task are the opposite case: they are
+deterministic answers, relayed as :class:`RemoteTaskError` and never
+retried.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import LSHEnsemble
+from repro.minhash.batch import SignatureBatch
+from repro.minhash.generator import sample_signatures
+from repro.parallel.procpool import (
+    PooledIndex,
+    ProcPool,
+    RemoteTaskError,
+    WorkerCrashError,
+)
+
+pytestmark = [pytest.mark.procpool, pytest.mark.timeout(120)]
+
+NUM_PERM = 64
+
+
+def _build_flat(n: int = 150) -> tuple:
+    sizes = [10 + 7 * (i % 40) for i in range(n)]
+    signatures = sample_signatures(sizes, num_perm=NUM_PERM, seed=1)
+    entries = [("d%d" % i, sig, size)
+               for i, (sig, size) in enumerate(zip(signatures, sizes))]
+    index = LSHEnsemble(num_perm=NUM_PERM, num_partitions=4,
+                        threshold=0.5)
+    index.index(entries)
+    return index, entries
+
+
+def _echo(value, delay: float = 0.0) -> dict:
+    return {"method": "_echo", "args": {"value": value, "delay": delay},
+            "source": None, "overlay": None}
+
+
+def _query_tasks(pooled, entries, rows, threshold=0.3):
+    matrix = np.vstack([entries[j][1].hashvalues for j in rows])
+    sizes = [entries[j][2] for j in rows]
+    batch = SignatureBatch(None, matrix, seed=1)
+    tasks = pooled._tasks("query_batch", [
+        {"matrix": np.ascontiguousarray(matrix[i:i + 1]), "seed": 1,
+         "sizes": sizes[i:i + 1], "threshold": threshold}
+        for i in range(len(rows))])
+    return tasks, batch, sizes
+
+
+class TestInjectedCrashes:
+    def test_crash_respawns_and_retries_bit_correct(self):
+        """A worker dying before executing one slice must not cost the
+        caller anything: the batch completes, answers bit-equal the
+        in-process path, and the pool log shows the respawn."""
+        index, entries = _build_flat()
+        with ProcPool(num_workers=2) as pool:
+            pooled = PooledIndex(index, pool)
+            tasks, batch, sizes = _query_tasks(pooled, entries, range(6))
+            tasks[2]["_crash_on_attempts"] = [0]
+            results = [row for part in pool.run(tasks) for row in part]
+            assert results == index.query_batch(batch, sizes=sizes,
+                                                threshold=0.3)
+            stats = pool.stats()
+            assert stats["respawns"] >= 1
+            assert stats["retries"] >= 1
+            pooled.close()
+
+    def test_crash_with_dynamic_tiers_still_bit_correct(self):
+        """The retried worker re-applies the shipped overlay (deltas +
+        tombstones) from scratch — the crash must not desync epochs."""
+        index, entries = _build_flat()
+        extra_sizes = [300, 301, 302]
+        extra = sample_signatures(extra_sizes, num_perm=NUM_PERM, seed=1)
+        for i, (sig, size) in enumerate(zip(extra, extra_sizes)):
+            index.insert("delta-%d" % i, sig, size)
+        index.remove(entries[0][0])
+        index.remove(entries[7][0])
+        with ProcPool(num_workers=2) as pool:
+            pooled = PooledIndex(index, pool)
+            tasks, batch, sizes = _query_tasks(pooled, entries, range(8),
+                                               threshold=0.1)
+            tasks[0]["_crash_on_attempts"] = [0]
+            tasks[5]["_crash_on_attempts"] = [0]
+            results = [row for part in pool.run(tasks) for row in part]
+            assert results == index.query_batch(batch, sizes=sizes,
+                                                threshold=0.1)
+            assert all(entries[0][0] not in found for found in results)
+            pooled.close()
+
+    def test_retry_budget_exhaustion_raises_not_partial(self):
+        """A task that kills every worker it lands on must surface as an
+        exception — the caller never sees a partial result list."""
+        with ProcPool(num_workers=2, max_retries=2) as pool:
+            poison = _echo("poison")
+            poison["_crash_on_attempts"] = [0, 1, 2]
+            with pytest.raises(WorkerCrashError, match="crashed"):
+                pool.run([_echo(1), poison, _echo(3)])
+            # The pool recovered: full complement of workers, answers.
+            assert pool.run([_echo(i) for i in range(4)]) == [0, 1, 2, 3]
+
+    def test_exceptions_are_answers_not_crashes(self):
+        with ProcPool(num_workers=1) as pool:
+            before = pool.stats()["respawns"]
+            bad = {"method": "no_such", "args": {}, "source": None,
+                   "overlay": None}
+            with pytest.raises(RemoteTaskError):
+                pool.run([bad])
+            assert pool.stats()["respawns"] == before  # worker survived
+            assert pool.run([_echo("ok")]) == ["ok"]
+
+
+class TestExternalKills:
+    def test_kill_mid_batch_completes_on_healthy_worker(self):
+        """SIGKILL a live worker while it is inside a task: its slice
+        retries elsewhere and the batch result is complete and exact."""
+        with ProcPool(num_workers=2) as pool:
+            tasks = [_echo(i, delay=0.4) for i in range(6)]
+            results_box = {}
+
+            def run():
+                results_box["results"] = pool.run(tasks)
+
+            runner = threading.Thread(target=run)
+            runner.start()
+            time.sleep(0.2)  # both workers are now inside a task
+            pool._workers[0].proc.kill()
+            runner.join(timeout=60)
+            assert not runner.is_alive(), "pool.run hung after a kill"
+            assert results_box["results"] == list(range(6))
+            assert pool.stats()["respawns"] >= 1
+
+    def test_idle_worker_death_is_invisible(self):
+        with ProcPool(num_workers=2) as pool:
+            assert pool.run([_echo(i) for i in range(4)]) == [0, 1, 2, 3]
+            pool._workers[1].proc.kill()
+            pool._workers[1].proc.join(timeout=10)
+            # Next run notices the corpse at dispatch, respawns, and
+            # still answers everything.
+            assert pool.run([_echo(i) for i in range(4)]) == [0, 1, 2, 3]
+            assert pool.stats()["respawns"] >= 1
+
+    def test_killed_worker_query_batch_end_to_end(self):
+        """The full PooledIndex path under an external kill: no row of
+        the answer may be lost or wrong."""
+        index, entries = _build_flat()
+        with ProcPool(num_workers=2) as pool:
+            pooled = PooledIndex(index, pool)
+            rows = range(12)
+            matrix = np.vstack([entries[j][1].hashvalues for j in rows])
+            sizes = [entries[j][2] for j in rows]
+            batch = SignatureBatch(None, matrix, seed=1)
+            expected = index.query_batch(batch, sizes=sizes, threshold=0.2)
+            results_box = {}
+
+            def run():
+                results_box["results"] = pooled.query_batch(
+                    batch, sizes=sizes, threshold=0.2)
+
+            runner = threading.Thread(target=run)
+            runner.start()
+            pool._workers[1].proc.kill()
+            runner.join(timeout=60)
+            assert not runner.is_alive(), "query_batch hung after a kill"
+            assert results_box["results"] == expected
+            pooled.close()
+
+
+class TestHungWorkers:
+    def test_task_timeout_kills_and_gives_up_cleanly(self):
+        """A worker stuck past ``task_timeout`` is killed and the task
+        retried; when every attempt hangs, the caller gets
+        WorkerCrashError instead of waiting forever."""
+        with ProcPool(num_workers=1, max_retries=1,
+                      task_timeout=0.5) as pool:
+            t0 = time.monotonic()
+            with pytest.raises(WorkerCrashError):
+                pool.run([_echo("never", delay=60.0)])
+            assert time.monotonic() - t0 < 30
+            # The hung worker was replaced; quick tasks still work.
+            assert pool.run([_echo("quick")]) == ["quick"]
