@@ -13,6 +13,7 @@ Build, persist, mutate, and query LSH Ensemble indexes from the shell::
     python -m repro.cli rebalance index.lshe --if-drift-above 0.3
     python -m repro.cli info  index.lshe
     python -m repro.cli serve index.lshe --port 8080 --max-batch 64
+    python -m repro.cli loadtest index.lshe --profile mixed --rps 200
 
 ``--query-file`` answers each entry with an independent single query;
 ``--batch-file`` hashes all entries into one signature matrix and answers
@@ -31,6 +32,13 @@ manifest directory, or a sharded cluster directory — with the asyncio
 HTTP server of :mod:`repro.serve`: concurrent requests are coalesced
 into vectorised batch queries, results are cached under the index's
 mutation epoch, and overload is shed with 503s.
+
+``loadtest`` stands the same server up over the index, replays a
+deterministic open-loop traffic profile against it (zipf-popular reads,
+optionally an insert/remove stream with periodic rebalances), and
+reports p50/p95/p99 latency, throughput, shed rate, and cache hit rate
+per ramp phase — the SLO measurement substrate (see
+:mod:`repro.loadgen`).  Exits non-zero if any request errored.
 
 The JSON corpus format is deliberately simple: one object whose keys are
 domain names and whose values are arrays of (string or numeric) domain
@@ -173,6 +181,44 @@ def build_parser() -> argparse.ArgumentParser:
                          help="read signature matrices into memory "
                               "instead of memory-mapping them")
     add_executor_args(p_serve)
+
+    p_load = sub.add_parser(
+        "loadtest",
+        help="replay a deterministic mixed read/write traffic profile "
+             "against a served index and report SLO metrics "
+             "(p50/p95/p99, throughput, shed rate, cache hit rate)")
+    p_load.add_argument("index", type=Path,
+                        help="a v2 snapshot file, a dynamic manifest "
+                             "directory, or a ShardedEnsemble directory")
+    p_load.add_argument("--profile", default="read-heavy",
+                        choices=("read-heavy", "mixed"),
+                        help="read-heavy: pure zipf reads over an RPS "
+                             "staircase; mixed: reads plus an "
+                             "insert/remove stream and periodic "
+                             "rebalances")
+    p_load.add_argument("--rps", type=float, default=150.0,
+                        help="peak read arrival rate (stages ramp up "
+                             "to it)")
+    p_load.add_argument("--seconds", type=float, default=12.0,
+                        help="total run duration across all stages")
+    p_load.add_argument("--mutation-rps", type=float, default=8.0,
+                        help="insert/remove events per second "
+                             "(mixed profile only)")
+    p_load.add_argument("--seed", type=int, default=99,
+                        help="schedule seed; same seed + profile => "
+                             "identical request sequence")
+    p_load.add_argument("--concurrency", type=int, default=None,
+                        help="client worker threads (default: scaled "
+                             "to cpu count)")
+    p_load.add_argument("--max-batch", type=int, default=64)
+    p_load.add_argument("--window-ms", type=float, default=2.0)
+    p_load.add_argument("--cache-size", type=int, default=4096)
+    p_load.add_argument("--max-pending", type=int, default=1024)
+    p_load.add_argument("--json-out", type=Path, default=None,
+                        help="also write the full metric set as JSON "
+                             "(the BENCH_*.json trajectory format)")
+    p_load.add_argument("--no-mmap", action="store_true")
+    add_executor_args(p_load)
     return parser
 
 
@@ -446,6 +492,47 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from repro.loadgen import (
+        format_report,
+        mixed_mutating,
+        read_heavy,
+        run_against_index,
+    )
+
+    if args.profile == "read-heavy":
+        profile = read_heavy(rps=args.rps, seconds=args.seconds,
+                             seed=args.seed)
+    else:
+        profile = mixed_mutating(rps=args.rps, seconds=args.seconds,
+                                 mutation_rps=args.mutation_rps,
+                                 seed=args.seed)
+    index = _load_serving_index(args.index, mmap=not args.no_mmap,
+                                executor=args.executor,
+                                workers=args.workers,
+                                start_method=args.start_method)
+    print("loadtest %s: profile %s, %.0f peak rps over %.1fs, seed %d"
+          % (args.index, profile.name, args.rps, args.seconds,
+             args.seed), flush=True)
+    try:
+        report = run_against_index(
+            index, profile, executor=args.executor,
+            workers=args.workers, start_method=args.start_method,
+            max_batch=args.max_batch, window_ms=args.window_ms,
+            cache_size=args.cache_size, max_pending=args.max_pending,
+            concurrency=args.concurrency, mmap=not args.no_mmap)
+    finally:
+        if hasattr(index, "close"):
+            index.close()
+    print(format_report(report))
+    if args.json_out is not None:
+        args.json_out.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        print("[metrics written to %s]" % args.json_out)
+    return 1 if report["errors"] else 0
+
+
 def _print_drift(drift: dict) -> None:
     print("tiers:          base %d, delta %d, tombstones %d "
           "(generation %d, mutation epoch %d)"
@@ -508,6 +595,7 @@ def main(argv: list[str] | None = None) -> int:
         "rebalance": _cmd_rebalance,
         "info": _cmd_info,
         "serve": _cmd_serve,
+        "loadtest": _cmd_loadtest,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,197 @@
+"""Aggregation of load-run records into percentile reports and JSON.
+
+Percentiles are computed over *scheduled-arrival* latency (completion
+minus the open-loop arrival instant), not just service time: a request
+that waited behind a saturated driver or a full queue pays that wait in
+the percentile, which is the coordinated-omission-honest number (shed
+requests are reported as shed rate, never silently dropped from the
+tail).  Service-only latency is reported alongside for diagnosis.
+
+:func:`build_report` produces the JSON-ready dict a ``BENCH_*.json``
+trajectory point stores; :func:`format_report` renders the same data as
+the per-phase ASCII table the CLI prints.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.eval.reports import format_table
+from repro.loadgen.profile import TrafficProfile
+
+__all__ = ["RequestRecord", "build_report", "format_report"]
+
+READ_KINDS = ("query", "top_k")
+MUTATION_KINDS = ("insert", "remove", "rebalance")
+
+
+class RequestRecord(NamedTuple):
+    """One completed event: what ran, when, and how long it took."""
+
+    stage: str
+    kind: str
+    status: int  # HTTP status for reads; 0 for in-process mutations
+    ok: bool
+    shed: bool
+    scheduled_at: float
+    total_seconds: float  # completion - scheduled arrival (honest)
+    service_seconds: float  # completion - dispatch
+    queries: int  # queries inside the HTTP request (reads: 1)
+    cache_hits: int  # per-query `cached` flags that were true
+
+
+def _latency_ms(seconds: list[float]) -> dict:
+    if not seconds:
+        return {"p50": None, "p95": None, "p99": None,
+                "mean": None, "max": None}
+    values = np.asarray(seconds) * 1000.0
+    return {
+        "p50": float(np.percentile(values, 50)),
+        "p95": float(np.percentile(values, 95)),
+        "p99": float(np.percentile(values, 99)),
+        "mean": float(values.mean()),
+        "max": float(values.max()),
+    }
+
+
+def _read_block(records: list[RequestRecord], seconds: float) -> dict:
+    reads = [r for r in records if r.kind in READ_KINDS]
+    ok = [r for r in reads if r.ok]
+    shed = [r for r in reads if r.shed]
+    errors = [r for r in reads if not r.ok and not r.shed]
+    lookups = sum(r.queries for r in ok)
+    hits = sum(r.cache_hits for r in ok)
+    return {
+        "requests": len(reads),
+        "completed": len(ok),
+        "shed": len(shed),
+        "errors": len(errors),
+        "shed_rate": len(shed) / len(reads) if reads else 0.0,
+        "throughput_rps": len(ok) / seconds if seconds else 0.0,
+        "cache_hit_rate": hits / lookups if lookups else 0.0,
+        "latency_ms": _latency_ms([r.total_seconds for r in ok]),
+        "service_latency_ms": _latency_ms(
+            [r.service_seconds for r in ok]),
+    }
+
+
+def build_report(profile: TrafficProfile,
+                 records: list[RequestRecord], *,
+                 executor: str, duration_seconds: float,
+                 server_stats: dict,
+                 epoch_delta: int,
+                 skipped_removes: int = 0) -> dict:
+    """The full metric set for one run, JSON-serialisable.
+
+    ``server_stats`` is the server's ``/stats`` payload drained at run
+    end (coalescer batch-size distribution, cache counters, pool
+    counters when a process executor ran); ``epoch_delta`` how far the
+    mutation epoch moved during the run.
+    """
+    stage_seconds = {stage.name: stage.seconds
+                     for stage in profile.stages}
+    phases = {}
+    for stage in profile.stages:
+        phase_records = [r for r in records if r.stage == stage.name]
+        block = _read_block(phase_records, stage_seconds[stage.name])
+        block["offered_rps"] = stage.rps
+        block["mutations"] = sum(1 for r in phase_records
+                                 if r.kind in MUTATION_KINDS)
+        phases[stage.name] = block
+
+    mutations = {}
+    for kind in MUTATION_KINDS:
+        runs = [r for r in records if r.kind == kind]
+        mutations[kind] = {
+            "count": len(runs),
+            "errors": sum(1 for r in runs if not r.ok),
+            "latency_ms": _latency_ms(
+                [r.service_seconds for r in runs if r.ok]),
+        }
+    mutations["skipped_removes"] = skipped_removes
+    mutations["mutation_epoch_delta"] = epoch_delta
+
+    overall = _read_block(records, duration_seconds)
+    coalescer = server_stats.get("coalescer", {})
+    http = server_stats.get("http", {})
+    return {
+        "profile": profile.name,
+        "seed": profile.seed,
+        "executor": executor,
+        "duration_seconds": duration_seconds,
+        "offered_seconds": profile.total_seconds,
+        **overall,
+        "mutations": mutations,
+        "phases": phases,
+        "cache": server_stats.get("cache", {}),
+        "coalescer": {
+            key: coalescer.get(key)
+            for key in ("requests_total", "dispatched_total",
+                        "batches_total", "shed_total", "largest_batch",
+                        "mean_batch_size", "mean_batch_seconds",
+                        "batch_size_hist")
+        },
+        "http": http,
+        "pool": server_stats.get("pool"),
+    }
+
+
+def _ms(value) -> str:
+    return "-" if value is None else "%.1f" % value
+
+
+def format_report(report: dict) -> str:
+    """Per-phase ASCII table plus the run-level summary lines."""
+    rows = []
+    for name, phase in report["phases"].items():
+        lat = phase["latency_ms"]
+        rows.append([
+            name,
+            "%.0f" % phase["offered_rps"],
+            "%.1f" % phase["throughput_rps"],
+            _ms(lat["p50"]), _ms(lat["p95"]), _ms(lat["p99"]),
+            "%.1f%%" % (100.0 * phase["shed_rate"]),
+            "%.1f%%" % (100.0 * phase["cache_hit_rate"]),
+            "%d" % phase["errors"],
+            "%d" % phase["mutations"],
+        ])
+    table = format_table(
+        ["phase", "offered", "served/s", "p50ms", "p95ms", "p99ms",
+         "shed", "cache hit", "errors", "mutations"],
+        rows,
+        title="SLO load run: %s (%s executor, %.1fs)"
+              % (report["profile"], report["executor"],
+                 report["duration_seconds"]))
+    lat = report["latency_ms"]
+    coalescer = report["coalescer"]
+    lines = [
+        table,
+        "",
+        "overall: %d requests, %.1f served/s, p50/p95/p99 = %s/%s/%s ms,"
+        " shed %.2f%%, errors %d, cache hit %.1f%%"
+        % (report["requests"], report["throughput_rps"],
+           _ms(lat["p50"]), _ms(lat["p95"]), _ms(lat["p99"]),
+           100.0 * report["shed_rate"], report["errors"],
+           100.0 * report["cache_hit_rate"]),
+        "coalescer: mean batch %.2f (largest %s), %s batches"
+        % (coalescer["mean_batch_size"] or 0.0,
+           coalescer["largest_batch"], coalescer["batches_total"]),
+        "mutations: %d inserts, %d removes (%d skipped), "
+        "%d rebalances, epoch +%d"
+        % (report["mutations"]["insert"]["count"],
+           report["mutations"]["remove"]["count"],
+           report["mutations"]["skipped_removes"],
+           report["mutations"]["rebalance"]["count"],
+           report["mutations"]["mutation_epoch_delta"]),
+    ]
+    pool = report.get("pool")
+    if pool:
+        lines.append(
+            "pool: %s workers (%s), %s tasks, peak inflight %s, "
+            "%s respawns"
+            % (pool.get("num_workers"), pool.get("start_method"),
+               pool.get("tasks"), pool.get("peak_inflight"),
+               pool.get("respawns")))
+    return "\n".join(lines)

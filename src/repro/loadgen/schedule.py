@@ -1,0 +1,131 @@
+"""Deterministic open-loop schedule derived from a traffic profile.
+
+The schedule is the *entire* randomness of a load run, materialised up
+front: arrival instants (exponential inter-arrivals at each stage's
+RPS — open-loop, so a slow server cannot slow the offered load down),
+which pooled query each read fires (Zipfian rank), which reads go
+through top-k, and when mutations / rebalances land.  Everything is
+drawn from ``numpy`` generators seeded only by the profile, so the same
+profile + seed produces the identical schedule on any machine — the
+property that makes ``BENCH_*.json`` trajectory points comparable
+across PRs and hosts (latencies aside).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.datagen.distributions import zipf_ranks
+from repro.loadgen.profile import TrafficProfile
+
+__all__ = ["ScheduledOp", "build_schedule"]
+
+# Stream offsets deriving independent per-purpose generators from one
+# profile seed: reordering one stream's draws must not perturb another.
+_ARRIVALS, _PICKS, _KINDS, _MUTATIONS = 1, 2, 3, 4
+
+
+class ScheduledOp(NamedTuple):
+    """One event of a load run.
+
+    ``at`` is seconds from run start; ``stage`` the ramp stage the
+    event falls in; ``kind`` one of ``query`` / ``top_k`` (reads,
+    ``arg`` = query-pool index) or ``insert`` / ``remove`` /
+    ``rebalance`` (mutations, ``arg`` = event serial).
+    """
+
+    at: float
+    stage: str
+    kind: str
+    arg: int
+
+
+def _rng(profile: TrafficProfile, stream: int) -> np.random.Generator:
+    return np.random.default_rng([profile.seed, stream])
+
+
+def _arrival_times(rng: np.random.Generator, rps: float,
+                   seconds: float) -> np.ndarray:
+    """Poisson arrivals over ``[0, seconds)`` at rate ``rps``."""
+    times: list[np.ndarray] = []
+    elapsed = 0.0
+    # Draw in deterministic chunks until the stage window is covered;
+    # the chunk size only affects how many draws are wasted, never
+    # which arrivals exist.
+    chunk = max(16, int(rps * seconds * 1.2) + 16)
+    while elapsed < seconds:
+        gaps = rng.exponential(1.0 / rps, size=chunk)
+        cumulative = elapsed + np.cumsum(gaps)
+        times.append(cumulative)
+        elapsed = float(cumulative[-1])
+    arrivals = np.concatenate(times)
+    return arrivals[arrivals < seconds]
+
+
+def _stage_of(profile: TrafficProfile, at: float) -> str:
+    upper = 0.0
+    for stage in profile.stages:
+        upper += stage.seconds
+        if at < upper:
+            return stage.name
+    return profile.stages[-1].name
+
+
+def build_schedule(profile: TrafficProfile) -> list[ScheduledOp]:
+    """Materialise the full event list for one run, sorted by time.
+
+    Ties sort by kind then serial, so the ordering itself is
+    deterministic, not an artifact of the sort's input order.
+    """
+    events: list[ScheduledOp] = []
+
+    arrivals_rng = _rng(profile, _ARRIVALS)
+    offset = 0.0
+    read_times: list[np.ndarray] = []
+    read_stages: list[str] = []
+    for stage in profile.stages:
+        times = _arrival_times(arrivals_rng, stage.rps, stage.seconds)
+        read_times.append(times + offset)
+        read_stages.extend([stage.name] * len(times))
+        offset += stage.seconds
+    all_reads = (np.concatenate(read_times) if read_times
+                 else np.empty(0))
+
+    picks = zipf_ranks(len(all_reads), profile.query_pool,
+                       exponent=profile.zipf_exponent,
+                       rng=_rng(profile, _PICKS))
+    is_top_k = (_rng(profile, _KINDS).random(len(all_reads))
+                < profile.top_k_fraction)
+    for at, stage, pick, top_k in zip(all_reads, read_stages,
+                                      picks, is_top_k):
+        events.append(ScheduledOp(float(at), stage,
+                                  "top_k" if top_k else "query",
+                                  int(pick)))
+
+    total = profile.total_seconds
+    if profile.mutation_rps > 0:
+        mutations_rng = _rng(profile, _MUTATIONS)
+        times = _arrival_times(mutations_rng, profile.mutation_rps,
+                               total)
+        removes = mutations_rng.random(len(times)) < \
+            profile.remove_fraction
+        for serial, (at, remove) in enumerate(zip(times, removes)):
+            events.append(ScheduledOp(
+                float(at), _stage_of(profile, float(at)),
+                "remove" if remove else "insert", serial))
+
+    if profile.rebalance_every_seconds > 0:
+        at = profile.rebalance_every_seconds
+        serial = 0
+        # "< total - epsilon": a rebalance scheduled exactly at the end
+        # of the run would only measure shutdown, not serving.
+        while at < total - 1e-9:
+            events.append(ScheduledOp(at, _stage_of(profile, at),
+                                      "rebalance", serial))
+            at += profile.rebalance_every_seconds
+            serial += 1
+
+    events.sort(key=lambda op: (op.at, op.kind, op.arg))
+    return events

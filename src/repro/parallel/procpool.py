@@ -323,7 +323,7 @@ class ProcPool:
         self._task_ids = itertools.count()
         self._closed = False
         self._counters = {"runs": 0, "tasks": 0, "retries": 0,
-                          "respawns": 0}
+                          "respawns": 0, "peak_inflight": 0}
         self._workers = [self._spawn(slot)
                          for slot in range(self.num_workers)]
 
@@ -405,6 +405,10 @@ class ProcPool:
                             if self.task_timeout else None)
                 inflight[worker] = (task_id, idx, deadline)
                 self._counters["tasks"] += 1
+            if len(inflight) > self._counters["peak_inflight"]:
+                # Peak concurrent tasks: how much of the pool a load
+                # actually keeps busy (utilisation for SLO reports).
+                self._counters["peak_inflight"] = len(inflight)
             ready = mp_connection.wait(
                 [w.conn for w in inflight]
                 + [w.proc.sentinel for w in inflight],

@@ -46,13 +46,19 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.bypasses = 0
 
     def get(self, key):
         """The cached value for ``key``, or :data:`MISS`.
 
-        A hit refreshes the entry's LRU position.
+        A hit refreshes the entry's LRU position.  With ``capacity=0``
+        the lookup is a *bypass*, counted separately from misses so a
+        disabled cache reads as disabled in ``/stats`` rather than as
+        an idle 0/0 cache.
         """
         if self.capacity == 0:
+            with self._lock:
+                self.bypasses += 1
             return MISS
         with self._lock:
             value = self._entries.get(key, MISS)
@@ -90,6 +96,7 @@ class ResultCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "bypasses": self.bypasses,
             }
 
     def __repr__(self) -> str:

@@ -67,7 +67,10 @@ class MicroBatchCoalescer:
         self.window_seconds = float(window_seconds)
         self.max_pending = int(max_pending)
         self._groups: dict = {}  # group_key -> list[(payload, future)]
-        self._timer: asyncio.TimerHandle | None = None
+        # Each group owns its deadline: a group whose first query lands
+        # late in another group's window must still get a full
+        # ``window_seconds`` of collection time.
+        self._timers: dict = {}  # group_key -> asyncio.TimerHandle
         self._tasks: set[asyncio.Task] = set()
         self._pending = 0
         self._executor = ThreadPoolExecutor(
@@ -77,10 +80,14 @@ class MicroBatchCoalescer:
         # *reader* may be another thread, hence the snapshot lock-free
         # dict copy in stats() (ints are immutable snapshots).
         self.requests_total = 0
-        self.batches_total = 0
+        self.dispatched_total = 0  # requests handed to a batch (at flush)
+        self.batches_total = 0  # batches completed
+        self.batches_dispatched = 0
         self.shed_total = 0
         self.coalesced_total = 0  # requests that shared their batch
         self.largest_batch = 0
+        self.batch_seconds_total = 0.0  # dispatch wall time, completed
+        self._batch_size_hist: dict[int, int] = {}
 
     async def submit(self, group_key, payload):
         """Queue one query; resolves to its result once its batch ran."""
@@ -98,31 +105,39 @@ class MicroBatchCoalescer:
         group.append((payload, future))
         if len(group) >= self.max_batch or self.window_seconds == 0:
             self._flush_group(group_key)
-        elif self._timer is None:
-            self._timer = loop.call_later(self.window_seconds,
-                                          self._flush_all)
+        elif len(group) == 1:
+            self._timers[group_key] = loop.call_later(
+                self.window_seconds, self._on_window, group_key)
         return await future
+
+    def _on_window(self, group_key) -> None:
+        self._timers.pop(group_key, None)
+        self._flush_group(group_key)
 
     def _flush_group(self, group_key) -> None:
         batch = self._groups.pop(group_key, None)
+        timer = self._timers.pop(group_key, None)
+        if timer is not None:
+            timer.cancel()
         if not batch:
             return
-        if self._timer is not None and not self._groups:
-            self._timer.cancel()
-            self._timer = None
+        self.dispatched_total += len(batch)
+        self.batches_dispatched += 1
+        size = len(batch)
+        self._batch_size_hist[size] = self._batch_size_hist.get(size, 0) + 1
         task = asyncio.get_running_loop().create_task(
             self._run(group_key, batch))
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
 
     def _flush_all(self) -> None:
-        self._timer = None
         for group_key in list(self._groups):
             self._flush_group(group_key)
 
     async def _run(self, group_key, batch) -> None:
         payloads = [payload for payload, _ in batch]
         loop = asyncio.get_running_loop()
+        started = loop.time()
         try:
             results = await loop.run_in_executor(
                 self._executor, self._dispatch, group_key, payloads)
@@ -141,6 +156,7 @@ class MicroBatchCoalescer:
         finally:
             self._pending -= len(batch)
             self.batches_total += 1
+            self.batch_seconds_total += loop.time() - started
             if len(batch) > 1:
                 self.coalesced_total += len(batch)
             if len(batch) > self.largest_batch:
@@ -149,9 +165,6 @@ class MicroBatchCoalescer:
     async def aclose(self) -> None:
         """Flush whatever is queued, wait it out, stop the worker."""
         self._closed = True
-        if self._timer is not None:
-            self._timer.cancel()
-            self._timer = None
         self._flush_all()
         while self._tasks:
             await asyncio.gather(*list(self._tasks),
@@ -159,17 +172,26 @@ class MicroBatchCoalescer:
         self._executor.shutdown(wait=True)
 
     def stats(self) -> dict:
-        batches = self.batches_total
+        # mean_batch_size divides dispatch-time counters: queued /
+        # in-flight submissions (counted by requests_total already)
+        # must not inflate the batch sizes actually formed.
+        dispatched = self.batches_dispatched
+        completed = self.batches_total
         return {
             "max_batch": self.max_batch,
             "window_seconds": self.window_seconds,
             "max_pending": self.max_pending,
             "pending": self._pending,
             "requests_total": self.requests_total,
-            "batches_total": batches,
+            "dispatched_total": self.dispatched_total,
+            "batches_total": completed,
+            "batches_dispatched": dispatched,
             "shed_total": self.shed_total,
             "coalesced_total": self.coalesced_total,
             "largest_batch": self.largest_batch,
-            "mean_batch_size": (self.requests_total / batches
-                                if batches else 0.0),
+            "mean_batch_size": (self.dispatched_total / dispatched
+                                if dispatched else 0.0),
+            "mean_batch_seconds": (self.batch_seconds_total / completed
+                                   if completed else 0.0),
+            "batch_size_hist": dict(self._batch_size_hist),
         }

@@ -43,7 +43,9 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import threading
+import time
 
 import numpy as np
 
@@ -186,6 +188,14 @@ class QueryServer:
         self._server: asyncio.base_events.Server | None = None
         self.requests_total = 0
         self.responses_by_status: dict[int, int] = {}
+        # Per-request service-time accounting (event-loop only writes;
+        # readers snapshot immutable ints/floats).  ``inflight`` is the
+        # drain counter load harnesses poll: a run has fully drained
+        # once it reaches zero with the coalescer idle.
+        self.inflight = 0
+        self.latency_count = 0
+        self.latency_seconds_total = 0.0
+        self.latency_seconds_max = 0.0
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -290,13 +300,45 @@ class QueryServer:
                 % (status, _REASONS.get(status, "Unknown"), len(body),
                    "keep-alive" if keep_alive else "close"))
         if status == 503:
-            head += "Retry-After: 1\r\n"
+            head += "Retry-After: %d\r\n" % self.retry_after_hint()
         writer.write(head.encode("latin-1") + b"\r\n" + body)
         await writer.drain()
+
+    def retry_after_hint(self) -> int:
+        """Seconds a shed client should back off before retrying.
+
+        The queue drains one batch at a time, so the backlog clears in
+        roughly ``ceil(pending / max_batch)`` dispatches of the recent
+        mean batch duration, after one collection window.  Advise the
+        ceiling of that (at least 1s — sub-second Retry-After rounds to
+        0 and invites an immediate retry into the same full queue).
+        """
+        coalescer = self.coalescer
+        batches_left = math.ceil(coalescer._pending
+                                 / max(1, coalescer.max_batch))
+        completed = coalescer.batches_total
+        mean_batch = (coalescer.batch_seconds_total / completed
+                      if completed else 0.0)
+        drain = coalescer.window_seconds + batches_left * mean_batch
+        return max(1, math.ceil(drain))
 
     async def _route(self, method: str, target: str,
                      body: bytes) -> tuple[int, dict]:
         self.requests_total += 1
+        self.inflight += 1
+        started = time.perf_counter()
+        try:
+            return await self._route_inner(method, target, body)
+        finally:
+            elapsed = time.perf_counter() - started
+            self.inflight -= 1
+            self.latency_count += 1
+            self.latency_seconds_total += elapsed
+            if elapsed > self.latency_seconds_max:
+                self.latency_seconds_max = elapsed
+
+    async def _route_inner(self, method: str, target: str,
+                           body: bytes) -> tuple[int, dict]:
         path = target.split("?", 1)[0]
         try:
             if path == "/healthz":
@@ -319,7 +361,8 @@ class QueryServer:
         except RequestError as exc:
             return 400, {"error": str(exc)}
         except OverloadedError as exc:
-            return 503, {"error": "overloaded", "detail": str(exc)}
+            return 503, {"error": "overloaded", "detail": str(exc),
+                         "retry_after": self.retry_after_hint()}
         except Exception as exc:  # noqa: BLE001 — serving must not die
             return 500, {"error": "%s: %s" % (type(exc).__name__, exc)}
 
@@ -327,9 +370,18 @@ class QueryServer:
         payload = self.engine.stats()
         payload["cache"] = self.cache.stats()
         payload["coalescer"] = self.coalescer.stats()
+        count = self.latency_count
         payload["http"] = {
             "requests_total": self.requests_total,
             "responses_by_status": dict(self.responses_by_status),
+            "inflight": self.inflight,
+            "latency": {
+                "count": count,
+                "total_seconds": self.latency_seconds_total,
+                "mean_seconds": (self.latency_seconds_total / count
+                                 if count else 0.0),
+                "max_seconds": self.latency_seconds_max,
+            },
         }
         return payload
 

@@ -1,0 +1,70 @@
+"""Traffic profile validation and scaling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.loadgen import RampStage, TrafficProfile, mixed_mutating, read_heavy
+
+
+class TestValidation:
+    def test_stage_validation(self):
+        with pytest.raises(ValueError):
+            RampStage("", 10.0, 1.0)
+        with pytest.raises(ValueError):
+            RampStage("warm", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            RampStage("warm", 10.0, 0.0)
+
+    def test_profile_needs_stages(self):
+        with pytest.raises(ValueError):
+            TrafficProfile(name="empty", stages=())
+
+    def test_stage_names_must_be_distinct(self):
+        with pytest.raises(ValueError):
+            TrafficProfile(name="dup", stages=(
+                RampStage("a", 10.0, 1.0), RampStage("a", 20.0, 1.0)))
+
+    @pytest.mark.parametrize("field,value", [
+        ("top_k_fraction", 1.5),
+        ("threshold", 0.0),
+        ("k", 0),
+        ("query_pool", 0),
+        ("mutation_rps", -1.0),
+        ("remove_fraction", 2.0),
+        ("rebalance_every_seconds", -1.0),
+    ])
+    def test_field_bounds(self, field, value):
+        with pytest.raises(ValueError):
+            TrafficProfile(name="bad",
+                           stages=(RampStage("a", 10.0, 1.0),),
+                           **{field: value})
+
+
+class TestScaling:
+    def test_total_seconds_sums_stages(self):
+        profile = read_heavy(rps=100, seconds=12.0)
+        assert profile.total_seconds == pytest.approx(12.0)
+
+    def test_scaled_preserves_shape(self):
+        profile = mixed_mutating(rps=100, seconds=12.0, mutation_rps=8)
+        scaled = profile.scaled(rps_scale=0.5, duration_scale=0.25)
+        assert scaled.total_seconds == pytest.approx(3.0)
+        assert scaled.mutation_rps == pytest.approx(4.0)
+        # Stage RPS ratios survive scaling.
+        for before, after in zip(profile.stages, scaled.stages):
+            assert after.rps == pytest.approx(before.rps * 0.5)
+            assert after.name == before.name
+        # The scenario identity (mix, skew, seed) is untouched.
+        assert scaled.top_k_fraction == profile.top_k_fraction
+        assert scaled.seed == profile.seed
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            read_heavy().scaled(rps_scale=0.0)
+
+    def test_presets_are_valid(self):
+        assert read_heavy().mutation_rps == 0.0
+        mixed = mixed_mutating()
+        assert mixed.mutation_rps > 0
+        assert mixed.rebalance_every_seconds > 0

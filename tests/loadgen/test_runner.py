@@ -1,0 +1,137 @@
+"""End-to-end load runs against a real served index (short profiles)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.ensemble import LSHEnsemble
+from repro.loadgen import (
+    RampStage,
+    TrafficProfile,
+    build_schedule,
+    run_against_index,
+)
+from repro.loadgen.runner import build_query_pool
+from repro.minhash.generator import MinHashGenerator
+
+NUM_PERM = 64
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    domains = {"d%d" % i: {"v%d" % j for j in range(i, i + 25)}
+               for i in range(120)}
+    generator = MinHashGenerator(num_perm=NUM_PERM)
+    return domains, generator.bulk(domains)
+
+
+@pytest.fixture()
+def index(corpus):
+    domains, batch = corpus
+    index = LSHEnsemble(num_perm=NUM_PERM, num_partitions=4,
+                        threshold=0.5)
+    index.index((key, batch[j], len(domains[key]))
+                for j, key in enumerate(batch.keys))
+    return index
+
+
+def _short_profile(**overrides) -> TrafficProfile:
+    params = dict(
+        name="short",
+        stages=(RampStage("warm", 40.0, 0.5),
+                RampStage("peak", 80.0, 0.7)),
+        top_k_fraction=0.25,
+        query_pool=32,
+        seed=11,
+    )
+    params.update(overrides)
+    return TrafficProfile(**params)
+
+
+class TestQueryPool:
+    def test_pool_is_deterministic_for_same_index(self, index):
+        profile = _short_profile()
+        assert build_query_pool(index, profile) == \
+            build_query_pool(index, profile)
+
+    def test_pool_size_and_bodies(self, index):
+        profile = _short_profile(query_pool=16)
+        pool = build_query_pool(index, profile)
+        assert len(pool) == 16
+        query_body, top_k_body = pool[0]
+        query = json.loads(query_body)
+        assert len(query["queries"][0]["signature"]) == NUM_PERM
+        assert query["threshold"] == profile.threshold
+        assert json.loads(top_k_body)["k"] == profile.k
+
+    def test_empty_index_rejected(self):
+        index = LSHEnsemble(num_perm=NUM_PERM, num_partitions=4)
+        with pytest.raises(ValueError):
+            build_query_pool(index, _short_profile())
+
+
+class TestReadOnlyRun:
+    def test_clean_run_full_metrics(self, index):
+        report = run_against_index(index, _short_profile())
+        assert report["errors"] == 0
+        assert report["shed"] == 0
+        assert report["completed"] == report["requests"] > 0
+        assert report["throughput_rps"] > 0
+        for quantile in ("p50", "p95", "p99"):
+            assert report["latency_ms"][quantile] > 0
+        assert report["latency_ms"]["p50"] <= \
+            report["latency_ms"]["p99"]
+        # Zipf-hot pool of 32 over ~70 requests: the cache must hit.
+        assert report["cache_hit_rate"] > 0
+        assert set(report["phases"]) == {"warm", "peak"}
+        assert report["coalescer"]["dispatched_total"] == \
+            report["coalescer"]["requests_total"]
+        json.dumps(report)  # trajectory points must serialise
+
+    def test_read_only_run_leaves_epoch_alone(self, index):
+        report = run_against_index(index, _short_profile())
+        assert report["mutations"]["mutation_epoch_delta"] == 0
+        assert len(index) == 120
+
+
+class TestMutatingRun:
+    def test_mutations_apply_and_epoch_moves(self, index):
+        profile = _short_profile(mutation_rps=15.0,
+                                 remove_fraction=0.3,
+                                 rebalance_every_seconds=0.5)
+        report = run_against_index(index, profile)
+        assert report["errors"] == 0
+        mutations = report["mutations"]
+        assert mutations["insert"]["count"] > 0
+        assert mutations["insert"]["errors"] == 0
+        assert mutations["rebalance"]["count"] >= 1
+        # Skipped removes never become records, so every counted
+        # mutation bumped the epoch exactly once.
+        applied = (mutations["insert"]["count"]
+                   + mutations["remove"]["count"]
+                   + mutations["rebalance"]["count"])
+        assert mutations["mutation_epoch_delta"] == applied
+
+    def test_reruns_on_fresh_index_do_not_collide(self, corpus):
+        domains, batch = corpus
+        profile = _short_profile(mutation_rps=10.0)
+        for _ in range(2):
+            index = LSHEnsemble(num_perm=NUM_PERM, num_partitions=4,
+                                threshold=0.5)
+            index.index((key, batch[j], len(domains[key]))
+                        for j, key in enumerate(batch.keys))
+            report = run_against_index(index, profile)
+            assert report["errors"] == 0
+            assert report["mutations"]["insert"]["errors"] == 0
+
+
+class TestScheduleReplay:
+    def test_runner_consumes_every_scheduled_read(self, index):
+        profile = _short_profile()
+        schedule = build_schedule(profile)
+        reads = sum(1 for op in schedule
+                    if op.kind in ("query", "top_k"))
+        report = run_against_index(index, profile)
+        assert report["requests"] == reads

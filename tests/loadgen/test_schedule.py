@@ -1,0 +1,108 @@
+"""Schedule generation: determinism, skew, stages, mutation streams.
+
+Determinism is the property the perf trajectory stands on: the same
+seed + profile must produce the identical query/mutation schedule on
+any machine (latencies aside), or ``BENCH_*.json`` points measured on
+different hosts stop being comparable.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.loadgen import build_schedule, mixed_mutating, read_heavy
+from repro.loadgen.profile import RampStage, TrafficProfile
+
+
+class TestDeterminism:
+    def test_same_seed_same_profile_identical_schedule(self):
+        profile = mixed_mutating(rps=80, seconds=6.0, mutation_rps=10,
+                                 seed=123)
+        first = build_schedule(profile)
+        second = build_schedule(mixed_mutating(rps=80, seconds=6.0,
+                                               mutation_rps=10,
+                                               seed=123))
+        assert first == second  # every instant, kind, and arg
+
+    def test_different_seed_differs(self):
+        base = read_heavy(rps=80, seconds=4.0, seed=1)
+        other = read_heavy(rps=80, seconds=4.0, seed=2)
+        assert build_schedule(base) != build_schedule(other)
+
+    def test_schedule_is_time_sorted(self):
+        schedule = build_schedule(mixed_mutating(rps=60, seconds=4.0))
+        times = [op.at for op in schedule]
+        assert times == sorted(times)
+
+
+class TestReadStream:
+    def test_arrival_rate_tracks_stage_rps(self):
+        profile = read_heavy(rps=200, seconds=10.0, seed=7)
+        schedule = build_schedule(profile)
+        reads = [op for op in schedule if op.kind in ("query", "top_k")]
+        by_stage = Counter(op.stage for op in reads)
+        # Poisson counts concentrate near rps * seconds; 25% slack
+        # keeps the check meaningful without flaking.
+        for stage in profile.stages:
+            expected = stage.rps * stage.seconds
+            assert abs(by_stage[stage.name] - expected) < \
+                0.25 * expected + 20
+
+    def test_stage_labels_match_instants(self):
+        profile = read_heavy(rps=100, seconds=8.0)
+        boundaries = []
+        upper = 0.0
+        for stage in profile.stages:
+            upper += stage.seconds
+            boundaries.append((stage.name, upper))
+        for op in build_schedule(profile):
+            for name, upper in boundaries:
+                if op.at < upper:
+                    assert op.stage == name
+                    break
+
+    def test_zipf_popularity_is_hot_headed(self):
+        profile = read_heavy(rps=300, seconds=8.0)
+        schedule = build_schedule(profile)
+        picks = Counter(op.arg for op in schedule
+                        if op.kind in ("query", "top_k"))
+        # Rank 0 must dominate the median rank's traffic — the skew
+        # that makes hot keys exercise the result cache.
+        median_rank = profile.query_pool // 2
+        assert picks[0] > 10 * max(1, picks[median_rank])
+
+    def test_top_k_fraction_respected(self):
+        profile = TrafficProfile(
+            name="half", stages=(RampStage("only", 300.0, 6.0),),
+            top_k_fraction=0.5, seed=3)
+        schedule = build_schedule(profile)
+        kinds = Counter(op.kind for op in schedule)
+        total = kinds["query"] + kinds["top_k"]
+        assert abs(kinds["top_k"] / total - 0.5) < 0.1
+
+
+class TestMutationStream:
+    def test_pure_read_profile_has_no_mutations(self):
+        schedule = build_schedule(read_heavy(rps=50, seconds=3.0))
+        assert all(op.kind in ("query", "top_k") for op in schedule)
+
+    def test_mutation_kinds_and_serials(self):
+        profile = mixed_mutating(rps=50, seconds=6.0, mutation_rps=20,
+                                 seed=5)
+        mutations = [op for op in build_schedule(profile)
+                     if op.kind in ("insert", "remove")]
+        assert mutations, "mutation stream empty"
+        assert {op.kind for op in mutations} == {"insert", "remove"}
+        # Serials are the dense event numbering removes resolve
+        # against; they must be unique and complete.
+        serials = sorted(op.arg for op in mutations)
+        assert serials == list(range(len(mutations)))
+
+    def test_rebalance_cadence(self):
+        profile = mixed_mutating(rps=50, seconds=9.0, mutation_rps=5)
+        rebalances = [op for op in build_schedule(profile)
+                      if op.kind == "rebalance"]
+        assert len(rebalances) == 2  # every seconds/3, last one elided
+        assert rebalances[0].at == \
+            profile.rebalance_every_seconds
+        assert all(op.at < profile.total_seconds for op in rebalances)

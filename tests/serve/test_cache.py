@@ -47,6 +47,24 @@ class TestResultCacheUnit:
         assert cache.get("a") is MISS
         assert len(cache) == 0
 
+    def test_zero_capacity_counts_bypasses_not_misses(self):
+        """Regression: the capacity-0 fast path returned MISS without
+        touching any counter, so a disabled cache reported hits == 0,
+        misses == 0 — indistinguishable from idle."""
+        cache = ResultCache(capacity=0)
+        for _ in range(3):
+            assert cache.get("a") is MISS
+        stats = cache.stats()
+        assert stats["bypasses"] == 3
+        assert stats["hits"] == 0 and stats["misses"] == 0
+
+    def test_enabled_cache_never_bypasses(self):
+        cache = ResultCache(capacity=2)
+        cache.get("a")
+        cache.put("a", 1)
+        cache.get("a")
+        assert cache.stats()["bypasses"] == 0
+
     def test_negative_capacity_rejected(self):
         with pytest.raises(ValueError):
             ResultCache(capacity=-1)
@@ -187,3 +205,9 @@ class TestServedCacheInvalidation:
             for _ in range(3):
                 assert _post(handle.port, "/query",
                              payload)["cached"] == [False]
+            cache_stats = _get(handle.port, "/stats")["cache"]
+        # The disabled cache records the traffic it waved through —
+        # not phantom misses, and not silence.
+        assert cache_stats["bypasses"] >= 3
+        assert cache_stats["hits"] == 0
+        assert cache_stats["misses"] == 0

@@ -100,9 +100,103 @@ class TestCoalescing:
 
         stats = run(main())
         assert stats["requests_total"] == 6
+        assert stats["dispatched_total"] == 6
         assert stats["batches_total"] == 1
         assert stats["largest_batch"] == 6
         assert stats["mean_batch_size"] == 6.0
+        assert stats["batch_size_hist"] == {6: 1}
+        assert stats["mean_batch_seconds"] > 0.0
+
+    def test_late_group_gets_its_own_full_window(self):
+        """Regression: a single flush timer armed by the first group
+        truncated every later group's collection window — a group whose
+        first query arrived late in another group's window was flushed
+        after a fraction of ``window_seconds``, splitting batches that
+        should have coalesced."""
+        log = []
+
+        async def main():
+            coalescer = MicroBatchCoalescer(
+                _recording_dispatch(log), max_batch=8,
+                window_seconds=0.2)
+            first = asyncio.ensure_future(
+                coalescer.submit(("a",), "a1"))
+            # Group "b" opens at ~0.75 of group "a"'s window...
+            await asyncio.sleep(0.15)
+            second = asyncio.ensure_future(
+                coalescer.submit(("b",), "b1"))
+            # ...and its second query arrives after "a"'s deadline but
+            # well inside "b"'s own window.
+            await asyncio.sleep(0.1)
+            third = asyncio.ensure_future(
+                coalescer.submit(("b",), "b2"))
+            await asyncio.gather(first, second, third)
+            await coalescer.aclose()
+
+        run(main())
+        batches = {key: payloads for key, payloads in log}
+        assert batches[("a",)] == ["a1"]
+        assert batches[("b",)] == ["b1", "b2"]  # one batch, not two
+        assert len(log) == 2
+
+    def test_group_window_rearms_after_size_flush(self):
+        """A size-triggered flush must not leave the group's next
+        arrivals without a deadline."""
+        log = []
+
+        async def main():
+            coalescer = MicroBatchCoalescer(
+                _recording_dispatch(log), max_batch=2,
+                window_seconds=0.05)
+            await asyncio.gather(coalescer.submit(("q",), 1),
+                                 coalescer.submit(("q",), 2))
+            # A lone follow-up: only its own window timer can flush it.
+            result = await asyncio.wait_for(coalescer.submit(("q",), 3),
+                                            timeout=5.0)
+            await coalescer.aclose()
+            return result
+
+        assert run(main()) == "('q',):3"
+        assert [payloads for _, payloads in log] == [[1, 2], [3]]
+
+    def test_mean_batch_size_ignores_queued_and_inflight(self):
+        """Regression: ``requests_total`` (incremented at submit) over
+        ``batches_total`` (incremented at completion) overstated batch
+        size whenever stats were read mid-traffic."""
+        import threading
+
+        release = threading.Event()
+
+        def gated_dispatch(group_key, payloads):
+            release.wait(timeout=30)
+            return list(payloads)
+
+        async def main():
+            coalescer = MicroBatchCoalescer(
+                gated_dispatch, max_batch=2, window_seconds=30.0)
+            # A full batch dispatches (and parks on the gate)...
+            inflight = [asyncio.ensure_future(coalescer.submit(("q",), i))
+                        for i in range(2)]
+            await asyncio.sleep(0)
+            # ...while a third submission waits in its window.
+            queued = asyncio.ensure_future(coalescer.submit(("q",), 9))
+            await asyncio.sleep(0.05)
+            mid = coalescer.stats()
+            release.set()
+            await asyncio.gather(*inflight)
+            coalescer._flush_group(("q",))  # don't wait out the window
+            await queued
+            final = coalescer.stats()
+            await coalescer.aclose()
+            return mid, final
+
+        mid, final = run(main())
+        assert mid["requests_total"] == 3
+        assert mid["dispatched_total"] == 2
+        assert mid["mean_batch_size"] == 2.0  # not 3/1
+        assert mid["pending"] == 3
+        assert final["dispatched_total"] == 3
+        assert final["batches_total"] == 2
 
 
 class TestAdmissionControl:

@@ -69,6 +69,7 @@ class TestEndpoints:
         with start_in_thread(index) as handle:
             index.insert("extra", index.get_signature("d0"), 20)
             index.remove("d1")
+            _request(handle.port, "GET", "/healthz")
             status, payload = _request(handle.port, "GET", "/stats")
         assert status == 200
         assert payload["tiers"] == {"base": len(index) - 1, "delta": 1,
@@ -79,6 +80,10 @@ class TestEndpoints:
         assert set(payload["coalescer"]) >= {"requests_total",
                                              "batches_total", "shed_total"}
         assert payload["http"]["requests_total"] >= 1
+        assert payload["http"]["inflight"] >= 1  # the /stats request
+        latency = payload["http"]["latency"]
+        assert latency["count"] >= 1
+        assert latency["max_seconds"] >= latency["mean_seconds"] > 0
 
     def test_sharded_healthz_and_stats(self, corpus):
         domains, batch = corpus
@@ -270,8 +275,67 @@ class TestLoadShedding:
                          {"Content-Type": "application/json"})
             response = conn.getresponse()
             assert response.status == 503
+            # Idle queue: the drain estimate degenerates to the floor.
             assert response.getheader("Retry-After") == "1"
             conn.close()
+
+    def test_retry_after_hint_tracks_queue_depth(self, index):
+        """Regression: the 503 hint was hardcoded to 1s regardless of
+        backlog; it must estimate the drain time from the pending
+        queue and observed batch latency."""
+        with start_in_thread(index) as handle:
+            server = handle.server
+            coalescer = server.coalescer
+            assert server.retry_after_hint() == 1  # idle floor
+            # Fabricate a deep backlog with known batch economics:
+            # 512 pending / 64 per batch = 8 batches at 0.5s each,
+            # plus the 2s window = 6s.
+            coalescer._pending = 512
+            coalescer.max_batch = 64
+            coalescer.window_seconds = 2.0
+            coalescer.batches_total = 4
+            coalescer.batch_seconds_total = 2.0
+            try:
+                assert server.retry_after_hint() == 6
+                # Deeper backlog => longer hint, monotonically.
+                coalescer._pending = 2048
+                assert server.retry_after_hint() == 18
+            finally:
+                coalescer._pending = 0
+                coalescer.batches_total = 0
+                coalescer.batch_seconds_total = 0.0
+
+    def test_shed_response_carries_computed_hint(self, index):
+        from repro.serve.coalescer import OverloadedError
+
+        with start_in_thread(index) as handle:
+
+            async def always_shed(group_key, payload):
+                raise OverloadedError("full")
+
+            server = handle.server
+            server.coalescer.submit = always_shed
+            server.coalescer._pending = 512
+            server.coalescer.batches_total = 4
+            server.coalescer.batch_seconds_total = 2.0
+            server.coalescer.window_seconds = 2.0
+            try:
+                conn = http.client.HTTPConnection("127.0.0.1",
+                                                  handle.port)
+                conn.request(
+                    "POST", "/query",
+                    json.dumps({"queries": [{"values": ["a"]}]}),
+                    {"Content-Type": "application/json"})
+                response = conn.getresponse()
+                assert response.status == 503
+                assert response.getheader("Retry-After") == "6"
+                body = json.loads(response.read())
+                assert body["retry_after"] == 6
+                conn.close()
+            finally:
+                server.coalescer._pending = 0
+                server.coalescer.batches_total = 0
+                server.coalescer.batch_seconds_total = 0.0
 
 
 class TestCliServe:
