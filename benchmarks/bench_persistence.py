@@ -80,8 +80,9 @@ def _per_entry_rebuild(entries, partitions, num_perm: int) -> LSHEnsemble:
                         threshold=THRESHOLD)
     it = iter(entries)
     index.index([next(it)], partitions=partitions)
-    for key, sig, size in it:
-        index._route(key, sig, size)
+    with index.locked():
+        for key, sig, size in it:
+            index._route_locked(key, sig, size)
     return index
 
 

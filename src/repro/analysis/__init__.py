@@ -1,0 +1,52 @@
+"""Project-specific static analysis: the invariant linter.
+
+PRs 3-6 made the index mutable-while-serving, multi-threaded, and
+multi-process.  Correctness now rests on conventions the type system
+cannot see: ``*_locked``-suffix methods only run with the owning lock
+held, ``mutation_epoch`` is captured atomically with the overlay it
+describes, schedules draw only from seeded ``np.random.default_rng``
+streams, and process-pool payloads stay picklable.  This package makes
+those conventions machine-checked — an AST pass over the repo's own
+source, run as ``python -m repro.analysis`` (or ``python -m repro.cli
+lint``) and as a blocking CI job.
+
+Rules
+-----
+
+====== ==============================================================
+RL001  Lock discipline: calls to ``*_locked`` methods and writes to
+       the guarded mutable index fields (``_mutation_epoch``,
+       ``_delta``, ``_tombstones``, ``_partition_max_size``) must
+       happen inside ``with ..._lock`` / ``with ....locked()`` or
+       another ``*_locked`` method; reaching into another object's
+       private ``._lock`` is always flagged — use the public
+       ``locked()`` accessor.
+RL002  Blocking-in-async: ``time.sleep``, file/socket I/O, bare
+       ``Lock.acquire`` and synchronous ``ProcPool.run`` calls inside
+       ``async def`` bodies stall the event loop.
+RL003  Determinism: bare ``random.*``, legacy ``np.random.*`` globals,
+       unseeded ``default_rng()``/``RandomState()`` and
+       ``time.time()`` in the reproduction-critical packages
+       (``core/``, ``lsh/``, ``minhash/``, ``loadgen/schedule.py``).
+RL004  IPC pickle-safety: payloads handed to a process pool (or sent
+       down a pipe connection) must not close over lambdas, locks,
+       mmaps, or open files.
+RL005  Epoch capture: code that reads ``mutation_epoch`` *and* takes
+       an overlay snapshot must do both under one lock acquisition —
+       two separate reads can pair a stale epoch with fresh tiers.
+====== ==============================================================
+
+Findings can be suppressed per line with ``# repro-lint:
+disable=RL001`` (comma-separated ids, or ``all``), or grandfathered in
+the committed baseline file (``.repro-lint-baseline``; regenerate with
+``--write-baseline``).
+"""
+
+from repro.analysis.engine import (
+    Finding,
+    all_checkers,
+    main,
+    run_paths,
+)
+
+__all__ = ["Finding", "all_checkers", "main", "run_paths"]

@@ -1,0 +1,24 @@
+"""The invariant checkers: one module per rule id.
+
+Adding a rule: subclass :class:`repro.analysis.checkers.common.Checker`
+in a new module, give it a fresh ``RLxxx`` id, and append it to
+:data:`ALL_CHECKERS`.  The engine (suppression, baseline, output
+formats, CI wiring) picks it up with no further changes.
+"""
+
+from repro.analysis.checkers.async_blocking import AsyncBlockingChecker
+from repro.analysis.checkers.common import Checker, Finding
+from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.epoch_capture import EpochCaptureChecker
+from repro.analysis.checkers.ipc_safety import IpcSafetyChecker
+from repro.analysis.checkers.lock_discipline import LockDisciplineChecker
+
+ALL_CHECKERS: tuple[Checker, ...] = (
+    LockDisciplineChecker(),
+    AsyncBlockingChecker(),
+    DeterminismChecker(),
+    IpcSafetyChecker(),
+    EpochCaptureChecker(),
+)
+
+__all__ = ["ALL_CHECKERS", "Checker", "Finding"]

@@ -1,0 +1,114 @@
+"""RL002 — blocking calls inside ``async def`` bodies.
+
+The serving layer (:mod:`repro.serve`) runs on a single asyncio event
+loop; one synchronous ``time.sleep``, file read, bare ``Lock.acquire``
+or in-line ``ProcPool.run`` stalls *every* in-flight request for its
+duration — the failure mode is invisible under light load and
+catastrophic under the coalescer's fan-in.  Blocking work belongs on
+the coalescer's worker thread or behind
+``loop.run_in_executor(...)``.
+
+Only statements directly inside an ``async def`` are flagged; a nested
+synchronous ``def`` is a callback whose execution context the linter
+cannot know.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checkers.common import (
+    Checker,
+    ScopeVisitor,
+    dotted,
+    import_aliases,
+    resolve_dotted,
+)
+
+__all__ = ["AsyncBlockingChecker"]
+
+RULE = "RL002"
+
+#: Canonical dotted call paths that block the calling thread.
+BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "socket.create_connection", "socket.socket", "socket.getaddrinfo",
+    "subprocess.run", "subprocess.check_output", "subprocess.check_call",
+    "subprocess.call", "os.system",
+    "urllib.request.urlopen",
+})
+
+#: Attribute methods that are file I/O regardless of receiver type.
+BLOCKING_METHODS = frozenset({
+    "read_text", "write_text", "read_bytes", "write_bytes",
+})
+
+
+class _Visitor(ScopeVisitor):
+
+    def __init__(self, ctx) -> None:
+        super().__init__(ctx)
+        self._modules: dict[str, str] = {}
+        self._names: dict[str, str] = {}
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self._modules, self._names = import_aliases(node)
+        self.generic_visit(node)
+
+    def _in_async(self) -> bool:
+        return bool(self.func_stack) and isinstance(
+            self.func_stack[-1], ast.AsyncFunctionDef)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._in_async():
+            self._check_call(node)
+        self.generic_visit(node)
+
+    def _check_call(self, node: ast.Call) -> None:
+        func = node.func
+        coro = self.func_stack[-1].name
+        if isinstance(func, ast.Name):
+            resolved = self._names.get(func.id, func.id)
+            if func.id == "open" or resolved in BLOCKING_CALLS:
+                self.report(
+                    node, RULE,
+                    "blocking call %s(...) inside `async def %s`; "
+                    "use an executor (loop.run_in_executor) or the "
+                    "asyncio equivalent" % (func.id, coro))
+            return
+        path = resolve_dotted(dotted(func), self._modules, self._names)
+        if path in BLOCKING_CALLS:
+            self.report(
+                node, RULE,
+                "blocking call %s(...) inside `async def %s`; use an "
+                "executor (loop.run_in_executor) or the asyncio "
+                "equivalent" % (path, coro))
+            return
+        if isinstance(func, ast.Attribute):
+            receiver = (dotted(func.value) or "").lower()
+            if func.attr == "acquire" and "lock" in receiver:
+                self.report(
+                    node, RULE,
+                    "synchronous %s.acquire() inside `async def %s` "
+                    "can deadlock the event loop; restructure around "
+                    "the coalescer's worker thread" % (
+                        dotted(func.value), coro))
+            elif func.attr == "run" and "pool" in receiver:
+                self.report(
+                    node, RULE,
+                    "synchronous %s.run(...) inside `async def %s` "
+                    "blocks the loop for the whole scatter-gather; "
+                    "dispatch via run_in_executor" % (
+                        dotted(func.value), coro))
+            elif func.attr in BLOCKING_METHODS:
+                self.report(
+                    node, RULE,
+                    "file I/O %s.%s(...) inside `async def %s` blocks "
+                    "the event loop" % (
+                        dotted(func.value) or "<expr>", func.attr, coro))
+
+
+class AsyncBlockingChecker(Checker):
+    rule_id = RULE
+    title = "blocking calls in async functions"
+    visitor_class = _Visitor

@@ -1,0 +1,226 @@
+"""Shared AST machinery for the invariant checkers.
+
+Every checker reasons about the same three lexical facts: the dotted
+receiver of an attribute chain, the stack of enclosing function
+definitions, and the stack of lexically active lock contexts (``with
+x._lock:`` / ``with x.locked():``).  :class:`ScopeVisitor` tracks the
+latter two during a single traversal so each checker only implements
+its rule predicate.
+
+The analysis is deliberately lexical, not interprocedural: a helper
+that documents "caller must hold the lock" encodes that contract in its
+name (the ``*_locked`` suffix) and the rules trust the naming
+convention.  That keeps every rule O(nodes) and its findings easy to
+explain — the same trade the checkers' prototypes (flake8 plugins,
+pylint custom checkers) make.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Checker",
+    "ScopeVisitor",
+    "dotted",
+    "import_aliases",
+    "lock_receiver",
+]
+
+
+def dotted(node: ast.AST) -> str | None:
+    """The ``self.index._lock``-style dotted path of a Name/Attribute
+    chain, or None when the chain bottoms out in anything else (a call
+    result, a subscript, a literal)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def lock_receiver(ctx_expr: ast.AST) -> str | None:
+    """The receiver whose lock a ``with`` item acquires, if any.
+
+    Recognises the two sanctioned spellings — ``with x._lock:`` (own
+    lock) and ``with x.locked():`` (the public accessor) — and returns
+    the dotted path of ``x``.
+    """
+    if isinstance(ctx_expr, ast.Attribute) and ctx_expr.attr == "_lock":
+        return dotted(ctx_expr.value)
+    if (isinstance(ctx_expr, ast.Call)
+            and isinstance(ctx_expr.func, ast.Attribute)
+            and ctx_expr.func.attr == "locked"):
+        return dotted(ctx_expr.func.value)
+    return None
+
+
+def import_aliases(tree: ast.Module) -> tuple[dict[str, str],
+                                              dict[str, str]]:
+    """``(modules, names)`` alias maps for a module.
+
+    ``modules`` maps a bound name to the module it names (``import
+    numpy as np`` -> ``{"np": "numpy"}``); ``names`` maps a
+    from-imported name to its dotted origin (``from time import time``
+    -> ``{"time": "time.time"}``).  Only absolute imports participate —
+    the repo has no relative imports, and a relative origin could not
+    be compared against rule tables anyway.
+    """
+    modules: dict[str, str] = {}
+    names: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                modules[bound] = alias.name if alias.asname else bound
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and not node.level:
+                for alias in node.names:
+                    names[alias.asname or alias.name] = (
+                        node.module + "." + alias.name)
+    return modules, names
+
+
+def resolve_dotted(path: str | None, modules: dict[str, str],
+                   names: dict[str, str]) -> str | None:
+    """Rewrite the first component of ``path`` through the alias maps
+    so rule tables can match canonical module paths (``np.random.rand``
+    -> ``numpy.random.rand``, ``t.sleep`` -> ``time.sleep``)."""
+    if path is None:
+        return None
+    head, sep, rest = path.partition(".")
+    if head in modules:
+        head = modules[head]
+    elif head in names:
+        head = names[head]
+    return head + sep + rest
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to a source position."""
+
+    path: str  # posix-style path as given to the engine
+    line: int
+    col: int
+    rule: str
+    message: str
+
+
+@dataclass
+class FileContext:
+    """Everything a checker may need about the file under analysis."""
+
+    path: str  # posix-style
+    source: str
+    lines: list[str] = field(default_factory=list)
+
+
+class ScopeVisitor(ast.NodeVisitor):
+    """AST visitor tracking enclosing functions and active lock scopes.
+
+    Subclasses get, at any point of the traversal:
+
+    * ``func_stack`` — enclosing ``FunctionDef``/``AsyncFunctionDef``
+      nodes, innermost last;
+    * ``lock_stack`` — ``(receiver, with_node)`` pairs for every
+      lexically enclosing lock ``with`` (see :func:`lock_receiver`);
+
+    plus the convenience predicates below.  Override ``enter_function``
+    / ``leave_function`` for per-function bookkeeping.
+    """
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+        self.func_stack: list[ast.AST] = []
+        self.lock_stack: list[tuple[str, ast.With | ast.AsyncWith]] = []
+
+    # ----------------------- traversal hooks ------------------------ #
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def _visit_function(self, node) -> None:
+        self.func_stack.append(node)
+        self.enter_function(node)
+        self.generic_visit(node)
+        self.leave_function(node)
+        self.func_stack.pop()
+
+    def enter_function(self, node) -> None:  # noqa: B027 — optional hook
+        pass
+
+    def leave_function(self, node) -> None:  # noqa: B027 — optional hook
+        pass
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node) -> None:
+        pushed = 0
+        for item in node.items:
+            receiver = lock_receiver(item.context_expr)
+            if receiver is not None:
+                self.lock_stack.append((receiver, node))
+                pushed += 1
+        self.generic_visit(node)
+        del self.lock_stack[len(self.lock_stack) - pushed:]
+
+    # ------------------------- predicates --------------------------- #
+
+    def holds_any_lock(self) -> bool:
+        return bool(self.lock_stack)
+
+    def holds_lock_on(self, receiver: str) -> bool:
+        return any(r == receiver for r, _ in self.lock_stack)
+
+    def innermost_lock(self):
+        """The innermost enclosing lock ``with`` node, or None."""
+        return self.lock_stack[-1][1] if self.lock_stack else None
+
+    def in_locked_function(self) -> bool:
+        """Inside a method whose name declares the lock is already held
+        (the ``*_locked`` convention), or an ``__init__`` (the object
+        is not shared yet)."""
+        return any(
+            f.name.endswith("_locked") or f.name == "__init__"
+            for f in self.func_stack)
+
+    # -------------------------- reporting --------------------------- #
+
+    def report(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(Finding(
+            path=self.ctx.path, line=node.lineno,
+            col=node.col_offset + 1, rule=rule, message=message))
+
+
+class Checker:
+    """Base class: one rule id, an optional path scope, a visitor."""
+
+    rule_id: str = ""
+    title: str = ""
+    #: Substrings of the posix path this rule is restricted to
+    #: (None = every file).
+    scope: tuple[str, ...] | None = None
+    visitor_class: type[ScopeVisitor] = ScopeVisitor
+
+    def applies_to(self, path: str) -> bool:
+        if self.scope is None:
+            return True
+        return any(fragment in path for fragment in self.scope)
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> list[Finding]:
+        visitor = self.visitor_class(ctx)
+        visitor.visit(tree)
+        return visitor.findings

@@ -1,0 +1,110 @@
+"""RL003 — determinism of the reproduction-critical packages.
+
+The accuracy harnesses compare measured precision/recall against the
+paper's Figures 4-7; those comparisons are only meaningful when the
+hashing, partitioning, and load schedules are bit-reproducible run to
+run (the LSH survey in PAPERS.md makes the same point about seeded
+hashing).  Inside ``core/``, ``lsh/``, ``minhash/`` and
+``loadgen/schedule.py`` this rule therefore flags:
+
+* any use of the stdlib ``random`` module's global-state API
+  (``random.random()``, ``from random import randint``, ...) —
+  ``random.Random(seed)`` instances are fine;
+* numpy's legacy global generator (``np.random.rand``,
+  ``np.random.seed``, ...), plus *unseeded* ``default_rng()`` /
+  ``RandomState()`` constructions;
+* wall-clock reads ``time.time()`` / ``time.time_ns()`` — schedules
+  must be derived from the profile, not from when the run started.
+  (``time.perf_counter()`` stays allowed: measuring a duration does
+  not influence any result.)
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checkers.common import (
+    Checker,
+    ScopeVisitor,
+    dotted,
+    import_aliases,
+    resolve_dotted,
+)
+
+__all__ = ["DeterminismChecker"]
+
+RULE = "RL003"
+
+#: np.random attributes that only *construct* explicitly-seeded state.
+NP_RANDOM_TYPES = frozenset({
+    "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64",
+})
+
+#: np.random constructors that are fine *when given a seed*.
+NP_RANDOM_SEEDED = frozenset({"default_rng", "RandomState"})
+
+WALL_CLOCK = frozenset({"time.time", "time.time_ns"})
+
+
+def _has_seed(node: ast.Call) -> bool:
+    return bool(node.args) or any(kw.arg == "seed" for kw in node.keywords)
+
+
+class _Visitor(ScopeVisitor):
+
+    def __init__(self, ctx) -> None:
+        super().__init__(ctx)
+        self._modules: dict[str, str] = {}
+        self._names: dict[str, str] = {}
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self._modules, self._names = import_aliases(node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        path = resolve_dotted(dotted(node.func), self._modules,
+                              self._names)
+        if path is not None:
+            self._check_path(node, path)
+        self.generic_visit(node)
+
+    def _check_path(self, node: ast.Call, path: str) -> None:
+        if path in WALL_CLOCK:
+            self.report(
+                node, RULE,
+                "wall-clock read %s() in reproduction-critical code; "
+                "derive timing from the seeded schedule (or use "
+                "perf_counter for duration measurement)" % path)
+            return
+        module, _, attr = path.rpartition(".")
+        if module == "random":
+            if attr == "Random" and _has_seed(node):
+                return  # explicitly seeded instance
+            self.report(
+                node, RULE,
+                "stdlib random.%s uses hidden global state; draw from "
+                "a seeded np.random.default_rng stream instead" % attr)
+        elif module == "numpy.random":
+            if attr in NP_RANDOM_TYPES:
+                return
+            if attr in NP_RANDOM_SEEDED:
+                if not _has_seed(node):
+                    self.report(
+                        node, RULE,
+                        "unseeded np.random.%s() is entropy-seeded; "
+                        "pass an explicit seed so runs are "
+                        "reproducible" % attr)
+                return
+            self.report(
+                node, RULE,
+                "legacy global np.random.%s; use a seeded "
+                "np.random.default_rng generator instead" % attr)
+
+
+class DeterminismChecker(Checker):
+    rule_id = RULE
+    title = "seeded randomness / no wall-clock in core paths"
+    scope = ("repro/core/", "repro/lsh/", "repro/minhash/",
+             "loadgen/schedule.py")
+    visitor_class = _Visitor

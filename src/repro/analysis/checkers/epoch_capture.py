@@ -1,0 +1,77 @@
+"""RL005 — atomic (mutation_epoch, overlay) capture.
+
+The process-pool executor labels every task with the
+``mutation_epoch`` *and* ships the overlay (tombstones + delta tier)
+that epoch describes; workers re-apply the overlay whenever the epoch
+moves.  That protocol is only sound when the epoch and the overlay are
+read under **one** lock acquisition — captured as two separate reads,
+a mutator can slip between them and pair a stale epoch with fresh
+tiers (or vice versa), making workers serve answers for an epoch that
+never existed.
+
+The rule: any function that both reads ``mutation_epoch`` (or the
+private ``_mutation_epoch``) and takes an overlay snapshot
+(``overlay_snapshot()`` / ``_overlay_snapshot()``) must do both inside
+the *same* lexical ``with ..._lock:`` / ``with ....locked():`` block.
+``epoch_snapshot()`` — the public accessor returning the pair under
+one acquisition — is always fine.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checkers.common import Checker, ScopeVisitor, dotted
+
+__all__ = ["EpochCaptureChecker"]
+
+RULE = "RL005"
+
+EPOCH_ATTRS = frozenset({"mutation_epoch", "_mutation_epoch"})
+OVERLAY_CALLS = frozenset({"overlay_snapshot", "_overlay_snapshot"})
+
+
+class _Visitor(ScopeVisitor):
+
+    def __init__(self, ctx) -> None:
+        super().__init__(ctx)
+        # Per-function event lists: (node, innermost lock `with` node).
+        self._frames: list[tuple[list, list]] = []
+
+    def enter_function(self, node) -> None:
+        self._frames.append(([], []))
+
+    def leave_function(self, node) -> None:
+        epochs, overlays = self._frames.pop()
+        if not epochs or not overlays:
+            return
+        for overlay_node, overlay_lock in overlays:
+            if overlay_lock is not None and any(
+                    lock is overlay_lock for _, lock in epochs):
+                continue
+            self.report(
+                overlay_node, RULE,
+                "overlay snapshot and mutation_epoch read in `%s` are "
+                "not under one lock acquisition; a mutator can slip "
+                "between them — capture both in a single `with "
+                "....locked():` block (or use epoch_snapshot())"
+                % node.name)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (node.attr in EPOCH_ATTRS and isinstance(node.ctx, ast.Load)
+                and self._frames):
+            self._frames[-1][0].append((node, self.innermost_lock()))
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (isinstance(func, ast.Attribute) and func.attr in OVERLAY_CALLS
+                and self._frames):
+            self._frames[-1][1].append((node, self.innermost_lock()))
+        self.generic_visit(node)
+
+
+class EpochCaptureChecker(Checker):
+    rule_id = RULE
+    title = "epoch + overlay captured under one lock"
+    visitor_class = _Visitor

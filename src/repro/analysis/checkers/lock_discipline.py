@@ -1,0 +1,123 @@
+"""RL001 — lock discipline for the mutable index state.
+
+The concurrency model of :class:`repro.core.ensemble.LSHEnsemble`
+(PRs 3-5) rests on two conventions:
+
+* every method whose name ends in ``_locked`` runs with the owning
+  lock already held, so it may touch guarded state freely — and must
+  only be *called* from a lock context or from another ``*_locked``
+  method;
+* the guarded mutable fields — ``_mutation_epoch``, ``_delta``,
+  ``_tombstones``, ``_partition_max_size`` — are only written inside
+  ``with ..._lock`` / ``with ....locked()`` blocks (or ``__init__``,
+  where the object is not shared yet).
+
+Additionally, reaching into *another object's* private ``._lock`` is
+always flagged: cross-module callers must go through the public
+``locked()`` accessor, which names the dependency and survives
+refactors of the lock's storage.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checkers.common import Checker, ScopeVisitor, dotted
+
+__all__ = ["LockDisciplineChecker"]
+
+RULE = "RL001"
+
+#: Fields of the mutable index whose writes must be lock-serialised.
+GUARDED_FIELDS = frozenset({
+    "_mutation_epoch", "_delta", "_tombstones", "_partition_max_size",
+})
+
+#: Method names that mutate their receiver in place; a call like
+#: ``self._tombstones.add(k)`` is a write to the guarded field.
+MUTATOR_METHODS = frozenset({
+    "add", "append", "clear", "discard", "extend", "pop", "popitem",
+    "remove", "setdefault", "update",
+})
+
+
+class _Visitor(ScopeVisitor):
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr == "_lock":
+            receiver = dotted(node.value)
+            if receiver is not None and receiver not in ("self", "cls"):
+                self.report(
+                    node, RULE,
+                    "reach into %s._lock (private); use the public "
+                    "`with %s.locked():` accessor" % (receiver, receiver))
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr.endswith("_locked"):
+                if not (self.holds_any_lock()
+                        or self.in_locked_function()):
+                    receiver = dotted(func.value) or "<expr>"
+                    self.report(
+                        node, RULE,
+                        "call to %s.%s() outside any lock context; "
+                        "`_locked` methods require the owning lock "
+                        "held" % (receiver, func.attr))
+            if (func.attr in MUTATOR_METHODS
+                    and isinstance(func.value, ast.Attribute)
+                    and func.value.attr in GUARDED_FIELDS):
+                self._check_write(node, dotted(func.value.value),
+                                  func.value.attr)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_target(node.target)
+        self.generic_visit(node)
+
+    def _check_target(self, target: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_target(element)
+        elif isinstance(target, ast.Starred):
+            self._check_target(target.value)
+        elif isinstance(target, ast.Subscript):
+            # self._partition_max_size[i] = peak
+            self._check_target_attr(target.value, target)
+        elif isinstance(target, ast.Attribute):
+            self._check_target_attr(target, target)
+
+    def _check_target_attr(self, attr: ast.AST, report_node) -> None:
+        if isinstance(attr, ast.Attribute) and attr.attr in GUARDED_FIELDS:
+            self._check_write(report_node, dotted(attr.value), attr.attr)
+
+    def _check_write(self, node: ast.AST, receiver: str | None,
+                     fieldname: str) -> None:
+        if receiver is None:
+            return
+        if receiver == "self" and self.in_locked_function():
+            return
+        if self.holds_lock_on(receiver):
+            return
+        self.report(
+            node, RULE,
+            "write to %s.%s outside `with %s.locked():` (or a "
+            "`*_locked` method); guarded index state must be "
+            "lock-serialised" % (receiver, fieldname, receiver))
+
+
+class LockDisciplineChecker(Checker):
+    rule_id = RULE
+    title = "lock discipline for guarded index state"
+    visitor_class = _Visitor

@@ -1,0 +1,346 @@
+"""The linter engine: walk files, run checkers, filter, report.
+
+Pipeline per file: parse once, run every in-scope checker over the
+AST, then drop findings that are suppressed in-line (``# repro-lint:
+disable=RLxxx`` on the flagged line) or grandfathered in the committed
+baseline file.  Anything left is a blocking finding — the CLI exits 1.
+
+The baseline exists so a new rule can land *enabled* before every
+legacy finding is fixed: ``--write-baseline`` records the survivors as
+``(rule, path, fingerprint)`` triples, where the fingerprint hashes
+the *text* of the flagged line (not its number) so unrelated edits
+above a grandfathered site do not un-baseline it.  Entries that no
+longer match anything are reported as stale so the file ratchets
+towards empty.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import hashlib
+import io
+import re
+import sys
+import tokenize
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.checkers import ALL_CHECKERS, Checker, Finding
+from repro.analysis.checkers.common import FileContext
+
+__all__ = [
+    "Finding",
+    "all_checkers",
+    "main",
+    "run_paths",
+]
+
+DEFAULT_BASELINE = ".repro-lint-baseline"
+
+_SUPPRESS_RE = re.compile(
+    r"repro-lint:\s*disable=([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)")
+
+
+def all_checkers() -> tuple[Checker, ...]:
+    return ALL_CHECKERS
+
+
+# --------------------------------------------------------------------- #
+# File collection
+# --------------------------------------------------------------------- #
+
+
+def iter_python_files(paths: list[str | Path],
+                      exclude: tuple[str, ...] = ()) -> list[Path]:
+    """Every ``.py`` file under ``paths`` (files or directories),
+    sorted, skipping caches, hidden directories, and files whose
+    posix path contains any ``exclude`` substring (how CI keeps the
+    deliberately-broken lint fixtures out of the blocking run)."""
+    files: set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                parts = candidate.relative_to(path).parts
+                if any(p == "__pycache__" or p.startswith(".")
+                       for p in parts):
+                    continue
+                files.add(candidate)
+        elif path.suffix == ".py":
+            files.add(path)
+        else:
+            raise FileNotFoundError(
+                "%s is neither a directory nor a .py file" % path)
+    if exclude:
+        files = {f for f in files
+                 if not any(pat in f.as_posix() for pat in exclude)}
+    return sorted(files)
+
+
+# --------------------------------------------------------------------- #
+# Suppression comments
+# --------------------------------------------------------------------- #
+
+
+def suppressed_lines(source: str) -> dict[int, set[str]]:
+    """line -> set of rule ids disabled on that line (``{"all"}`` for a
+    blanket disable).  Comment-token based, so the marker inside a
+    string literal does not suppress anything."""
+    out: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match:
+                rules = {r.strip().lower()
+                         for r in match.group(1).split(",")}
+                out.setdefault(token.start[0], set()).update(rules)
+    except tokenize.TokenError:
+        pass  # the ast parse will report the real problem
+    return out
+
+
+def _is_suppressed(finding: Finding,
+                   suppressions: dict[int, set[str]]) -> bool:
+    rules = suppressions.get(finding.line)
+    if not rules:
+        return False
+    return "all" in rules or finding.rule.lower() in rules
+
+
+# --------------------------------------------------------------------- #
+# Baseline
+# --------------------------------------------------------------------- #
+
+
+def fingerprint(finding: Finding, lines: list[str]) -> str:
+    """Line-number-independent identity of a finding: rule + path +
+    the flagged line's stripped text."""
+    text = ""
+    if 1 <= finding.line <= len(lines):
+        text = lines[finding.line - 1].strip()
+    digest = hashlib.sha1(
+        ("%s|%s|%s" % (finding.rule, finding.path, text)).encode("utf-8"))
+    return digest.hexdigest()[:12]
+
+
+def load_baseline(path: Path) -> Counter:
+    """Multiset of ``(rule, path, fingerprint)`` baseline entries.
+
+    Format: one entry per line — ``RLxxx path:line fingerprint`` —
+    with ``#`` comments (whole-line or trailing) and blank lines
+    ignored, so every grandfathered entry can carry its justification
+    next to it.  The recorded ``path:line`` is documentation; matching
+    uses only rule + path + fingerprint.
+    """
+    entries: Counter = Counter()
+    for raw_line in path.read_text(encoding="utf-8").splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        if len(fields) != 3:
+            raise ValueError(
+                "malformed baseline entry %r (want: RULE path:line "
+                "fingerprint)" % raw_line)
+        rule, location, fp = fields
+        entries[(rule, location.rsplit(":", 1)[0], fp)] += 1
+    return entries
+
+
+def write_baseline(path: Path, findings: list[tuple[Finding, str]]) -> None:
+    out = [
+        "# repro-lint baseline: grandfathered findings, one per line.",
+        "# Regenerate with `python -m repro.analysis --write-baseline`;",
+        "# every entry kept on purpose should carry a trailing comment",
+        "# justifying it.  Fix the code instead whenever possible.",
+    ]
+    for finding, fp in sorted(findings,
+                              key=lambda pair: (pair[0], pair[1])):
+        out.append("%s %s:%d %s" % (finding.rule, finding.path,
+                                    finding.line, fp))
+    path.write_text("\n".join(out) + "\n", encoding="utf-8")
+
+
+# --------------------------------------------------------------------- #
+# Running
+# --------------------------------------------------------------------- #
+
+
+def _check_file(path: Path, display: str,
+                checkers: tuple[Checker, ...],
+                respect_scope: bool) -> tuple[list[Finding], list[str],
+                                              int, int]:
+    """-> (blocking findings+fingerprint source, lines, suppressed count)
+    packaged as (findings, lines, n_suppressed, n_parse_errors)."""
+    source = path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        finding = Finding(path=display, line=exc.lineno or 1,
+                          col=(exc.offset or 0) + 1, rule="RL000",
+                          message="syntax error: %s" % exc.msg)
+        return [finding], lines, 0, 1
+    ctx = FileContext(path=display, source=source, lines=lines)
+    suppressions = suppressed_lines(source)
+    findings: list[Finding] = []
+    n_suppressed = 0
+    for checker in checkers:
+        if respect_scope and not checker.applies_to(display):
+            continue
+        for finding in checker.check(tree, ctx):
+            if _is_suppressed(finding, suppressions):
+                n_suppressed += 1
+            else:
+                findings.append(finding)
+    return findings, lines, n_suppressed, 0
+
+
+def run_paths(paths: list[str | Path],
+              checkers: tuple[Checker, ...] | None = None,
+              respect_scope: bool = True,
+              exclude: tuple[str, ...] = ()) -> dict:
+    """Run the linter over ``paths``.
+
+    Returns ``{"findings": [(Finding, fingerprint)...], "suppressed":
+    int, "files": int}`` — baseline filtering is the caller's concern
+    (the CLI applies it; tests usually want the raw findings).
+    """
+    checkers = all_checkers() if checkers is None else checkers
+    findings: list[tuple[Finding, str]] = []
+    n_suppressed = 0
+    files = iter_python_files(paths, exclude=exclude)
+    for path in files:
+        display = path.as_posix()
+        file_findings, lines, suppressed, _ = _check_file(
+            path, display, checkers, respect_scope)
+        n_suppressed += suppressed
+        for finding in file_findings:
+            findings.append((finding, fingerprint(finding, lines)))
+    findings.sort(key=lambda pair: pair[0])
+    return {"findings": findings, "suppressed": n_suppressed,
+            "files": len(files)}
+
+
+def apply_baseline(findings: list[tuple[Finding, str]],
+                   baseline: Counter) -> tuple[list[tuple[Finding, str]],
+                                               int, list[tuple]]:
+    """-> (blocking findings, matched count, stale baseline entries)."""
+    remaining = Counter(baseline)
+    blocking: list[tuple[Finding, str]] = []
+    matched = 0
+    for finding, fp in findings:
+        key = (finding.rule, finding.path, fp)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            matched += 1
+        else:
+            blocking.append((finding, fp))
+    stale = [key for key, count in remaining.items() if count > 0
+             for _ in range(count)]
+    return blocking, matched, stale
+
+
+# --------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------- #
+
+
+def _format_text(finding: Finding) -> str:
+    return "%s:%d:%d: %s %s" % (finding.path, finding.line, finding.col,
+                                finding.rule, finding.message)
+
+
+def _format_github(finding: Finding) -> str:
+    # GitHub Actions workflow-command annotation; the message must be
+    # single-line (newlines would terminate the command).
+    message = finding.message.replace("\n", " ")
+    return ("::error file=%s,line=%d,col=%d,title=%s::%s"
+            % (finding.path, finding.line, finding.col, finding.rule,
+               message))
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Invariant linter: AST-based concurrency/"
+                    "determinism/IPC checks for this repository.")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint "
+                             "(default: src)")
+    parser.add_argument("--format", choices=("text", "github"),
+                        default="text",
+                        help="finding output format (github emits "
+                             "workflow-command annotations)")
+    parser.add_argument("--baseline", type=Path,
+                        default=Path(DEFAULT_BASELINE),
+                        help="baseline file of grandfathered findings "
+                             "(default: %s)" % DEFAULT_BASELINE)
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline file entirely")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="record current findings as the new "
+                             "baseline and exit 0")
+    parser.add_argument("--exclude", action="append", default=[],
+                        metavar="SUBSTRING",
+                        help="skip files whose path contains SUBSTRING "
+                             "(repeatable; e.g. tests/analysis/fixtures)")
+    parser.add_argument("--no-scope", action="store_true",
+                        help="run every rule on every file, ignoring "
+                             "per-rule path scopes (fixture testing)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    if args.list_rules:
+        for checker in all_checkers():
+            scope = (", ".join(checker.scope) if checker.scope
+                     else "all files")
+            print("%s  %s  [%s]" % (checker.rule_id, checker.title,
+                                    scope))
+        return 0
+    try:
+        result = run_paths(args.paths,
+                           respect_scope=not args.no_scope,
+                           exclude=tuple(args.exclude))
+    except FileNotFoundError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    findings = result["findings"]
+
+    if args.write_baseline:
+        write_baseline(args.baseline, findings)
+        print("wrote %d baseline entr%s to %s"
+              % (len(findings), "y" if len(findings) == 1 else "ies",
+                 args.baseline))
+        return 0
+
+    matched = 0
+    stale: list[tuple] = []
+    if not args.no_baseline and args.baseline.exists():
+        try:
+            baseline = load_baseline(args.baseline)
+        except ValueError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+        findings, matched, stale = apply_baseline(findings, baseline)
+
+    render = (_format_github if args.format == "github"
+              else _format_text)
+    for finding, _ in findings:
+        print(render(finding))
+    summary = ("%d file(s): %d finding(s), %d suppressed, "
+               "%d baselined" % (result["files"], len(findings),
+                                 result["suppressed"], matched))
+    print(summary, file=sys.stderr)
+    for rule, path, fp in stale:
+        print("stale baseline entry: %s %s %s (fixed? regenerate with "
+              "--write-baseline)" % (rule, path, fp), file=sys.stderr)
+    return 1 if findings else 0

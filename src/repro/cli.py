@@ -14,6 +14,7 @@ Build, persist, mutate, and query LSH Ensemble indexes from the shell::
     python -m repro.cli info  index.lshe
     python -m repro.cli serve index.lshe --port 8080 --max-batch 64
     python -m repro.cli loadtest index.lshe --profile mixed --rps 200
+    python -m repro.cli lint src tests --format github
 
 ``--query-file`` answers each entry with an independent single query;
 ``--batch-file`` hashes all entries into one signature matrix and answers
@@ -39,6 +40,13 @@ optionally an insert/remove stream with periodic rebalances), and
 reports p50/p95/p99 latency, throughput, shed rate, and cache hit rate
 per ramp phase — the SLO measurement substrate (see
 :mod:`repro.loadgen`).  Exits non-zero if any request errored.
+
+``lint`` runs the project's invariant linter (:mod:`repro.analysis`):
+AST-based concurrency/determinism/IPC checks (lock discipline around
+the mutation epoch and write tiers, blocking calls in the async
+serving layer, unseeded randomness in measurement code, unpicklable
+process-pool payloads).  Same flags as ``python -m repro.analysis``;
+exits 1 on blocking findings.
 
 The JSON corpus format is deliberately simple: one object whose keys are
 domain names and whose values are arrays of (string or numeric) domain
@@ -219,6 +227,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "(the BENCH_*.json trajectory format)")
     p_load.add_argument("--no-mmap", action="store_true")
     add_executor_args(p_load)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the repo's invariant linter (AST concurrency/"
+             "determinism/IPC checks; see python -m repro.analysis "
+             "--help for the flags)")
+    p_lint.add_argument("lint_args", nargs=argparse.REMAINDER,
+                        metavar="...",
+                        help="arguments forwarded verbatim to "
+                             "python -m repro.analysis")
     return parser
 
 
@@ -533,6 +551,12 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     return 1 if report["errors"] else 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.engine import main as lint_main
+
+    return lint_main(args.lint_args)
+
+
 def _print_drift(drift: dict) -> None:
     print("tiers:          base %d, delta %d, tombstones %d "
           "(generation %d, mutation epoch %d)"
@@ -586,6 +610,15 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # Forward verbatim instead of parsing: argparse's REMAINDER
+        # cannot capture a leading option (`repro lint --list-rules`),
+        # and the linter owns its own flag set anyway.
+        from repro.analysis.engine import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     handlers = {
         "build": _cmd_build,
@@ -596,6 +629,7 @@ def main(argv: list[str] | None = None) -> int:
         "info": _cmd_info,
         "serve": _cmd_serve,
         "loadtest": _cmd_loadtest,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -117,8 +117,9 @@ class DeltaTier:
             else:
                 # Physically flushed: remove through the base-tier
                 # primitive so the inner index stays clean (no nested
-                # tombstones).
-                self._index._remove_physical(key)
+                # tombstones).  The tier lock (held here) is what
+                # serialises the inner index — its own lock is unused.
+                self._index._remove_physical_locked(key)
             return size
 
     def flush(self) -> None:
@@ -137,10 +138,10 @@ class DeltaTier:
         if not self._fresh:
             return  # another thread flushed while we waited
         fresh = list(self._fresh)
-        self._fill_inner(fresh)
+        self._fill_inner_locked(fresh)
         self._fresh.clear()
 
-    def _fill_inner(self, fresh: list) -> None:
+    def _fill_inner_locked(self, fresh: list) -> None:
         flushed = 0 if self._index is None else len(self._index._sizes)
         if (self._index is not None and flushed >= _REBUILD_FLOOR
                 and 2 * len(fresh) < flushed):
@@ -159,7 +160,8 @@ class DeltaTier:
                 matrix[row] = signature.hashvalues
                 seeds[row] = signature.seed
                 sizes.append(size)
-            inner._bulk_fill(fresh, sizes, matrix, seeds, initial=False)
+            inner._bulk_fill_locked(fresh, sizes, matrix, seeds,
+                                    initial=False)
         else:
             index = self._make_index()
             index.index(

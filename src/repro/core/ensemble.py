@@ -276,7 +276,7 @@ class LSHEnsemble:
         # data) can exceed the partition's nominal upper bound; queries
         # must use the larger of the two or pruning/tuning would lose
         # those domains.  Tombstoning a partition's maximal key marks
-        # this dirty; it is recomputed lazily (_resolve_live_max) so the
+        # this dirty; it is recomputed lazily (_resolve_live_max_locked) so the
         # tuning bound u never stays inflated by removed domains.
         self._partition_max_size: list[int] = []
         self._live_max_dirty = False
@@ -326,26 +326,12 @@ class LSHEnsemble:
         the observed sizes, unless explicit ``partitions`` are supplied
         (used by the Figure 8 sweep to impose blended partitionings).
         """
-        if self._forests:
-            raise RuntimeError("index() may only be called on an empty index")
         staged = list(entries)
         if not staged:
             raise ValueError("cannot index an empty collection of domains")
         sizes = [int(size) for _, __, size in staged]
         if min(sizes) < 1:
             raise ValueError("all domain sizes must be >= 1")
-        if partitions is not None:
-            self._partitions = list(partitions)
-        else:
-            self._partitions = self._partitioner(sizes, self.num_partitions)
-        keys = [key for key, __, ___ in staged]
-        if len(set(keys)) != len(keys):
-            seen: set = set()
-            for key in keys:
-                if key in seen:
-                    raise ValueError(
-                        "key %r is already in the index" % (key,))
-                seen.add(key)
         # One (n, m) matrix for the whole build: routing, partition
         # grouping, and bucket-key packing all become numpy passes
         # instead of n Python round trips through insert().
@@ -364,17 +350,37 @@ class LSHEnsemble:
                 )
             matrix[i] = signature.hashvalues
             seeds[i] = signature.seed
-        self._forests = [
-            PrefixForest(self.num_perm, self.num_trees, self.max_depth,
-                         storage_factory=self._storage_factory)
-            for _ in self._partitions
-        ]
-        self._partition_max_size = [0] * len(self._partitions)
-        self._bulk_fill(keys, sizes, matrix, seeds)
-        # A fresh build is served immediately: pay the bucket fill now
-        # (still one vectorised pass per depth) rather than on the first
-        # queries.  Loaded snapshots stay lazy — see _restore_columnar.
-        self.materialize()
+        # Building swaps in the base structures the query paths walk,
+        # so it serialises on the same lock as every other mutator.
+        with self._lock:
+            if self._forests:
+                raise RuntimeError(
+                    "index() may only be called on an empty index")
+            if partitions is not None:
+                self._partitions = list(partitions)
+            else:
+                self._partitions = self._partitioner(
+                    sizes, self.num_partitions)
+            keys = [key for key, __, ___ in staged]
+            if len(set(keys)) != len(keys):
+                seen: set = set()
+                for key in keys:
+                    if key in seen:
+                        raise ValueError(
+                            "key %r is already in the index" % (key,))
+                    seen.add(key)
+            self._forests = [
+                PrefixForest(self.num_perm, self.num_trees, self.max_depth,
+                             storage_factory=self._storage_factory)
+                for _ in self._partitions
+            ]
+            self._partition_max_size = [0] * len(self._partitions)
+            self._bulk_fill_locked(keys, sizes, matrix, seeds)
+            # A fresh build is served immediately: pay the bucket fill
+            # now (still one vectorised pass per depth) rather than on
+            # the first queries.  Loaded snapshots stay lazy — see
+            # _restore_columnar_locked.
+            self.materialize()
 
     def materialize(self) -> None:
         """Fill any lazily pending bucket tables in every partition.
@@ -406,7 +412,7 @@ class LSHEnsemble:
             (assign_partition(int(c), parts) for c in clamped),
             dtype=np.intp, count=len(clamped))
 
-    def _bulk_fill(self, keys: list, sizes: list[int], matrix: np.ndarray,
+    def _bulk_fill_locked(self, keys: list, sizes: list[int], matrix: np.ndarray,
                    seeds: np.ndarray, initial: bool = True) -> None:
         """Group rows by partition and bulk-insert each group's block.
 
@@ -487,7 +493,7 @@ class LSHEnsemble:
         m[2] += sign * sq
         m[3] += sign * sq * s
 
-    def _restore_columnar(self, partitions: Sequence[Partition], keys: list,
+    def _restore_columnar_locked(self, partitions: Sequence[Partition], keys: list,
                           sizes: list[int], matrix: np.ndarray,
                           seeds, partition_rows: Sequence[int],
                           partition_max_size: Sequence[int]) -> None:
@@ -556,7 +562,7 @@ class LSHEnsemble:
             self._delta_routed_counts[self._route_index(size)] += 1
             self._track_size(size, +1)
             self._mutation_epoch += 1
-            self._maybe_auto_rebalance()
+            self._maybe_auto_rebalance_locked()
 
     def _delta_factory(self) -> "LSHEnsemble":
         """An empty delta-tier inner index bound to this configuration.
@@ -578,7 +584,7 @@ class LSHEnsemble:
                       self._partitions[-1].upper - 1)
         return assign_partition(clamped, self._partitions)
 
-    def _route(self, key: Hashable, signature: MinHash | LeanMinHash,
+    def _route_locked(self, key: Hashable, signature: MinHash | LeanMinHash,
                size: int) -> None:
         """Physically insert into the base-tier forests (build-time
         routing; used by the delta tier's inner index, never by public
@@ -594,7 +600,7 @@ class LSHEnsemble:
         self._track_size(size, +1)
         self._base_source = None
 
-    def _remove_physical(self, key: Hashable) -> None:
+    def _remove_physical_locked(self, key: Hashable) -> None:
         """Physically remove from the base-tier forests (delta inner
         index only — the public :meth:`remove` tombstones instead)."""
         size = self._sizes.pop(key, None)
@@ -635,9 +641,9 @@ class LSHEnsemble:
             else:
                 raise KeyError(key)
             self._mutation_epoch += 1
-            self._maybe_auto_rebalance()
+            self._maybe_auto_rebalance_locked()
 
-    def _resolve_live_max(self) -> None:
+    def _resolve_live_max_locked(self) -> None:
         """Recompute per-partition live maxima if removals dirtied them.
 
         ``remove()`` of a partition's maximal key would otherwise leave
@@ -741,7 +747,7 @@ class LSHEnsemble:
             "auto_rebalance_at": self.auto_rebalance_at,
         }
 
-    def _maybe_auto_rebalance(self) -> None:
+    def _maybe_auto_rebalance_locked(self) -> None:
         if self.auto_rebalance_at is None or len(self) == 0:
             return
         if self.drift_stats()["drift_score"] >= self.auto_rebalance_at:
@@ -825,7 +831,7 @@ class LSHEnsemble:
         self._tombstones = set()
         self._delta = None
         self._moments = [0, 0, 0, 0]
-        self._bulk_fill(keys, sizes, matrix, seeds)
+        self._bulk_fill_locked(keys, sizes, matrix, seeds)
         self.materialize()
         self._generation += 1
         self._mutation_epoch += 1
@@ -843,9 +849,9 @@ class LSHEnsemble:
             "drift_score_after": after["drift_score"],
         }
 
-    def _attach_dynamic_state(self, tombstones: Iterable[Hashable],
-                              delta_index: "LSHEnsemble | None",
-                              generation: int) -> None:
+    def _attach_dynamic_state_locked(self, tombstones: Iterable[Hashable],
+                                     delta_index: "LSHEnsemble | None",
+                                     generation: int) -> None:
         """Reattach delta/tombstone state after a manifest load.
 
         ``delta_index`` is a physically clean ensemble holding the delta
@@ -866,13 +872,40 @@ class LSHEnsemble:
                 self._track_size(size, +1)
         self._generation = int(generation)
 
-    def _overlay_snapshot(self) -> dict:
+    def locked(self):
+        """The index's reentrant lock, for multi-step atomic sections.
+
+        Use ``with index.locked():`` whenever several reads/writes must
+        observe one consistent state — a save that walks every tier, a
+        dispatch that pairs the epoch with the overlay it describes.
+        Every public method already serialises on this same lock
+        internally (it is reentrant), so nesting is free; what the
+        accessor buys external callers is not having to reach into the
+        private ``_lock`` attribute (the invariant linter's RL001 flags
+        that).
+        """
+        return self._lock
+
+    def epoch_snapshot(self) -> tuple[int, dict]:
+        """``(mutation_epoch, overlay)`` captured under one lock
+        acquisition.
+
+        The pair is the unit the process-pool protocol ships: an epoch
+        label and exactly the tiers that epoch describes.  Reading them
+        as two separate calls would let a mutator slip in between (the
+        invariant linter's RL005 flags that pattern); this accessor is
+        the sanctioned atomic read.
+        """
+        with self._lock:
+            return self._mutation_epoch, self.overlay_snapshot()
+
+    def overlay_snapshot(self) -> dict:
         """Picklable snapshot of the dynamic tiers for process workers.
 
-        Callers must hold :attr:`_lock` (the process-pool task-capture
-        path does), so the epoch, tombstones and delta contents are
-        mutually consistent.  The delta tier ships as columnar arrays
-        (the in-memory form of a v2 segment, see
+        Takes the index lock (reentrant — callers already holding it
+        via :meth:`locked` pay nothing), so the epoch, tombstones and
+        delta contents are mutually consistent.  The delta tier ships
+        as columnar arrays (the in-memory form of a v2 segment, see
         :func:`repro.persistence.export_columnar`) so a worker
         re-materialises a bit-identical inner index — same partitions,
         same tuning bounds, same signatures — and answers exactly like
@@ -880,15 +913,16 @@ class LSHEnsemble:
         """
         from repro.persistence import export_columnar
 
-        delta_inner = (self._delta.inner_index()
-                       if self._delta is not None else None)
-        return {
-            "epoch": self._mutation_epoch,
-            "generation": self._generation,
-            "tombstones": list(self._tombstones),
-            "delta": (export_columnar(delta_inner)
-                      if delta_inner is not None else None),
-        }
+        with self._lock:
+            delta_inner = (self._delta.inner_index()
+                           if self._delta is not None else None)
+            return {
+                "epoch": self._mutation_epoch,
+                "generation": self._generation,
+                "tombstones": list(self._tombstones),
+                "delta": (export_columnar(delta_inner)
+                          if delta_inner is not None else None),
+            }
 
     # ------------------------------------------------------------------ #
     # Query
@@ -934,7 +968,7 @@ class LSHEnsemble:
         q = int(size) if size is not None else max(1, lean.count())
         if q < 1:
             raise ValueError("query size must be >= 1")
-        self._resolve_live_max()
+        self._resolve_live_max_locked()
         tombstones = self._tombstones
         results: set = set()
         reports: list[PartitionQueryReport] = []
@@ -1026,7 +1060,7 @@ class LSHEnsemble:
         else:
             qs = [max(1, int(c)) for c in sb.counts()]
         qs_arr = np.asarray(qs, dtype=np.float64)
-        self._resolve_live_max()
+        self._resolve_live_max_locked()
         results: list[set] = [set() for _ in range(n)]
         for i, (partition, forest) in enumerate(
                 zip(self._partitions, self._forests)):

@@ -123,26 +123,30 @@ class _SourceState:
 def _capture_dynamic_fields(index) -> tuple:
     """Snapshot every field the overlay application mutates.
 
-    ``_attach_dynamic_state`` adjusts the drift counters and attaches
-    the tiers; ``_resolve_live_max`` (triggered by tombstones on the
-    first probe) rewrites the per-partition tuning bounds.  Capturing
-    them once at load lets the worker revert to the pristine base and
-    re-apply a *newer* overlay without re-reading the segment.
+    ``_attach_dynamic_state_locked`` adjusts the drift counters and
+    attaches the tiers; ``_resolve_live_max_locked`` (triggered by
+    tombstones on the first probe) rewrites the per-partition tuning
+    bounds.  Capturing them once at load lets the worker revert to the
+    pristine base and re-apply a *newer* overlay without re-reading the
+    segment.
     """
-    return (list(index._base_live_counts), list(index._moments),
-            set(index._tombstones), index._live_max_dirty,
-            index._delta, list(index._delta_routed_counts),
-            index._generation, list(index._partition_max_size),
-            index._mutation_epoch)
+    with index.locked():
+        return (list(index._base_live_counts), list(index._moments),
+                set(index._tombstones), index._live_max_dirty,
+                index._delta, list(index._delta_routed_counts),
+                index._generation, list(index._partition_max_size),
+                index._mutation_epoch)
 
 
 def _restore_dynamic_fields(index, saved: tuple) -> None:
-    (index._base_live_counts, index._moments, index._tombstones,
-     index._live_max_dirty, index._delta, index._delta_routed_counts,
-     index._generation, index._partition_max_size,
-     index._mutation_epoch) = (
-        list(saved[0]), list(saved[1]), set(saved[2]), saved[3],
-        saved[4], list(saved[5]), saved[6], list(saved[7]), saved[8])
+    with index.locked():
+        (index._base_live_counts, index._moments, index._tombstones,
+         index._live_max_dirty, index._delta,
+         index._delta_routed_counts, index._generation,
+         index._partition_max_size, index._mutation_epoch) = (
+            list(saved[0]), list(saved[1]), set(saved[2]), saved[3],
+            saved[4], list(saved[5]), saved[6], list(saved[7]),
+            saved[8])
 
 
 def _apply_overlay(index, overlay: dict) -> None:
@@ -155,10 +159,11 @@ def _apply_overlay(index, overlay: dict) -> None:
         delta_index = import_columnar(
             delta_spec, storage_factory=index._storage_factory,
             partitioner=index._partitioner)
-    index._attach_dynamic_state(overlay.get("tombstones") or (),
-                                delta_index,
-                                int(overlay.get("generation", 0)))
-    index._mutation_epoch = int(overlay["epoch"])
+    with index.locked():
+        index._attach_dynamic_state_locked(
+            overlay.get("tombstones") or (), delta_index,
+            int(overlay.get("generation", 0)))
+        index._mutation_epoch = int(overlay["epoch"])
 
 
 def _source_index(sources: OrderedDict, source: dict, overlay: dict):
@@ -191,7 +196,8 @@ def _source_index(sources: OrderedDict, source: dict, overlay: dict):
         if overlay.get("tombstones") or overlay.get("delta") is not None:
             _apply_overlay(state.index, overlay)
         else:
-            state.index._mutation_epoch = epoch
+            with state.index.locked():
+                state.index._mutation_epoch = epoch
         state.applied_epoch = epoch
     return state.index
 
@@ -659,12 +665,12 @@ class PooledIndex:
         until the next mutation.
         """
         index = self.index
-        with index._lock:
+        with index.locked():
             self._sync_base_locked()
-            epoch = index._mutation_epoch
+            epoch = index.mutation_epoch
             if self._overlay_cache is None \
                     or self._overlay_cache[0] != epoch:
-                self._overlay_cache = (epoch, index._overlay_snapshot())
+                self._overlay_cache = (epoch, index.overlay_snapshot())
             overlay = self._overlay_cache[1]
             source = {"id": self._source_id, "path": str(self._base_path),
                       "token": self._token, "mmap": self._mmap}

@@ -290,6 +290,12 @@ class ShardedEnsemble:
         :attr:`repro.core.ensemble.LSHEnsemble.mutation_epoch`."""
         return self._mutation_epoch
 
+    def locked(self):
+        """The cluster's reentrant lock, for multi-step atomic
+        sections spanning several shard operations; mirrors
+        :meth:`repro.core.ensemble.LSHEnsemble.locked`."""
+        return self._lock
+
     @property
     def generation(self) -> int:
         """Highest compaction generation across the shards (0 before
@@ -600,9 +606,10 @@ class ShardedEnsemble:
         cluster._shards = shards
         # Older manifests predate the counter; the sum of the shard
         # epochs restores a monotone (if conservative) starting point.
-        cluster._mutation_epoch = int(manifest.get(
-            "mutation_epoch",
-            sum(shard.mutation_epoch for shard in shards)))
+        with cluster.locked():
+            cluster._mutation_epoch = int(manifest.get(
+                "mutation_epoch",
+                sum(shard.mutation_epoch for shard in shards)))
         if cluster.parallel:
             cluster._executor = ThreadPoolExecutor(
                 max_workers=len(cluster._shards),

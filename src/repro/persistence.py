@@ -189,7 +189,7 @@ def save_ensemble(index: LSHEnsemble, path: str | Path,
     # Saving reads every tier; hold the index's mutation/query lock so
     # a concurrent insert/remove/rebalance (now supported — the serving
     # layer mutates live indexes) cannot tear the snapshot.
-    with index._lock:
+    with index.locked():
         if index.is_empty():
             raise ValueError("refusing to save an empty index")
         path = Path(path)
@@ -288,47 +288,49 @@ def _columnar_export_state(index: LSHEnsemble) -> tuple[dict, list]:
     encodes; bit-parity of the two export paths is structural because
     both consume this one ordering).
     """
-    partitions = index.partitions
-    lo, hi = partitions[0].lower, partitions[-1].upper - 1
-    # Resolve any pending lazy live-max recompute so the header records
-    # the exact (non-inflated) per-partition tuning bounds.
-    index._resolve_live_max()
-    all_keys = list(index._sizes)
-    sizes = np.fromiter((index._sizes[k] for k in all_keys),
-                        dtype=np.int64, count=len(all_keys))
-    routed = index._assign_partitions(np.clip(sizes, lo, hi))
-    order = np.argsort(routed, kind="stable")
-    order_list = order.tolist()
-    # `routed` already names each key's forest; fetching through it
-    # avoids re-deriving the route per key (a clamp + linear partition
-    # scan) inside index.get_signature.
-    forests = index._forests
-    signatures = [forests[int(routed[j])].get_signature(all_keys[j])
-                  for j in order_list]
-    header = _base_header(index)
-    header.update({
-        "keys": [all_keys[j] for j in order_list],
-        "sizes": sizes[order].tolist(),
-        "partition_rows": np.bincount(
-            routed, minlength=len(partitions)).tolist(),
-        "partition_max_size": list(index._partition_max_size),
-        "generation": index._generation,
-        "mutation_epoch": index._mutation_epoch,
-        "auto_rebalance_at": index.auto_rebalance_at,
-        "baseline_depth_cv": index._baseline_depth_cv,
-        "baseline_skew": index._baseline_skew,
-    })
-    return header, signatures
+    with index.locked():
+        partitions = index.partitions
+        lo, hi = partitions[0].lower, partitions[-1].upper - 1
+        # Resolve any pending lazy live-max recompute so the header
+        # records the exact (non-inflated) per-partition tuning bounds.
+        index._resolve_live_max_locked()
+        all_keys = list(index._sizes)
+        sizes = np.fromiter((index._sizes[k] for k in all_keys),
+                            dtype=np.int64, count=len(all_keys))
+        routed = index._assign_partitions(np.clip(sizes, lo, hi))
+        order = np.argsort(routed, kind="stable")
+        order_list = order.tolist()
+        # `routed` already names each key's forest; fetching through it
+        # avoids re-deriving the route per key (a clamp + linear
+        # partition scan) inside index.get_signature.
+        forests = index._forests
+        signatures = [forests[int(routed[j])].get_signature(all_keys[j])
+                      for j in order_list]
+        header = _base_header(index)
+        header.update({
+            "keys": [all_keys[j] for j in order_list],
+            "sizes": sizes[order].tolist(),
+            "partition_rows": np.bincount(
+                routed, minlength=len(partitions)).tolist(),
+            "partition_max_size": list(index._partition_max_size),
+            "generation": index._generation,
+            "mutation_epoch": index._mutation_epoch,
+            "auto_rebalance_at": index.auto_rebalance_at,
+            "baseline_depth_cv": index._baseline_depth_cv,
+            "baseline_skew": index._baseline_skew,
+        })
+        return header, signatures
 
 
 def _restore_recorded_state(index: LSHEnsemble, header: dict) -> None:
     """Reapply the versioning/drift fields a columnar header records."""
-    index._generation = int(header.get("generation", 0))
-    index._mutation_epoch = int(header.get("mutation_epoch", 0))
-    if header.get("baseline_depth_cv") is not None:
-        index._baseline_depth_cv = float(header["baseline_depth_cv"])
-    if header.get("baseline_skew") is not None:
-        index._baseline_skew = float(header["baseline_skew"])
+    with index.locked():
+        index._generation = int(header.get("generation", 0))
+        index._mutation_epoch = int(header.get("mutation_epoch", 0))
+        if header.get("baseline_depth_cv") is not None:
+            index._baseline_depth_cv = float(header["baseline_depth_cv"])
+        if header.get("baseline_skew") is not None:
+            index._baseline_skew = float(header["baseline_skew"])
 
 
 def _save_v2(index: LSHEnsemble, fh) -> None:
@@ -380,7 +382,7 @@ def export_columnar(index: LSHEnsemble) -> dict:
     registry names: the importer supplies factories explicitly (workers
     use the factories of the base index the delta rides on).
     """
-    with index._lock:
+    with index.locked():
         if _has_dynamic_state(index):
             raise ValueError(
                 "export_columnar requires a physically clean index; "
@@ -423,8 +425,10 @@ def import_columnar(spec: dict, *, storage_factory=None,
     matrix.setflags(write=False)
     seeds = np.asarray(spec["seeds"], dtype=np.int64)
     index = _make_ensemble(header, storage_factory, partitioner)
-    index._restore_columnar(partitions, keys, sizes, matrix, seeds,
-                            partition_rows, partition_max_size)
+    with index.locked():
+        index._restore_columnar_locked(partitions, keys, sizes, matrix,
+                                       seeds, partition_rows,
+                                       partition_max_size)
     _restore_recorded_state(index, header)
     return index
 
@@ -759,12 +763,14 @@ def _load_manifest(root: Path, storage_factory, partitioner,
                 raise FormatError(
                     "delta key %r is still live in the base tier"
                     % (key,))
-    index._attach_dynamic_state(tombstones, delta_index,
-                                int(manifest.get("generation", 0)))
-    # The manifest (always rewritten) is authoritative over the base
-    # segment's header, which may be a reused file with a stale epoch.
-    if "mutation_epoch" in manifest:
-        index._mutation_epoch = int(manifest["mutation_epoch"])
+    with index.locked():
+        index._attach_dynamic_state_locked(
+            tombstones, delta_index, int(manifest.get("generation", 0)))
+        # The manifest (always rewritten) is authoritative over the
+        # base segment's header, which may be a reused file with a
+        # stale epoch.
+        if "mutation_epoch" in manifest:
+            index._mutation_epoch = int(manifest["mutation_epoch"])
     if "auto_rebalance_at" in manifest:
         value = manifest["auto_rebalance_at"]
         if value is not None:
@@ -876,8 +882,10 @@ def _load_v2(fh, path, header: dict, offset: int, storage_factory,
             matrix = np.frombuffer(payload,
                                    dtype="<u8").reshape(n, num_perm)
     index = _make_ensemble(header, storage_factory, partitioner)
-    index._restore_columnar(partitions, keys, sizes, matrix, seeds,
-                            partition_rows, partition_max_size)
+    with index.locked():
+        index._restore_columnar_locked(partitions, keys, sizes, matrix,
+                                       seeds, partition_rows,
+                                       partition_max_size)
     _restore_recorded_state(index, header)
     # The file IS the physical base tier: remember it so manifest
     # re-saves and the process-pool executor can hand the same segment

@@ -1,0 +1,8 @@
+"""RL000 fixture: a file the parser rejects.
+
+Deliberately-broken lint fixture — excluded from the blocking CI run.
+"""
+
+
+def broken(:
+    return None

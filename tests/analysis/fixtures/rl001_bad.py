@@ -1,0 +1,33 @@
+"""RL001 true positives: guarded writes / `_locked` calls, no lock.
+
+Deliberately-broken lint fixture — excluded from the blocking CI run;
+tests/analysis/test_rules.py asserts the exact (rule, line) findings.
+"""
+import threading
+
+
+class Index:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._mutation_epoch = 0  # clean: __init__ is exempt
+        self._tombstones = set()
+
+    def locked(self):
+        return self._lock
+
+    def _bump_locked(self):
+        self._mutation_epoch += 1  # clean: *_locked method
+
+    def bump(self):
+        self._mutation_epoch += 1  # BAD: guarded write outside lock
+
+    def tombstone(self, key):
+        self._tombstones.add(key)  # BAD: guarded mutator outside lock
+
+    def resync(self):
+        self._bump_locked()  # BAD: _locked call with no lock context
+
+
+def restore(index, epoch):
+    with index._lock:  # BAD: private cross-object _lock reach
+        index._mutation_epoch = int(epoch)  # clean: lock held on index

@@ -1,0 +1,32 @@
+"""RL001 clean cases: every guarded touch is lock-serialised."""
+import threading
+
+
+class Index:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._mutation_epoch = 0
+        self._tombstones = set()
+
+    def locked(self):
+        return self._lock
+
+    def bump(self):
+        with self._lock:
+            self._mutation_epoch += 1
+
+    def tombstone(self, key):
+        with self.locked():
+            self._tombstones.add(key)
+
+    def _bump_locked(self):
+        self._mutation_epoch += 1
+
+    def resync(self):
+        with self._lock:
+            self._bump_locked()
+
+
+def restore(index, epoch):
+    with index.locked():
+        index._mutation_epoch = int(epoch)

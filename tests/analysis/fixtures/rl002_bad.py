@@ -1,0 +1,15 @@
+"""RL002 true positives: blocking calls on the asyncio event loop.
+
+Deliberately-broken lint fixture — excluded from the blocking CI run.
+"""
+import time
+
+
+class Handler:
+    async def slow(self, path, pool, lock, tasks):
+        time.sleep(0.1)  # BAD: stalls every in-flight request
+        payload = open(path).read()  # BAD: synchronous file I/O
+        text = path.read_text()  # BAD: file I/O method
+        lock.acquire()  # BAD: sync lock acquire on the loop
+        out = pool.run(tasks)  # BAD: in-line scatter-gather
+        return payload, text, out

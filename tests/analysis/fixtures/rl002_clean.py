@@ -1,0 +1,19 @@
+"""RL002 clean cases: async code that keeps the loop unblocked."""
+import asyncio
+import time
+
+
+def sync_helper(path):
+    time.sleep(0.01)  # clean: not an async function
+    return open(path).read()  # clean: not an async function
+
+
+class Handler:
+    async def fast(self, loop, pool, tasks):
+        await asyncio.sleep(0.1)  # clean: asyncio equivalent
+        return await loop.run_in_executor(None, pool.run, tasks)
+
+    async def with_callback(self):
+        def callback():
+            time.sleep(0.01)  # clean: nested sync def, context unknown
+        return callback

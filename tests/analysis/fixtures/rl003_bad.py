@@ -1,0 +1,29 @@
+"""RL003 true positives: hidden-global randomness and wall-clock.
+
+Deliberately-broken lint fixture — excluded from the blocking CI run.
+The rule is path-scoped to the reproduction-critical packages, so the
+tests run it with scoping disabled.
+"""
+import random
+import time
+
+import numpy as np
+
+
+def jitter():
+    return random.random()  # BAD: stdlib global state
+
+
+def shuffle(items):
+    random.shuffle(items)  # BAD: stdlib global state
+
+
+def noise(n):
+    return np.random.rand(n)  # BAD: legacy numpy global
+
+def rng_unseeded():
+    return np.random.default_rng()  # BAD: entropy-seeded
+
+
+def stamp():
+    return time.time()  # BAD: wall-clock read

@@ -1,0 +1,22 @@
+"""RL003 clean cases: seeded streams and duration-only timing."""
+import random
+import time
+
+import numpy as np
+
+
+def rng(seed):
+    return np.random.default_rng(seed)  # clean: seeded
+
+
+def legacy_rng(seed):
+    return np.random.RandomState(seed)  # clean: seeded
+
+
+def local_stream(seed):
+    return random.Random(seed)  # clean: seeded instance, no global
+
+
+def took():
+    start = time.perf_counter()  # clean: duration measurement
+    return time.perf_counter() - start

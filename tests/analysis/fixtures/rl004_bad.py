@@ -1,0 +1,18 @@
+"""RL004 true positives: unpicklable process-pool payloads.
+
+Deliberately-broken lint fixture — excluded from the blocking CI run.
+"""
+import threading
+
+
+def dispatch_lambda(pool, rows):
+    return pool.run([{"fn": lambda r: r + 1, "rows": rows}])
+
+
+def dispatch_file(pool, path):
+    task = {"fh": open(path, "rb")}
+    return pool.run([task])
+
+
+def dispatch_lock(conn):
+    conn.send({"lock": threading.Lock()})

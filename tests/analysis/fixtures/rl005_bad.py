@@ -1,0 +1,18 @@
+"""RL005 true positives: torn (mutation_epoch, overlay) captures.
+
+Deliberately-broken lint fixture — excluded from the blocking CI run.
+"""
+
+
+def torn_capture(index):
+    epoch = index.mutation_epoch  # read with no lock at all
+    overlay = index.overlay_snapshot()  # BAD: separate capture
+    return epoch, overlay
+
+
+def two_locks(index):
+    with index.locked():
+        epoch = index.mutation_epoch
+    with index.locked():
+        overlay = index.overlay_snapshot()  # BAD: second acquisition
+    return epoch, overlay

@@ -1,0 +1,20 @@
+"""RL005 clean cases: one-acquisition captures."""
+
+
+def atomic_capture(index):
+    with index.locked():
+        epoch = index.mutation_epoch
+        overlay = index.overlay_snapshot()
+    return epoch, overlay
+
+
+def via_accessor(index):
+    return index.epoch_snapshot()
+
+
+def epoch_only(index):
+    return index.mutation_epoch
+
+
+def overlay_only(index):
+    return index.overlay_snapshot()

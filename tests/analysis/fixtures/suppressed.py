@@ -1,0 +1,19 @@
+"""Suppression fixtures: known-bad lines silenced (or not) in-line.
+
+Deliberately-broken lint fixture — excluded from the blocking CI run.
+"""
+import time
+
+
+class Index:
+    def bump(self):
+        self._mutation_epoch += 1  # repro-lint: disable=RL001
+
+    async def nap(self):
+        time.sleep(0.1)  # repro-lint: disable=all
+
+    def tombstone(self, key):
+        self._tombstones.add(key)  # repro-lint: disable=RL002
+
+    def marker_in_string(self):
+        self._mutation_epoch = "# repro-lint: disable=RL001"

@@ -1,0 +1,216 @@
+"""Engine behavior: baseline, CLI exit codes, formats, file walking."""
+import subprocess
+import sys
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import main, run_paths
+from repro.analysis.engine import (
+    apply_baseline,
+    fingerprint,
+    iter_python_files,
+    load_baseline,
+    write_baseline,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+BAD_SOURCE = '''\
+class Index:
+    def bump(self):
+        self._mutation_epoch += 1
+'''
+
+
+def _lint_file(path) -> dict:
+    return run_paths([path], respect_scope=False)
+
+
+# --------------------------------------------------------------------- #
+# The self-gate: the repository's own tree must be lint-clean
+# --------------------------------------------------------------------- #
+
+
+def test_repository_is_lint_clean():
+    result = run_paths(
+        [REPO_ROOT / d for d in ("src", "tests", "benchmarks", "examples")],
+        exclude=("tests/analysis/fixtures",))
+    findings = [(f.path, f.line, f.rule) for f, _ in result["findings"]]
+    assert findings == []
+    assert result["files"] > 60  # the walk actually covered the tree
+
+
+# --------------------------------------------------------------------- #
+# Baseline
+# --------------------------------------------------------------------- #
+
+
+def test_baseline_round_trip_blocks_nothing(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(BAD_SOURCE)
+    result = _lint_file(target)
+    assert len(result["findings"]) == 1
+    baseline_path = tmp_path / ".repro-lint-baseline"
+    write_baseline(baseline_path, result["findings"])
+    baseline = load_baseline(baseline_path)
+    blocking, matched, stale = apply_baseline(result["findings"], baseline)
+    assert blocking == [] and matched == 1 and stale == []
+
+
+def test_baseline_survives_line_drift(tmp_path):
+    # The fingerprint hashes the flagged line's text, not its number:
+    # inserting lines above a grandfathered finding must not
+    # un-baseline it.
+    target = tmp_path / "mod.py"
+    target.write_text(BAD_SOURCE)
+    baseline_path = tmp_path / ".repro-lint-baseline"
+    write_baseline(baseline_path, _lint_file(target)["findings"])
+    target.write_text("# a new comment\n# another\n" + BAD_SOURCE)
+    drifted = _lint_file(target)["findings"]
+    assert drifted[0][0].line == 5  # the finding really moved
+    blocking, matched, stale = apply_baseline(
+        drifted, load_baseline(baseline_path))
+    assert blocking == [] and matched == 1 and stale == []
+
+
+def test_fixed_finding_becomes_stale_entry(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(BAD_SOURCE)
+    baseline_path = tmp_path / ".repro-lint-baseline"
+    write_baseline(baseline_path, _lint_file(target)["findings"])
+    target.write_text(
+        "class Index:\n"
+        "    def bump(self):\n"
+        "        with self._lock:\n"
+        "            self._mutation_epoch += 1\n")
+    blocking, matched, stale = apply_baseline(
+        _lint_file(target)["findings"], load_baseline(baseline_path))
+    assert blocking == [] and matched == 0
+    assert len(stale) == 1 and stale[0][0] == "RL001"
+
+
+def test_baseline_is_a_multiset(tmp_path):
+    # Two identical lines produce two identical fingerprints; one
+    # baseline entry must excuse exactly one of them.
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "class Index:\n"
+        "    def bump(self):\n"
+        "        self._mutation_epoch += 1\n"
+        "        self._mutation_epoch += 1\n")
+    findings = _lint_file(target)["findings"]
+    assert len(findings) == 2
+    one_entry = Counter()
+    finding, fp = findings[0]
+    one_entry[(finding.rule, finding.path, fp)] = 1
+    blocking, matched, _ = apply_baseline(findings, one_entry)
+    assert matched == 1 and len(blocking) == 1
+
+
+def test_baseline_comments_and_malformed_lines(tmp_path):
+    path = tmp_path / "baseline"
+    path.write_text("# header comment\n\n"
+                    "RL001 src/mod.py:3 abcdef123456  # justified\n")
+    assert sum(load_baseline(path).values()) == 1
+    path.write_text("RL001 only-two-fields\n")
+    with pytest.raises(ValueError, match="malformed baseline"):
+        load_baseline(path)
+
+
+def test_fingerprint_is_line_number_independent():
+    from repro.analysis import Finding
+
+    lines = ["first", "        self._mutation_epoch += 1", "third"]
+    a = Finding(path="p.py", line=2, col=9, rule="RL001", message="m")
+    b = Finding(path="p.py", line=2, col=1, rule="RL001", message="other")
+    assert fingerprint(a, lines) == fingerprint(b, lines)
+    assert fingerprint(a, lines) != fingerprint(
+        a, ["first", "self._delta = None", "third"])
+
+
+# --------------------------------------------------------------------- #
+# CLI surface
+# --------------------------------------------------------------------- #
+
+
+def test_main_exit_codes(tmp_path):
+    bad = FIXTURES / "rl001_bad.py"
+    clean = FIXTURES / "rl001_clean.py"
+    assert main([str(clean), "--no-baseline"]) == 0
+    assert main([str(bad), "--no-baseline"]) == 1
+    assert main([str(tmp_path / "missing_dir")]) == 2
+
+
+def test_main_write_then_respect_baseline(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    target = tmp_path / "mod.py"
+    target.write_text(BAD_SOURCE)
+    assert main(["mod.py", "--write-baseline"]) == 0
+    # Grandfathered: the same finding no longer blocks.
+    assert main(["mod.py"]) == 0
+    # Unless the baseline is ignored.
+    assert main(["mod.py", "--no-baseline"]) == 1
+
+
+def test_github_format_emits_annotations(capsys):
+    bad = FIXTURES / "rl002_bad.py"
+    assert main([str(bad), "--no-baseline", "--format", "github"]) == 1
+    out = capsys.readouterr().out
+    assert "::error file=" in out
+    assert "title=RL002" in out
+    assert ",line=10," in out
+
+
+def test_text_format_is_path_line_col(capsys):
+    bad = FIXTURES / "rl005_bad.py"
+    assert main([str(bad), "--no-baseline"]) == 1
+    first = capsys.readouterr().out.splitlines()[0]
+    assert first.startswith(str(bad) + ":9:")
+    assert "RL005" in first
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+        assert rule in out
+
+
+def test_exclude_filters_files(tmp_path):
+    keep = tmp_path / "keep.py"
+    keep.write_text("x = 1\n")
+    skipped = tmp_path / "fixtures" / "skip.py"
+    skipped.parent.mkdir()
+    skipped.write_text("x = 1\n")
+    files = iter_python_files([tmp_path], exclude=("fixtures",))
+    assert files == [keep]
+
+
+def test_iter_python_files_rejects_non_python(tmp_path):
+    stray = tmp_path / "notes.txt"
+    stray.write_text("hi")
+    with pytest.raises(FileNotFoundError):
+        iter_python_files([stray])
+
+
+def test_module_entry_point_runs():
+    # `python -m repro.analysis` is the CI invocation; make sure the
+    # package wiring (``__main__``) stays intact.
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis",
+         str(FIXTURES / "rl001_clean.py"), "--no-baseline"],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin"})
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_cli_lint_subcommand_forwards():
+    from repro.cli import main as cli_main
+
+    assert cli_main(["lint", str(FIXTURES / "rl001_clean.py"),
+                     "--no-baseline"]) == 0
+    assert cli_main(["lint", str(FIXTURES / "rl001_bad.py"),
+                     "--no-baseline"]) == 1

@@ -233,7 +233,8 @@ class TestStaleMaxRegression:
         stale_max = index._partition_max_size[i]
         assert stale_max == len(domains[largest])
         index.remove(largest)
-        index._resolve_live_max()
+        with index.locked():
+            index._resolve_live_max_locked()
         live_sizes = [len(v) for k, v in domains.items()
                       if k != largest
                       and index._route_index(len(v)) == i]
@@ -263,7 +264,8 @@ class TestStaleMaxRegression:
             partitions=[Partition(2, 100)],
         )
         index.remove("tiny")
-        index._resolve_live_max()
+        with index.locked():
+            index._resolve_live_max_locked()
         assert index._partition_max_size[0] == 1000
         assert "huge" in index.query(sig(huge), size=1000, threshold=1.0)
 
