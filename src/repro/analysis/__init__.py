@@ -27,13 +27,19 @@ RL002  Blocking-in-async: ``time.sleep``, file/socket I/O, bare
 RL003  Determinism: bare ``random.*``, legacy ``np.random.*`` globals,
        unseeded ``default_rng()``/``RandomState()`` and
        ``time.time()`` in the reproduction-critical packages
-       (``core/``, ``lsh/``, ``minhash/``, ``loadgen/schedule.py``).
+       (``core/``, ``lsh/``, ``minhash/``, ``kernels/``,
+       ``loadgen/schedule.py``).
 RL004  IPC pickle-safety: payloads handed to a process pool (or sent
        down a pipe connection) must not close over lambdas, locks,
        mmaps, or open files.
 RL005  Epoch capture: code that reads ``mutation_epoch`` *and* takes
        an overlay snapshot must do both under one lock acquisition —
        two separate reads can pair a stale epoch with fresh tiers.
+RL006  Kernel-registry routing: direct ``fnv1a_lanes`` calls anywhere
+       in ``repro/`` (outside ``repro/kernels/``), and raw
+       ``searchsorted``/``bisect`` probe loops in ``lsh/``/``forest/``,
+       bypass ``--kernel``/``REPRO_KERNEL`` selection — route through
+       ``kernel.band_hash`` / ``kernel.probe``.
 ====== ==============================================================
 
 Findings can be suppressed per line with ``# repro-lint:

@@ -11,6 +11,7 @@ from repro.analysis.checkers.common import Checker, Finding
 from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.epoch_capture import EpochCaptureChecker
 from repro.analysis.checkers.ipc_safety import IpcSafetyChecker
+from repro.analysis.checkers.kernel_bypass import KernelBypassChecker
 from repro.analysis.checkers.lock_discipline import LockDisciplineChecker
 
 ALL_CHECKERS: tuple[Checker, ...] = (
@@ -19,6 +20,7 @@ ALL_CHECKERS: tuple[Checker, ...] = (
     DeterminismChecker(),
     IpcSafetyChecker(),
     EpochCaptureChecker(),
+    KernelBypassChecker(),
 )
 
 __all__ = ["ALL_CHECKERS", "Checker", "Finding"]

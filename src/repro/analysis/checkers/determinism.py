@@ -4,7 +4,7 @@ The accuracy harnesses compare measured precision/recall against the
 paper's Figures 4-7; those comparisons are only meaningful when the
 hashing, partitioning, and load schedules are bit-reproducible run to
 run (the LSH survey in PAPERS.md makes the same point about seeded
-hashing).  Inside ``core/``, ``lsh/``, ``minhash/`` and
+hashing).  Inside ``core/``, ``lsh/``, ``minhash/``, ``kernels/`` and
 ``loadgen/schedule.py`` this rule therefore flags:
 
 * any use of the stdlib ``random`` module's global-state API
@@ -106,5 +106,5 @@ class DeterminismChecker(Checker):
     rule_id = RULE
     title = "seeded randomness / no wall-clock in core paths"
     scope = ("repro/core/", "repro/lsh/", "repro/minhash/",
-             "loadgen/schedule.py")
+             "repro/kernels/", "loadgen/schedule.py")
     visitor_class = _Visitor

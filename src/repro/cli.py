@@ -62,6 +62,7 @@ import time
 from pathlib import Path
 
 from repro.core.ensemble import LSHEnsemble
+from repro.kernels import list_kernels
 from repro.lsh.storage import list_storage_backends, resolve_storage_backend
 from repro.minhash.generator import MinHashGenerator, SignatureFactory
 from repro.persistence import (
@@ -93,6 +94,19 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=list_storage_backends(),
                          help="bucket storage backend (recorded in the "
                               "index header and restored on load)")
+    p_build.add_argument("--bbit", type=int, default=None,
+                         choices=(8, 16),
+                         help="pack band bucket keys to 8 or 16 bits "
+                              "(smaller tables, a few extra candidate "
+                              "collisions; recorded in the index header)")
+
+    def add_kernel_arg(p) -> None:
+        p.add_argument("--kernel", default=None, choices=list_kernels(),
+                       help="hot-loop kernel backend; default: "
+                            "REPRO_KERNEL env, then the header-recorded "
+                            "name on load, then numpy")
+
+    add_kernel_arg(p_build)
 
     def add_executor_args(p) -> None:
         p.add_argument("--executor", choices=("thread", "process"),
@@ -114,6 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--no-mmap", action="store_true",
                          help="read the signature matrix into memory "
                               "instead of memory-mapping it")
+    add_kernel_arg(p_query)
     add_executor_args(p_query)
     group = p_query.add_mutually_exclusive_group(required=True)
     group.add_argument("--values", nargs="+",
@@ -188,6 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--no-mmap", action="store_true",
                          help="read signature matrices into memory "
                               "instead of memory-mapping them")
+    add_kernel_arg(p_serve)
     add_executor_args(p_serve)
 
     p_load = sub.add_parser(
@@ -226,6 +242,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write the full metric set as JSON "
                              "(the BENCH_*.json trajectory format)")
     p_load.add_argument("--no-mmap", action="store_true")
+    add_kernel_arg(p_load)
     add_executor_args(p_load)
 
     p_lint = sub.add_parser(
@@ -261,7 +278,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
     factory = SignatureFactory(num_perm=args.num_perm)
     index = LSHEnsemble(threshold=args.threshold, num_perm=args.num_perm,
                         num_partitions=args.partitions,
-                        storage_factory=resolve_storage_backend(args.backend))
+                        storage_factory=resolve_storage_backend(args.backend),
+                        kernel=args.kernel, bbit=args.bbit)
     t0 = time.perf_counter()
     index.index(
         (name, factory.lean(values), len(values))
@@ -331,7 +349,8 @@ def _run_batch_query(index, path: Path,
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    index = load_ensemble(args.index, mmap=not args.no_mmap)
+    index = load_ensemble(args.index, kernel=args.kernel,
+                          mmap=not args.no_mmap)
     # Generation alone cannot distinguish two states of a live index
     # (it only moves on rebalance); the mutation epoch pins exactly
     # which contents these answers reflect.
@@ -442,7 +461,8 @@ def _cmd_rebalance(args: argparse.Namespace) -> int:
 
 def _load_serving_index(path: Path, mmap: bool, executor: str = "thread",
                         workers: int | None = None,
-                        start_method: str | None = None):
+                        start_method: str | None = None,
+                        kernel: str | None = None):
     """Load any saved index for serving: flat file, dynamic manifest
     directory, or ShardedEnsemble cluster directory.
 
@@ -466,8 +486,9 @@ def _load_serving_index(path: Path, mmap: bool, executor: str = "thread",
             return ShardedEnsemble.load(path, mmap=mmap,
                                         executor=executor,
                                         num_workers=workers,
-                                        start_method=start_method)
-    return load_ensemble(path, mmap=mmap)
+                                        start_method=start_method,
+                                        kernel=kernel)
+    return load_ensemble(path, kernel=kernel, mmap=mmap)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -478,7 +499,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     index = _load_serving_index(args.index, mmap=not args.no_mmap,
                                 executor=args.executor,
                                 workers=args.workers,
-                                start_method=args.start_method)
+                                start_method=args.start_method,
+                                kernel=args.kernel)
     sharded = hasattr(index, "shards")
     server = QueryServer(
         index, host=args.host, port=args.port,
@@ -528,7 +550,8 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     index = _load_serving_index(args.index, mmap=not args.no_mmap,
                                 executor=args.executor,
                                 workers=args.workers,
-                                start_method=args.start_method)
+                                start_method=args.start_method,
+                                kernel=args.kernel)
     print("loadtest %s: profile %s, %.0f peak rps over %.1fs, seed %d"
           % (args.index, profile.name, args.rps, args.seconds,
              args.seed), flush=True)
@@ -581,6 +604,10 @@ def _cmd_info(args: argparse.Namespace) -> int:
     if header["version"] >= 2:
         print("backend:        %s" % header.get("storage"))
         print("partitioner:    %s" % header.get("partitioner"))
+        print("kernel:         %s%s"
+              % (header.get("kernel") or "(unrecorded)",
+                 ", bbit %d band keys" % header["bbit"]
+                 if header.get("bbit") else ""))
     try:
         index = load_ensemble(args.index)
     except FormatError as exc:

@@ -67,10 +67,11 @@ from repro.core.partitioner import (
 )
 from repro.core.tuning import (
     TuningResult,
-    ratio_bucket,
+    ratio_buckets,
     tune_params_quantized,
 )
 from repro.forest.prefix_forest import PrefixForest, default_forest_shape
+from repro.kernels import get_kernel, validate_bbit
 from repro.lsh.storage import DictHashTableStorage
 from repro.minhash.batch import SignatureBatch
 from repro.minhash.lean import LeanMinHash
@@ -217,6 +218,18 @@ class LSHEnsemble:
         data, or a custom callable.
     storage_factory:
         Bucket backend for the underlying forests.
+    kernel:
+        Hot-loop backend name or :class:`~repro.kernels.Kernel`
+        instance for every forest of the ensemble (band hashing,
+        probing, candidate merge — see :mod:`repro.kernels`).  Defaults
+        to the process selection (``REPRO_KERNEL`` env, then ``numpy``)
+        and is recorded in snapshot headers so loaded indexes and pool
+        workers adopt the builder's choice.
+    bbit:
+        b-bit band-key packing (None / 8 / 16) applied to every
+        forest; persisted in snapshot headers.  Packed keys cut probe
+        memory bandwidth 8x/4x and can only *add* candidates (recall
+        never drops).
     auto_rebalance_at:
         Optional drift-score threshold in ``(0, 1]``.  When set, every
         :meth:`insert` / :meth:`remove` checks the (O(partitions)) drift
@@ -236,6 +249,7 @@ class LSHEnsemble:
                  num_trees: int | None = None, max_depth: int | None = None,
                  partitioner=equi_depth_partitions,
                  storage_factory=DictHashTableStorage,
+                 kernel=None, bbit=None,
                  auto_rebalance_at: float | None = None) -> None:
         if not 0.0 <= threshold <= 1.0:
             raise ValueError("threshold must be in [0, 1]")
@@ -264,6 +278,8 @@ class LSHEnsemble:
         self.max_depth = int(max_depth)
         self._partitioner = partitioner
         self._storage_factory = storage_factory
+        self._kernel = get_kernel(kernel)
+        self.bbit = validate_bbit(bbit)
         self._partitions: list[Partition] = []
         self._forests: list[PrefixForest] = []
         # Keys *physically* present in the base-tier forests, including
@@ -371,7 +387,8 @@ class LSHEnsemble:
                     seen.add(key)
             self._forests = [
                 PrefixForest(self.num_perm, self.num_trees, self.max_depth,
-                             storage_factory=self._storage_factory)
+                             storage_factory=self._storage_factory,
+                             kernel=self._kernel, bbit=self.bbit)
                 for _ in self._partitions
             ]
             self._partition_max_size = [0] * len(self._partitions)
@@ -514,7 +531,8 @@ class LSHEnsemble:
         self._partitions = list(partitions)
         self._forests = [
             PrefixForest(self.num_perm, self.num_trees, self.max_depth,
-                         storage_factory=self._storage_factory)
+                         storage_factory=self._storage_factory,
+                         kernel=self._kernel, bbit=self.bbit)
             for _ in self._partitions
         ]
         self._partition_max_size = [int(m) for m in partition_max_size]
@@ -576,7 +594,8 @@ class LSHEnsemble:
             num_partitions=min(4, self.num_partitions),
             num_trees=self.num_trees, max_depth=self.max_depth,
             partitioner=self._partitioner,
-            storage_factory=self._storage_factory)
+            storage_factory=self._storage_factory,
+            kernel=self._kernel, bbit=self.bbit)
 
     def _route_index(self, size: int) -> int:
         """Base partition index for ``size`` (clamped into range)."""
@@ -822,7 +841,8 @@ class LSHEnsemble:
         self._partitions = list(partitions)
         self._forests = [
             PrefixForest(self.num_perm, self.num_trees, self.max_depth,
-                         storage_factory=self._storage_factory)
+                         storage_factory=self._storage_factory,
+                         kernel=self._kernel, bbit=self.bbit)
             for _ in self._partitions
         ]
         self._partition_max_size = [0] * len(self._partitions)
@@ -1070,20 +1090,28 @@ class LSHEnsemble:
             if t_star > 0:
                 # Vectorised form of the per-query prune: a domain of at
                 # most u values cannot contain t* of a larger query.
-                survivors = np.nonzero(t_star * qs_arr <= u)[0].tolist()
-                if not survivors:
+                survivors = np.nonzero(t_star * qs_arr <= u)[0]
+                if not survivors.size:
                     continue
             else:
-                survivors = range(n)
+                survivors = np.arange(n)
             # Per-signature parameter selection, shared per ratio bucket:
             # tuning depends on (u, q) only through ratio_bucket(u, q)
             # (the quantised tuner's memo key), so queries in one bucket
-            # are tuned once and probed together.
-            buckets: dict[int, list[int]] = {}
-            for j in survivors:
-                buckets.setdefault(ratio_bucket(u, qs[j]), []).append(j)
+            # are tuned once and probed together.  The bucketing itself
+            # is one vectorised pass (ratio_buckets agrees with the
+            # scalar ratio_bucket exactly); a stable sort then yields
+            # each bucket's rows as one slice.
+            bkts = ratio_buckets(u, qs_arr[survivors])
+            order = np.argsort(bkts, kind="stable")
+            sorted_rows = survivors[order]
+            sorted_bkts = bkts[order]
+            starts = np.concatenate(
+                ([0], np.nonzero(np.diff(sorted_bkts))[0] + 1,
+                 [sorted_bkts.size]))
             groups: dict[tuple[int, int], list[int]] = {}
-            for rows in buckets.values():
+            for s, e in zip(starts[:-1].tolist(), starts[1:].tolist()):
+                rows = sorted_rows[s:e].tolist()
                 tuning = tune_params_quantized(
                     u, qs[rows[0]], t_star, self.num_trees, self.max_depth,
                     self.num_perm)
@@ -1268,6 +1296,11 @@ class LSHEnsemble:
     def partitions(self) -> list[Partition]:
         """The partition intervals the base tier was built with."""
         return list(self._partitions)
+
+    @property
+    def kernel(self):
+        """The resolved hot-loop kernel backend (see :mod:`repro.kernels`)."""
+        return self._kernel
 
     @property
     def generation(self) -> int:

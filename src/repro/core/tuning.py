@@ -35,7 +35,8 @@ from repro.core.containment import containment_to_jaccard
 _trapezoid = getattr(np, "trapezoid", None) or np.trapz  # numpy 1.x fallback
 
 __all__ = ["tune_params", "tune_params_quantized", "fp_fn_mass",
-           "TuningResult", "quantize_query_size", "ratio_bucket"]
+           "TuningResult", "quantize_query_size", "ratio_bucket",
+           "ratio_buckets"]
 
 _GRID_POINTS = 96
 
@@ -200,6 +201,21 @@ def quantize_query_size(q: int) -> int:
     return int(round(2.0 ** (exponent / _Q_BUCKETS_PER_OCTAVE)))
 
 
+# Bucket edges: _RATIO_EDGES[i] is the upper edge of bucket
+# ``_RATIO_BUCKET_MIN + i``, i.e. 2^((k + 0.5) / 8).  Bucketing by exact
+# comparison against this table (instead of ``round(log2(ratio) * 8)``)
+# makes the scalar and the vectorised bucketing identical by
+# construction — both reduce to the same float compares — so the batch
+# query path can never disagree with per-query tuning over a log2 ULP.
+# +/-512 buckets span size ratios of 2^+/-64, far beyond any real
+# (partition bound, query size) pair; beyond that the bucket clamps.
+_RATIO_BUCKET_MIN = -512
+_RATIO_EDGES = np.array(
+    [2.0 ** ((k + 0.5) / _Q_BUCKETS_PER_OCTAVE)
+     for k in range(_RATIO_BUCKET_MIN, -_RATIO_BUCKET_MIN + 1)],
+    dtype=np.float64)
+
+
 def ratio_bucket(u: float, q: float) -> int:
     """The geometric-grid bucket of the size ratio ``u / q``.
 
@@ -210,7 +226,22 @@ def ratio_bucket(u: float, q: float) -> int:
     """
     if u <= 0 or q <= 0:
         raise ValueError("u and q must be positive")
-    return round(math.log2(u / q) * _Q_BUCKETS_PER_OCTAVE)
+    return _RATIO_BUCKET_MIN + int(
+        np.searchsorted(_RATIO_EDGES, u / q, side="right"))
+
+
+def ratio_buckets(u: float, qs: np.ndarray) -> np.ndarray:
+    """:func:`ratio_bucket` for one ``u`` against many query sizes.
+
+    One division and one ``searchsorted`` pass; element ``i`` equals
+    ``ratio_bucket(u, qs[i])`` exactly (identical float compares), which
+    the batch query path relies on to group queries by tuning without a
+    per-query Python call.
+    """
+    if u <= 0:
+        raise ValueError("u must be positive")
+    return _RATIO_BUCKET_MIN + np.searchsorted(
+        _RATIO_EDGES, u / qs, side="right")
 
 
 def tune_params_quantized(u: int, q: int, t_star: float, num_trees: int,

@@ -15,6 +15,10 @@ from repro.datagen.queries import (
     sample_queries,
     smallest_decile_queries,
 )
+from repro.datagen.stream import (
+    SignatureBlock,
+    stream_signature_blocks,
+)
 from repro.datagen.tables import (
     ATTRIBUTE_POOLS,
     Table,
@@ -32,6 +36,8 @@ __all__ = [
     "sample_queries",
     "smallest_decile_queries",
     "largest_decile_queries",
+    "SignatureBlock",
+    "stream_signature_blocks",
     "Table",
     "TableCorpus",
     "generate_tables",

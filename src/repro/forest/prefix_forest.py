@@ -22,14 +22,12 @@ from collections.abc import Hashable, Sequence
 
 import numpy as np
 
-from repro.lsh.storage import DictHashTableStorage, fnv1a_lanes
+from repro.kernels import (ProbeIndex, band_dtype, get_kernel, pack_block,
+                           pack_row, validate_bbit)
+from repro.lsh.storage import DictHashTableStorage
 from repro.minhash.batch import as_signature_matrix, prepare_bulk_insert
 from repro.minhash.lean import LeanMinHash
 from repro.minhash.minhash import MinHash
-
-# Band bucket keys are packed uint64 bytes; a depth-d prefix of a band is
-# its first d * 8 bytes.
-_ITEM = 8
 
 # Batches probing fewer than this many (row, tree) pairs use the plain
 # per-tree loop; the numpy prefilter's fixed call cost needs volume to
@@ -76,11 +74,22 @@ class PrefixForest:
         Upper bound ``K`` on the per-query rows-per-band ``r``.
     storage_factory:
         Bucket backend, shared with :mod:`repro.lsh.storage`.
+    kernel:
+        Hot-loop backend (a registered name or
+        :class:`~repro.kernels.Kernel` instance); defaults to the
+        process selection (``REPRO_KERNEL`` env, then ``numpy``).
+    bbit:
+        b-bit band-key packing: None stores full uint64 lanes (the
+        default), 8 or 16 keeps only each hash value's low bits in
+        bucket keys — an 8x / 4x memory-bandwidth cut on the probe
+        path at the cost of extra candidate collisions (recall can
+        only grow; see :mod:`repro.kernels.packing`).
     """
 
     def __init__(self, num_perm: int = 256, num_trees: int | None = None,
                  max_depth: int | None = None,
-                 storage_factory=DictHashTableStorage) -> None:
+                 storage_factory=DictHashTableStorage,
+                 kernel=None, bbit=None) -> None:
         if num_perm < 2:
             raise ValueError("num_perm must be at least 2")
         if num_trees is None or max_depth is None:
@@ -97,12 +106,25 @@ class PrefixForest:
         self.num_perm = int(num_perm)
         self.num_trees = int(num_trees)
         self.max_depth = int(max_depth)
+        self._kernel = get_kernel(kernel)
+        self.bbit = validate_bbit(bbit)
+        # Band bucket keys are packed `_band_dtype` bytes; a depth-d
+        # prefix of a band is its first d * itemsize bytes.
+        self._band_dtype = band_dtype(self.bbit)
+        self._item = self._band_dtype.itemsize
         # _tables[tree][depth-1] maps the length-`depth` prefix of the
         # tree's band to the set of keys stored under it.
         self._tables = [
             [storage_factory() for _ in range(self.max_depth)]
             for _ in range(self.num_trees)
         ]
+        for tables in self._tables:
+            for table in tables:
+                # getattr: duck-typed backends predating the kernel
+                # layer keep working (they just use the process default)
+                adopt = getattr(table, "set_kernel", None)
+                if adopt is not None:
+                    adopt(self._kernel)
         self._keys: dict[Hashable, LeanMinHash] = {}
         # Bulk-inserted signature blocks whose bucket tables have not
         # been filled at every depth yet.  Each entry is
@@ -140,12 +162,14 @@ class PrefixForest:
         # blocks keep filling on demand even on the dynamic-insert path.
         self._keys[key] = lean
         self._probe_cache.clear()
+        item = self._item
         for tree in range(self.num_trees):
             start = tree * self.max_depth
-            band = lean.band(start, start + self.max_depth)
+            band = pack_row(lean.hashvalues, start, start + self.max_depth,
+                            self._band_dtype)
             tables = self._tables[tree]
             for depth in range(1, self.max_depth + 1):
-                tables[depth - 1].insert(band[:depth * _ITEM], key)
+                tables[depth - 1].insert(band[:depth * item], key)
 
     def insert_batch(self, keys: Sequence[Hashable], batch,
                      seeds=None) -> None:
@@ -191,11 +215,11 @@ class PrefixForest:
             keys, matrix, built = block
             if r in built:
                 continue
-            stride = r * matrix.itemsize
+            stride = r * self._item
             for tree in range(self.num_trees):
                 start = tree * self.max_depth
-                buf = np.ascontiguousarray(
-                    matrix[:, start:start + r]).tobytes()
+                buf = pack_block(matrix, start, start + r,
+                                 self._band_dtype)
                 self._tables[tree][r - 1].insert_packed(buf, stride, keys)
             built.add(r)
             filled = True
@@ -230,12 +254,14 @@ class PrefixForest:
         self.materialize()
         lean = self._keys.pop(key)
         self._probe_cache.clear()
+        item = self._item
         for tree in range(self.num_trees):
             start = tree * self.max_depth
-            band = lean.band(start, start + self.max_depth)
+            band = pack_row(lean.hashvalues, start, start + self.max_depth,
+                            self._band_dtype)
             tables = self._tables[tree]
             for depth in range(1, self.max_depth + 1):
-                tables[depth - 1].remove(band[:depth * _ITEM], key)
+                tables[depth - 1].remove(band[:depth * item], key)
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -266,7 +292,8 @@ class PrefixForest:
         out: set = set()
         for tree in range(b):
             start = tree * self.max_depth
-            prefix = lean.band(start, start + r)
+            prefix = pack_row(lean.hashvalues, start, start + r,
+                              self._band_dtype)
             # get_view avoids one bucket copy per probe; the union below
             # copies the members into the fresh result set.
             out |= self._tables[tree][r - 1].get_view(prefix)
@@ -317,18 +344,22 @@ class PrefixForest:
         """
         n = matrix.shape[0]
         self._ensure_depth(r)
-        if n * b >= _MIN_VECTOR_PROBES:
+        kernel = self._kernel
+        if kernel.vectorized and n * b >= _MIN_VECTOR_PROBES:
             index = self._probe_index(r)
             if index is not None:
-                hashes, key_lanes, buckets, ambiguous = index
-                if not hashes.size:
+                if not index.hashes.size:
                     return  # no stored prefixes at this depth
                 K = self.max_depth
                 lanes = matrix[:, :b * K].reshape(n, b, K)[:, :, :r]
-                probes = fnv1a_lanes(lanes, self._tree_salts[:b]).ravel()
-                pos = np.searchsorted(hashes, probes)
-                np.minimum(pos, hashes.size - 1, out=pos)
-                hits = np.nonzero(hashes[pos] == probes)[0]
+                if self.bbit is not None:
+                    # Truncate to the packed lanes, widened back to
+                    # uint64 so probe hashing matches the stored keys'.
+                    lanes = lanes.astype(self._band_dtype).astype(
+                        np.uint64)
+                probes = kernel.band_hash(lanes,
+                                          self._tree_salts[:b]).ravel()
+                pos, hits = kernel.probe_hits(index, probes)
                 if not hits.size:
                     return
                 hit_rows = hits // b
@@ -337,56 +368,54 @@ class PrefixForest:
                 # Exact verification, still vectorised: a hash match only
                 # counts when the stored entry's tree and prefix lanes
                 # equal the probe's (64-bit collisions are dropped here).
-                key_trees, key_prefixes = key_lanes
-                verified = (key_trees[hit_pos] == hit_trees) & (
-                    key_prefixes[hit_pos]
+                verified = (index.tree_ids[hit_pos] == hit_trees) & (
+                    index.prefix_lanes[hit_pos]
                     == lanes[hit_rows, hit_trees, :]).all(axis=1)
                 ver = np.nonzero(verified)[0]
-                for j, p in zip(hit_rows[ver].tolist(),
-                                hit_pos[ver].tolist()):
-                    bucket = buckets[p]
-                    if bucket:
-                        results[rows[j]] |= bucket
-                if ambiguous and ver.size != hits.size:
+                kernel.merge(results, rows, hit_rows[ver], hit_pos[ver],
+                             index)
+                if index.ambiguous and ver.size != hits.size:
                     # A failed lane check can also mean the probe matched
                     # the second entry of a stored-duplicate hash run
                     # (searchsorted lands on the first): re-check those
                     # probes against the real tables.
                     for i in np.nonzero(~verified)[0].tolist():
-                        if int(probes[hits[i]]) not in ambiguous:
+                        if int(probes[hits[i]]) not in index.ambiguous:
                             continue
                         j = int(hit_rows[i])
                         start = int(hit_trees[i]) * K
                         bucket = self._tables[int(hit_trees[i])][
                             r - 1].get_view(
-                            matrix[j, start:start + r].tobytes())
+                            pack_row(matrix[j], start, start + r,
+                                     self._band_dtype))
                         if bucket:
                             results[rows[j]] |= bucket
                 return
-        stride = r * matrix.itemsize
+        stride = r * self._item
         for tree in range(b):
             start = tree * self.max_depth
-            buf = np.ascontiguousarray(matrix[:, start:start + r]).tobytes()
+            buf = pack_block(matrix, start, start + r, self._band_dtype)
             self._tables[tree][r - 1].merge_packed(buf, stride, results,
                                                    rows)
 
-    def _probe_index(self, r: int) -> tuple | None:
-        """``(sorted_hashes, key_lanes, buckets, ambiguous)`` for depth ``r``.
+    def _probe_index(self, r: int) -> ProbeIndex | None:
+        """The depth-``r`` :class:`~repro.kernels.ProbeIndex`, or None.
 
-        ``sorted_hashes`` holds the salted hash of every stored
-        depth-``r`` prefix across all trees; ``key_lanes`` is a
-        ``(tree_ids, prefix_lanes)`` pair and ``buckets`` the live
-        bucket views, all aligned with the sort order (views stay
-        current because member mutation happens in place — any
-        bucket-key change clears the whole cache).  ``ambiguous`` is the set of hash values shared by more
-        than one (tree, prefix) — normally empty; probes whose lane
-        check fails there are re-verified against the real tables, so
-        results stay bit-exact despite 64-bit collisions.  None caches
-        "this backend cannot vectorise" (``keys()`` unsupported); the
-        caller then falls back to per-tree loops.
+        Holds the salted hash of every stored depth-``r`` prefix across
+        all trees, sorted, with per-key verification lanes and the live
+        bucket views aligned to the sort order (views stay current
+        because member mutation happens in place — any bucket-key
+        change clears the whole cache).  ``ambiguous`` is the set of
+        hash values shared by more than one (tree, prefix) — normally
+        empty; probes whose lane check fails there are re-verified
+        against the real tables, so results stay bit-exact despite
+        64-bit collisions.  None caches "this backend cannot vectorise"
+        (``keys()`` unsupported); the caller then falls back to
+        per-tree loops.
         """
         if r in self._probe_cache:
             return self._probe_cache[r]
+        kernel = self._kernel
         parts: list[np.ndarray] = []
         lane_parts: list[np.ndarray] = []
         tree_parts: list[np.ndarray] = []
@@ -398,8 +427,12 @@ class PrefixForest:
                 if not keys:
                     continue
                 lanes = np.frombuffer(b"".join(keys),
-                                      dtype=np.uint64).reshape(len(keys), r)
-                parts.append(fnv1a_lanes(lanes, self._tree_salts[tree]))
+                                      dtype=self._band_dtype).reshape(
+                                          len(keys), r)
+                if self.bbit is not None:
+                    lanes = lanes.astype(np.uint64)
+                parts.append(kernel.band_hash(lanes,
+                                              self._tree_salts[tree]))
                 lane_parts.append(lanes)
                 tree_parts.append(np.full(len(keys), tree, dtype=np.intp))
                 views.extend(table.get_view(k) for k in keys)
@@ -407,26 +440,33 @@ class PrefixForest:
             self._probe_cache[r] = None
             return None
         if not parts:
-            index = (np.empty(0, dtype=np.uint64),
-                     (np.empty(0, dtype=np.intp),
-                      np.empty((0, r), dtype=np.uint64)), [], frozenset())
+            index = ProbeIndex(np.empty(0, dtype=np.uint64),
+                               np.empty(0, dtype=np.intp),
+                               np.empty((0, r), dtype=np.uint64), [],
+                               frozenset())
             self._probe_cache[r] = index
             return index
         hashes = np.concatenate(parts)
         order = np.argsort(hashes, kind="stable")
         sorted_hashes = hashes[order]
-        key_lanes = (np.concatenate(tree_parts)[order],
-                     np.concatenate(lane_parts)[order])
         buckets = [views[i] for i in order.tolist()]
         dup = sorted_hashes[1:] == sorted_hashes[:-1]
         ambiguous = frozenset(sorted_hashes[:-1][dup].tolist())
-        index = (sorted_hashes, key_lanes, buckets, ambiguous)
+        index = ProbeIndex(sorted_hashes,
+                           np.concatenate(tree_parts)[order],
+                           np.concatenate(lane_parts)[order], buckets,
+                           ambiguous)
         self._probe_cache[r] = index
         return index
 
     def get_signature(self, key: Hashable) -> LeanMinHash:
         """The stored signature for ``key`` (KeyError when absent)."""
         return self._keys[key]
+
+    @property
+    def kernel(self):
+        """The resolved hot-loop kernel backend."""
+        return self._kernel
 
     # ------------------------------------------------------------------ #
     # Introspection

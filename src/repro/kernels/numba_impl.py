@@ -1,0 +1,84 @@
+"""The optional ``numba`` kernel backend.
+
+Importing this module requires numba; :mod:`repro.kernels` guards the
+import and registers the backend only when it succeeds, so numba is
+never a hard dependency (the container image may not ship it — CI and
+the property suite self-skip).  The hash and probe loops are compiled
+with ``@njit(cache=True)``; the merge stays the numpy columnar one
+(set-valued buckets don't lower to nopython mode, and merge is not the
+bottleneck once hash+probe are compiled).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit  # hard import: the registry guards it
+
+from repro.kernels.numpy_impl import NumpyKernel
+
+__all__ = ["NumbaKernel"]
+
+_FNV_OFFSET = np.uint64(0xCBF29CE484222325)
+_FNV_PRIME = np.uint64(0x100000001B3)
+
+
+@njit(cache=True)
+def _band_hash_flat(lanes, salts, out):  # pragma: no cover - needs numba
+    n, r = lanes.shape
+    for i in range(n):
+        h = _FNV_OFFSET ^ salts[i]
+        for c in range(r):
+            h = (h ^ lanes[i, c]) * _FNV_PRIME
+        out[i] = h
+
+
+@njit(cache=True)
+def _probe_flat(sorted_hashes, probes, pos,
+                hits):  # pragma: no cover - needs numba
+    m = sorted_hashes.size
+    k = 0
+    for i in range(probes.size):
+        p = probes[i]
+        lo, hi = 0, m
+        while lo < hi:
+            mid = (lo + hi) >> 1
+            if sorted_hashes[mid] < p:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo >= m:
+            lo = m - 1
+        pos[i] = lo
+        if sorted_hashes[lo] == p:
+            hits[k] = i
+            k += 1
+    return k
+
+
+class NumbaKernel(NumpyKernel):
+    """Compiled hash + probe; numpy columnar merge."""
+
+    name = "numba"
+    vectorized = True
+
+    def band_hash(self, lanes, salt=None):
+        lanes = np.ascontiguousarray(lanes, dtype=np.uint64)
+        shape = lanes.shape[:-1]
+        if salt is None:
+            salts = np.zeros(shape, dtype=np.uint64)
+        else:
+            salts = np.ascontiguousarray(
+                np.broadcast_to(np.asarray(salt, dtype=np.uint64), shape))
+        out = np.empty(shape, dtype=np.uint64)
+        _band_hash_flat(lanes.reshape(-1, lanes.shape[-1]),
+                        salts.reshape(-1), out.reshape(-1))
+        return out
+
+    def probe(self, sorted_hashes, probes):
+        probes = np.ascontiguousarray(probes, dtype=np.uint64)
+        pos = np.empty(probes.size, dtype=np.intp)
+        hits = np.empty(probes.size, dtype=np.intp)
+        k = _probe_flat(np.ascontiguousarray(sorted_hashes,
+                                             dtype=np.uint64),
+                        probes, pos, hits)
+        return pos, hits[:k].copy()

@@ -1,0 +1,72 @@
+"""The ``python`` kernel backend — the bit-exact reference.
+
+``vectorized`` is False, so the forest and storage layers answer every
+query through their plain per-probe dict loops — the code the project
+started with, and the semantics every other backend is property-tested
+against.  The op methods below are *also* implemented in pure Python
+(integer FNV, ``bisect`` probing, per-bucket set unions) so the suite
+can pin each vectorised op against its scalar twin in isolation, not
+just end-to-end query results.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+import numpy as np
+
+from repro.kernels.base import Kernel, ProbeIndex
+
+__all__ = ["PythonKernel"]
+
+_OFFSET = 0xCBF29CE484222325
+_PRIME = 0x100000001B3
+_MASK = (1 << 64) - 1
+
+
+class PythonKernel(Kernel):
+    """Scalar reference ops; dispatches callers to their plain loops."""
+
+    name = "python"
+    vectorized = False
+
+    def band_hash(self, lanes, salt=None):
+        lanes = np.asarray(lanes, dtype=np.uint64)
+        shape = lanes.shape[:-1]
+        if salt is None:
+            salts = np.zeros(shape, dtype=np.uint64)
+        else:
+            salts = np.broadcast_to(np.asarray(salt, dtype=np.uint64),
+                                    shape)
+        out = np.empty(shape, dtype=np.uint64)
+        flat_lanes = lanes.reshape(-1, lanes.shape[-1])
+        flat_salts = salts.reshape(-1)
+        flat_out = out.reshape(-1)
+        for i in range(flat_lanes.shape[0]):
+            h = _OFFSET ^ int(flat_salts[i])
+            for lane in flat_lanes[i].tolist():
+                h = ((h ^ lane) * _PRIME) & _MASK
+            flat_out[i] = h
+        return out
+
+    def probe(self, sorted_hashes, probes):
+        # O(table) listify per call: this op only runs in the parity
+        # suite (vectorized=False keeps it off every query path).
+        table = sorted_hashes.tolist()
+        last = len(table) - 1
+        pos = np.empty(len(probes), dtype=np.intp)
+        hits = []
+        for i, p in enumerate(np.asarray(probes).tolist()):
+            k = min(bisect_left(table, p), last)
+            pos[i] = k
+            if table[k] == p:
+                hits.append(i)
+        return pos, np.asarray(hits, dtype=np.intp)
+
+    def merge(self, results, rows, hit_rows, hit_pos, index: ProbeIndex):
+        buckets = index.buckets
+        for j, p in zip(np.asarray(hit_rows).tolist(),
+                        np.asarray(hit_pos).tolist()):
+            bucket = buckets[p]
+            if bucket:
+                results[rows[j]] |= bucket

@@ -15,8 +15,8 @@ from __future__ import annotations
 
 from collections.abc import Hashable, Sequence
 
-import numpy as np
-
+from repro.kernels import band_dtype, get_kernel, pack_block, pack_row, \
+    validate_bbit
 from repro.lsh.params import optimal_params
 from repro.lsh.storage import BandedStorage, DictHashTableStorage
 from repro.minhash.batch import as_signature_matrix, prepare_bulk_insert
@@ -51,12 +51,20 @@ class MinHashLSH:
         Penalty weights handed to the tuner (ignored when ``params`` given).
     storage_factory:
         Bucket backend constructor, by default in-memory dicts.
+    kernel:
+        Hot-loop backend name or instance (see :mod:`repro.kernels`);
+        defaults to the process selection (``REPRO_KERNEL``, then
+        ``numpy``).
+    bbit:
+        b-bit band-key packing (None / 8 / 16); narrower bucket keys
+        trade extra candidate collisions for memory bandwidth.
     """
 
     def __init__(self, threshold: float = 0.9, num_perm: int = 256,
                  params: tuple[int, int] | None = None,
                  fp_weight: float = 0.5, fn_weight: float = 0.5,
-                 storage_factory=DictHashTableStorage) -> None:
+                 storage_factory=DictHashTableStorage,
+                 kernel=None, bbit=None) -> None:
         if num_perm < 2:
             raise ValueError("num_perm must be at least 2")
         self.num_perm = int(num_perm)
@@ -72,8 +80,17 @@ class MinHashLSH:
                                   fp_weight, fn_weight)
         self.b = int(b)
         self.r = int(r)
-        self._storage = BandedStorage(self.b, storage_factory)
+        self._kernel = get_kernel(kernel)
+        self.bbit = validate_bbit(bbit)
+        self._band_dtype = band_dtype(self.bbit)
+        self._storage = BandedStorage(self.b, storage_factory,
+                                      kernel=self._kernel)
         self._keys: dict[Hashable, LeanMinHash] = {}
+
+    @property
+    def kernel(self):
+        """The resolved hot-loop kernel backend."""
+        return self._kernel
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -95,8 +112,9 @@ class MinHashLSH:
             raise ValueError("key %r is already in the index" % (key,))
         self._keys[key] = lean
         for i in range(self.b):
-            self._storage.insert(i, lean.band(i * self.r, (i + 1) * self.r),
-                                 key)
+            band = pack_row(lean.hashvalues, i * self.r, (i + 1) * self.r,
+                            self._band_dtype)
+            self._storage.insert(i, band, key)
 
     def insert_batch(self, keys: Sequence[Hashable], batch,
                      seeds=None) -> None:
@@ -117,10 +135,10 @@ class MinHashLSH:
         if not keys:
             return
         self._keys.update(zip(keys, signatures))
-        stride = self.r * matrix.itemsize
+        stride = self.r * self._band_dtype.itemsize
         for i in range(self.b):
-            buf = np.ascontiguousarray(
-                matrix[:, i * self.r:(i + 1) * self.r]).tobytes()
+            buf = pack_block(matrix, i * self.r, (i + 1) * self.r,
+                             self._band_dtype)
             self._storage.tables[i].insert_packed(buf, stride, keys)
 
     def remove(self, key: Hashable) -> None:
@@ -129,8 +147,9 @@ class MinHashLSH:
         if lean is None:
             raise KeyError(key)
         for i in range(self.b):
-            self._storage.remove(i, lean.band(i * self.r, (i + 1) * self.r),
-                                 key)
+            band = pack_row(lean.hashvalues, i * self.r, (i + 1) * self.r,
+                            self._band_dtype)
+            self._storage.remove(i, band, key)
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -146,7 +165,8 @@ class MinHashLSH:
             )
         out: set = set()
         for i in range(self.b):
-            band = lean.band(i * self.r, (i + 1) * self.r)
+            band = pack_row(lean.hashvalues, i * self.r, (i + 1) * self.r,
+                            self._band_dtype)
             out |= self._storage.tables[i].get_view(band)
         return out
 
@@ -167,10 +187,10 @@ class MinHashLSH:
             return []
         results: list[set] = [set() for _ in range(n)]
         rows = range(n)
-        stride = self.r * matrix.itemsize
+        stride = self.r * self._band_dtype.itemsize
         for i in range(self.b):
-            buf = np.ascontiguousarray(
-                matrix[:, i * self.r:(i + 1) * self.r]).tobytes()
+            buf = pack_block(matrix, i * self.r, (i + 1) * self.r,
+                             self._band_dtype)
             self._storage.merge_packed(i, buf, stride, results, rows)
         return results
 

@@ -5,6 +5,11 @@ that bucket.  The paper's deployment spreads buckets over a cluster; here
 storage is a small abstraction so the index code never touches a concrete
 dict directly — swapping in a different backend (shared memory, disk) only
 requires implementing :class:`HashTableStorage`.
+
+Batched probes dispatch through the kernel registry
+(:mod:`repro.kernels`): a vectorised kernel answers ``merge_packed``
+with one hash pass and one binary search over the whole batch, while the
+``python`` reference kernel keeps the plain dict loop.
 """
 
 from __future__ import annotations
@@ -12,6 +17,9 @@ from __future__ import annotations
 from collections.abc import Hashable, Iterator, Sequence
 
 import numpy as np
+
+from repro.kernels import SortedHashes, get_kernel, lanes_from_bytes
+from repro.kernels import fnv1a_lanes  # noqa: F401 — back-compat re-export
 
 __all__ = ["HashTableStorage", "DictHashTableStorage", "BandedStorage",
            "fnv1a_lanes", "register_storage_backend",
@@ -24,29 +32,6 @@ __all__ = ["HashTableStorage", "DictHashTableStorage", "BandedStorage",
 # _MIN_VECTOR_PROBES, where numpy call overhead exceeds the dict loop.
 _MIN_VECTOR_KEYS = 64
 _MIN_VECTOR_PROBES = 32
-
-_FNV_OFFSET = np.uint64(0xCBF29CE484222325)
-_FNV_PRIME = np.uint64(0x100000001B3)
-
-
-def fnv1a_lanes(lanes: np.ndarray,
-                salt: np.ndarray | np.uint64 | None = None) -> np.ndarray:
-    """Vectorised FNV-1a over the uint64 lanes of packed bucket keys.
-
-    ``lanes`` holds one key per row (last axis = the key's 8-byte lanes);
-    returns one uint64 hash per row.  Used as a *prefilter*: batch probes
-    are resolved against a sorted array of stored-key hashes, and only
-    rows whose hash matches are verified against the real table — a
-    64-bit collision can therefore cost a wasted lookup, never a wrong
-    result.  ``salt`` distinguishes key spaces sharing one index (e.g.
-    one hash array for all trees of a forest).
-    """
-    h = np.bitwise_xor(_FNV_OFFSET if salt is None else _FNV_OFFSET ^ salt,
-                       lanes[..., 0])
-    h = h * _FNV_PRIME
-    for c in range(1, lanes.shape[-1]):
-        h = (h ^ lanes[..., c]) * _FNV_PRIME
-    return h
 
 
 class HashTableStorage:
@@ -112,6 +97,11 @@ class HashTableStorage:
     def remove(self, bucket_key: Hashable, key: Hashable) -> None:
         raise NotImplementedError
 
+    def set_kernel(self, kernel) -> None:
+        """Adopt ``kernel`` (a :class:`repro.kernels.Kernel`) for packed
+        probe dispatch.  The default is a no-op: backends without a
+        vectorised path simply ignore the hint."""
+
     def __len__(self) -> int:
         raise NotImplementedError
 
@@ -130,13 +120,19 @@ class DictHashTableStorage(HashTableStorage):
     the next batch probe.
     """
 
-    __slots__ = ("_table", "_packed")
+    __slots__ = ("_table", "_packed", "_kernel")
 
     def __init__(self) -> None:
         self._table: dict[Hashable, set] = {}
-        # (stride, (sorted_void_keys, aligned_bucket_list)) or
-        # (stride, None) when keys are not uniform `stride`-byte strings.
-        self._packed: tuple[int, tuple | None] | None = None
+        # (stride, sorted_hash_index) or (stride, None) when keys are
+        # not uniform `stride`-byte strings.
+        self._packed: tuple[int, object | None] | None = None
+        # Kernel adopted from the owning index (None: resolve the
+        # process default lazily at probe time).
+        self._kernel = None
+
+    def set_kernel(self, kernel) -> None:
+        self._kernel = kernel
 
     def insert(self, bucket_key: Hashable, key: Hashable) -> None:
         bucket = self._table.get(bucket_key)
@@ -162,51 +158,55 @@ class DictHashTableStorage(HashTableStorage):
 
     def merge_packed(self, buf: bytes, stride: int, results: Sequence[set],
                      rows: Sequence[int]) -> None:
+        kernel = self._kernel or get_kernel(None)
         n = len(buf) // stride if stride else 0
-        index = (self._packed_index(stride)
-                 if n >= _MIN_VECTOR_PROBES else None)
+        index = (self._packed_index(stride, kernel)
+                 if kernel.vectorized and n >= _MIN_VECTOR_PROBES
+                 else None)
         if index is None:
+            # The reference path (and the `python` kernel's only path):
+            # one slice + dict lookup + set union per probe.
             get = self._table.get
             for j, off in zip(rows, range(0, len(buf), stride)):
                 bucket = get(buf[off:off + stride])
                 if bucket:
                     results[j] |= bucket
             return
-        # Vectorised prefilter: hash every probe key, binary-search the
-        # sorted stored-key hashes, and fall through to real dict lookups
-        # only for rows whose hash matched (hash collisions are filtered
-        # by the lookup itself, so results stay exact).
-        lanes = np.frombuffer(buf, dtype=np.uint64).reshape(n, stride // 8)
-        probes = fnv1a_lanes(lanes)
-        pos = np.searchsorted(index, probes)
-        np.minimum(pos, index.size - 1, out=pos)
+        # Vectorised prefilter: hash every probe key, probe the stored-key
+        # hash index, and fall through to real dict lookups only for rows
+        # whose hash matched (hash collisions are filtered by the lookup
+        # itself, so results stay exact).
+        probes = kernel.band_hash(lanes_from_bytes(buf, n, stride))
+        _, hits = kernel.probe_hits(index, probes)
         get = self._table.get
-        for i in np.nonzero(index[pos] == probes)[0].tolist():
+        for i in hits.tolist():
             off = i * stride
             bucket = get(buf[off:off + stride])
             if bucket:
                 results[rows[i]] |= bucket
 
-    def _packed_index(self, stride: int) -> np.ndarray | None:
+    def _packed_index(self, stride: int, kernel):
         """Sorted hashes of all ``stride``-byte bucket keys, or None.
 
         None means "use dict lookups": the table is small, or its keys
-        are not uniform ``stride``-length byte strings whose length is a
-        multiple of 8 (generic keys are allowed by the interface; only
-        the packed-bytes layout used by the LSH band tables vectorises).
+        are not uniform ``stride``-length byte strings (generic keys are
+        allowed by the interface; only the packed-bytes layout used by
+        the LSH band tables vectorises).  b-bit packed keys (stride not
+        a multiple of 8) are hashed through their widened byte lanes —
+        see :func:`repro.kernels.lanes_from_bytes`.
         """
         cached = self._packed
         if cached is not None and cached[0] == stride:
             return cached[1]
         table = self._table
-        if len(table) < _MIN_VECTOR_KEYS or stride % 8:
+        if len(table) < _MIN_VECTOR_KEYS:
             return None
         keys = table.keys()
         if not all(isinstance(k, bytes) and len(k) == stride for k in keys):
             self._packed = (stride, None)
             return None
-        lanes = np.frombuffer(b"".join(keys), dtype=np.uint64)
-        index = np.sort(fnv1a_lanes(lanes.reshape(len(table), stride // 8)))
+        lanes = lanes_from_bytes(b"".join(keys), len(table), stride)
+        index = SortedHashes(np.sort(kernel.band_hash(lanes)))
         self._packed = (stride, index)
         return index
 
@@ -310,10 +310,14 @@ class BandedStorage:
     __slots__ = ("tables",)
 
     def __init__(self, num_bands: int,
-                 storage_factory=DictHashTableStorage) -> None:
+                 storage_factory=DictHashTableStorage,
+                 kernel=None) -> None:
         if num_bands <= 0:
             raise ValueError("num_bands must be positive")
         self.tables = [storage_factory() for _ in range(num_bands)]
+        if kernel is not None:
+            for table in self.tables:
+                table.set_kernel(kernel)
 
     def __len__(self) -> int:
         return len(self.tables)

@@ -158,7 +158,7 @@ def _apply_overlay(index, overlay: dict) -> None:
     if delta_spec is not None:
         delta_index = import_columnar(
             delta_spec, storage_factory=index._storage_factory,
-            partitioner=index._partitioner)
+            partitioner=index._partitioner, kernel=index._kernel)
     with index.locked():
         index._attach_dynamic_state_locked(
             overlay.get("tombstones") or (), delta_index,

@@ -558,7 +558,7 @@ class ShardedEnsemble:
 
     @classmethod
     def load(cls, path: str | Path, *, parallel: bool | None = None,
-             storage_factory=None, partitioner=None,
+             storage_factory=None, partitioner=None, kernel=None,
              mmap: bool = True, executor: str = "thread",
              num_workers: int | None = None,
              start_method: str | None = None) -> "ShardedEnsemble":
@@ -566,7 +566,8 @@ class ShardedEnsemble:
 
         ``parallel`` defaults to the saved setting; ``executor`` /
         ``num_workers`` / ``start_method`` select the fan-out backend
-        (see the constructor); the remaining keyword arguments are
+        (see the constructor); the remaining keyword arguments
+        (including the ``kernel`` hot-loop backend override) are
         forwarded to each shard's
         :func:`repro.persistence.load_ensemble` (same registry
         resolution and lazy-materialisation semantics).
@@ -598,7 +599,8 @@ class ShardedEnsemble:
                 shards.append(
                     load_ensemble(root / name,
                                   storage_factory=storage_factory,
-                                  partitioner=partitioner, mmap=mmap))
+                                  partitioner=partitioner, kernel=kernel,
+                                  mmap=mmap))
             except FileNotFoundError as exc:
                 raise FormatError(
                     "manifest names shard file %s but it is missing"

@@ -100,6 +100,7 @@ from repro.core.partitioner import (
     partitioner_name,
     resolve_partitioner,
 )
+from repro.kernels import kernel_for_header, kernel_name
 from repro.lsh.storage import (
     resolve_storage_backend,
     storage_backend_name,
@@ -251,6 +252,13 @@ def _base_header(index: LSHEnsemble) -> dict:
         "num_trees": index.num_trees,
         "max_depth": index.max_depth,
         "partitions": [[p.lower, p.upper] for p in index.partitions],
+        # The kernel travels by *registry name* (null for unregistered
+        # customs) and is advisory: backends are bit-identical, so a
+        # loader missing the named backend falls back rather than
+        # failing.  ``bbit`` is NOT advisory — packed bucket keys only
+        # reproduce when the loaded index truncates bands identically.
+        "kernel": kernel_name(index._kernel),
+        "bbit": index.bbit,
     }
 
 
@@ -401,12 +409,13 @@ def export_columnar(index: LSHEnsemble) -> dict:
 
 
 def import_columnar(spec: dict, *, storage_factory=None,
-                    partitioner=None) -> LSHEnsemble:
+                    partitioner=None, kernel=None) -> LSHEnsemble:
     """Rebuild an index from :func:`export_columnar` output.
 
     The factories default to the :class:`LSHEnsemble` constructor
     defaults; pass the base index's own ``storage_factory`` /
-    ``partitioner`` to keep a shipped delta tier on the same backend.
+    ``partitioner`` (and ``kernel``) to keep a shipped delta tier on
+    the same backend as the base index it rides on.
     """
     try:
         header = spec["header"]
@@ -424,7 +433,7 @@ def import_columnar(spec: dict, *, storage_factory=None,
     matrix = np.ascontiguousarray(spec["matrix"], dtype=np.uint64)
     matrix.setflags(write=False)
     seeds = np.asarray(spec["seeds"], dtype=np.int64)
-    index = _make_ensemble(header, storage_factory, partitioner)
+    index = _make_ensemble(header, storage_factory, partitioner, kernel)
     with index.locked():
         index._restore_columnar_locked(partitions, keys, sizes, matrix,
                                        seeds, partition_rows,
@@ -670,7 +679,8 @@ def _resolve_factories(header: dict, storage_factory, partitioner,
     return storage_factory, partitioner
 
 
-def _make_ensemble(header: dict, storage_factory, partitioner) -> LSHEnsemble:
+def _make_ensemble(header: dict, storage_factory, partitioner,
+                   kernel=None) -> LSHEnsemble:
     kwargs = {}
     if storage_factory is not None:
         kwargs["storage_factory"] = storage_factory
@@ -684,12 +694,15 @@ def _make_ensemble(header: dict, storage_factory, partitioner) -> LSHEnsemble:
         num_partitions=header["num_partitions"],
         num_trees=header["num_trees"],
         max_depth=header["max_depth"],
+        kernel=kernel_for_header(header.get("kernel"), kernel),
+        bbit=header.get("bbit"),
         **kwargs,
     )
 
 
 def load_ensemble(path: str | Path, *, storage_factory=None,
-                  partitioner=None, mmap: bool = True) -> LSHEnsemble:
+                  partitioner=None, kernel=None,
+                  mmap: bool = True) -> LSHEnsemble:
     """Load an index previously written by :func:`save_ensemble`.
 
     The returned index answers queries identically to the saved one
@@ -709,6 +722,14 @@ def load_ensemble(path: str | Path, *, storage_factory=None,
         :class:`FormatError` rather than silently reverting to the
         defaults.  v1 files carry no names, so the constructor defaults
         apply unless overridden here.
+    kernel:
+        Hot-loop backend override (name or :class:`~repro.kernels.Kernel`
+        instance).  Unlike the factories, the header-recorded kernel
+        name is advisory: precedence is this argument, then the
+        ``REPRO_KERNEL`` environment, then the header name, then the
+        default — and an unavailable header name (e.g. numba on a box
+        without it) falls back silently, because every backend is
+        bit-identical.
     mmap:
         Memory-map the v2 signature matrix instead of reading it into
         memory (ignored for v1 files; for a manifest, applies to the
@@ -717,22 +738,25 @@ def load_ensemble(path: str | Path, *, storage_factory=None,
     """
     path = Path(path)
     if path.is_dir():
-        return _load_manifest(path, storage_factory, partitioner, mmap)
+        return _load_manifest(path, storage_factory, partitioner, kernel,
+                              mmap)
     with open(path, "rb") as fh:
         version, header, offset = _read_preamble(fh)
         if version == 1:
-            return _load_v1(fh, header, storage_factory, partitioner)
+            return _load_v1(fh, header, storage_factory, partitioner,
+                            kernel)
         return _load_v2(fh, path, header, offset, storage_factory,
-                        partitioner, mmap)
+                        partitioner, kernel, mmap)
 
 
-def _load_manifest(root: Path, storage_factory, partitioner,
+def _load_manifest(root: Path, storage_factory, partitioner, kernel,
                    mmap: bool) -> LSHEnsemble:
     manifest = _read_manifest(root)
     base_path = root / manifest["base"]
     try:
         index = load_ensemble(base_path, storage_factory=storage_factory,
-                              partitioner=partitioner, mmap=mmap)
+                              partitioner=partitioner, kernel=kernel,
+                              mmap=mmap)
     except FileNotFoundError:
         raise FormatError(
             "manifest names base segment %s but it is missing"
@@ -743,7 +767,7 @@ def _load_manifest(root: Path, storage_factory, partitioner,
         try:
             delta_index = load_ensemble(
                 root / delta_name, storage_factory=storage_factory,
-                partitioner=partitioner, mmap=False)
+                partitioner=partitioner, kernel=kernel, mmap=False)
         except FileNotFoundError:
             raise FormatError(
                 "manifest names delta segment %s but it is missing"
@@ -799,7 +823,8 @@ def _header_entry_tables(header: dict) -> tuple[list, list]:
     return keys, sizes
 
 
-def _load_v1(fh, header: dict, storage_factory, partitioner) -> LSHEnsemble:
+def _load_v1(fh, header: dict, storage_factory, partitioner,
+             kernel=None) -> LSHEnsemble:
     storage_factory, partitioner = _resolve_factories(
         header, storage_factory, partitioner, version=1)
     keys, sizes = _header_entry_tables(header)
@@ -818,14 +843,14 @@ def _load_v1(fh, header: dict, storage_factory, partitioner) -> LSHEnsemble:
             "trailing bytes after the last signature blob; "
             "the file is corrupt (truncated-then-concatenated or "
             "doubly written)")
-    index = _make_ensemble(header, storage_factory, partitioner)
+    index = _make_ensemble(header, storage_factory, partitioner, kernel)
     partitions = [Partition(lo, hi) for lo, hi in header["partitions"]]
     index.index(entries, partitions=partitions)
     return index
 
 
 def _load_v2(fh, path, header: dict, offset: int, storage_factory,
-             partitioner, mmap: bool) -> LSHEnsemble:
+             partitioner, kernel, mmap: bool) -> LSHEnsemble:
     storage_factory, partitioner = _resolve_factories(
         header, storage_factory, partitioner, version=2)
     keys, sizes = _header_entry_tables(header)
@@ -861,7 +886,7 @@ def _load_v2(fh, path, header: dict, offset: int, storage_factory,
             "the file is corrupt (truncated-then-concatenated or "
             "doubly written)" % (actual - expected))
     if n == 0 and not partitions:
-        return _make_ensemble(header, storage_factory, partitioner)
+        return _make_ensemble(header, storage_factory, partitioner, kernel)
     if n == 0:
         # A dynamic index whose base tier emptied out entirely (every
         # built key tombstoned away) still carries its partition
@@ -881,7 +906,7 @@ def _load_v2(fh, path, header: dict, offset: int, storage_factory,
             payload = fh.read(matrix_nbytes)
             matrix = np.frombuffer(payload,
                                    dtype="<u8").reshape(n, num_perm)
-    index = _make_ensemble(header, storage_factory, partitioner)
+    index = _make_ensemble(header, storage_factory, partitioner, kernel)
     with index.locked():
         index._restore_columnar_locked(partitions, keys, sizes, matrix,
                                        seeds, partition_rows,

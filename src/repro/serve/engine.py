@@ -95,6 +95,18 @@ class ServingEngine:
     def is_sharded(self) -> bool:
         return hasattr(self.index, "shards")
 
+    @property
+    def kernel_name(self) -> str:
+        """Name of the hot-loop kernel backend answering queries."""
+        index = (self.index.shards[0] if self.is_sharded else self.index)
+        return index.kernel.name
+
+    @property
+    def bbit(self) -> int | None:
+        """b-bit band-key packing width (None = full 64-bit keys)."""
+        index = (self.index.shards[0] if self.is_sharded else self.index)
+        return index.bbit
+
     def signature_seed(self) -> int:
         """The permutation seed of the stored signatures.
 
@@ -119,6 +131,8 @@ class ServingEngine:
             "generation": self.generation,
             "mutation_epoch": self.mutation_epoch,
             "executor": self.executor_kind,
+            "kernel": self.kernel_name,
+            "bbit": self.bbit,
         }
 
     def stats(self) -> dict:
@@ -130,6 +144,8 @@ class ServingEngine:
             "generation": self.generation,
             "mutation_epoch": self.mutation_epoch,
             "executor": self.executor_kind,
+            "kernel": self.kernel_name,
+            "bbit": self.bbit,
             "tiers": {
                 "base": drift["base_keys"],
                 "delta": drift["delta_keys"],

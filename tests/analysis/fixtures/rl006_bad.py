@@ -1,0 +1,23 @@
+"""RL006 true positives: band hashing that bypasses the kernel registry.
+
+Deliberately-broken lint fixture — excluded from the blocking CI run.
+The probe-loop half of the rule is path-scoped to ``repro/lsh/`` /
+``repro/forest/``; the tests exercise it by copying sources under those
+paths, so this fixture only carries the ``fnv1a_lanes`` patterns that
+fire anywhere.
+"""
+from repro.kernels import fnv1a_lanes
+from repro.kernels.numpy_impl import fnv1a_lanes as fnv
+from repro.lsh.storage import fnv1a_lanes as legacy_fnv
+
+
+def hash_band(lanes):
+    return fnv1a_lanes(lanes)  # BAD: bypasses kernel.band_hash
+
+
+def hash_band_aliased(lanes, salt):
+    return fnv(lanes, salt)  # BAD: alias of the same primitive
+
+
+def hash_band_legacy(lanes):
+    return legacy_fnv(lanes)  # BAD: the back-compat re-export

@@ -1,0 +1,25 @@
+"""RL006 idioms that must stay accepted.
+
+Hot-loop work routed through a resolved kernel instance, plus the
+legitimate non-probe ``searchsorted`` uses (partition routing, CDF
+sampling) that live outside the probe-path packages.
+"""
+import numpy as np
+
+from repro.kernels import get_kernel
+
+
+def hash_band(lanes, salts):
+    kernel = get_kernel(None)
+    return kernel.band_hash(lanes, salts)  # GOOD: registry-routed
+
+
+def probe(index, probes):
+    kernel = get_kernel(None)
+    return kernel.probe(index.hashes, probes)  # GOOD: registry-routed
+
+
+def route_partition(bounds, sizes):
+    # GOOD: searchsorted outside lsh/forest is partition routing /
+    # sampling, not a probe loop.
+    return np.searchsorted(bounds, sizes, side="right") - 1

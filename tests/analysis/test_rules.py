@@ -45,6 +45,11 @@ EXPECTED = {
         ("RL005", 9),   # epoch + overlay captured with no lock
         ("RL005", 17),  # epoch + overlay under two separate locks
     ],
+    "rl006_bad.py": [
+        ("RL006", 15),  # fnv1a_lanes() direct
+        ("RL006", 19),  # aliased import of the same primitive
+        ("RL006", 23),  # back-compat re-export via repro.lsh.storage
+    ],
 }
 
 CLEAN = [
@@ -53,6 +58,7 @@ CLEAN = [
     "rl003_clean.py",
     "rl004_clean.py",
     "rl005_clean.py",
+    "rl006_clean.py",
 ]
 
 
@@ -85,6 +91,45 @@ def test_rl003_scope_applies_inside_core(tmp_path):
     result = run_paths([target], respect_scope=True)
     assert [(f.rule, f.line) for f, _ in result["findings"]] \
         == EXPECTED["rl003_bad.py"]
+
+
+def test_rl006_scope_skips_the_kernel_package(tmp_path):
+    # The registry's own implementations ARE the primitive — the rule
+    # must never fire inside repro/kernels/.
+    target = tmp_path / "repro" / "kernels" / "new_backend.py"
+    target.parent.mkdir(parents=True)
+    target.write_text((FIXTURES / "rl006_bad.py").read_text())
+    result = run_paths([target], respect_scope=True)
+    assert [(f.rule, f.line) for f, _ in result["findings"]
+            if f.rule == "RL006"] == []
+
+
+def test_rl006_flags_probe_loops_in_probe_packages(tmp_path):
+    source = (
+        "import bisect\n"
+        "import numpy as np\n"
+        "\n"
+        "\n"
+        "def probe_raw(sorted_hashes, probes):\n"
+        "    pos = np.searchsorted(sorted_hashes, probes)\n"
+        "    first = bisect.bisect_left(list(sorted_hashes), probes[0])\n"
+        "    last = sorted_hashes.searchsorted(probes[-1])\n"
+        "    return pos, first, last\n"
+    )
+    hits = []
+    for package in ("lsh", "forest"):
+        target = tmp_path / "repro" / package / "probing.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(source)
+        result = run_paths([target], respect_scope=True)
+        hits.append([(f.rule, f.line) for f, _ in result["findings"]])
+    assert hits == [[("RL006", 6), ("RL006", 7), ("RL006", 8)]] * 2
+    # The identical source outside the probe packages is clean.
+    elsewhere = tmp_path / "repro" / "datagen" / "probing.py"
+    elsewhere.parent.mkdir(parents=True)
+    elsewhere.write_text(source)
+    result = run_paths([elsewhere], respect_scope=True)
+    assert [(f.rule, f.line) for f, _ in result["findings"]] == []
 
 
 def test_syntax_error_reports_rl000():

@@ -1,0 +1,114 @@
+"""stream_signature_blocks: determinism, block independence, statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen import SignatureBlock, stream_signature_blocks
+from repro.minhash.lean import LeanMinHash
+
+
+def _collect(num_domains, **kwargs):
+    return list(stream_signature_blocks(num_domains, 16, **kwargs))
+
+
+class TestCoverageAndShape:
+    @given(num_domains=st.integers(1, 500), block_rows=st.integers(1, 97))
+    @settings(max_examples=25, deadline=None)
+    def test_blocks_cover_every_row_exactly_once(self, num_domains,
+                                                 block_rows):
+        blocks = _collect(num_domains, block_rows=block_rows)
+        keys = [k for b in blocks for k in b.keys]
+        assert keys == ["d%09d" % i for i in range(num_domains)]
+        for block in blocks:
+            assert block.matrix.shape == (len(block), 16)
+            assert block.matrix.dtype == np.uint64
+            assert len(block.sizes) == len(block)
+
+    def test_peak_staging_is_one_block(self):
+        # The stream is lazy: pulling one block must not materialise
+        # the rest (generators make this structural, pin it anyway).
+        stream = stream_signature_blocks(10 ** 9, 16, block_rows=64)
+        first = next(iter(stream))
+        assert isinstance(first, SignatureBlock)
+        assert len(first) == 64
+
+
+class TestDeterminismAndIndependence:
+    def test_stream_is_reproducible(self):
+        a = _collect(300, block_rows=128, seed=7)
+        b = _collect(300, block_rows=128, seed=7)
+        for x, y in zip(a, b):
+            assert np.array_equal(x.matrix, y.matrix)
+            assert np.array_equal(x.sizes, y.sizes)
+            assert x.keys == y.keys
+
+    def test_blocks_regenerate_independently(self):
+        # Block i of a long stream equals block i of a stream truncated
+        # right after it — each block derives only from (seed, index).
+        full = _collect(400, block_rows=100, seed=3)
+        short = _collect(200, block_rows=100, seed=3)
+        for x, y in zip(short, full[:2]):
+            assert np.array_equal(x.matrix, y.matrix)
+
+    def test_seed_changes_the_stream(self):
+        a = _collect(100, block_rows=100, seed=1)[0]
+        b = _collect(100, block_rows=100, seed=2)[0]
+        assert not np.array_equal(a.matrix, b.matrix)
+
+
+class TestSignatureStatistics:
+    def test_larger_domains_have_smaller_lane_minima(self):
+        block = _collect(20_000, block_rows=20_000, dup_fraction=0.0)[0]
+        means = block.matrix.mean(axis=1, dtype=np.float64)
+        big = block.sizes >= np.quantile(block.sizes, 0.9)
+        small = block.sizes <= np.quantile(block.sizes, 0.1)
+        # A MinHash lane is the min of `size` uniforms: decreasing in
+        # expectation as the domain grows.
+        assert means[big].mean() < means[small].mean() / 5
+
+    def test_near_duplicates_planted(self):
+        block = _collect(5_000, block_rows=5_000, dup_fraction=0.2,
+                         mutate_lanes=2)[0]
+        matrix = block.matrix
+        matches = 0
+        for i in range(1, len(block)):
+            same = (matrix[i] == matrix[:i]).all(axis=1).any()
+            agree = (matrix[i] == matrix[:i]).sum(axis=1).max()
+            if same or agree >= matrix.shape[1] - 2:
+                matches += 1
+        # ~20% of rows copy an earlier parent with <= 2 lanes resampled.
+        assert matches >= 0.15 * len(block)
+
+    def test_dup_rows_inherit_parent_size(self):
+        block = _collect(2_000, block_rows=2_000, dup_fraction=0.3,
+                         mutate_lanes=0)[0]
+        matrix = block.matrix
+        for i in range(1, len(block)):
+            parents = np.flatnonzero((matrix[i] == matrix[:i]).all(axis=1))
+            for p in parents:
+                assert block.sizes[i] == block.sizes[p]
+
+
+class TestEntries:
+    def test_entries_yield_valid_leanminhash(self):
+        block = _collect(50, block_rows=50)[0]
+        entries = list(block.entries())
+        assert len(entries) == 50
+        key, sig, size = entries[0]
+        assert key == "d%09d" % 0
+        assert isinstance(sig, LeanMinHash)
+        assert sig.seed == block.seed
+        assert np.array_equal(sig.hashvalues, block.matrix[0])
+        assert size == int(block.sizes[0])
+
+
+class TestValidation:
+    def test_bad_arguments_raise(self):
+        with pytest.raises(ValueError):
+            list(stream_signature_blocks(0, 16))
+        with pytest.raises(ValueError):
+            list(stream_signature_blocks(10, 16, block_rows=0))
+        with pytest.raises(ValueError):
+            list(stream_signature_blocks(10, 16, dup_fraction=1.0))

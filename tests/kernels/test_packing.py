@@ -1,0 +1,106 @@
+"""b-bit band-key packing: dtype plumbing and byte-level round trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import (
+    BBIT_CHOICES,
+    band_dtype,
+    lanes_from_bytes,
+    pack_block,
+    pack_row,
+    validate_bbit,
+)
+
+uint64s = st.integers(0, 2 ** 64 - 1)
+
+
+class TestValidateBbit:
+    def test_choices(self):
+        assert set(BBIT_CHOICES) == {None, 8, 16}
+        for choice in BBIT_CHOICES:
+            assert validate_bbit(choice) == choice
+
+    def test_invalid(self):
+        for bad in (0, 1, 7, 32, 64, "wide"):
+            with pytest.raises((ValueError, TypeError)):
+                validate_bbit(bad)
+
+    def test_string_normalised(self):
+        assert validate_bbit("8") == 8  # CLI/env values arrive as str
+
+    def test_dtypes(self):
+        assert band_dtype(None) == np.dtype("<u8")
+        assert band_dtype(8) == np.dtype("u1")
+        assert band_dtype(16) == np.dtype("<u2")
+
+
+class TestPackRow:
+    @given(lanes=st.lists(uint64s, min_size=1, max_size=8),
+           bbit=st.sampled_from(BBIT_CHOICES))
+    @settings(max_examples=100, deadline=None)
+    def test_pack_row_truncates_low_bits(self, lanes, bbit):
+        hashvalues = np.array(lanes, dtype=np.uint64)
+        dtype = band_dtype(bbit)
+        packed = pack_row(hashvalues, 0, len(lanes), dtype)
+        expected = hashvalues.astype(dtype)  # C-cast keeps the low bits
+        assert packed == np.ascontiguousarray(expected).tobytes()
+
+    def test_pack_row_slices(self):
+        hashvalues = np.arange(8, dtype=np.uint64)
+        assert (pack_row(hashvalues, 2, 5, np.dtype("<u8"))
+                == hashvalues[2:5].tobytes())
+
+
+class TestPackBlock:
+    @given(rows=st.integers(1, 6), cols=st.integers(1, 6),
+           bbit=st.sampled_from(BBIT_CHOICES), seed=st.integers(0, 2 ** 16))
+    @settings(max_examples=50, deadline=None)
+    def test_block_equals_row_concat(self, rows, cols, bbit, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.integers(0, 2 ** 63, size=(rows, cols),
+                              dtype=np.uint64)
+        dtype = band_dtype(bbit)
+        block = pack_block(matrix, 0, cols, dtype)
+        concat = b"".join(pack_row(matrix[i], 0, cols, dtype)
+                          for i in range(rows))
+        assert bytes(block) == concat
+
+
+class TestLanesFromBytes:
+    """The probe-prefilter contract: stored keys and probe keys of the
+    same byte layout must hash identically, so ``lanes_from_bytes`` only
+    has to be a *deterministic, loss-free* function of the key bytes —
+    aligned keys are viewed as uint64 words, unaligned ones widened
+    byte-wise."""
+
+    @given(rows=st.integers(1, 8), cols=st.integers(1, 5),
+           bbit=st.sampled_from(BBIT_CHOICES), seed=st.integers(0, 2 ** 16))
+    @settings(max_examples=50, deadline=None)
+    def test_lossless_and_deterministic(self, rows, cols, bbit, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.integers(0, 2 ** 63, size=(rows, cols),
+                              dtype=np.uint64)
+        dtype = band_dtype(bbit)
+        stride = cols * dtype.itemsize
+        buf = pack_block(matrix, 0, cols, dtype)
+        lanes = lanes_from_bytes(bytes(buf), rows, stride)
+        assert lanes.dtype == np.uint64
+        assert lanes.shape[0] == rows
+        if stride % 8 == 0:
+            # Aligned: a zero-copy uint64 view of the key bytes.
+            assert lanes.shape == (rows, stride // 8)
+            assert lanes.tobytes() == bytes(buf)
+        else:
+            # Unaligned: every key byte widened to its own uint64 lane.
+            assert lanes.shape == (rows, stride)
+            expected = np.frombuffer(bytes(buf), dtype=np.uint8).reshape(
+                rows, stride).astype(np.uint64)
+            assert np.array_equal(lanes, expected)
+
+    def test_unpacked_lanes_are_the_hashvalues(self):
+        matrix = np.arange(12, dtype=np.uint64).reshape(3, 4)
+        buf = pack_block(matrix, 0, 4, np.dtype("<u8"))
+        assert np.array_equal(lanes_from_bytes(buf, 3, 32), matrix)

@@ -181,6 +181,39 @@ class TestGetViewAliasingContract:
 
 
 class TestBatchedProbes:
+    def test_get_many_returns_aliasing_views_not_copies(self):
+        # The batch probe path used to build a fresh frozenset per
+        # bucket per probe — pure allocation churn, since the merge
+        # kernel owns dedup (set.update handles repeats).  Pin the fix:
+        # hits alias the live bucket objects, zero copies.
+        s = DictHashTableStorage()
+        s.insert("b1", "k1")
+        s.insert("b2", "k2")
+        views = s.get_many(["b1", "b2", "b1"])
+        assert views[0] is s._table["b1"]
+        assert views[1] is s._table["b2"]
+        assert views[2] is views[0]
+
+    def test_get_many_misses_share_one_empty_singleton(self):
+        s = DictHashTableStorage()
+        s.insert("b", "k")
+        miss1, miss2 = s.get_many(["nope", "also-nope"])
+        assert miss1 is miss2 is DictHashTableStorage._EMPTY
+
+    def test_duplicate_probes_dedup_owned_by_merge(self):
+        # get_many itself must NOT dedup bucket keys or members — the
+        # merge kernel's set union is the single dedup point.  Probing
+        # the same bucket N times unions to the same answer once.
+        s = DictHashTableStorage()
+        s.insert("b", "k1")
+        s.insert("b", "k2")
+        views = s.get_many(["b"] * 5)
+        out: set = set()
+        for view in views:
+            out |= view
+        assert out == {"k1", "k2"}
+        assert s.get("b") == {"k1", "k2"}  # source buckets untouched
+
     def test_get_many_matches_get_view(self):
         s = DictHashTableStorage()
         s.insert(b"aa", "k1")
