@@ -1,0 +1,209 @@
+"""Distributed serving benchmark — the router-tier perf point.
+
+The cluster topology (PR 9) answers through two tiers: shard-node
+HTTP servers each holding a slice of the corpus, and a router that
+fans every query out, unions / globally re-ranks, and answers like a
+flat index.  This benchmark stands a whole cluster up in-process (real
+localhost HTTP on both tiers), replays the open-loop ``read_heavy``
+profile against the router endpoint, and records the router-specific
+metric set on top of the usual latency staircase:
+
+* router p50/p95/p99 (two HTTP hops + fan-out + merge per request);
+* per-shard fan-out counts (every shard answers every fan-out);
+* retry / failover rates (zero on a healthy cluster);
+* shed rate — the floor (< 5%) and the zero-errors floor are pytest
+  assertions, same contract as ``bench_slo``.
+
+One run per shard count, so the trajectory records how the fan-out
+width moves the tail.  Results land in ``BENCH_9.json`` at the repo
+root (``BENCH_<pr>.json`` convention; fixed seeds keep points
+comparable across PRs).
+
+Environment knobs: ``REPRO_BENCH_ROUTER_DOMAINS`` (corpus size,
+default 4000), ``REPRO_BENCH_ROUTER_SECONDS`` (run length, default
+12), ``REPRO_BENCH_ROUTER_RPS`` (peak read rate, default 120),
+``REPRO_BENCH_ROUTER_SHARDS`` (comma-separated shard counts, default
+``2,4``), ``REPRO_BENCH_ROUTER_P99_MS`` (latency floor, default 1500),
+``REPRO_BENCH_ROUTER_JSON`` (output path).
+
+Run directly (``python benchmarks/bench_router.py``) or via pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+try:
+    from benchmarks.common import emit
+except ModuleNotFoundError:  # direct `python benchmarks/bench_router.py`
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+    from benchmarks.common import emit
+from repro.core.ensemble import LSHEnsemble
+from repro.datagen.corpus import generate_corpus
+from repro.loadgen import format_report, read_heavy
+from repro.loadgen.runner import run_load
+from repro.serve import start_in_thread
+from repro.serve.placement import PlacementMap
+from repro.serve.router import RouterIndex, RouterServer
+
+NUM_DOMAINS = int(os.environ.get("REPRO_BENCH_ROUTER_DOMAINS", "4000"))
+SECONDS = float(os.environ.get("REPRO_BENCH_ROUTER_SECONDS", "12"))
+RPS = float(os.environ.get("REPRO_BENCH_ROUTER_RPS", "120"))
+SHARD_COUNTS = tuple(
+    int(v) for v in os.environ.get("REPRO_BENCH_ROUTER_SHARDS",
+                                   "2,4").split(","))
+P99_FLOOR_MS = float(os.environ.get("REPRO_BENCH_ROUTER_P99_MS", "1500"))
+JSON_OUT = Path(os.environ.get(
+    "REPRO_BENCH_ROUTER_JSON",
+    Path(__file__).resolve().parents[1] / "BENCH_9.json"))
+NUM_PERM = 128
+NUM_PARTITIONS = 16
+CORPUS_SEED = 42
+MAX_SHED_RATE = 0.05
+
+
+def _build(entries) -> LSHEnsemble:
+    index = LSHEnsemble(num_perm=NUM_PERM,
+                        num_partitions=NUM_PARTITIONS, threshold=0.5)
+    index.index(entries)
+    return index
+
+
+def _run_one(entries, flat, num_shards: int) -> dict:
+    shard_indexes = [_build(entries[i::num_shards])
+                     for i in range(num_shards)]
+    labels = ["shard_%03d" % i for i in range(num_shards)]
+    nodes = [start_in_thread(index, shard_label=label)
+             for label, index in zip(labels, shard_indexes)]
+    try:
+        placement = PlacementMap(
+            {label: "127.0.0.1:%d" % node.port
+             for label, node in zip(labels, nodes)},
+            replication=1,
+            pinned={label: [label] for label in labels})
+        with RouterIndex.from_placement(labels, placement) as router:
+            with start_in_thread(router,
+                                 server_factory=RouterServer) as gateway:
+                report = run_load(
+                    router, read_heavy(rps=RPS, seconds=SECONDS),
+                    port=gateway.port, server=gateway.server,
+                    executor_label="router", pool_index=flat)
+            stats = router.stats()
+            report["router"] = {
+                "num_shards": num_shards,
+                "fanouts": stats["fanouts"],
+                "ladder_restarts": stats["ladder_restarts"],
+                "shard_requests": stats["shard_requests"],
+                "shard_retries": stats["shard_retries"],
+                "retry_rate": stats["retry_rate"],
+                "degraded": stats["degraded"],
+                "per_shard_requests": {
+                    name: shard["requests"]
+                    for name, shard in stats["shards"].items()},
+                "per_shard_failovers": {
+                    name: shard["failovers"]
+                    for name, shard in stats["shards"].items()},
+            }
+        return report
+    finally:
+        for node in nodes:
+            node.close()
+
+
+def run_benchmark() -> dict:
+    corpus = generate_corpus(num_domains=NUM_DOMAINS, alpha=2.0,
+                             min_size=10, max_size=20_000,
+                             seed=CORPUS_SEED)
+    signatures = corpus.signatures(num_perm=NUM_PERM)
+    entries = list(corpus.entries(signatures))
+    flat = _build(entries)
+    runs = [_run_one(entries, flat, num_shards)
+            for num_shards in SHARD_COUNTS]
+    trajectory = {
+        "bench": "router",
+        "pr": 9,
+        "config": {
+            "domains": NUM_DOMAINS,
+            "num_perm": NUM_PERM,
+            "num_partitions": NUM_PARTITIONS,
+            "seconds": SECONDS,
+            "rps": RPS,
+            "shard_counts": list(SHARD_COUNTS),
+        },
+        "runs": runs,
+    }
+    JSON_OUT.write_text(
+        json.dumps(trajectory, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    return trajectory
+
+
+@pytest.fixture(scope="module")
+def router_trajectory():
+    trajectory = run_benchmark()
+    text = "\n\n".join(format_report(run) for run in trajectory["runs"])
+    emit("router_load", text + "\n\n[trajectory written to %s]"
+         % JSON_OUT)
+    return trajectory
+
+
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+def test_router_floors(router_trajectory, num_shards):
+    run = next(r for r in router_trajectory["runs"]
+               if r["router"]["num_shards"] == num_shards)
+    assert run["errors"] == 0, (
+        "%d shards: %d requests errored" % (num_shards, run["errors"]))
+    assert run["shed_rate"] < MAX_SHED_RATE, (
+        "%d shards: shed %.2f%% >= %.0f%%"
+        % (num_shards, 100 * run["shed_rate"], 100 * MAX_SHED_RATE))
+    p99 = run["latency_ms"]["p99"]
+    assert p99 is not None and p99 <= P99_FLOOR_MS, (
+        "%d shards: p99 %s ms exceeds the %.0f ms floor"
+        % (num_shards, p99, P99_FLOOR_MS))
+
+
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+def test_router_fanout_reaches_every_shard(router_trajectory,
+                                           num_shards):
+    run = next(r for r in router_trajectory["runs"]
+               if r["router"]["num_shards"] == num_shards)
+    router = run["router"]
+    assert router["fanouts"] > 0
+    assert len(router["per_shard_requests"]) == num_shards
+    for shard, requests in router["per_shard_requests"].items():
+        # Every fan-out queries every shard (plus connect()'s healthz).
+        assert requests >= router["fanouts"], (shard, requests)
+
+
+def test_router_cluster_was_healthy(router_trajectory):
+    """A healthy localhost cluster retries nothing and degrades
+    nowhere — nonzero rates here mean the transport itself flaked."""
+    for run in router_trajectory["runs"]:
+        assert run["router"]["retry_rate"] == 0.0
+        assert run["router"]["degraded"] == []
+        assert all(count == 0 for count
+                   in run["router"]["per_shard_failovers"].values())
+
+
+def test_router_trajectory_metric_set(router_trajectory):
+    assert JSON_OUT.exists()
+    stored = json.loads(JSON_OUT.read_text(encoding="utf-8"))
+    assert len(stored["runs"]) == len(SHARD_COUNTS)
+    for run in stored["runs"]:
+        assert {"p50", "p95", "p99"} <= set(run["latency_ms"])
+        for key in ("throughput_rps", "shed_rate", "router", "phases"):
+            assert key in run, "run missing %s" % key
+        assert {"fanouts", "retry_rate", "per_shard_requests"} \
+            <= set(run["router"])
+
+
+if __name__ == "__main__":
+    trajectory = run_benchmark()
+    text = "\n\n".join(format_report(run) for run in trajectory["runs"])
+    emit("router_load", text)
+    print("\n[trajectory written to %s]" % JSON_OUT)

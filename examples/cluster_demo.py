@@ -1,0 +1,130 @@
+"""A distributed cluster in one process: shard nodes + router.
+
+Internet-scale corpora outgrow one machine; the serving layer's answer
+is a two-tier topology (Section 6.3 scale): every node serves one
+*shard* of the corpus behind the ordinary query HTTP API, and a
+stateless *router* fans each query out to all shards, unions /
+globally re-ranks, and answers exactly like one flat index would —
+clients cannot tell the difference.
+
+This demo stands the whole topology up in one process:
+
+1. build a corpus, split it into two shards, and start one shard-node
+   server per shard (production: ``python -m repro.cli shardnode``);
+2. place the shards with a :class:`PlacementMap` and start a router
+   over them (production: ``python -m repro.cli router cluster.json``);
+3. query the router over HTTP and check the answers are identical to
+   a flat index holding everything;
+4. stop one shard node and watch a ``partial``-mode router degrade
+   gracefully — it answers from the shards it can reach and says so.
+
+Run:  python examples/cluster_demo.py
+"""
+
+import json
+import urllib.request
+
+from repro import LSHEnsemble, MinHashGenerator, start_in_thread
+from repro.serve.placement import PlacementMap
+from repro.serve.router import RouterIndex, RouterServer
+
+NUM_PERM = 64
+
+# ---------------------------------------------------------------------- #
+# 1. A corpus, split across two shard nodes.
+# ---------------------------------------------------------------------- #
+
+CORPUS = {"domain_%03d" % i: {"val_%d" % j for j in range(2 * i, 2 * i + 40)}
+          for i in range(120)}
+generator = MinHashGenerator(num_perm=NUM_PERM, seed=1)
+batch = generator.bulk(CORPUS)
+entries = [(name, batch[j], len(CORPUS[name]))
+           for j, name in enumerate(batch.keys)]
+
+
+def build(rows):
+    index = LSHEnsemble(threshold=0.5, num_perm=NUM_PERM,
+                        num_partitions=6)
+    index.index(rows)
+    return index
+
+
+flat = build(entries)  # the single-machine reference
+shard_indexes = [build(entries[0::2]), build(entries[1::2])]
+
+nodes = [start_in_thread(shard, shard_label="shard_%03d" % i)
+         for i, shard in enumerate(shard_indexes)]
+for i, node in enumerate(nodes):
+    print("shard_%03d: %d domains on 127.0.0.1:%d"
+          % (i, len(shard_indexes[i]), node.port))
+
+# ---------------------------------------------------------------------- #
+# 2. Placement + router: one endpoint for the whole cluster.
+# ---------------------------------------------------------------------- #
+
+placement = PlacementMap(
+    {"node_a": "127.0.0.1:%d" % nodes[0].port,
+     "node_b": "127.0.0.1:%d" % nodes[1].port},
+    replication=1,
+    pinned={"shard_000": ["node_a"], "shard_001": ["node_b"]})
+router = RouterIndex.from_placement(["shard_000", "shard_001"],
+                                    placement, partial=True)
+gateway = start_in_thread(router, server_factory=RouterServer)
+base_url = "http://127.0.0.1:%d" % gateway.port
+print("router: %d shards, %d domains total, on %s"
+      % (len(router.shard_names), len(router), base_url))
+
+
+def post(path, payload):
+    request = urllib.request.Request(
+        base_url + path, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"}, method="POST")
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read())
+
+
+# ---------------------------------------------------------------------- #
+# 3. Query the cluster; the answers match the flat index exactly.
+# ---------------------------------------------------------------------- #
+
+probes = [batch.keys[j] for j in (10, 55, 99)]
+items = [{"signature": [int(v) for v in batch.matrix[j]],
+          "seed": batch.seed, "size": len(CORPUS[batch.keys[j]])}
+         for j in (10, 55, 99)]
+
+answer = post("/query", {"queries": items, "threshold": 0.5})
+for name, found in zip(probes, answer["results"]):
+    local = flat.query(flat.get_signature(name), len(CORPUS[name]), 0.5)
+    assert set(found) == local, (name, found, local)
+    print("query %s -> %d matching domains (== flat index)"
+          % (name, len(found)))
+
+top = post("/query_top_k", {"queries": items[:1], "k": 5})
+print("top-5 for %s: %s"
+      % (probes[0], [key for key, _ in top["results"][0]]))
+assert top["results"][0] == [
+    [key, score] for key, score
+    in flat.query_top_k(flat.get_signature(probes[0]), 5,
+                        size=len(CORPUS[probes[0]]))]
+
+stats = router.stats()
+print("router stats: %d fan-outs, %d shard requests, retry rate %.3f"
+      % (stats["fanouts"], stats["shard_requests"],
+         stats["retry_rate"]))
+
+# ---------------------------------------------------------------------- #
+# 4. Lose a node: partial mode degrades instead of failing.
+# ---------------------------------------------------------------------- #
+
+nodes[1].close()  # shard_001's only replica goes away
+degraded = post("/query", {"queries": items, "threshold": 0.5})
+print("after losing shard_001's node: degraded=%s, answers come from "
+      "the surviving shard only" % degraded["degraded"])
+assert degraded["degraded"] == ["shard_001"]
+for found, full in zip(degraded["results"], answer["results"]):
+    assert set(found) <= set(full)
+
+gateway.close()
+router.close()
+nodes[0].close()
+print("done: cluster served flat-identical answers and degraded cleanly")

@@ -13,6 +13,7 @@ from repro.analysis.checkers.epoch_capture import EpochCaptureChecker
 from repro.analysis.checkers.ipc_safety import IpcSafetyChecker
 from repro.analysis.checkers.kernel_bypass import KernelBypassChecker
 from repro.analysis.checkers.lock_discipline import LockDisciplineChecker
+from repro.analysis.checkers.transport import RawTransportChecker
 
 ALL_CHECKERS: tuple[Checker, ...] = (
     LockDisciplineChecker(),
@@ -21,6 +22,7 @@ ALL_CHECKERS: tuple[Checker, ...] = (
     IpcSafetyChecker(),
     EpochCaptureChecker(),
     KernelBypassChecker(),
+    RawTransportChecker(),
 )
 
 __all__ = ["ALL_CHECKERS", "Checker", "Finding"]

@@ -1,0 +1,102 @@
+"""RL007 — serve-layer dispatch must not open raw transport.
+
+PR 9 put every remote hop behind
+:class:`~repro.serve.executor.ShardExecutor`: the router fans out
+through :class:`~repro.serve.remote.RemoteShardExecutor`, which owns
+connection pooling, the one-retry-on-dropped-keep-alive rule, replica
+failover and the epoch tag on every wire response.  A dispatch path
+that opens its own ``http.client.HTTPConnection``, ``urlopen``, raw
+``socket`` or ``asyncio.open_connection`` silently loses all four
+guarantees — its calls are invisible to the failover counters, never
+retried on a replica, and return answers with no epoch to tag — and
+the fault-injection battery cannot see them.
+
+Inside ``repro/serve/`` (excluding ``repro/serve/remote.py``, which
+*is* the sanctioned transport) this rule flags any call resolving into
+``http.client``, ``urllib.request``, ``requests`` or ``aiohttp``, plus
+the raw socket constructors (``socket.socket``,
+``socket.create_connection``, ``socket.socketpair``) and the asyncio
+client-stream opener ``asyncio.open_connection``.  Listening
+(``asyncio.start_server``) stays legal: the rule forbids *originating*
+connections from dispatch code, not serving them.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checkers.common import (
+    Checker,
+    ScopeVisitor,
+    dotted,
+    import_aliases,
+    resolve_dotted,
+)
+
+__all__ = ["RawTransportChecker"]
+
+RULE = "RL007"
+
+#: Module prefixes whose every call is an HTTP client primitive.
+TRANSPORT_PREFIXES = (
+    "http.client.",
+    "urllib.request.",
+    "requests.",
+    "aiohttp.",
+)
+
+#: Exact call paths that originate a raw connection.
+RAW_CONNECT_CALLS = frozenset({
+    "socket.socket",
+    "socket.create_connection",
+    "socket.socketpair",
+    "asyncio.open_connection",
+})
+
+
+class _Visitor(ScopeVisitor):
+
+    def __init__(self, ctx) -> None:
+        super().__init__(ctx)
+        self._modules: dict[str, str] = {}
+        self._names: dict[str, str] = {}
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self._modules, self._names = import_aliases(node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        path = resolve_dotted(dotted(node.func), self._modules,
+                              self._names)
+        if path is not None:
+            self._check_path(node, path)
+        self.generic_visit(node)
+
+    def _check_path(self, node: ast.Call, path: str) -> None:
+        if path in RAW_CONNECT_CALLS:
+            self.report(
+                node, RULE,
+                "raw connection via %s(...) in a serve dispatch path; "
+                "remote hops go through ShardExecutor "
+                "(RemoteShardExecutor owns transport, retry and "
+                "failover)" % path)
+            return
+        if any(path.startswith(prefix) for prefix in TRANSPORT_PREFIXES):
+            self.report(
+                node, RULE,
+                "direct HTTP client call %s(...) in a serve dispatch "
+                "path bypasses ShardExecutor; its requests are "
+                "invisible to failover/retry counters and carry no "
+                "epoch tag" % path)
+
+
+class RawTransportChecker(Checker):
+    rule_id = RULE
+    title = "serve dispatch speaks remote only via ShardExecutor"
+    scope = ("repro/serve/",)
+    visitor_class = _Visitor
+
+    def applies_to(self, path: str) -> bool:
+        if path.endswith("repro/serve/remote.py"):
+            return False  # the sanctioned transport layer itself
+        return super().applies_to(path)

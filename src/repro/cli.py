@@ -206,6 +206,60 @@ def build_parser() -> argparse.ArgumentParser:
     add_kernel_arg(p_serve)
     add_executor_args(p_serve)
 
+    p_node = sub.add_parser(
+        "shardnode",
+        help="serve one shard of a cluster over HTTP (a QueryServer "
+             "that also exposes /signatures and /snapshot for the "
+             "router tier and replica bootstrap)")
+    p_node.add_argument("index", type=Path,
+                        help="the shard's saved index; with "
+                             "--bootstrap-from, the directory to "
+                             "unpack the fetched snapshot into")
+    p_node.add_argument("--shard", default=None,
+                        help="shard label surfaced in /healthz so the "
+                             "router can verify placement")
+    p_node.add_argument("--bootstrap-from", default=None,
+                        metavar="HOST:PORT",
+                        help="fetch GET /snapshot from a peer node and "
+                             "serve the unpacked copy (replica "
+                             "bootstrap)")
+    p_node.add_argument("--host", default="127.0.0.1")
+    p_node.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 picks a free one and prints it)")
+    p_node.add_argument("--max-batch", type=int, default=64)
+    p_node.add_argument("--window-ms", type=float, default=2.0)
+    p_node.add_argument("--cache-size", type=int, default=4096)
+    p_node.add_argument("--max-pending", type=int, default=1024)
+    p_node.add_argument("--no-mmap", action="store_true")
+    add_kernel_arg(p_node)
+    add_executor_args(p_node)
+
+    p_router = sub.add_parser(
+        "router",
+        help="serve a whole cluster through one endpoint: consistent-"
+             "hash placement over shard nodes, per-shard timeouts, "
+             "replica failover, and global top-k merging")
+    p_router.add_argument("manifest", type=Path,
+                          help="cluster manifest JSON: nodes, shards, "
+                               "replication (see repro.serve.placement)")
+    p_router.add_argument("--host", default="127.0.0.1")
+    p_router.add_argument("--port", type=int, default=8080,
+                          help="TCP port (0 picks a free one and "
+                               "prints it)")
+    p_router.add_argument("--timeout", type=float, default=10.0,
+                          help="per-shard request timeout in seconds")
+    p_router.add_argument("--partial", action="store_true",
+                          help="answer degraded (with the reachable "
+                               "shards) instead of 503 when a shard's "
+                               "replicas are all down")
+    p_router.add_argument("--max-batch", type=int, default=64)
+    p_router.add_argument("--window-ms", type=float, default=2.0)
+    p_router.add_argument("--cache-size", type=int, default=0,
+                          help="router result cache (default off: the "
+                               "router cannot observe remote mutations "
+                               "synchronously)")
+    p_router.add_argument("--max-pending", type=int, default=1024)
+
     p_load = sub.add_parser(
         "loadtest",
         help="replay a deterministic mixed read/write traffic profile "
@@ -532,6 +586,101 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shardnode(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import QueryServer
+
+    index_path = args.index
+    if args.bootstrap_from is not None:
+        from repro.serve.placement import parse_endpoint
+        from repro.serve.remote import ShardNodeClient
+
+        host, port = parse_endpoint(args.bootstrap_from)
+        client = ShardNodeClient(host, port)
+        try:
+            index_path = client.snapshot(args.index)
+        finally:
+            client.close()
+        print("bootstrapped snapshot from %s -> %s"
+              % (args.bootstrap_from, index_path), flush=True)
+    index = _load_serving_index(Path(index_path), mmap=not args.no_mmap,
+                                executor=args.executor,
+                                workers=args.workers,
+                                start_method=args.start_method,
+                                kernel=args.kernel)
+    sharded = hasattr(index, "shards")
+    server = QueryServer(
+        index, host=args.host, port=args.port,
+        max_batch=args.max_batch, window_ms=args.window_ms,
+        cache_size=args.cache_size, max_pending=args.max_pending,
+        executor="thread" if sharded else args.executor,
+        workers=args.workers, start_method=args.start_method,
+        mmap=not args.no_mmap, shard_label=args.shard)
+
+    async def _main() -> None:
+        await server.start()
+        print("shard node %s serving %s (%d domains, mutation epoch %d) "
+              "on http://%s:%d"
+              % (args.shard or "(unlabelled)", index_path, len(index),
+                 server.engine.mutation_epoch, server.host, server.port),
+              flush=True)
+        print("endpoints: POST /query, POST /query_top_k, "
+              "POST /signatures, GET /snapshot, GET /healthz, GET /stats",
+              flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.aclose()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_router(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.placement import load_manifest
+    from repro.serve.router import RouterIndex, RouterServer
+
+    try:
+        manifest = load_manifest(args.manifest)
+    except (OSError, ValueError) as exc:
+        raise SystemExit("error: bad cluster manifest %s: %s"
+                         % (args.manifest, exc))
+    router = RouterIndex.from_manifest(manifest, timeout=args.timeout,
+                                       partial=args.partial)
+    server = RouterServer(
+        router, host=args.host, port=args.port,
+        max_batch=args.max_batch, window_ms=args.window_ms,
+        cache_size=args.cache_size, max_pending=args.max_pending)
+
+    async def _main() -> None:
+        await server.start()
+        print("router serving %d shard(s) over %d node(s) "
+              "(replication %d) on http://%s:%d"
+              % (len(router.shard_names), len(manifest.nodes),
+                 manifest.placement.replication, server.host,
+                 server.port),
+              flush=True)
+        print("endpoints: POST /query, POST /query_top_k, GET /healthz, "
+              "GET /stats", flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.aclose()
+            router.close()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_loadtest(args: argparse.Namespace) -> int:
     from repro.loadgen import (
         format_report,
@@ -655,6 +804,8 @@ def main(argv: list[str] | None = None) -> int:
         "rebalance": _cmd_rebalance,
         "info": _cmd_info,
         "serve": _cmd_serve,
+        "shardnode": _cmd_shardnode,
+        "router": _cmd_router,
         "loadtest": _cmd_loadtest,
         "lint": _cmd_lint,
     }

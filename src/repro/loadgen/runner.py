@@ -172,22 +172,34 @@ def run_load(index, profile: TrafficProfile, *, port: int,
              concurrency: int | None = None,
              mutation_prefix: str = "loadgen",
              executor_label: str = "thread",
-             stats_fn: Callable[[], dict] | None = None) -> dict:
+             stats_fn: Callable[[], dict] | None = None,
+             pool_index=None) -> dict:
     """Replay ``profile`` against the server on ``host:port``.
 
     ``index`` must be the object the server serves (mutations apply to
     it directly).  ``server`` (a :class:`~repro.serve.server.QueryServer`)
     enables the post-run drain check and counter snapshot without
     perturbing the HTTP counters; ``stats_fn`` overrides where the
-    snapshot comes from.  Returns the JSON-ready report dict.
+    snapshot comes from.  ``pool_index`` supplies the signatures the
+    query pool is sampled from (and receives mutations) when ``index``
+    itself holds none locally — a
+    :class:`~repro.serve.router.RouterIndex` fronting remote shard
+    nodes serves keys it cannot enumerate, so router runs pass the
+    backing corpus index here.  Returns the JSON-ready report dict.
     """
     if schedule is None:
         schedule = build_schedule(profile)
     if concurrency is None:
         import os
         concurrency = max(8, min(64, 4 * (os.cpu_count() or 1)))
-    bodies = build_query_pool(index, profile)
-    mutator = _Mutator(index, profile, mutation_prefix)
+    if pool_index is None:
+        pool_index = index
+    bodies = build_query_pool(pool_index, profile)
+    # Read-only schedules (every router run: remote nodes own their
+    # indexes) never build the mutator, which needs local signatures.
+    mutator = (_Mutator(pool_index, profile, mutation_prefix)
+               if any(op.kind in ("insert", "remove", "rebalance")
+                      for op in schedule) else None)
     connections = _ConnectionPool(host, port, concurrency)
     records: list[RequestRecord] = []
     records_lock = threading.Lock()
@@ -266,7 +278,7 @@ def run_load(index, profile: TrafficProfile, *, port: int,
         profile, records, executor=executor_label,
         duration_seconds=duration, server_stats=server_stats,
         epoch_delta=int(index.mutation_epoch) - epoch_before,
-        skipped_removes=mutator.skipped_removes)
+        skipped_removes=mutator.skipped_removes if mutator else 0)
 
 
 def _drain(server, timeout: float = 10.0) -> None:

@@ -328,8 +328,13 @@ class ProcPool:
         self._lock = threading.Lock()
         self._task_ids = itertools.count()
         self._closed = False
+        # ``peak_inflight`` is windowed: it measures utilisation of the
+        # *current* base segment and restarts from 0 whenever a client
+        # re-spills its base (note_base_refresh); the ``_lifetime``
+        # twin never resets.
         self._counters = {"runs": 0, "tasks": 0, "retries": 0,
-                          "respawns": 0, "peak_inflight": 0}
+                          "respawns": 0, "peak_inflight": 0,
+                          "peak_inflight_lifetime": 0}
         self._workers = [self._spawn(slot)
                          for slot in range(self.num_workers)]
 
@@ -354,6 +359,21 @@ class ProcPool:
         replacement = self._spawn(worker.slot)
         self._workers[worker.slot] = replacement
         return replacement
+
+    def note_base_refresh(self) -> None:
+        """Open a new ``peak_inflight`` observation window.
+
+        Called when a :class:`PooledIndex` re-spills its base after a
+        rebalance: the old peak described load against the previous
+        segment, and carrying it forward would overstate utilisation of
+        the new one indefinitely.  A plain (GIL-atomic) assignment,
+        deliberately *not* under the pool lock — ``run`` holds that
+        lock for a whole batch, and this is called under the index
+        lock (ordering is index → pool, never the reverse), so
+        blocking here could stall mutations behind an unrelated query
+        batch.  ``peak_inflight_lifetime`` is untouched.
+        """
+        self._counters["peak_inflight"] = 0
 
     def stats(self) -> dict:
         return {"num_workers": self.num_workers,
@@ -415,6 +435,8 @@ class ProcPool:
                 # Peak concurrent tasks: how much of the pool a load
                 # actually keeps busy (utilisation for SLO reports).
                 self._counters["peak_inflight"] = len(inflight)
+            if len(inflight) > self._counters["peak_inflight_lifetime"]:
+                self._counters["peak_inflight_lifetime"] = len(inflight)
             ready = mp_connection.wait(
                 [w.conn for w in inflight]
                 + [w.proc.sentinel for w in inflight],
@@ -651,6 +673,8 @@ class PooledIndex:
         self._base_path = path
         self._base_generation = index._generation
         self._token += 1
+        # New segment, new utilisation window (see note_base_refresh).
+        self.pool.note_base_refresh()
 
     def _tasks(self, method: str, per_task_args: list[dict]) -> list[dict]:
         """One task per args dict, sharing a single atomically captured

@@ -108,7 +108,8 @@ from repro.lsh.storage import (
 from repro.minhash.lean import LeanMinHash
 
 __all__ = ["save_ensemble", "load_ensemble", "read_header", "FormatError",
-           "export_columnar", "import_columnar"]
+           "export_columnar", "import_columnar",
+           "pack_snapshot_bytes", "unpack_snapshot"]
 
 _MAGIC = b"LSHE"
 _VERSION = 2
@@ -919,3 +920,115 @@ def _load_v2(fh, path, header: dict, offset: int, storage_factory,
     # it; a manifest load overrides it with the base segment's path.
     index._base_source = str(Path(path).resolve())
     return index
+
+
+# --------------------------------------------------------------------- #
+# Snapshot shipping (replica bootstrap over the wire)
+# --------------------------------------------------------------------- #
+
+_SNAPSHOT_MAGIC = b"LSHESNAP"
+_SNAPSHOT_VERSION = 1
+
+
+def pack_snapshot_bytes(index) -> bytes:
+    """Pack an index's full on-disk state into one byte string.
+
+    This is the payload of the shard-node ``GET /snapshot`` endpoint:
+    the index is saved through its normal persistence path (single-file
+    v2, dynamic manifest directory, or a sharded cluster directory —
+    whichever :func:`save_ensemble` / ``ShardedEnsemble.save`` would
+    produce) into a scratch directory, and the resulting file set is
+    archived as::
+
+        b"LSHESNAP" + u32 manifest_len + manifest_json + file bytes...
+
+    where the manifest records ``{"version", "kind": "file"|"dir",
+    "files": [[relative_path, size], ...]}`` and the file bytes are
+    concatenated in manifest order.  :func:`unpack_snapshot` restores
+    the identical file set, so a replica loading it answers queries
+    bit-identically to the donor.
+    """
+    with tempfile.TemporaryDirectory(prefix="lshe-snapshot-") as tmp:
+        root = Path(tmp) / "index"
+        if hasattr(index, "shards") and hasattr(index, "save"):
+            index.save(root)          # sharded cluster directory
+        else:
+            save_ensemble(index, root)  # v2 file or manifest dir
+        if root.is_dir():
+            kind = "dir"
+            paths = sorted(p for p in root.rglob("*") if p.is_file())
+            rels = [p.relative_to(root).as_posix() for p in paths]
+        else:
+            kind = "file"
+            paths = [root]
+            rels = ["index.lshe"]
+        entries = []
+        blobs = []
+        for rel, p in zip(rels, paths):
+            blob = p.read_bytes()
+            entries.append([rel, len(blob)])
+            blobs.append(blob)
+        manifest = json.dumps(
+            {"version": _SNAPSHOT_VERSION, "kind": kind,
+             "files": entries},
+            separators=(",", ":")).encode("utf-8")
+        return b"".join([_SNAPSHOT_MAGIC, _U32.pack(len(manifest)),
+                         manifest] + blobs)
+
+
+def unpack_snapshot(data: bytes, dest: str | Path) -> Path:
+    """Restore a :func:`pack_snapshot_bytes` archive under ``dest``.
+
+    Returns the path to load the index from: ``dest/index.lshe`` for a
+    single-file snapshot, ``dest/index`` (a directory) otherwise —
+    feed it to :func:`load_ensemble` / ``ShardedEnsemble.load`` (the
+    CLI's serving loader auto-detects which).
+    """
+    head = len(_SNAPSHOT_MAGIC)
+    if data[:head] != _SNAPSHOT_MAGIC:
+        raise FormatError("not a snapshot archive (bad magic)")
+    if len(data) < head + _U32.size:
+        raise FormatError("truncated snapshot header")
+    (manifest_len,) = _U32.unpack_from(data, head)
+    offset = head + _U32.size
+    try:
+        manifest = json.loads(data[offset:offset + manifest_len])
+    except json.JSONDecodeError as exc:
+        raise FormatError("corrupt snapshot manifest: %s" % exc) from exc
+    offset += manifest_len
+    if manifest.get("version") != _SNAPSHOT_VERSION:
+        raise FormatError("unsupported snapshot version %r"
+                          % manifest.get("version"))
+    kind = manifest.get("kind")
+    files = manifest.get("files")
+    if kind not in ("file", "dir") or not isinstance(files, list) \
+            or not files:
+        raise FormatError("corrupt snapshot manifest")
+    dest = Path(dest)
+    root = dest / ("index.lshe" if kind == "file" else "index")
+    if kind == "dir":
+        root.mkdir(parents=True, exist_ok=True)
+    else:
+        dest.mkdir(parents=True, exist_ok=True)
+    for entry in files:
+        if (not isinstance(entry, list) or len(entry) != 2
+                or not isinstance(entry[0], str)
+                or not isinstance(entry[1], int) or entry[1] < 0):
+            raise FormatError("corrupt snapshot file table")
+        rel, size = entry
+        parts = Path(rel).parts
+        # The manifest names untrusted relative paths; never let one
+        # escape the destination directory.
+        if Path(rel).is_absolute() or ".." in parts:
+            raise FormatError("snapshot path %r escapes the "
+                              "destination" % rel)
+        blob = data[offset:offset + size]
+        if len(blob) != size:
+            raise FormatError("truncated snapshot payload at %r" % rel)
+        offset += size
+        target = root if kind == "file" else root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_bytes(blob)
+    if offset != len(data):
+        raise FormatError("trailing bytes after snapshot payload")
+    return root

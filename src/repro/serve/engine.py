@@ -20,6 +20,7 @@ import hashlib
 import numpy as np
 
 from repro.minhash.batch import SignatureBatch
+from repro.serve.executor import make_executor
 
 __all__ = ["ServingEngine", "sorted_keys"]
 
@@ -45,17 +46,24 @@ class ServingEngine:
         GIL-bound thread.  Results are bit-identical either way;
         introspection (epoch, tier sizes, signature seed) always reads
         the authoritative in-process index.
+    executor:
+        A pre-built :class:`~repro.serve.executor.ShardExecutor` to
+        dispatch through instead of deriving one from
+        ``index``/``pooled`` — every query the engine answers goes
+        through this single interface, whatever the backend (thread,
+        process pool, or the router's remote fan-out).
     """
 
-    def __init__(self, index, pooled=None) -> None:
+    def __init__(self, index, pooled=None, executor=None) -> None:
         self.index = index
         self.pooled = pooled
+        self.executor = (executor if executor is not None
+                         else make_executor(index, pooled))
 
     @property
     def _query_target(self):
-        """Where batches execute: the process-pool adapter when
-        attached, the in-process index otherwise."""
-        return self.pooled if self.pooled is not None else self.index
+        """Where batches execute: always the shard executor."""
+        return self.executor
 
     @property
     def executor_kind(self) -> str:
@@ -121,6 +129,18 @@ class ServingEngine:
             return int(index.get_signature(key).seed)
         return 1
 
+    def signatures_for(self, keys) -> tuple[dict, dict]:
+        """``(signatures, sizes)`` for the stored keys this engine's
+        backend holds (the ``POST /signatures`` endpoint)."""
+        return self.executor.signatures_for(keys)
+
+    def snapshot_bytes(self) -> bytes | None:
+        """The index packed for replica bootstrap (``GET /snapshot``);
+        ``None`` when the topology has no single index to ship."""
+        from repro.persistence import pack_snapshot_bytes
+
+        return pack_snapshot_bytes(self.index)
+
     def describe(self) -> dict:
         """The ``/healthz`` payload: liveness plus version counters."""
         return {
@@ -133,6 +153,7 @@ class ServingEngine:
             "executor": self.executor_kind,
             "kernel": self.kernel_name,
             "bbit": self.bbit,
+            "signature_seed": self.signature_seed(),
         }
 
     def stats(self) -> dict:

@@ -1,0 +1,224 @@
+"""The shard-executor interface: *where* a batch of queries executes.
+
+PR 4's serving engine dispatched straight onto the wrapped index; PR 5
+bolted the process pool on beside it.  Multi-node serving adds a third
+backend — a shard-node server reached over HTTP — and juggling three
+ad-hoc targets inside the engine (and a fourth inside the router) does
+not scale.  This module names the contract once:
+
+:class:`ShardExecutor` is the query surface for **one shard backend** —
+the four vectorised/batch query paths, the single-query forms, the
+candidate-pool fetch the global top-k ladder needs, and the mutation
+epoch that stamps every answer.  Implementations:
+
+* :class:`InProcessExecutor` — today's path: the built index object
+  itself (flat :class:`~repro.core.ensemble.LSHEnsemble` or a whole
+  :class:`~repro.parallel.sharded.ShardedEnsemble`).
+* :class:`ProcPoolExecutor` — PR 5's
+  :class:`~repro.parallel.procpool.PooledIndex`: batches row-sliced
+  across worker processes over shared mmap segments.
+* :class:`~repro.serve.remote.RemoteShardExecutor` — keep-alive HTTP to
+  a shard-node server (with replica failover); lives in
+  :mod:`repro.serve.remote` so *all* network transport is in one module
+  (enforced by lint rule RL007).
+
+The serving engine talks only to this interface; the router tier
+(:mod:`repro.serve.router`) composes many remote executors behind the
+same engine.  Results are bit-identical across implementations — the
+``tests/distributed`` parity battery pins it.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Hashable, Sequence
+
+__all__ = ["ShardExecutor", "InProcessExecutor", "ProcPoolExecutor",
+           "ShardUnavailableError", "EpochConsistencyError",
+           "make_executor"]
+
+
+class ShardUnavailableError(RuntimeError):
+    """Every replica of a shard failed (or timed out); the query cannot
+    be answered completely.  The HTTP layer maps it to ``503`` — the
+    condition is transient (a replica restart / failover away)."""
+
+
+class EpochConsistencyError(RuntimeError):
+    """A multi-round query (the top-k ladder) observed a shard at two
+    different mutation epochs and exhausted its restart budget; the
+    response would have mixed pre- and post-mutation state.  Mapped to
+    ``503`` — an immediate retry starts a fresh, consistent ladder."""
+
+
+class ShardExecutor(abc.ABC):
+    """Query surface for one shard backend; see the module docstring.
+
+    The five query paths mirror the index surface exactly
+    (``query`` / ``query_batch`` / ``query_top_k`` /
+    ``query_top_k_batch`` plus the signature/size pool fetch that backs
+    global top-k ranking), so an executor can stand in anywhere an
+    index could answer queries.
+    """
+
+    #: Human-readable transport kind ("thread" / "process" / "remote").
+    kind: str = "thread"
+
+    # ---------------------- the five query paths -------------------- #
+
+    @abc.abstractmethod
+    def query_batch(self, batch, sizes: Sequence[int] | None = None,
+                    threshold: float | None = None) -> list[set]:
+        """One result set per batch row (vectorised threshold path)."""
+
+    @abc.abstractmethod
+    def query_top_k_batch(self, batch, k: int,
+                          sizes: Sequence[int] | None = None,
+                          min_threshold: float = 0.05) -> list[list]:
+        """One ``[(key, score), ...]`` ranking per batch row."""
+
+    @abc.abstractmethod
+    def query(self, signature, size: int | None = None,
+              threshold: float | None = None) -> set:
+        """Single-signature threshold query."""
+
+    @abc.abstractmethod
+    def query_top_k(self, signature, k: int, size: int | None = None,
+                    min_threshold: float = 0.05) -> list:
+        """Single-signature top-k ranking."""
+
+    @abc.abstractmethod
+    def signatures_for(self, keys: Sequence[Hashable],
+                       ) -> tuple[dict, dict]:
+        """``(signatures, sizes)`` for the keys this shard holds.
+
+        Keys the shard does not hold are silently absent — the router
+        unions candidate pools across shards, so absence means "someone
+        else's key", not an error.
+        """
+
+    # ----------------------- epoch observation ---------------------- #
+
+    @property
+    @abc.abstractmethod
+    def mutation_epoch(self) -> int:
+        """The epoch the *next* answer is expected to reflect (for
+        remote executors: the last epoch observed on the wire)."""
+
+    def query_batch_with_epoch(self, batch,
+                               sizes: Sequence[int] | None = None,
+                               threshold: float | None = None,
+                               ) -> tuple[list[set], int]:
+        """``query_batch`` plus the epoch the answers reflect.
+
+        The in-process default reads the epoch *before* dispatching —
+        any mutation racing the dispatch has either already bumped it
+        (answer is newer than the label, the accepted imprecision) or
+        lands after (label exact).  Remote executors override this with
+        the epoch carried in the response itself.
+        """
+        epoch = self.mutation_epoch
+        return self.query_batch(batch, sizes=sizes,
+                                threshold=threshold), epoch
+
+    # -------------------------- lifecycle --------------------------- #
+
+    def describe(self) -> dict:
+        """Transport-level description merged into ``/healthz``."""
+        return {"executor": self.kind}
+
+    def stats(self) -> dict:
+        """Transport-level counters merged into ``/stats``."""
+        return {"executor": self.kind}
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        """Release transport resources (pools, connections)."""
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class _IndexBackedExecutor(ShardExecutor):
+    """Shared plumbing for executors whose queries land on an
+    in-process index object (directly or through a worker pool)."""
+
+    def __init__(self, target, index) -> None:
+        # ``target`` answers queries; ``index`` is the authoritative
+        # in-process object for introspection (signatures, epoch).
+        self._target = target
+        self._index = index
+
+    def query_batch(self, batch, sizes=None, threshold=None):
+        return self._target.query_batch(batch, sizes=sizes,
+                                        threshold=threshold)
+
+    def query_top_k_batch(self, batch, k, sizes=None, min_threshold=0.05):
+        return self._target.query_top_k_batch(
+            batch, k, sizes=sizes, min_threshold=min_threshold)
+
+    def query(self, signature, size=None, threshold=None):
+        return self._target.query(signature, size, threshold)
+
+    def query_top_k(self, signature, k, size=None, min_threshold=0.05):
+        return self._target.query_top_k(signature, k, size=size,
+                                        min_threshold=min_threshold)
+
+    def signatures_for(self, keys):
+        shards = (self._index.shards
+                  if hasattr(self._index, "shards") else [self._index])
+        pool: dict = {}
+        sizes: dict = {}
+        for key in keys:
+            for shard in shards:
+                if key in shard:
+                    pool[key] = shard.get_signature(key)
+                    sizes[key] = shard.size_of(key)
+                    break
+        return pool, sizes
+
+    @property
+    def mutation_epoch(self) -> int:
+        return int(self._index.mutation_epoch)
+
+    @property
+    def index(self):
+        return self._index
+
+
+class InProcessExecutor(_IndexBackedExecutor):
+    """Today's path: dispatch straight onto the built index object."""
+
+    kind = "thread"
+
+    def __init__(self, index) -> None:
+        super().__init__(index, index)
+
+
+class ProcPoolExecutor(_IndexBackedExecutor):
+    """Dispatch through a :class:`~repro.parallel.procpool.PooledIndex`
+    — batches row-sliced across worker processes that ``np.memmap`` the
+    spilled base segment.  Introspection reads the authoritative
+    in-process index the adapter wraps."""
+
+    kind = "process"
+
+    def __init__(self, pooled) -> None:
+        super().__init__(pooled, pooled.index)
+        self.pooled = pooled
+
+    def stats(self) -> dict:
+        return {"executor": self.kind, "pool": self.pooled.pool.stats()}
+
+    def close(self) -> None:
+        self.pooled.close()
+
+
+def make_executor(index, pooled=None) -> ShardExecutor:
+    """The executor for an index (+ optional pool adapter): the
+    back-compat construction path the serving engine uses."""
+    if pooled is not None:
+        return ProcPoolExecutor(pooled)
+    return InProcessExecutor(index)

@@ -1,0 +1,197 @@
+"""Consistent-hash placement: which nodes serve which shard.
+
+The router owns a :class:`PlacementMap` built from a cluster manifest.
+Placement uses a classic sha1 hash ring with virtual nodes: each node
+contributes ``vnodes`` points on a 2^63 ring, and a shard's replicas
+are the first ``replication`` *distinct* nodes clockwise from the
+shard's own ring point.  Two properties matter here and are pinned by
+``tests/distributed/test_placement.py``:
+
+* **determinism** — placement is a pure function of (node names,
+  vnodes, replication, shard name); every router instance reading the
+  same manifest computes the same map, with no coordination service.
+* **minimal movement** — adding or removing one node only remaps the
+  ring arcs that node owned: shards not adjacent to its vnodes keep
+  their replica sets, so a rebalance ships a bounded number of
+  snapshots rather than reshuffling the world.
+
+The manifest is deliberately dumb JSON (see :func:`load_manifest`)::
+
+    {
+      "replication": 2,
+      "nodes": {"n1": "127.0.0.1:8101", "n2": "127.0.0.1:8102"},
+      "shards": ["shard_000", "shard_001", ...]
+    }
+
+``shards`` may instead be an explicit ``{shard: [node, ...]}`` mapping
+for operators who want hand-pinned placement; the ring is then bypassed
+for those shards (used by the decommission tests to force traffic onto
+a specific node).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+
+__all__ = ["PlacementMap", "ClusterManifest", "load_manifest",
+           "parse_endpoint"]
+
+#: Ring points contributed per node: enough to keep the per-node load
+#: spread within a few percent for the cluster sizes we target (2-64
+#: nodes) while keeping ring construction trivially cheap.
+DEFAULT_VNODES = 64
+
+
+def _ring_hash(token: str) -> int:
+    """A stable 63-bit ring position (sha1, independent of
+    ``PYTHONHASHSEED`` — determinism across processes is the point)."""
+    digest = hashlib.sha1(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def parse_endpoint(address: str) -> tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)``; the only address syntax."""
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise ValueError("endpoint %r is not host:port" % (address,))
+    return host, int(port)
+
+
+class PlacementMap:
+    """The shard -> replica-nodes assignment for one cluster state.
+
+    Immutable by convention: rebalance builds a *new* map (via
+    :meth:`without_node` / :meth:`with_node`) and the router swaps it in
+    atomically, so a half-applied topology is never observable.
+    """
+
+    def __init__(self, nodes: Mapping[str, str], *,
+                 replication: int = 1, vnodes: int = DEFAULT_VNODES,
+                 pinned: Mapping[str, Sequence[str]] | None = None,
+                 ) -> None:
+        if not nodes:
+            raise ValueError("placement needs at least one node")
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        self.nodes = dict(nodes)          # name -> "host:port"
+        self.replication = int(replication)
+        self.vnodes = int(vnodes)
+        self.pinned = {shard: list(assigned)
+                       for shard, assigned in (pinned or {}).items()}
+        for shard, assigned in self.pinned.items():
+            missing = [n for n in assigned if n not in self.nodes]
+            if missing:
+                raise ValueError("shard %r pinned to unknown node(s) %s"
+                                 % (shard, missing))
+        # The ring: sorted (position, node-name) points.
+        points = []
+        for name in sorted(self.nodes):
+            for i in range(self.vnodes):
+                points.append((_ring_hash("%s#%d" % (name, i)), name))
+        points.sort()
+        self._positions = [pos for pos, _ in points]
+        self._owners = [name for _, name in points]
+
+    # --------------------------- lookups ---------------------------- #
+
+    def replicas_for(self, shard: str) -> list[str]:
+        """The ``min(replication, len(nodes))`` distinct node names
+        serving ``shard``, primary first."""
+        if shard in self.pinned:
+            return list(self.pinned[shard])
+        want = min(self.replication, len(self.nodes))
+        start = bisect.bisect_left(self._positions, _ring_hash(shard))
+        chosen: list[str] = []
+        for step in range(len(self._owners)):
+            owner = self._owners[(start + step) % len(self._owners)]
+            if owner not in chosen:
+                chosen.append(owner)
+                if len(chosen) == want:
+                    break
+        return chosen
+
+    def endpoints_for(self, shard: str) -> list[tuple[str, int]]:
+        return [parse_endpoint(self.nodes[name])
+                for name in self.replicas_for(shard)]
+
+    def assignment(self, shards: Sequence[str]) -> dict[str, list[str]]:
+        return {shard: self.replicas_for(shard) for shard in shards}
+
+    # ------------------------ topology edits ------------------------ #
+
+    def without_node(self, name: str) -> "PlacementMap":
+        """The map with ``name`` removed (decommission target)."""
+        if name not in self.nodes:
+            raise KeyError(name)
+        nodes = {n: addr for n, addr in self.nodes.items() if n != name}
+        pinned = {shard: [n for n in assigned if n != name]
+                  for shard, assigned in self.pinned.items()}
+        pinned = {shard: assigned for shard, assigned in pinned.items()
+                  if assigned}
+        return PlacementMap(nodes, replication=self.replication,
+                            vnodes=self.vnodes, pinned=pinned)
+
+    def with_node(self, name: str, address: str) -> "PlacementMap":
+        """The map with ``name`` added (bootstrap target)."""
+        nodes = dict(self.nodes)
+        nodes[name] = address
+        return PlacementMap(nodes, replication=self.replication,
+                            vnodes=self.vnodes, pinned=self.pinned)
+
+    def describe(self) -> dict:
+        return {"nodes": dict(self.nodes),
+                "replication": self.replication,
+                "vnodes": self.vnodes,
+                "pinned": {s: list(a) for s, a in self.pinned.items()}}
+
+
+class ClusterManifest:
+    """Parsed cluster manifest: nodes + placement + the shard list."""
+
+    def __init__(self, nodes: Mapping[str, str], shards,
+                 *, replication: int = 1, vnodes: int = DEFAULT_VNODES,
+                 ) -> None:
+        if isinstance(shards, Mapping):
+            self.shards = sorted(shards)
+            pinned = shards
+        else:
+            self.shards = list(shards)
+            pinned = None
+        self.placement = PlacementMap(nodes, replication=replication,
+                                      vnodes=vnodes, pinned=pinned)
+
+    @property
+    def nodes(self) -> dict[str, str]:
+        return self.placement.nodes
+
+    def assignment(self) -> dict[str, list[str]]:
+        return self.placement.assignment(self.shards)
+
+    def describe(self) -> dict:
+        return {"shards": list(self.shards),
+                **self.placement.describe()}
+
+
+def load_manifest(path: str | Path) -> ClusterManifest:
+    """Read a cluster manifest file; see the module docstring for the
+    schema.  Unknown top-level keys are rejected loudly — a typo'd
+    ``"replicaton"`` silently defaulting to 1 is an outage, not a
+    convenience."""
+    raw = json.loads(Path(path).read_text("utf-8"))
+    if not isinstance(raw, dict):
+        raise ValueError("cluster manifest must be a JSON object")
+    known = {"nodes", "shards", "replication", "vnodes"}
+    unknown = sorted(set(raw) - known)
+    if unknown:
+        raise ValueError("unknown manifest key(s): %s" % unknown)
+    for required in ("nodes", "shards"):
+        if required not in raw:
+            raise ValueError("cluster manifest missing %r" % required)
+    return ClusterManifest(
+        raw["nodes"], raw["shards"],
+        replication=int(raw.get("replication", 1)),
+        vnodes=int(raw.get("vnodes", DEFAULT_VNODES)))

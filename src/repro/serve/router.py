@@ -1,0 +1,630 @@
+"""The router tier: one query surface over many shard nodes.
+
+:class:`RouterIndex` composes one :class:`~repro.serve.executor
+.ShardExecutor` per shard (usually
+:class:`~repro.serve.remote.RemoteShardExecutor` — keep-alive HTTP with
+replica failover) behind the same index-shaped query surface the
+serving engine already understands, so the whole existing HTTP stack
+(coalescer, admission control, stats) fronts a cluster unchanged.
+Placement comes from a :class:`~repro.serve.placement.PlacementMap`;
+swapping maps (:meth:`RouterIndex.set_placement`) is how rebalance and
+decommission happen — in-flight requests drain on the old replica
+clients, new requests see the new topology, nothing is dropped.
+
+Query semantics (mirroring :class:`~repro.parallel.sharded
+.ShardedEnsemble`, which is what the parity battery compares against):
+
+* ``query`` / ``query_batch`` — one fan-out round, per-row union over
+  shards.  Each shard answers at a single epoch (the transport enforces
+  it chunk-to-chunk) and the response is tagged with the **minimum**
+  epoch observed across shards — the staleness floor.
+* ``query_top_k[_batch]`` — the *global* threshold ladder: every rung
+  is a cluster-wide fan-out, candidate recovery and the stop rule see
+  the union over shards, and the final ranking runs locally over
+  candidate signatures fetched from their owning shards
+  (``POST /signatures``), preserving the flat index's ordering and
+  tie-breaks bit for bit.
+
+**Epoch consistency.**  A ladder is multi-round, so a shard mutating
+mid-ladder could leak a mix of pre- and post-mutation candidates into
+one response.  The router tracks the epoch each shard reports per
+round; on a mismatch the whole ladder restarts from scratch (bounded by
+``max_ladder_restarts``), and when the budget is exhausted it raises
+:class:`~repro.serve.executor.EpochConsistencyError` (HTTP 503 — an
+immediate retry starts a fresh ladder).  Within one fan-out round,
+shards are *mutually* independent: each shard's answer is internally
+consistent, and the response's ``mutation_epoch`` is the min.
+
+**Failure semantics.**  A shard whose every replica fails raises
+:class:`~repro.serve.executor.ShardUnavailableError` (HTTP 503) by
+default.  With ``partial=True`` the router instead answers from the
+shards it can reach and marks the response ``degraded`` with the
+unreachable shard names — explicitly trading completeness for
+availability.  The degraded set is maintained per fan-out (a shard
+leaves it as soon as it answers again); a response assembled
+concurrently with a recovery may briefly over- or under-report it,
+which is acceptable for a diagnostic flag.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Mapping, Sequence
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.ensemble import (
+    _as_batch,
+    _as_lean,
+    _ladder_candidates,
+    _ladder_candidates_batch,
+    _validate_topk_args,
+)
+from repro.minhash.batch import SignatureBatch
+from repro.serve.engine import ServingEngine
+from repro.serve.executor import (
+    EpochConsistencyError,
+    InProcessExecutor,
+    ShardExecutor,
+    ShardUnavailableError,
+)
+from repro.serve.placement import ClusterManifest, PlacementMap
+from repro.serve.remote import RemoteShardExecutor
+from repro.serve.server import QueryServer
+
+__all__ = ["RouterIndex", "RouterEngine", "RouterServer"]
+
+
+class _LadderRestart(Exception):
+    """Internal: a shard changed epoch mid-ladder; retry the ladder."""
+
+    def __init__(self, shard: str, before: int, after: int) -> None:
+        super().__init__(shard, before, after)
+        self.shard = shard
+        self.before = before
+        self.after = after
+
+
+class RouterIndex:
+    """Index-shaped facade over per-shard executors; module docstring
+    has the semantics.  Build one with :meth:`from_manifest` (remote
+    cluster) or :meth:`from_executors` (tests, in-process shards)."""
+
+    def __init__(self, executors: Mapping[str, ShardExecutor], *,
+                 placement: PlacementMap | None = None,
+                 partial: bool = False,
+                 max_ladder_restarts: int = 2) -> None:
+        if not executors:
+            raise ValueError("a router needs at least one shard")
+        self.shard_names = list(executors)
+        self._executors = dict(executors)
+        self.placement = placement
+        self.partial = bool(partial)
+        self.max_ladder_restarts = int(max_ladder_restarts)
+        self._lock = threading.Lock()
+        self._degraded: set[str] = set()
+        self._counters = {"fanouts": 0, "ladder_restarts": 0,
+                          "partial_responses": 0}
+        # Two concurrent fan-outs (coalescer dispatch + a direct single
+        # query) must not starve each other's shard slots.
+        self._fanout_pool = ThreadPoolExecutor(
+            max_workers=max(4, 2 * len(self._executors)),
+            thread_name_prefix="lshensemble-router")
+        # Cluster facts, filled by connect(): the shards must agree on
+        # these or cross-shard results are not comparable at all.
+        self.num_perm = 0
+        self._seed = 1
+        self._kernel = "?"
+        self._bbit: int | None = None
+        self._generation = 0
+        self._keys: dict[str, int] = {}
+        self.connect()
+
+    # ------------------------- construction ------------------------- #
+
+    @classmethod
+    def from_manifest(cls, manifest: ClusterManifest, *,
+                      timeout: float = 10.0, partial: bool = False,
+                      max_ladder_restarts: int = 2) -> "RouterIndex":
+        return cls.from_placement(manifest.shards, manifest.placement,
+                                  timeout=timeout, partial=partial,
+                                  max_ladder_restarts=max_ladder_restarts)
+
+    @classmethod
+    def from_placement(cls, shards: Sequence[str],
+                       placement: PlacementMap, *,
+                       timeout: float = 10.0, partial: bool = False,
+                       max_ladder_restarts: int = 2) -> "RouterIndex":
+        executors = {
+            shard: RemoteShardExecutor(placement.endpoints_for(shard),
+                                       shard=shard, timeout=timeout)
+            for shard in shards}
+        return cls(executors, placement=placement, partial=partial,
+                   max_ladder_restarts=max_ladder_restarts)
+
+    @classmethod
+    def from_executors(cls, executors: Mapping[str, ShardExecutor],
+                       **kwargs) -> "RouterIndex":
+        return cls(executors, **kwargs)
+
+    # ------------------- cluster facts / lifecycle ------------------ #
+
+    @staticmethod
+    def _shard_info(executor: ShardExecutor) -> dict:
+        """One shard's self-description (its ``/healthz`` payload, or
+        the equivalent computed locally for in-process executors)."""
+        if hasattr(executor, "healthz"):
+            return executor.healthz()
+        info = ServingEngine(executor.index).describe()
+        info["signature_seed"] = ServingEngine(
+            executor.index).signature_seed()
+        return info
+
+    def connect(self) -> None:
+        """Fetch every shard's description, verify the cluster is
+        coherent, and prime the per-shard epoch observations.
+
+        ``num_perm`` and the signature seed **must** agree across
+        shards — containment estimates between differently-hashed
+        signatures are meaningless, so a mismatch is a deployment bug
+        worth failing loudly on, not routing around.  A node that
+        reports a shard label different from the one placement routed
+        to it is serving the wrong data — same treatment.
+        """
+        infos = self._fanout(
+            lambda ex: (self._shard_info(ex), ex.mutation_epoch))
+        first_name = next(iter(infos))
+        first = infos[first_name]
+        for name, info in infos.items():
+            label = info.get("shard")
+            if label is not None and label != name:
+                raise ValueError(
+                    "node for shard %r identifies as shard %r — "
+                    "placement and deployment disagree" % (name, label))
+            for field in ("num_perm", "signature_seed"):
+                if info.get(field) != first.get(field):
+                    raise ValueError(
+                        "shards %r and %r disagree on %s (%r vs %r); "
+                        "their results are not comparable"
+                        % (first_name, name, field, first.get(field),
+                           info.get(field)))
+        self.num_perm = int(first["num_perm"])
+        self._seed = int(first.get("signature_seed", 1))
+        self._kernel = str(first.get("kernel", "?"))
+        self._bbit = first.get("bbit")
+        with self._lock:
+            self._keys = {name: int(info.get("keys", 0))
+                          for name, info in infos.items()}
+            self._generation = max(int(info.get("generation", 0))
+                                   for info in infos.values())
+
+    def refresh(self) -> dict:
+        """Re-poll the shards (key counts, generation, epochs) and
+        return the per-shard descriptions."""
+        infos = self._fanout(
+            lambda ex: (self._shard_info(ex), ex.mutation_epoch))
+        with self._lock:
+            for name, info in infos.items():
+                self._keys[name] = int(info.get("keys", 0))
+            self._generation = max(
+                [self._generation]
+                + [int(info.get("generation", 0))
+                   for info in infos.values()])
+        return infos
+
+    @property
+    def signature_seed(self) -> int:
+        return self._seed
+
+    @property
+    def kernel_name(self) -> str:
+        return self._kernel
+
+    @property
+    def bbit(self) -> int | None:
+        return self._bbit
+
+    @property
+    def generation(self) -> int:
+        with self._lock:
+            return self._generation
+
+    @property
+    def mutation_epoch(self) -> int:
+        """The staleness floor: minimum last-observed epoch across
+        shards (epochs are per-shard independent counters)."""
+        return min(ex.mutation_epoch for ex in self._executors.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(self._keys.values())
+
+    def degraded_shards(self) -> list[str]:
+        with self._lock:
+            return sorted(self._degraded)
+
+    def executors(self) -> dict[str, ShardExecutor]:
+        return dict(self._executors)
+
+    def stats(self) -> dict:
+        with self._lock:
+            counters = dict(self._counters)
+            degraded = sorted(self._degraded)
+            keys = dict(self._keys)
+        shard_stats = {name: ex.stats()
+                       for name, ex in self._executors.items()}
+        requests = sum(s.get("requests", 0)
+                       for s in shard_stats.values())
+        retries = sum(s.get("retries", 0) for s in shard_stats.values())
+        return {
+            "shards": shard_stats,
+            "keys_per_shard": keys,
+            "degraded": degraded,
+            "partial_mode": self.partial,
+            "placement": (self.placement.describe()
+                          if self.placement is not None else None),
+            "shard_requests": requests,
+            "shard_retries": retries,
+            "retry_rate": (retries / requests) if requests else 0.0,
+            **counters,
+        }
+
+    # --------------------- topology transitions --------------------- #
+
+    def set_placement(self, placement: PlacementMap) -> list[str]:
+        """Atomically adopt a new placement map; returns the shards
+        whose replica sets changed.  Requests already in flight finish
+        on the replicas they started on (the executors keep the old
+        clients alive until those calls return), so a rolling
+        rebalance/decommission loses no in-flight queries."""
+        changed = []
+        for shard, executor in self._executors.items():
+            if not isinstance(executor, RemoteShardExecutor):
+                raise TypeError(
+                    "set_placement needs remote executors; shard %r is "
+                    "%s" % (shard, type(executor).__name__))
+            endpoints = placement.endpoints_for(shard)
+            current = ["%s:%d" % ep for ep in endpoints]
+            if current != executor.endpoints:
+                executor.replace_clients(endpoints)
+                changed.append(shard)
+        self.placement = placement
+        return changed
+
+    def decommission(self, node: str) -> list[str]:
+        """Drain ``node`` out of the topology without downtime; returns
+        the shards that moved off it.  The node itself keeps running
+        until the operator stops it — the router just stops sending."""
+        if self.placement is None:
+            raise RuntimeError("this router has no placement map")
+        return self.set_placement(self.placement.without_node(node))
+
+    def add_node(self, name: str, address: str) -> list[str]:
+        """Admit a (bootstrapped) node; returns the shards now
+        (partly) served by it."""
+        if self.placement is None:
+            raise RuntimeError("this router has no placement map")
+        return self.set_placement(self.placement.with_node(name, address))
+
+    def close(self) -> None:
+        self._fanout_pool.shutdown(wait=True)
+        for executor in self._executors.values():
+            executor.close()
+
+    def __enter__(self) -> "RouterIndex":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # --------------------------- fan-out ---------------------------- #
+
+    def _fanout(self, op, tracker: dict | None = None) -> dict:
+        """Run ``op(executor) -> (value, epoch)`` on every shard in
+        parallel; returns ``{shard: value}`` for the shards that
+        answered.
+
+        ``tracker`` carries the per-shard epoch across the rounds of
+        one ladder: a shard answering at a different epoch than it did
+        earlier in the same ladder raises :class:`_LadderRestart`.
+        Unavailable shards raise unless ``partial`` mode is on.
+        """
+        with self._lock:
+            self._counters["fanouts"] += 1
+        futures = {name: self._fanout_pool.submit(op, ex)
+                   for name, ex in self._executors.items()}
+        out: dict = {}
+        failures: list[tuple[str, ShardUnavailableError]] = []
+        mismatch: _LadderRestart | None = None
+        for name, future in futures.items():
+            try:
+                value, epoch = future.result()
+            except ShardUnavailableError as exc:
+                failures.append((name, exc))
+                continue
+            out[name] = value
+            if tracker is not None:
+                previous = tracker.setdefault(name, epoch)
+                if previous != epoch and mismatch is None:
+                    # Note it but keep draining futures, so the whole
+                    # round's epochs/counters are recorded coherently.
+                    mismatch = _LadderRestart(name, previous, epoch)
+        with self._lock:
+            for name in out:
+                self._degraded.discard(name)
+            for name, _ in failures:
+                self._degraded.add(name)
+            if failures and out and self.partial:
+                self._counters["partial_responses"] += 1
+        if mismatch is not None:
+            raise mismatch
+        if failures and (not self.partial or not out):
+            detail = "; ".join("%s: %s" % (name, exc)
+                               for name, exc in failures)
+            raise ShardUnavailableError(
+                "%d/%d shard(s) unavailable: %s"
+                % (len(failures), len(self._executors), detail))
+        return out
+
+    @staticmethod
+    def _merge_rows(per_shard: dict, n: int) -> list[set]:
+        merged: list[set] = [set() for _ in range(n)]
+        for shard_rows in per_shard.values():
+            for j, hits in enumerate(shard_rows):
+                merged[j] |= hits
+        return merged
+
+    def _batch_round(self, sb: SignatureBatch, sizes: list[int],
+                     threshold, tracker: dict | None) -> list[set]:
+        per_shard = self._fanout(
+            lambda ex: ex.query_batch_with_epoch(
+                sb, sizes=sizes, threshold=threshold),
+            tracker=tracker)
+        return self._merge_rows(per_shard, len(sb))
+
+    def _normalise(self, batch, sizes):
+        sb = _as_batch(batch)
+        if sizes is None:
+            sizes = [max(1, int(c)) for c in sb.counts()]
+        elif len(sizes) != len(sb):
+            raise ValueError("got %d sizes for %d signatures"
+                             % (len(sizes), len(sb)))
+        return sb, [int(s) for s in sizes]
+
+    # ------------------------- query paths -------------------------- #
+
+    def query_batch(self, batch, sizes: Sequence[int] | None = None,
+                    threshold: float | None = None) -> list[set]:
+        sb, sizes = self._normalise(batch, sizes)
+        if len(sb) == 0:
+            return []
+        return self._batch_round(sb, sizes, threshold, tracker=None)
+
+    def query(self, signature, size: int | None = None,
+              threshold: float | None = None) -> set:
+        lean = _as_lean(signature)
+        q = int(size) if size is not None else max(1, lean.count())
+        return self.query_batch([lean], sizes=[q],
+                                threshold=threshold)[0]
+
+    def signatures_for(self, keys) -> tuple[dict, dict]:
+        pool, sizes = self._pool_fetch(list(keys), tracker=None)
+        return pool, sizes
+
+    def _pool_fetch(self, keys: list, tracker: dict | None,
+                    ) -> tuple[dict, dict]:
+        """Candidate signatures/sizes, unioned from their owning
+        shards; participates in the ladder's epoch tracking."""
+        if not keys:
+            return {}, {}
+        # Deterministic wire order (diagnostics); shards return only
+        # the keys they hold, the union is disjoint by construction.
+        keys = sorted(keys, key=str)
+
+        def op(executor):
+            if hasattr(executor, "signatures_with_epoch"):
+                pool, sizes, epoch = executor.signatures_with_epoch(keys)
+                return (pool, sizes), epoch
+            pool, sizes = executor.signatures_for(keys)
+            return (pool, sizes), executor.mutation_epoch
+
+        per_shard = self._fanout(op, tracker=tracker)
+        pool: dict = {}
+        sizes: dict = {}
+        for shard_pool, shard_sizes in per_shard.values():
+            pool.update(shard_pool)
+            sizes.update(shard_sizes)
+        return pool, sizes
+
+    def _rank(self, query_signature, query_size: int, candidates,
+              pool: dict, sizes: dict, k: int) -> list:
+        """Rank one row's candidates exactly as the flat index would.
+
+        A candidate the pool fetch could not resolve means the cluster
+        changed between the rung that surfaced it and the fetch — in
+        strict mode that is an epoch inconsistency (restart the
+        ladder); in partial mode its shard is down and the key is
+        dropped with the rest of that shard's answers.
+        """
+        from repro.core.estimation import rank_candidates
+
+        missing = [key for key in candidates if key not in pool]
+        if missing and not self.partial:
+            raise _LadderRestart(repr(missing[0]), -1, -1)
+        row_pool = {key: pool[key] for key in candidates
+                    if key in pool}
+        row_sizes = {key: sizes[key] for key in row_pool}
+        return rank_candidates(query_signature, row_pool,
+                               query_size=query_size,
+                               sizes=row_sizes)[:k]
+
+    def query_top_k(self, signature, k: int, size: int | None = None,
+                    min_threshold: float = 0.05) -> list:
+        _validate_topk_args(k, min_threshold)
+        lean = _as_lean(signature)
+        q = int(size) if size is not None else max(1, lean.count())
+        restart: _LadderRestart | None = None
+        for _ in range(self.max_ladder_restarts + 1):
+            tracker: dict = {}
+            try:
+                candidates = _ladder_candidates(
+                    lambda threshold: self._batch_round(
+                        _as_batch([lean]), [q], threshold, tracker)[0],
+                    k, min_threshold)
+                pool, sizes = self._pool_fetch(list(candidates), tracker)
+                return self._rank(lean, q, candidates, pool, sizes, k)
+            except _LadderRestart as exc:
+                restart = exc
+                with self._lock:
+                    self._counters["ladder_restarts"] += 1
+        raise EpochConsistencyError(
+            "top-k ladder restarted %d times without observing a "
+            "stable cluster (last offender: shard %s)"
+            % (self.max_ladder_restarts, restart.shard))
+
+    def query_top_k_batch(self, batch, k: int,
+                          sizes: Sequence[int] | None = None,
+                          min_threshold: float = 0.05) -> list[list]:
+        _validate_topk_args(k, min_threshold)
+        sb, qs = self._normalise(batch, sizes)
+        n = len(sb)
+        if n == 0:
+            return []
+        restart: _LadderRestart | None = None
+        for _ in range(self.max_ladder_restarts + 1):
+            tracker = {}
+            try:
+                return self._top_k_batch_once(sb, n, k, qs,
+                                              min_threshold, tracker)
+            except _LadderRestart as exc:
+                restart = exc
+                with self._lock:
+                    self._counters["ladder_restarts"] += 1
+        raise EpochConsistencyError(
+            "top-k ladder restarted %d times without observing a "
+            "stable cluster (last offender: shard %s)"
+            % (self.max_ladder_restarts, restart.shard))
+
+    def _top_k_batch_once(self, sb, n: int, k: int, qs: list[int],
+                          min_threshold: float, tracker: dict,
+                          ) -> list[list]:
+        def rung(rows, threshold):
+            sub = SignatureBatch(None, sb.take(rows), seed=sb.seed)
+            return self._batch_round(sub, [qs[j] for j in rows],
+                                     threshold, tracker)
+
+        candidates = _ladder_candidates_batch(rung, n, k, min_threshold)
+        all_keys = {key for per_row in candidates for key in per_row}
+        pool, sizes = self._pool_fetch(list(all_keys), tracker)
+        return [self._rank(sb[j], qs[j], candidates[j], pool, sizes, k)
+                for j in range(n)]
+
+
+class _RouterExecutor(InProcessExecutor):
+    """The router behind the standard executor interface, so the
+    serving engine dispatches to it like any other backend."""
+
+    kind = "router"
+
+    # close() stays the no-op default deliberately: the router index
+    # is caller-owned (the CLI / test that built it also closes it), so
+    # a server shutting down must not tear down a topology the caller
+    # may keep querying in-process.
+
+    def signatures_for(self, keys):
+        return self._index.signatures_for(keys)
+
+
+class RouterEngine(ServingEngine):
+    """Serving-engine adapter for a :class:`RouterIndex`: introspection
+    comes from the cluster facts gathered at connect time (refreshed on
+    ``/stats``), not from walking a local index."""
+
+    def __init__(self, router: RouterIndex) -> None:
+        super().__init__(router, executor=_RouterExecutor(router))
+        self.router = router
+
+    @property
+    def executor_kind(self) -> str:
+        return "router"
+
+    @property
+    def num_perm(self) -> int:
+        return self.router.num_perm
+
+    @property
+    def kernel_name(self) -> str:
+        return self.router.kernel_name
+
+    @property
+    def bbit(self) -> int | None:
+        return self.router.bbit
+
+    def signature_seed(self) -> int:
+        return self.router.signature_seed
+
+    def describe(self) -> dict:
+        return {
+            "status": "degraded" if self.router.degraded_shards()
+            else "ok",
+            "index": "RouterIndex",
+            "keys": len(self.router),
+            "num_perm": self.num_perm,
+            "generation": self.generation,
+            "mutation_epoch": self.mutation_epoch,
+            "executor": "router",
+            "kernel": self.kernel_name,
+            "bbit": self.bbit,
+            "signature_seed": self.signature_seed(),
+            "shards": list(self.router.shard_names),
+            "degraded": self.router.degraded_shards(),
+        }
+
+    def stats(self) -> dict:
+        try:
+            self.router.refresh()
+        except ShardUnavailableError:
+            pass  # stats must stay observable while shards are down
+        return {
+            "index": "RouterIndex",
+            "keys": len(self.router),
+            "generation": self.generation,
+            "mutation_epoch": self.mutation_epoch,
+            "executor": "router",
+            "kernel": self.kernel_name,
+            "bbit": self.bbit,
+            "router": self.router.stats(),
+        }
+
+    def snapshot_bytes(self) -> bytes | None:
+        return None  # a router has no single index to snapshot
+
+
+class RouterServer(QueryServer):
+    """:class:`~repro.serve.server.QueryServer` over a
+    :class:`RouterIndex`.
+
+    The result cache defaults to **off**: the router only observes
+    remote epochs when a fan-out happens to report them, so an
+    epoch-keyed cache could serve entries at a stale label after a
+    shard mutates.  Operators who accept bounded staleness can pass a
+    ``cache_size`` explicitly.
+    """
+
+    def __init__(self, router: RouterIndex, host: str = "127.0.0.1",
+                 port: int = 0, *, max_batch: int = 64,
+                 window_ms: float = 2.0, cache_size: int = 0,
+                 max_pending: int = 1024) -> None:
+        super().__init__(router, host, port, max_batch=max_batch,
+                         window_ms=window_ms, cache_size=cache_size,
+                         max_pending=max_pending,
+                         engine=RouterEngine(router))
+
+    def _finalise_payload(self, payload: dict) -> dict:
+        # Re-read the staleness floor *after* dispatch: the fan-out
+        # just observed every shard's epoch, so the label reflects the
+        # answers in this response, not the previous fan-out's.
+        payload["mutation_epoch"] = self.engine.mutation_epoch
+        degraded = self.engine.index.degraded_shards()
+        if degraded:
+            payload["degraded"] = degraded
+        return payload

@@ -27,6 +27,13 @@ Endpoints::
     GET  /stats        tier sizes, drift_stats(), cache + coalescer
     POST /query        {"queries": [...], "threshold": 0.6}
     POST /query_top_k  {"queries": [...], "k": 5, "min_threshold": 0.05}
+    POST /signatures   {"keys": [...]} -> stored signatures + sizes
+    GET  /snapshot     packed index snapshot (replica bootstrap)
+
+``/signatures`` and ``/snapshot`` exist for the distributed tier: the
+router (:mod:`repro.serve.router`) fetches candidate signatures for
+its global top-k ranking through the former, and a new replica
+bootstraps its whole index from a peer through the latter.
 
 Each query is either a raw signature —
 ``{"signature": [u64...], "seed": 1, "size": 123}`` (``size`` optional,
@@ -54,6 +61,10 @@ from repro.minhash.lean import LeanMinHash
 from repro.serve.cache import MISS, ResultCache
 from repro.serve.coalescer import MicroBatchCoalescer, OverloadedError
 from repro.serve.engine import ServingEngine
+from repro.serve.executor import (
+    EpochConsistencyError,
+    ShardUnavailableError,
+)
 
 __all__ = ["QueryServer", "ServerHandle", "start_in_thread",
            "RequestError"]
@@ -61,6 +72,9 @@ __all__ = ["QueryServer", "ServerHandle", "start_in_thread",
 # Bound on queries inside one HTTP request body: a single request must
 # not monopolise the coalescer's admission budget.
 MAX_QUERIES_PER_REQUEST = 256
+# Bound on keys inside one /signatures request (ladder candidate pools
+# are small — k * a few rungs — so this is generous).
+MAX_KEYS_PER_REQUEST = 65536
 # Bounds on the HTTP request itself — admission control is pointless if
 # a single connection can buffer an arbitrarily large body or header
 # block instead.
@@ -149,6 +163,14 @@ class QueryServer:
     mmap:
         Whether pool workers memory-map the base segment (default) or
         read it into memory (``executor="process"`` only).
+    engine:
+        A pre-built :class:`~repro.serve.engine.ServingEngine`
+        (subclass) to serve through, bypassing the ``executor``-based
+        construction — how :class:`~repro.serve.router.RouterServer`
+        reuses this whole HTTP stack over a cluster.
+    shard_label:
+        The shard this node serves, surfaced in ``/healthz`` so the
+        router can verify placement and deployment agree.
     """
 
     def __init__(self, index, host: str = "127.0.0.1", port: int = 0, *,
@@ -156,26 +178,32 @@ class QueryServer:
                  cache_size: int = 4096, max_pending: int = 1024,
                  executor: str = "thread", workers: int | None = None,
                  start_method: str | None = None,
-                 source_path=None, mmap: bool = True) -> None:
-        if executor not in ("thread", "process"):
-            raise ValueError(
-                "executor must be 'thread' or 'process', got %r"
-                % (executor,))
-        pooled = None
-        if executor == "process":
-            if hasattr(index, "shards"):
-                if getattr(index, "executor", "thread") != "process":
-                    raise ValueError(
-                        "load the sharded cluster with "
-                        "executor='process' instead of wrapping it "
-                        "at the serving layer")
-            else:
-                from repro.parallel.procpool import PooledIndex
+                 source_path=None, mmap: bool = True,
+                 engine: ServingEngine | None = None,
+                 shard_label: str | None = None) -> None:
+        if engine is None:
+            if executor not in ("thread", "process"):
+                raise ValueError(
+                    "executor must be 'thread' or 'process', got %r"
+                    % (executor,))
+            pooled = None
+            if executor == "process":
+                if hasattr(index, "shards"):
+                    if getattr(index, "executor", "thread") != "process":
+                        raise ValueError(
+                            "load the sharded cluster with "
+                            "executor='process' instead of wrapping it "
+                            "at the serving layer")
+                else:
+                    from repro.parallel.procpool import PooledIndex
 
-                pooled = PooledIndex(index, num_workers=workers,
-                                     start_method=start_method,
-                                     source_path=source_path, mmap=mmap)
-        self.engine = ServingEngine(index, pooled=pooled)
+                    pooled = PooledIndex(index, num_workers=workers,
+                                         start_method=start_method,
+                                         source_path=source_path,
+                                         mmap=mmap)
+            engine = ServingEngine(index, pooled=pooled)
+        self.engine = engine
+        self.shard_label = shard_label
         self.cache = ResultCache(cache_size)
         self.coalescer = MicroBatchCoalescer(
             self.engine.dispatch, max_batch=max_batch,
@@ -215,8 +243,10 @@ class QueryServer:
             self._server.close()
             await self._server.wait_closed()
         await self.coalescer.aclose()
-        if self.engine.pooled is not None:
-            self.engine.pooled.close()
+        # The server owns the executor it (or its engine ctor) built:
+        # a worker pool is shut down here; in-process executors are
+        # no-ops (the caller keeps its index).
+        self.engine.executor.close()
 
     # ------------------------------------------------------------------ #
     # HTTP plumbing
@@ -289,15 +319,23 @@ class QueryServer:
                 pass
 
     async def _respond(self, writer: asyncio.StreamWriter, status: int,
-                       payload: dict, keep_alive: bool = False) -> None:
+                       payload: dict | bytes,
+                       keep_alive: bool = False) -> None:
         self.responses_by_status[status] = (
             self.responses_by_status.get(status, 0) + 1)
-        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        if isinstance(payload, bytes):  # /snapshot streams raw bytes
+            body = payload
+            content_type = "application/octet-stream"
+        else:
+            body = json.dumps(payload,
+                              separators=(",", ":")).encode("utf-8")
+            content_type = "application/json"
         head = ("HTTP/1.1 %d %s\r\n"
-                "Content-Type: application/json\r\n"
+                "Content-Type: %s\r\n"
                 "Content-Length: %d\r\n"
                 "Connection: %s\r\n"
-                % (status, _REASONS.get(status, "Unknown"), len(body),
+                % (status, _REASONS.get(status, "Unknown"), content_type,
+                   len(body),
                    "keep-alive" if keep_alive else "close"))
         if status == 503:
             head += "Retry-After: %d\r\n" % self.retry_after_hint()
@@ -344,7 +382,10 @@ class QueryServer:
             if path == "/healthz":
                 if method != "GET":
                     return 405, {"error": "use GET"}
-                return 200, self.engine.describe()
+                payload = self.engine.describe()
+                if self.shard_label is not None:
+                    payload["shard"] = self.shard_label
+                return 200, payload
             if path == "/stats":
                 if method != "GET":
                     return 405, {"error": "use GET"}
@@ -357,12 +398,26 @@ class QueryServer:
                 if method != "POST":
                     return 405, {"error": "use POST"}
                 return await self._handle_top_k(body)
+            if path == "/signatures":
+                if method != "POST":
+                    return 405, {"error": "use POST"}
+                return await self._handle_signatures(body)
+            if path == "/snapshot":
+                if method != "GET":
+                    return 405, {"error": "use GET"}
+                return await self._handle_snapshot()
             return 404, {"error": "no route for %s" % path}
         except RequestError as exc:
             return 400, {"error": str(exc)}
         except OverloadedError as exc:
             return 503, {"error": "overloaded", "detail": str(exc),
                          "retry_after": self.retry_after_hint()}
+        except ShardUnavailableError as exc:
+            return 503, {"error": "shard unavailable",
+                         "detail": str(exc)}
+        except EpochConsistencyError as exc:
+            return 503, {"error": "epoch consistency",
+                         "detail": str(exc)}
         except Exception as exc:  # noqa: BLE001 — serving must not die
             return 500, {"error": "%s: %s" % (type(exc).__name__, exc)}
 
@@ -482,12 +537,18 @@ class QueryServer:
                     raise answer
                 results[j] = answer
                 self.cache.put((digest, epoch), answer)
-        return 200, {
+        return 200, self._finalise_payload({
             "mutation_epoch": epoch,
             "generation": self.engine.generation,
             "cached": cached_flags,
             "results": results,
-        }
+        })
+
+    def _finalise_payload(self, payload: dict) -> dict:
+        """Last touch on a query response before it is serialised;
+        subclasses (the router) re-label the epoch and attach
+        degradation markers here."""
+        return payload
 
     async def _handle_query(self, body: bytes) -> tuple[int, dict]:
         data = _parse_body(body)
@@ -502,6 +563,45 @@ class QueryServer:
         parsed = self._parse_queries(data)
         return await self._answer(
             lambda seed: ("top_k", seed, k, min_threshold), parsed)
+
+    # ------------------------------------------------------------------ #
+    # Distributed-tier endpoints
+    # ------------------------------------------------------------------ #
+
+    def _signatures_snapshot(self, wanted: list) -> tuple[int, list]:
+        # Same pre-read rule as _answer: data fetched after the epoch
+        # read can only be as-new-or-newer than the label.
+        epoch = self.engine.mutation_epoch
+        pool, sizes = self.engine.signatures_for(wanted)
+        found = [[key, int(signature.seed), int(sizes[key]),
+                  [int(v) for v in signature.hashvalues]]
+                 for key, signature in pool.items()]
+        return epoch, found
+
+    async def _handle_signatures(self, body: bytes) -> tuple[int, dict]:
+        from repro.serve.remote import restore_key
+
+        data = _parse_body(body)
+        keys = data.get("keys")
+        if not isinstance(keys, list):
+            raise RequestError("keys must be an array")
+        if len(keys) > MAX_KEYS_PER_REQUEST:
+            raise RequestError(
+                "too many keys in one request (%d > %d)"
+                % (len(keys), MAX_KEYS_PER_REQUEST))
+        wanted = [restore_key(key) for key in keys]
+        loop = asyncio.get_running_loop()
+        epoch, found = await loop.run_in_executor(
+            None, self._signatures_snapshot, wanted)
+        return 200, {"mutation_epoch": epoch, "found": found}
+
+    async def _handle_snapshot(self) -> tuple[int, dict | bytes]:
+        loop = asyncio.get_running_loop()
+        payload = await loop.run_in_executor(
+            None, self.engine.snapshot_bytes)
+        if payload is None:
+            return 404, {"error": "this topology has no snapshot"}
+        return 200, payload
 
 
 # --------------------------------------------------------------------- #
@@ -544,19 +644,28 @@ class ServerHandle:
         self.close()
 
 
-def start_in_thread(index, **kwargs) -> ServerHandle:
+def start_in_thread(index, server_factory=QueryServer,
+                    **kwargs) -> ServerHandle:
     """Start a :class:`QueryServer` on a daemon thread; returns once the
     socket is bound (so :attr:`ServerHandle.port` is usable immediately).
+
+    ``server_factory`` swaps in a subclass (e.g.
+    :class:`~repro.serve.router.RouterServer`, with ``index`` then being
+    the :class:`~repro.serve.router.RouterIndex`).
     """
     handle = ServerHandle()
 
     async def _main() -> None:
-        server = QueryServer(index, **kwargs)
+        server = server_factory(index, **kwargs)
         try:
             await server.start()
         except BaseException as exc:
             handle.error = exc
             handle._ready.set()
+            # The constructor may already own resources (a process
+            # pool, the coalescer's worker thread); a failed bind must
+            # not leak them.
+            await server.aclose()
             raise
         handle.server = server
         handle._loop = asyncio.get_running_loop()

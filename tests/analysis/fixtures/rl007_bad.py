@@ -1,0 +1,30 @@
+"""RL007 true positives: raw transport opened from serve dispatch code.
+
+Deliberately-broken lint fixture — excluded from the blocking CI run.
+The rule is path-scoped to ``repro/serve/``; the tests exercise the
+scope by copying this source under that path (and under the exempt
+``repro/serve/remote.py``), so the patterns here only need to fire
+with scoping off.
+"""
+import asyncio
+import http.client
+import socket
+from urllib.request import urlopen
+
+
+def dispatch_query(host, port, body):
+    conn = http.client.HTTPConnection(host, port)  # BAD: own HTTP client
+    conn.request("POST", "/query", body)
+    return conn.getresponse().read()
+
+
+def fetch_stats(url):
+    return urlopen(url).read()  # BAD: urllib straight from dispatch
+
+
+def probe_node(host, port):
+    return socket.create_connection((host, port))  # BAD: raw socket
+
+
+async def stream_to_node(host, port):
+    return await asyncio.open_connection(host, port)  # BAD: raw stream

@@ -1,0 +1,25 @@
+"""RL007 idioms that must stay accepted.
+
+Dispatch through the executor interface, remote construction via the
+sanctioned transport class, and server-side listening — none of these
+originate a raw connection from dispatch code.
+"""
+import asyncio
+
+from repro.serve.remote import RemoteShardExecutor
+
+
+def dispatch_query(executor, batch, sizes, threshold):
+    # GOOD: all remote hops go through the ShardExecutor surface.
+    return executor.query_batch(batch, sizes=sizes, threshold=threshold)
+
+
+def build_remote(endpoints, shard):
+    # GOOD: constructing the sanctioned transport is the one legal way
+    # to reach a shard node.
+    return RemoteShardExecutor(endpoints, shard=shard)
+
+
+async def listen(handler, host, port):
+    # GOOD: the rule forbids originating connections, not serving them.
+    return await asyncio.start_server(handler, host, port)

@@ -50,6 +50,12 @@ EXPECTED = {
         ("RL006", 19),  # aliased import of the same primitive
         ("RL006", 23),  # back-compat re-export via repro.lsh.storage
     ],
+    "rl007_bad.py": [
+        ("RL007", 16),  # http.client.HTTPConnection from dispatch
+        ("RL007", 22),  # urlopen straight from dispatch
+        ("RL007", 26),  # raw socket.create_connection
+        ("RL007", 30),  # asyncio.open_connection client stream
+    ],
 }
 
 CLEAN = [
@@ -59,6 +65,7 @@ CLEAN = [
     "rl004_clean.py",
     "rl005_clean.py",
     "rl006_clean.py",
+    "rl007_clean.py",
 ]
 
 
@@ -130,6 +137,37 @@ def test_rl006_flags_probe_loops_in_probe_packages(tmp_path):
     elsewhere.write_text(source)
     result = run_paths([elsewhere], respect_scope=True)
     assert [(f.rule, f.line) for f, _ in result["findings"]] == []
+
+
+def test_rl007_scope_applies_inside_serve(tmp_path):
+    target = tmp_path / "repro" / "serve" / "router.py"
+    target.parent.mkdir(parents=True)
+    target.write_text((FIXTURES / "rl007_bad.py").read_text())
+    result = run_paths([target], respect_scope=True)
+    assert [(f.rule, f.line) for f, _ in result["findings"]
+            if f.rule == "RL007"] == EXPECTED["rl007_bad.py"]
+
+
+def test_rl007_scope_exempts_the_transport_module(tmp_path):
+    # repro/serve/remote.py IS the sanctioned transport — the rule must
+    # never fire there; the same source elsewhere in serve/ does fire.
+    target = tmp_path / "repro" / "serve" / "remote.py"
+    target.parent.mkdir(parents=True)
+    target.write_text((FIXTURES / "rl007_bad.py").read_text())
+    result = run_paths([target], respect_scope=True)
+    assert [(f.rule, f.line) for f, _ in result["findings"]
+            if f.rule == "RL007"] == []
+
+
+def test_rl007_scope_excludes_non_serve_packages(tmp_path):
+    # The loadgen driver legitimately owns keep-alive HTTP connections;
+    # only serve/ dispatch is constrained.
+    target = tmp_path / "repro" / "loadgen" / "runner.py"
+    target.parent.mkdir(parents=True)
+    target.write_text((FIXTURES / "rl007_bad.py").read_text())
+    result = run_paths([target], respect_scope=True)
+    assert [(f.rule, f.line) for f, _ in result["findings"]
+            if f.rule == "RL007"] == []
 
 
 def test_syntax_error_reports_rl000():

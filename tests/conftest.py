@@ -23,6 +23,10 @@ def pytest_configure(config):
         "procpool: multiprocess (process-pool executor) tests")
     config.addinivalue_line(
         "markers",
+        "distributed: router + shard-node cluster tests (the"
+        " tests/distributed battery; CI runs them as their own job)")
+    config.addinivalue_line(
+        "markers",
         "timeout(seconds): per-test timeout (enforced by pytest-timeout"
         " when installed)")
 

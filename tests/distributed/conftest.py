@@ -1,0 +1,42 @@
+"""Fixtures + auto-marking for the distributed battery.
+
+Every test in this directory is auto-marked ``distributed`` (the CI
+job selects on it) and capped with a per-test timeout so a hung node
+fails the test instead of the whole suite.  The cluster harnesses live
+in :mod:`cluster_harness` (importable from test modules).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from cluster_harness import NUM_PERM
+from repro.minhash.generator import MinHashGenerator
+
+
+def pytest_collection_modifyitems(items):
+    here = Path(__file__).parent
+    for item in items:
+        if here in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.distributed)
+            item.add_marker(pytest.mark.timeout(120))
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    # Overlapping value windows so every query has real cross-domain
+    # hits (the same shape the served-parity golden tests use).
+    domains = {}
+    for i in range(60):
+        domains["d%d" % i] = {"v%d" % j for j in range(2 * i, 2 * i + 30)}
+    generator = MinHashGenerator(num_perm=NUM_PERM)
+    return domains, generator.bulk(domains)
+
+
+@pytest.fixture(scope="session")
+def entries(corpus):
+    domains, batch = corpus
+    return [(key, batch[j], len(domains[key]))
+            for j, key in enumerate(batch.keys)]

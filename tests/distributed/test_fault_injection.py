@@ -1,0 +1,184 @@
+"""Fault injection: killed, unreachable, and hung shard nodes.
+
+The failure contract under test:
+
+* a replica dying mid-stream (SIGKILL, no goodbye on its keep-alive
+  sockets) costs a retry, never a wrong or missing answer — the
+  executor fails over to the surviving replica;
+* a shard whose replicas are *all* down makes a strict router refuse
+  loudly (:class:`ShardUnavailableError`, HTTP 503 ``shard
+  unavailable``) and a ``partial`` router answer from the shards it can
+  reach, flagged ``degraded``;
+* a node that accepts connections but never answers (hung, not dead)
+  is bounded by the per-shard timeout and failed over like any other
+  replica loss.
+
+These tests use real ``cli shardnode`` subprocesses where the fault is
+process death, and an in-thread node beside a deliberately mute socket
+where the fault is a hang.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import urllib.error
+import urllib.request
+
+import pytest
+
+from cluster_harness import (
+    make_index,
+    query_rows,
+    split_entries,
+    subprocess_cluster,
+    thread_cluster,
+)
+from repro.persistence import save_ensemble
+from repro.serve import start_in_thread
+from repro.serve.executor import ShardUnavailableError
+from repro.serve.placement import PlacementMap
+from repro.serve.router import RouterIndex, RouterServer
+
+
+@pytest.fixture(scope="module")
+def saved_shards(tmp_path_factory, entries):
+    """Two shard indexes, in memory and on disk (for subprocess
+    nodes); plus the flat reference over everything."""
+    root = tmp_path_factory.mktemp("fault_cluster")
+    parts = split_entries(entries, 2)
+    indexes = [make_index(part) for part in parts]
+    paths = []
+    for i, index in enumerate(indexes):
+        path = root / ("shard%d.lshe" % i)
+        save_ensemble(index, path)
+        paths.append(path)
+    return indexes, paths, make_index(entries)
+
+
+def test_sigkill_mid_stream_fails_over_with_no_wrong_answers(
+        saved_shards, corpus):
+    _, paths, flat = saved_shards
+    matrix, sizes, _ = query_rows(corpus, n=4)
+    expected = flat.query_batch(matrix, sizes=sizes, threshold=0.5)
+    # shard_000 on two replicas (same saved file), shard_001 on one.
+    with subprocess_cluster([(paths[0], "shard_000"),
+                             (paths[0], "shard_000"),
+                             (paths[1], "shard_001")]) as nodes:
+        replica_a, replica_b, single = nodes
+        placement = PlacementMap(
+            {"a": replica_a.address, "b": replica_b.address,
+             "c": single.address},
+            replication=1,
+            pinned={"shard_000": ["a", "b"], "shard_001": ["c"]})
+        with RouterIndex.from_placement(
+                ["shard_000", "shard_001"], placement,
+                timeout=10.0) as router:
+            results = []
+            for i in range(30):
+                if i == 5:
+                    # Mid-stream: the preferred replica's keep-alive
+                    # sockets are live when it dies.
+                    replica_a.kill()
+                results.append(router.query_batch(matrix, sizes=sizes,
+                                                  threshold=0.5))
+            assert all(result == expected for result in results)
+            shard_stats = router.stats()["shards"]["shard_000"]
+            assert shard_stats["retries"] >= 1
+            assert shard_stats["failovers"] >= 1
+            assert shard_stats["unavailable"] == 0
+
+
+def test_all_replicas_down_strict_refuses_partial_degrades(
+        saved_shards, corpus):
+    shard_indexes, paths, flat = saved_shards
+    matrix, sizes, items = query_rows(corpus, n=4)
+    with subprocess_cluster([(paths[0], "shard_000"),
+                             (paths[1], "shard_001")]) as nodes:
+        placement = PlacementMap(
+            {"n0": nodes[0].address, "n1": nodes[1].address},
+            replication=1,
+            pinned={"shard_000": ["n0"], "shard_001": ["n1"]})
+        shards = ["shard_000", "shard_001"]
+        with RouterIndex.from_placement(shards, placement) as strict, \
+                RouterIndex.from_placement(shards, placement,
+                                           partial=True) as lenient:
+            nodes[1].kill()  # shard_001 has no other replica
+
+            with pytest.raises(ShardUnavailableError):
+                strict.query_batch(matrix, sizes=sizes, threshold=0.5)
+
+            # Partial mode: exactly the reachable shard's answers,
+            # with the outage declared rather than hidden.
+            got = lenient.query_batch(matrix, sizes=sizes,
+                                      threshold=0.5)
+            assert got == shard_indexes[0].query_batch(
+                matrix, sizes=sizes, threshold=0.5)
+            whole = flat.query_batch(matrix, sizes=sizes, threshold=0.5)
+            assert all(found <= full
+                       for found, full in zip(got, whole))
+            assert lenient.degraded_shards() == ["shard_001"]
+            assert lenient.stats()["partial_responses"] >= 1
+
+            # The same two behaviours over HTTP.
+            with start_in_thread(strict,
+                                 server_factory=RouterServer) as handle:
+                request = urllib.request.Request(
+                    "http://127.0.0.1:%d/query" % handle.port,
+                    data=json.dumps({"queries": items,
+                                     "threshold": 0.5}).encode(),
+                    headers={"Content-Type": "application/json"},
+                    method="POST")
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    urllib.request.urlopen(request)
+                assert excinfo.value.code == 503
+                body = json.loads(excinfo.value.read())
+                assert body["error"] == "shard unavailable"
+            with start_in_thread(lenient,
+                                 server_factory=RouterServer) as handle:
+                request = urllib.request.Request(
+                    "http://127.0.0.1:%d/query" % handle.port,
+                    data=json.dumps({"queries": items,
+                                     "threshold": 0.5}).encode(),
+                    headers={"Content-Type": "application/json"},
+                    method="POST")
+                with urllib.request.urlopen(request) as response:
+                    payload = json.loads(response.read())
+                assert payload["degraded"] == ["shard_001"]
+                assert [set(found) for found in payload["results"]] \
+                    == got
+
+
+def test_hung_node_is_bounded_by_timeout_and_failed_over(
+        saved_shards, corpus):
+    shard_indexes, _, _ = saved_shards
+    matrix, sizes, _ = query_rows(corpus, n=3)
+    expected = shard_indexes[0].query_batch(matrix, sizes=sizes,
+                                            threshold=0.5)
+    # A hung node: the TCP handshake completes (kernel backlog), but
+    # no byte ever comes back.  Worse than a dead node — only the
+    # per-shard timeout can unstick the caller.
+    mute = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        mute.bind(("127.0.0.1", 0))
+        mute.listen(8)
+        mute_address = "127.0.0.1:%d" % mute.getsockname()[1]
+        with thread_cluster([shard_indexes[0]],
+                            labels=["shard_000"]) as handles:
+            _, live = handles[0]
+            placement = PlacementMap(
+                {"hung": mute_address,
+                 "live": "127.0.0.1:%d" % live.port},
+                replication=1,
+                pinned={"shard_000": ["hung", "live"]})
+            with RouterIndex.from_placement(
+                    ["shard_000"], placement, timeout=0.5) as router:
+                for _ in range(3):
+                    assert router.query_batch(
+                        matrix, sizes=sizes, threshold=0.5) == expected
+                shard_stats = router.stats()["shards"]["shard_000"]
+                assert shard_stats["failovers"] >= 1
+                assert shard_stats["unavailable"] == 0
+                assert router.degraded_shards() == []
+    finally:
+        mute.close()

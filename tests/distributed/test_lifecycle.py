@@ -1,0 +1,152 @@
+"""Cluster lifecycle: replica bootstrap and rolling decommission.
+
+* **Snapshot shipping** — ``GET /snapshot`` must capture the node's
+  *current* state (base tier, delta inserts, tombstones) such that the
+  unpacked copy answers bit-identically.  Checked twice: unpacking
+  locally via :meth:`ShardNodeClient.snapshot`, and end-to-end by
+  starting a real ``cli shardnode --bootstrap-from`` subprocess and
+  querying it.
+* **Rolling decommission** — draining a node out of the placement
+  while queries are in flight loses none of them: callers started on
+  the old replica finish there; new calls only see the survivor.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from cluster_harness import (
+    NUM_PERM,
+    NodeProc,
+    make_index,
+    query_rows,
+    split_entries,
+    thread_cluster,
+)
+from repro.minhash.generator import SignatureFactory
+from repro.persistence import load_ensemble
+from repro.serve.placement import PlacementMap
+from repro.serve.remote import ShardNodeClient
+from repro.serve.router import RouterIndex
+
+
+def _mutate(index, batch):
+    """Give the source node dynamic state (a delta insert and a
+    tombstone) so the snapshot has all three tiers to capture."""
+    factory = SignatureFactory(num_perm=NUM_PERM, seed=batch.seed)
+    values = {"boot%d" % v for v in range(25)}
+    index.insert("bootstrapped", factory.lean(values), len(values))
+    index.remove(batch.keys[8])  # even index: lives on shard 0
+
+
+def test_snapshot_round_trips_live_state(entries, corpus, tmp_path):
+    _, batch = corpus
+    source = make_index(split_entries(entries, 2)[0])
+    with thread_cluster([source], labels=["shard_000"]) as handles:
+        _, handle = handles[0]
+        _mutate(source, batch)
+        client = ShardNodeClient("127.0.0.1", handle.port)
+        try:
+            unpacked = client.snapshot(tmp_path / "copy")
+        finally:
+            client.close()
+        copy = load_ensemble(unpacked)
+
+    matrix, sizes, _ = query_rows(corpus, n=6)
+    for threshold in (0.2, 0.5):
+        assert copy.query_batch(matrix, sizes=sizes,
+                                threshold=threshold) \
+            == source.query_batch(matrix, sizes=sizes,
+                                  threshold=threshold)
+    assert copy.query_top_k_batch(matrix, 5, sizes=sizes) \
+        == source.query_top_k_batch(matrix, 5, sizes=sizes)
+    stored = copy.get_signature("bootstrapped")
+    assert np.array_equal(stored.hashvalues,
+                          source.get_signature("bootstrapped").hashvalues)
+
+
+def test_bootstrap_from_peer_serves_identically(entries, corpus,
+                                                tmp_path):
+    _, batch = corpus
+    source = make_index(split_entries(entries, 2)[0])
+    matrix, sizes, _ = query_rows(corpus, n=6)
+    with thread_cluster([source], labels=["shard_000"]) as handles:
+        _, handle = handles[0]
+        _mutate(source, batch)
+        expected = source.query_batch(matrix, sizes=sizes,
+                                      threshold=0.5)
+        expected_top_k = source.query_top_k_batch(matrix, 4,
+                                                  sizes=sizes)
+        replica = NodeProc(tmp_path / "replica", "shard_000",
+                           bootstrap_from="127.0.0.1:%d" % handle.port)
+        try:
+            placement = PlacementMap(
+                {"replica": replica.address}, replication=1,
+                pinned={"shard_000": ["replica"]})
+            with RouterIndex.from_placement(["shard_000"],
+                                            placement) as router:
+                assert router.query_batch(matrix, sizes=sizes,
+                                          threshold=0.5) == expected
+                assert router.query_top_k_batch(
+                    matrix, 4, sizes=sizes) == expected_top_k
+                # Tombstone travelled with the snapshot.
+                assert len(router) == len(source)
+        finally:
+            replica.terminate()
+        assert any("bootstrapped snapshot from" in line
+                   for line in replica.lines)
+
+
+def test_rolling_decommission_loses_no_queries(entries, corpus):
+    shard = make_index(split_entries(entries, 2)[0])
+    matrix, sizes, _ = query_rows(corpus, n=4)
+    expected = shard.query_batch(matrix, sizes=sizes, threshold=0.5)
+
+    # Two nodes serving the same shard data, both in the placement.
+    with thread_cluster([shard, shard],
+                        labels=["shard_000", "shard_000"]) as handles:
+        placement = PlacementMap(
+            {"n1": "127.0.0.1:%d" % handles[0][1].port,
+             "n2": "127.0.0.1:%d" % handles[1][1].port},
+            replication=1,
+            pinned={"shard_000": ["n1", "n2"]})
+        with RouterIndex.from_placement(["shard_000"],
+                                        placement) as router:
+            failures: list[BaseException] = []
+            wrong = []
+            done = threading.Event()
+            count = [0]
+
+            def load() -> None:
+                while not done.is_set():
+                    try:
+                        got = router.query_batch(matrix, sizes=sizes,
+                                                 threshold=0.5)
+                    except BaseException as exc:  # noqa: BLE001
+                        failures.append(exc)
+                        return
+                    if got != expected:
+                        wrong.append(got)
+                    count[0] += 1
+
+            worker = threading.Thread(target=load)
+            worker.start()
+            try:
+                time.sleep(0.2)  # queries flowing through n1
+                assert router.decommission("n1") == ["shard_000"]
+                time.sleep(0.2)  # grace: in-flight calls drain off n1
+                handles[0][1].close()  # operator stops the node
+                time.sleep(0.2)  # queries keep flowing through n2
+            finally:
+                done.set()
+                worker.join(timeout=30)
+            assert not failures
+            assert not wrong
+            assert count[0] > 10
+            # Everything after the switch really went to n2 only.
+            endpoints = router.stats()["shards"]["shard_000"]["endpoints"]
+            assert endpoints == ["127.0.0.1:%d" % handles[1][1].port]
+            assert router.degraded_shards() == []

@@ -1,0 +1,135 @@
+"""Placement-map properties: determinism and minimal movement.
+
+These two are the reason consistent hashing is used at all: every
+router reading the same manifest must compute the identical map with
+no coordination service, and a topology edit must only remap the arcs
+the edited node owned (bounded snapshot shipping, not a full
+reshuffle).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.placement import (
+    PlacementMap,
+    load_manifest,
+    parse_endpoint,
+)
+
+NODES = {"n%d" % i: "127.0.0.1:%d" % (8100 + i) for i in range(6)}
+SHARDS = ["shard_%03d" % i for i in range(32)]
+
+
+def test_identical_inputs_identical_maps():
+    a = PlacementMap(NODES, replication=2)
+    b = PlacementMap(dict(reversed(list(NODES.items()))), replication=2)
+    assert a.assignment(SHARDS) == b.assignment(SHARDS)
+
+
+def test_replicas_are_distinct_and_sized():
+    placement = PlacementMap(NODES, replication=3)
+    for shard in SHARDS:
+        replicas = placement.replicas_for(shard)
+        assert len(replicas) == 3
+        assert len(set(replicas)) == 3
+        assert all(name in NODES for name in replicas)
+
+
+def test_replication_clamped_to_node_count():
+    placement = PlacementMap({"only": "127.0.0.1:8100"}, replication=3)
+    assert placement.replicas_for("shard_000") == ["only"]
+
+
+def test_removing_a_node_only_remaps_its_shards():
+    before = PlacementMap(NODES, replication=2)
+    after = before.without_node("n3")
+    moved = 0
+    for shard in SHARDS:
+        old = before.replicas_for(shard)
+        if "n3" not in old:
+            # Minimal movement: untouched arcs keep their replica sets.
+            assert after.replicas_for(shard) == old
+        else:
+            moved += 1
+            assert "n3" not in after.replicas_for(shard)
+    assert 0 < moved < len(SHARDS)
+
+
+def test_adding_a_node_round_trips():
+    base = PlacementMap(NODES, replication=2)
+    grown = base.with_node("n9", "127.0.0.1:8999")
+    shrunk = grown.without_node("n9")
+    assert shrunk.assignment(SHARDS) == base.assignment(SHARDS)
+
+
+def test_pinned_placement_bypasses_the_ring():
+    placement = PlacementMap(NODES, replication=2,
+                             pinned={"shard_000": ["n5", "n1"]})
+    assert placement.replicas_for("shard_000") == ["n5", "n1"]
+    with pytest.raises(ValueError):
+        PlacementMap(NODES, pinned={"shard_000": ["ghost"]})
+
+
+def test_decommission_drops_node_from_pins():
+    placement = PlacementMap(NODES, replication=2,
+                             pinned={"shard_000": ["n5", "n1"]})
+    assert placement.without_node("n5").replicas_for("shard_000") \
+        == ["n1"]
+
+
+def test_parse_endpoint():
+    assert parse_endpoint("127.0.0.1:8101") == ("127.0.0.1", 8101)
+    assert parse_endpoint("::1:9000") == ("::1", 9000)
+    with pytest.raises(ValueError):
+        parse_endpoint("no-port")
+
+
+def test_manifest_round_trip(tmp_path):
+    path = tmp_path / "cluster.json"
+    path.write_text(json.dumps({
+        "replication": 2,
+        "nodes": {"n1": "127.0.0.1:8101", "n2": "127.0.0.1:8102"},
+        "shards": ["shard_000", "shard_001"],
+    }))
+    manifest = load_manifest(path)
+    assert manifest.shards == ["shard_000", "shard_001"]
+    for shard, replicas in manifest.assignment().items():
+        assert len(replicas) == 2
+
+
+def test_manifest_rejects_typoed_keys(tmp_path):
+    path = tmp_path / "cluster.json"
+    path.write_text(json.dumps({
+        "replicaton": 2,
+        "nodes": {"n1": "127.0.0.1:8101"},
+        "shards": ["shard_000"],
+    }))
+    with pytest.raises(ValueError, match="replicaton"):
+        load_manifest(path)
+
+
+node_sets = st.sets(st.text("abcdef", min_size=1, max_size=4),
+                    min_size=1, max_size=8)
+shard_names = st.lists(st.text("xyz0123", min_size=1, max_size=6),
+                       min_size=1, max_size=16, unique=True)
+
+
+@settings(max_examples=25, deadline=None)
+@given(names=node_sets, shards=shard_names,
+       replication=st.integers(1, 4))
+def test_placement_properties_hold_for_arbitrary_clusters(
+        names, shards, replication):
+    nodes = {name: "127.0.0.1:1" for name in names}
+    a = PlacementMap(nodes, replication=replication)
+    b = PlacementMap(nodes, replication=replication)
+    want = min(replication, len(nodes))
+    for shard in shards:
+        replicas = a.replicas_for(shard)
+        assert replicas == b.replicas_for(shard)  # deterministic
+        assert len(replicas) == want
+        assert len(set(replicas)) == len(replicas)  # distinct

@@ -15,7 +15,8 @@ EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
 ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
 # Fast enough to execute in CI; the scale/demo scripts are compile-only.
 RUNNABLE = ["quickstart.py", "open_data_join_search.py",
-            "batch_queries.py", "serve_demo.py", "procpool_demo.py"]
+            "batch_queries.py", "serve_demo.py", "procpool_demo.py",
+            "cluster_demo.py"]
 
 
 def test_examples_exist():

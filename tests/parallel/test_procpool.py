@@ -348,3 +348,66 @@ class TestStaleEpochRegression:
 def _extra_entries(n: int):
     sizes = [500 + 13 * i for i in range(n)]
     return sample_signatures(sizes, num_perm=NUM_PERM, seed=1), sizes
+
+
+class TestPeakInflightWindow:
+    """``peak_inflight`` is a *windowed* utilisation gauge: it restarts
+    at every base re-spill (``note_base_refresh``) so the stat always
+    describes load against the current segment, while the
+    ``_lifetime`` twin keeps the all-time high."""
+
+    def test_note_base_refresh_resets_window_not_lifetime(self):
+        pool = ProcPool(num_workers=2)
+        try:
+            # Slow echoes overlap, so both workers hold tasks at once.
+            pool.run([_echo_task(i, delay=0.05) for i in range(6)])
+            before = pool.stats()
+            assert before["peak_inflight"] >= 2
+            assert before["peak_inflight_lifetime"] \
+                == before["peak_inflight"]
+
+            pool.note_base_refresh()
+            windowed = pool.stats()
+            assert windowed["peak_inflight"] == 0
+            assert windowed["peak_inflight_lifetime"] \
+                == before["peak_inflight_lifetime"]
+
+            # The fresh window observes only post-refresh load.
+            pool.run([_echo_task(0)])
+            after = pool.stats()
+            assert after["peak_inflight"] == 1
+            assert after["peak_inflight_lifetime"] \
+                == before["peak_inflight_lifetime"]
+        finally:
+            pool.close()
+
+    def test_rebalance_respill_opens_a_new_window(self):
+        pool = ProcPool(num_workers=2)
+        try:
+            index, entries = _build_flat(150)
+            pooled = PooledIndex(index, pool)
+            probe, probe_sizes = _batch_of(entries, range(8))
+            pooled.query_batch(probe, sizes=probe_sizes, threshold=0.3)
+            # Inflate the window well past what one sliced batch needs.
+            pool.run([_echo_task(i, delay=0.05) for i in range(6)])
+            inflated = pool.stats()
+            assert inflated["peak_inflight"] >= 2
+
+            extra_sigs, extra_sizes = _extra_entries(12)
+            for i, (sig, size) in enumerate(zip(extra_sigs,
+                                                extra_sizes)):
+                index.insert("n-%d" % i, sig, size)
+            index.rebalance()
+            # The next dispatch re-spills the base — and with it the
+            # utilisation window: a single-row query leaves the gauge
+            # at 1, not at the stale pre-rebalance peak.
+            single, single_sizes = _batch_of(entries, [0])
+            pooled.query_batch(single, sizes=single_sizes,
+                               threshold=0.3)
+            fresh = pool.stats()
+            assert fresh["peak_inflight"] == 1
+            assert fresh["peak_inflight_lifetime"] \
+                == inflated["peak_inflight_lifetime"]
+            pooled.close()
+        finally:
+            pool.close()

@@ -1,0 +1,127 @@
+"""Server shutdown hygiene: drain in-flight work, leak no threads.
+
+``QueryServer.aclose()`` must (a) answer every request already
+admitted to the coalescer before the worker stops — shutdown drains,
+it does not drop — and (b) join the coalescer's worker thread, even
+when startup itself fails (a busy port must not leak the thread the
+constructor already spawned).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import urllib.request
+
+import pytest
+
+from repro.core.ensemble import LSHEnsemble
+from repro.minhash.generator import MinHashGenerator
+from repro.serve import start_in_thread
+
+NUM_PERM = 64
+WORKER_PREFIX = "lshensemble-serve"
+
+
+@pytest.fixture(scope="module")
+def index():
+    domains = {"d%d" % i: {"v%d" % j for j in range(i, i + 20)}
+               for i in range(40)}
+    generator = MinHashGenerator(num_perm=NUM_PERM)
+    batch = generator.bulk(domains)
+    built = LSHEnsemble(num_perm=NUM_PERM, num_partitions=4,
+                        threshold=0.5)
+    built.index((key, batch[j], len(domains[key]))
+                for j, key in enumerate(batch.keys))
+    return built
+
+
+def _worker_threads() -> set[threading.Thread]:
+    return {thread for thread in threading.enumerate()
+            if thread.name.startswith(WORKER_PREFIX)}
+
+
+def _query_payload(index) -> bytes:
+    lean = index.get_signature("d3")
+    return json.dumps({
+        "queries": [{"signature": [int(v) for v in lean.hashvalues],
+                     "seed": lean.seed, "size": 22}],
+        "threshold": 0.5}).encode("utf-8")
+
+
+def _post_query(port: int, body: bytes) -> dict:
+    request = urllib.request.Request(
+        "http://127.0.0.1:%d/query" % port, data=body,
+        headers={"Content-Type": "application/json"}, method="POST")
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read())
+
+
+def test_aclose_joins_coalescer_worker(index):
+    baseline = _worker_threads()
+    with start_in_thread(index) as handle:
+        # The pool spawns its worker lazily: force one dispatch.
+        _post_query(handle.port, _query_payload(index))
+        spawned = _worker_threads() - baseline
+        assert spawned  # the worker exists while serving
+    for thread in spawned:
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+    assert _worker_threads() <= baseline
+
+
+def test_shutdown_drains_admitted_requests(index):
+    # A wide window parks requests in the coalescer; closing the
+    # server while they wait must still answer them (flush + drain),
+    # not drop their futures.
+    handle = start_in_thread(index, window_ms=300.0, max_batch=64)
+    body = _query_payload(index)
+    expected = index.query_batch(
+        index.get_signature("d3").hashvalues.reshape(1, -1),
+        sizes=[22], threshold=0.5)
+    results: list[dict] = []
+    errors: list[BaseException] = []
+
+    def one_request() -> None:
+        try:
+            results.append(_post_query(handle.port, body))
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    workers = [threading.Thread(target=one_request) for _ in range(6)]
+    for worker in workers:
+        worker.start()
+    # Wait until all six are admitted (parked in the 300ms window),
+    # then shut down mid-window.
+    deadline = threading.Event()
+    for _ in range(100):
+        if handle.server.coalescer._pending >= len(workers):
+            break
+        deadline.wait(0.01)
+    assert handle.server.coalescer._pending >= len(workers)
+    handle.close()
+    for worker in workers:
+        worker.join(timeout=30)
+    assert not errors
+    assert len(results) == len(workers)
+    for payload in results:
+        assert [set(found) for found in payload["results"]] \
+            == [set(found) for found in expected]
+    assert handle.server.coalescer._pending == 0
+
+
+def test_failed_start_leaks_no_worker_thread(index):
+    baseline = _worker_threads()
+    blocker = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        with pytest.raises(RuntimeError, match="failed to start"):
+            start_in_thread(index, port=port)
+    finally:
+        blocker.close()
+    for thread in _worker_threads() - baseline:
+        thread.join(timeout=10)
+    assert _worker_threads() <= baseline
