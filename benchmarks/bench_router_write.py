@@ -1,0 +1,262 @@
+"""Distributed write-path benchmark — mutations through the router.
+
+PR 10 routes mutations through the router tier: ``POST /insert`` /
+``POST /remove`` resolve the owning shard, broadcast to its replicas,
+and ack at a quorum, with the mutation epoch as the consistency token.
+This benchmark stands a replicated cluster up in-process (real
+localhost HTTP on both tiers), replays the ``router_mutating`` profile
+— zipf reads *plus* an insert/remove stream posted to the router's
+write endpoints (``run_load(..., mutations="http")``) — and records
+the write-path metric set on top of the usual latency staircase:
+
+* read p50/p95/p99 while writes broadcast underneath;
+* insert/remove counts and the mutation-epoch delta they produced;
+* per-shard write counters (replica write failures, quorum failures —
+  both zero on a healthy cluster, asserted);
+* a post-run anti-entropy sweep: replicas that all applied the same
+  quorum broadcasts must already be converged, so the sweep reports
+  ``healthy`` and ships nothing (asserted — this is the closed loop
+  between the write path and repair).
+
+One run per replication factor, so the trajectory records what replica
+broadcasts cost the read tail.  Results land in ``BENCH_10.json`` at
+the repo root (``BENCH_<pr>.json`` convention; fixed seeds keep points
+comparable across PRs).
+
+Environment knobs: ``REPRO_BENCH_ROUTER_WRITE_DOMAINS`` (corpus size,
+default 3000), ``REPRO_BENCH_ROUTER_WRITE_SECONDS`` (run length,
+default 12), ``REPRO_BENCH_ROUTER_WRITE_RPS`` (peak read rate, default
+100), ``REPRO_BENCH_ROUTER_WRITE_MUTATION_RPS`` (write rate, default
+10), ``REPRO_BENCH_ROUTER_WRITE_REPLICAS`` (comma-separated
+replication factors, default ``1,2``),
+``REPRO_BENCH_ROUTER_WRITE_SHARDS`` (shard count, default 2),
+``REPRO_BENCH_ROUTER_WRITE_P99_MS`` (latency floor, default 1500),
+``REPRO_BENCH_ROUTER_WRITE_JSON`` (output path).
+
+Run directly (``python benchmarks/bench_router_write.py``) or via
+pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+try:
+    from benchmarks.common import emit
+except ModuleNotFoundError:  # direct `python benchmarks/bench_router_write.py`
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+    from benchmarks.common import emit
+from repro.core.ensemble import LSHEnsemble
+from repro.datagen.corpus import generate_corpus
+from repro.loadgen import format_report, router_mutating
+from repro.loadgen.runner import run_load
+from repro.serve import start_in_thread
+from repro.serve.placement import PlacementMap
+from repro.serve.router import RouterIndex, RouterServer
+
+NUM_DOMAINS = int(os.environ.get(
+    "REPRO_BENCH_ROUTER_WRITE_DOMAINS", "3000"))
+SECONDS = float(os.environ.get(
+    "REPRO_BENCH_ROUTER_WRITE_SECONDS", "12"))
+RPS = float(os.environ.get("REPRO_BENCH_ROUTER_WRITE_RPS", "100"))
+MUTATION_RPS = float(os.environ.get(
+    "REPRO_BENCH_ROUTER_WRITE_MUTATION_RPS", "10"))
+REPLICA_COUNTS = tuple(
+    int(v) for v in os.environ.get("REPRO_BENCH_ROUTER_WRITE_REPLICAS",
+                                   "1,2").split(","))
+NUM_SHARDS = int(os.environ.get("REPRO_BENCH_ROUTER_WRITE_SHARDS", "2"))
+P99_FLOOR_MS = float(os.environ.get(
+    "REPRO_BENCH_ROUTER_WRITE_P99_MS", "1500"))
+JSON_OUT = Path(os.environ.get(
+    "REPRO_BENCH_ROUTER_WRITE_JSON",
+    Path(__file__).resolve().parents[1] / "BENCH_10.json"))
+NUM_PERM = 128
+NUM_PARTITIONS = 16
+CORPUS_SEED = 42
+MAX_SHED_RATE = 0.05
+
+
+def _build(entries) -> LSHEnsemble:
+    index = LSHEnsemble(num_perm=NUM_PERM,
+                        num_partitions=NUM_PARTITIONS, threshold=0.5)
+    index.index(entries)
+    return index
+
+
+def _run_one(entries, flat, replication: int) -> dict:
+    # Each shard is served by `replication` separate index objects
+    # (deterministic builds, so replicas start bit-identical — the
+    # write broadcasts must keep them that way).
+    labels = ["shard_%03d" % i for i in range(NUM_SHARDS)]
+    nodes = {}
+    handles = []
+    pinned = {label: [] for label in labels}
+    try:
+        for i, label in enumerate(labels):
+            for r in range(replication):
+                handle = start_in_thread(_build(entries[i::NUM_SHARDS]),
+                                         shard_label=label)
+                handles.append(handle)
+                name = "%s_r%d" % (label, r)
+                nodes[name] = "127.0.0.1:%d" % handle.port
+                pinned[label].append(name)
+        placement = PlacementMap(nodes, replication=replication,
+                                 pinned=pinned)
+        with RouterIndex.from_placement(labels, placement) as router:
+            with start_in_thread(router,
+                                 server_factory=RouterServer) as gateway:
+                report = run_load(
+                    router,
+                    router_mutating(rps=RPS, seconds=SECONDS,
+                                    mutation_rps=MUTATION_RPS),
+                    port=gateway.port, server=gateway.server,
+                    executor_label="router", pool_index=flat,
+                    mutations="http")
+            repair = router.repair()
+            stats = router.stats()
+            report["router"] = {
+                "num_shards": NUM_SHARDS,
+                "replication": replication,
+                "write_quorum": stats["write_quorum"],
+                "fanouts": stats["fanouts"],
+                "writes": stats["writes"],
+                "shard_requests": stats["shard_requests"],
+                "retry_rate": stats["retry_rate"],
+                "degraded": stats["degraded"],
+                "per_shard_writes": {
+                    name: shard.get("writes", 0)
+                    for name, shard in stats["shards"].items()},
+                "write_replica_failures": sum(
+                    shard.get("write_replica_failures", 0)
+                    for shard in stats["shards"].values()),
+                "write_quorum_failures": sum(
+                    shard.get("write_quorum_failures", 0)
+                    for shard in stats["shards"].values()),
+                "post_run_repair": {
+                    "statuses": {shard: entry["status"]
+                                 for shard, entry
+                                 in repair["shards"].items()},
+                    "shipped_inserts": repair["shipped_inserts"],
+                    "shipped_removes": repair["shipped_removes"],
+                },
+            }
+        return report
+    finally:
+        for handle in handles:
+            handle.close()
+
+
+def run_benchmark() -> dict:
+    corpus = generate_corpus(num_domains=NUM_DOMAINS, alpha=2.0,
+                             min_size=10, max_size=20_000,
+                             seed=CORPUS_SEED)
+    signatures = corpus.signatures(num_perm=NUM_PERM)
+    entries = list(corpus.entries(signatures))
+    flat = _build(entries)
+    runs = [_run_one(entries, flat, replication)
+            for replication in REPLICA_COUNTS]
+    trajectory = {
+        "bench": "router_write",
+        "pr": 10,
+        "config": {
+            "domains": NUM_DOMAINS,
+            "num_perm": NUM_PERM,
+            "num_partitions": NUM_PARTITIONS,
+            "seconds": SECONDS,
+            "rps": RPS,
+            "mutation_rps": MUTATION_RPS,
+            "num_shards": NUM_SHARDS,
+            "replica_counts": list(REPLICA_COUNTS),
+        },
+        "runs": runs,
+    }
+    JSON_OUT.write_text(
+        json.dumps(trajectory, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    return trajectory
+
+
+@pytest.fixture(scope="module")
+def write_trajectory():
+    trajectory = run_benchmark()
+    text = "\n\n".join(format_report(run) for run in trajectory["runs"])
+    emit("router_write_load", text + "\n\n[trajectory written to %s]"
+         % JSON_OUT)
+    return trajectory
+
+
+def _run_for(trajectory, replication: int) -> dict:
+    return next(r for r in trajectory["runs"]
+                if r["router"]["replication"] == replication)
+
+
+@pytest.mark.parametrize("replication", REPLICA_COUNTS)
+def test_write_floors(write_trajectory, replication):
+    run = _run_for(write_trajectory, replication)
+    assert run["errors"] == 0, (
+        "replication %d: %d requests errored (read or write)"
+        % (replication, run["errors"]))
+    assert run["shed_rate"] < MAX_SHED_RATE, (
+        "replication %d: shed %.2f%% >= %.0f%%"
+        % (replication, 100 * run["shed_rate"],
+           100 * MAX_SHED_RATE))
+    p99 = run["latency_ms"]["p99"]
+    assert p99 is not None and p99 <= P99_FLOOR_MS, (
+        "replication %d: p99 %s ms exceeds the %.0f ms floor"
+        % (replication, p99, P99_FLOOR_MS))
+
+
+@pytest.mark.parametrize("replication", REPLICA_COUNTS)
+def test_writes_actually_flowed(write_trajectory, replication):
+    run = _run_for(write_trajectory, replication)
+    mutations = run["mutations"]
+    assert mutations["insert"]["count"] > 0
+    assert mutations["mutation_epoch_delta"] > 0
+    router = run["router"]
+    assert router["writes"] == (mutations["insert"]["count"]
+                                + mutations["remove"]["count"])
+    # The schedule offers no rebalances (router_mutating disables
+    # them), so nothing was silently dropped.
+    assert "skipped_rebalances" not in run
+
+
+@pytest.mark.parametrize("replication", REPLICA_COUNTS)
+def test_quorum_writes_kept_replicas_converged(write_trajectory,
+                                               replication):
+    """The closed loop: on a healthy cluster every replica applies
+    every broadcast, so the post-run anti-entropy sweep must find
+    nothing to ship."""
+    run = _run_for(write_trajectory, replication)
+    router = run["router"]
+    assert router["write_replica_failures"] == 0
+    assert router["write_quorum_failures"] == 0
+    assert router["degraded"] == []
+    repair = router["post_run_repair"]
+    assert set(repair["statuses"].values()) == {"healthy"}
+    assert repair["shipped_inserts"] == 0
+    assert repair["shipped_removes"] == 0
+
+
+def test_write_trajectory_metric_set(write_trajectory):
+    assert JSON_OUT.exists()
+    stored = json.loads(JSON_OUT.read_text(encoding="utf-8"))
+    assert len(stored["runs"]) == len(REPLICA_COUNTS)
+    for run in stored["runs"]:
+        assert {"p50", "p95", "p99"} <= set(run["latency_ms"])
+        for key in ("throughput_rps", "shed_rate", "mutations",
+                    "router", "phases"):
+            assert key in run, "run missing %s" % key
+        assert {"writes", "write_quorum", "post_run_repair"} \
+            <= set(run["router"])
+
+
+if __name__ == "__main__":
+    trajectory = run_benchmark()
+    text = "\n\n".join(format_report(run) for run in trajectory["runs"])
+    emit("router_write_load", text)
+    print("\n[trajectory written to %s]" % JSON_OUT)

@@ -1,0 +1,139 @@
+"""Render a markdown diff between two benchmark trajectory files.
+
+CI runs each PR's benchmark and wants the job summary to answer one
+question at a glance: did the serving tail move?  This tool takes two
+``BENCH_<pr>.json`` files (the previous PR's artifact and the one just
+produced) and prints GitHub-flavoured markdown to stdout — one table
+per trajectory with the per-run headline metrics, then a delta section
+comparing the aggregate read tail and throughput.
+
+The two files need not come from the same benchmark (PR 9 recorded the
+read-only router staircase, PR 10 the mutating one); runs are labelled
+from whatever distinguishing config their ``router`` block carries, and
+the delta compares only the metrics both sides define.
+
+Usage::
+
+    python benchmarks/diff_trajectory.py BENCH_9.json BENCH_10.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+
+def _fmt(value, digits: int = 1) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        return "%.*f" % (digits, value)
+    return str(value)
+
+
+def _run_label(run: dict) -> str:
+    router = run.get("router", {})
+    bits = []
+    if "num_shards" in router:
+        bits.append("%d shards" % router["num_shards"])
+    if "replication" in router:
+        bits.append("x%d replicas" % router["replication"])
+    if not bits:
+        bits.append(run.get("profile", {}).get("name", "run"))
+    return " ".join(bits)
+
+
+def _run_row(run: dict) -> list[str]:
+    latency = run.get("latency_ms", {})
+    mutations = run.get("mutations", {})
+    writes = None
+    if mutations:
+        writes = (mutations.get("insert", {}).get("count", 0)
+                  + mutations.get("remove", {}).get("count", 0))
+    return [
+        _run_label(run),
+        _fmt(run.get("throughput_rps")),
+        _fmt(latency.get("p50")),
+        _fmt(latency.get("p95")),
+        _fmt(latency.get("p99")),
+        _fmt(run.get("shed_rate"), digits=3),
+        _fmt(run.get("errors")),
+        _fmt(writes),
+    ]
+
+
+def _table(trajectory: dict, source: str) -> list[str]:
+    title = "`%s` — bench `%s` (PR %s)" % (
+        source, trajectory.get("bench", "?"), trajectory.get("pr", "?"))
+    lines = ["### %s" % title, "",
+             "| run | rps | p50 ms | p95 ms | p99 ms | shed | errors"
+             " | writes |",
+             "|---|---|---|---|---|---|---|---|"]
+    for run in trajectory.get("runs", []):
+        lines.append("| " + " | ".join(_run_row(run)) + " |")
+    lines.append("")
+    return lines
+
+
+def _aggregate(trajectory: dict) -> dict:
+    runs = trajectory.get("runs", [])
+    p99s = [run["latency_ms"]["p99"] for run in runs
+            if run.get("latency_ms", {}).get("p99") is not None]
+    rps = [run["throughput_rps"] for run in runs
+           if run.get("throughput_rps") is not None]
+    return {
+        "best p99 (ms)": min(p99s) if p99s else None,
+        "worst p99 (ms)": max(p99s) if p99s else None,
+        "mean throughput (rps)": (sum(rps) / len(rps)) if rps else None,
+        "total errors": sum(run.get("errors", 0) for run in runs),
+    }
+
+
+def _delta_section(old: dict, new: dict) -> list[str]:
+    before, after = _aggregate(old), _aggregate(new)
+    lines = ["### Delta (new vs old)", "",
+             "| metric | old | new | delta |", "|---|---|---|---|"]
+    for metric, was in before.items():
+        now = after.get(metric)
+        if was is None or now is None:
+            delta = "—"
+        else:
+            diff = now - was
+            delta = "%+.1f" % diff
+            if was:
+                delta += " (%+.0f%%)" % (100.0 * diff / was)
+        lines.append("| %s | %s | %s | %s |"
+                     % (metric, _fmt(was), _fmt(now), delta))
+    lines.append("")
+    lines.append("_Benchmarks differ in shape across PRs; deltas are"
+                 " directional, the floors in each bench module are the"
+                 " contract._")
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", type=Path,
+                        help="previous trajectory JSON (may be absent)")
+    parser.add_argument("new", type=Path,
+                        help="freshly produced trajectory JSON")
+    args = parser.parse_args(argv)
+
+    new = json.loads(args.new.read_text(encoding="utf-8"))
+    lines: list[str] = []
+    if args.old.exists():
+        old = json.loads(args.old.read_text(encoding="utf-8"))
+        lines += _table(old, args.old.name)
+        lines += _table(new, args.new.name)
+        lines += _delta_section(old, new)
+    else:
+        lines += _table(new, args.new.name)
+        lines.append("_No previous trajectory at %s; nothing to diff._"
+                     % args.old)
+    print("\n".join(lines))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

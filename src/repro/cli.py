@@ -13,6 +13,8 @@ Build, persist, mutate, and query LSH Ensemble indexes from the shell::
     python -m repro.cli rebalance index.lshe --if-drift-above 0.3
     python -m repro.cli info  index.lshe
     python -m repro.cli serve index.lshe --port 8080 --max-batch 64
+    python -m repro.cli router cluster.json --repair-interval 5
+    python -m repro.cli orchestrate cluster.json --status
     python -m repro.cli loadtest index.lshe --profile mixed --rps 200
     python -m repro.cli lint src tests --format github
 
@@ -252,6 +254,17 @@ def build_parser() -> argparse.ArgumentParser:
                           help="answer degraded (with the reachable "
                                "shards) instead of 503 when a shard's "
                                "replicas are all down")
+    p_router.add_argument("--write-quorum", type=int, default=None,
+                          metavar="N",
+                          help="replica acks required before a write "
+                               "(/insert, /remove) is acknowledged "
+                               "(default: per-shard majority)")
+    p_router.add_argument("--repair-interval", type=float, default=0.0,
+                          metavar="SECONDS",
+                          help="run an anti-entropy repair sweep every "
+                               "SECONDS in the background, re-syncing "
+                               "drifted replicas by delta shipping "
+                               "(0 disables the loop)")
     p_router.add_argument("--max-batch", type=int, default=64)
     p_router.add_argument("--window-ms", type=float, default=2.0)
     p_router.add_argument("--cache-size", type=int, default=0,
@@ -259,6 +272,37 @@ def build_parser() -> argparse.ArgumentParser:
                                "router cannot observe remote mutations "
                                "synchronously)")
     p_router.add_argument("--max-pending", type=int, default=1024)
+
+    p_orch = sub.add_parser(
+        "orchestrate",
+        help="one-shot cluster operations against a manifest: health "
+             "status, an anti-entropy repair sweep, node admission "
+             "(wait-healthy + placement edit + repair), decommission")
+    p_orch.add_argument("manifest", type=Path,
+                        help="cluster manifest JSON (see "
+                             "repro.serve.placement)")
+    action = p_orch.add_mutually_exclusive_group(required=True)
+    action.add_argument("--status", action="store_true",
+                        help="report per-shard replica health (address, "
+                             "mutation epoch, key count)")
+    action.add_argument("--repair", action="store_true",
+                        help="run one anti-entropy sweep and report what "
+                             "was shipped")
+    action.add_argument("--add-node", metavar="NAME=HOST:PORT",
+                        default=None,
+                        help="wait for the node to serve, admit it into "
+                             "the placement, and repair the shards it "
+                             "now replicates")
+    action.add_argument("--decommission", metavar="NAME", default=None,
+                        help="drain NAME out of the topology")
+    p_orch.add_argument("--write-manifest", action="store_true",
+                        help="rewrite the manifest file with the "
+                             "post-operation topology")
+    p_orch.add_argument("--timeout", type=float, default=10.0,
+                        help="per-shard request timeout in seconds")
+    p_orch.add_argument("--wait-timeout", type=float, default=30.0,
+                        help="how long --add-node waits for the node's "
+                             "/healthz before giving up")
 
     p_load = sub.add_parser(
         "loadtest",
@@ -652,7 +696,14 @@ def _cmd_router(args: argparse.Namespace) -> int:
         raise SystemExit("error: bad cluster manifest %s: %s"
                          % (args.manifest, exc))
     router = RouterIndex.from_manifest(manifest, timeout=args.timeout,
-                                       partial=args.partial)
+                                       partial=args.partial,
+                                       write_quorum=args.write_quorum)
+    orchestrator = None
+    if args.repair_interval > 0:
+        from repro.serve.orchestrator import Orchestrator
+
+        orchestrator = Orchestrator(router,
+                                    repair_interval=args.repair_interval)
     server = RouterServer(
         router, host=args.host, port=args.port,
         max_batch=args.max_batch, window_ms=args.window_ms,
@@ -666,11 +717,17 @@ def _cmd_router(args: argparse.Namespace) -> int:
                  manifest.placement.replication, server.host,
                  server.port),
               flush=True)
-        print("endpoints: POST /query, POST /query_top_k, GET /healthz, "
-              "GET /stats", flush=True)
+        print("endpoints: POST /query, POST /query_top_k, POST /insert, "
+              "POST /remove, GET /healthz, GET /stats", flush=True)
+        if orchestrator is not None:
+            orchestrator.start()
+            print("anti-entropy repair sweep every %.1fs"
+                  % args.repair_interval, flush=True)
         try:
             await server.serve_forever()
         finally:
+            if orchestrator is not None:
+                orchestrator.stop()
             await server.aclose()
             router.close()
 
@@ -678,6 +735,76 @@ def _cmd_router(args: argparse.Namespace) -> int:
         asyncio.run(_main())
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+def _write_cluster_manifest(path: Path, router) -> None:
+    placement = router.placement
+    if placement is None:
+        raise SystemExit("error: router has no placement to persist")
+    shards = sorted(router.shard_names)
+    pinned = placement.pinned
+    if pinned and set(pinned) != set(shards):
+        raise SystemExit(
+            "error: cannot persist a partially pinned placement "
+            "(pin every shard or none)")
+    manifest = {
+        "nodes": dict(placement.nodes),
+        "replication": placement.replication,
+        "vnodes": placement.vnodes,
+        "shards": ({shard: list(pinned[shard]) for shard in shards}
+                   if pinned else shards),
+    }
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    print("[manifest rewritten: %s]" % path, file=sys.stderr)
+
+
+def _cmd_orchestrate(args: argparse.Namespace) -> int:
+    from repro.serve.orchestrator import Orchestrator
+    from repro.serve.placement import load_manifest
+    from repro.serve.router import RouterIndex
+
+    try:
+        manifest = load_manifest(args.manifest)
+    except (OSError, ValueError) as exc:
+        raise SystemExit("error: bad cluster manifest %s: %s"
+                         % (args.manifest, exc))
+    # partial=True: orchestration must be able to inspect and repair a
+    # cluster that is *currently* degraded — that is its whole job.
+    router = RouterIndex.from_manifest(manifest, timeout=args.timeout,
+                                       partial=True)
+    orch = Orchestrator(router)
+    try:
+        if args.status:
+            report = orch.status()
+        elif args.repair:
+            report = orch.repair()
+        elif args.add_node is not None:
+            name, sep, address = args.add_node.partition("=")
+            if not sep or not name or not address:
+                raise SystemExit(
+                    "error: --add-node wants NAME=HOST:PORT")
+            try:
+                moved = orch.add_node(name, address,
+                                      timeout=args.wait_timeout)
+            except (TimeoutError, ValueError) as exc:
+                raise SystemExit("error: %s" % exc)
+            report = {"added": name, "address": address, "moved": moved,
+                      "repair": orch.last_report}
+        else:
+            try:
+                moved = orch.decommission(args.decommission)
+            except (KeyError, ValueError) as exc:
+                raise SystemExit("error: cannot decommission %r: %s"
+                                 % (args.decommission, exc))
+            report = {"decommissioned": args.decommission,
+                      "moved": moved}
+        if args.write_manifest:
+            _write_cluster_manifest(args.manifest, router)
+        print(json.dumps(report, indent=2, sort_keys=True))
+    finally:
+        router.close()
     return 0
 
 
@@ -806,6 +933,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "shardnode": _cmd_shardnode,
         "router": _cmd_router,
+        "orchestrate": _cmd_orchestrate,
         "loadtest": _cmd_loadtest,
         "lint": _cmd_lint,
     }

@@ -17,6 +17,7 @@ from repro.loadgen.profile import (
     TrafficProfile,
     mixed_mutating,
     read_heavy,
+    router_mutating,
 )
 from repro.loadgen.report import build_report, format_report
 from repro.loadgen.runner import run_against_index, run_load
@@ -27,6 +28,7 @@ __all__ = [
     "TrafficProfile",
     "read_heavy",
     "mixed_mutating",
+    "router_mutating",
     "ScheduledOp",
     "build_schedule",
     "run_load",

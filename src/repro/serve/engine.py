@@ -134,6 +134,19 @@ class ServingEngine:
         backend holds (the ``POST /signatures`` endpoint)."""
         return self.executor.signatures_for(keys)
 
+    def apply_inserts(self, entries) -> tuple[list[bool], int]:
+        """Apply ``(key, signature, size)`` inserts through the
+        executor (the ``POST /insert`` endpoint).  Idempotent: already
+        present keys come back ``False`` in the applied-flags list.
+        Returns the flags plus the post-write mutation epoch — the
+        consistency token the response carries."""
+        return self.executor.insert_entries(entries)
+
+    def apply_removes(self, keys) -> tuple[list[bool], int]:
+        """Apply removals (the ``POST /remove`` endpoint); absent keys
+        come back ``False``."""
+        return self.executor.remove_keys(keys)
+
     def snapshot_bytes(self) -> bytes | None:
         """The index packed for replica bootstrap (``GET /snapshot``);
         ``None`` when the topology has no single index to ship."""

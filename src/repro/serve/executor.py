@@ -35,13 +35,22 @@ from collections.abc import Hashable, Sequence
 
 __all__ = ["ShardExecutor", "InProcessExecutor", "ProcPoolExecutor",
            "ShardUnavailableError", "EpochConsistencyError",
-           "make_executor"]
+           "WriteQuorumError", "make_executor"]
 
 
 class ShardUnavailableError(RuntimeError):
     """Every replica of a shard failed (or timed out); the query cannot
     be answered completely.  The HTTP layer maps it to ``503`` — the
     condition is transient (a replica restart / failover away)."""
+
+
+class WriteQuorumError(RuntimeError):
+    """Fewer replicas than the configured write quorum acknowledged a
+    mutation.  The write may have landed on a minority of replicas —
+    the anti-entropy sweep reconciles them — but it is **not acked**:
+    the HTTP layer maps this to ``503`` and the client must retry
+    (mutations are idempotent, so retrying a partially applied write is
+    safe)."""
 
 
 class EpochConsistencyError(RuntimeError):
@@ -96,6 +105,29 @@ class ShardExecutor(abc.ABC):
         unions candidate pools across shards, so absence means "someone
         else's key", not an error.
         """
+
+    # ------------------------- the write path ----------------------- #
+
+    def insert_entries(self, entries: Sequence[tuple],
+                       quorum: int | None = None,
+                       ) -> tuple[list[bool], int]:
+        """Apply ``(key, signature, size)`` inserts to this shard.
+
+        Idempotent: a key the shard already holds is skipped and
+        reported ``False`` in the applied-flags list (not an error), so
+        replica retries and repair shipping are safe.  Returns the
+        flags plus the shard's post-write mutation epoch — the
+        consistency token the caller hands back to clients.  ``quorum``
+        is meaningful only for replicated (remote) executors; a
+        single-backend executor either applies or raises.
+        """
+        raise NotImplementedError("%s does not accept writes" % self.kind)
+
+    def remove_keys(self, keys: Sequence[Hashable],
+                    quorum: int | None = None,
+                    ) -> tuple[list[bool], int]:
+        """Apply removals; absent keys report ``False``, not errors."""
+        raise NotImplementedError("%s does not accept writes" % self.kind)
 
     # ----------------------- epoch observation ---------------------- #
 
@@ -178,6 +210,31 @@ class _IndexBackedExecutor(ShardExecutor):
                     sizes[key] = shard.size_of(key)
                     break
         return pool, sizes
+
+    def _holds(self, key) -> bool:
+        shards = (self._index.shards
+                  if hasattr(self._index, "shards") else [self._index])
+        return any(key in shard for shard in shards)
+
+    def insert_entries(self, entries, quorum=None):
+        applied = []
+        for key, signature, size in entries:
+            if self._holds(key):
+                applied.append(False)
+                continue
+            self._index.insert(key, signature, int(size))
+            applied.append(True)
+        return applied, int(self._index.mutation_epoch)
+
+    def remove_keys(self, keys, quorum=None):
+        removed = []
+        for key in keys:
+            if not self._holds(key):
+                removed.append(False)
+                continue
+            self._index.remove(key)
+            removed.append(True)
+        return removed, int(self._index.mutation_epoch)
 
     @property
     def mutation_epoch(self) -> int:

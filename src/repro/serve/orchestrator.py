@@ -1,0 +1,210 @@
+"""Cluster orchestration: the bootstrap → admit → repair loop, named.
+
+The lifecycle tests (and any operator) previously drove node admission
+by hand: start the node (possibly ``--bootstrap-from`` a peer), poll
+``/healthz`` until it answers, edit the placement, then reconcile its
+data.  :class:`Orchestrator` wraps that sequence around one
+:class:`~repro.serve.router.RouterIndex`:
+
+* :meth:`wait_healthy` — condition-poll a node's ``/healthz`` (no
+  fixed sleeps) until it answers or the deadline passes;
+* :meth:`add_node` — wait for the node, admit it into the placement,
+  and run a repair sweep so the replica sets it just joined converge
+  onto it (a freshly bootstrapped replica that raced live writes picks
+  up exactly the tail it missed);
+* :meth:`decommission` — drain a node out of the topology;
+* :meth:`repair` — one on-demand anti-entropy sweep
+  (:meth:`~repro.serve.router.RouterIndex.repair`);
+* :meth:`start`/:meth:`stop` — a background daemon thread running the
+  sweep every ``repair_interval`` seconds (``cli router
+  --repair-interval`` wires this under the serving loop).
+
+The orchestrator holds no state of its own beyond the sweep thread —
+placement truth lives in the router, data truth on the nodes — so it
+is safe to run one per router process with no coordination service.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.serve.placement import parse_endpoint
+from repro.serve.remote import (
+    NodeFailure,
+    RemoteProtocolError,
+    ShardNodeClient,
+)
+from repro.serve.router import RouterIndex
+
+__all__ = ["Orchestrator"]
+
+
+class Orchestrator:
+    """Admission + anti-entropy driver for one router; see the module
+    docstring.
+
+    Parameters
+    ----------
+    router:
+        The :class:`~repro.serve.router.RouterIndex` whose topology
+        this orchestrator edits and repairs.
+    repair_interval:
+        Background sweep cadence in seconds; ``0`` disables the loop
+        (on-demand :meth:`repair` still works).
+    poll_seconds:
+        Health-poll spacing inside :meth:`wait_healthy`.
+    """
+
+    def __init__(self, router: RouterIndex, *,
+                 repair_interval: float = 0.0,
+                 poll_seconds: float = 0.05) -> None:
+        self.router = router
+        self.repair_interval = float(repair_interval)
+        self.poll_seconds = float(poll_seconds)
+        self.sweeps = 0
+        self.sweep_errors = 0
+        self.last_report: dict | None = None
+        self.last_error: str | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+
+    # --------------------------- admission -------------------------- #
+
+    def wait_healthy(self, address: str, *, timeout: float = 30.0,
+                     shard: str | None = None) -> dict:
+        """Poll ``address``'s ``/healthz`` until it answers; returns
+        the payload.  ``shard`` asserts the node serves the expected
+        shard label (placement and deployment must agree *before* the
+        node is admitted, not when the router trips over it)."""
+        host, port = parse_endpoint(address)
+        client = ShardNodeClient(host, port, timeout=max(
+            1.0, min(timeout, 10.0)))
+        deadline = time.monotonic() + float(timeout)
+        try:
+            while True:
+                try:
+                    info = client.healthz()
+                except (NodeFailure, RemoteProtocolError) as exc:
+                    if time.monotonic() >= deadline:
+                        raise TimeoutError(
+                            "node %s not healthy after %.1fs: %s"
+                            % (address, timeout, exc)) from exc
+                    time.sleep(self.poll_seconds)
+                    continue
+                label = info.get("shard")
+                if shard is not None and label is not None \
+                        and label != shard:
+                    raise ValueError(
+                        "node %s identifies as shard %r, expected %r"
+                        % (address, label, shard))
+                return info
+        finally:
+            client.close()
+
+    def add_node(self, name: str, address: str, *,
+                 timeout: float = 30.0,
+                 repair: bool = True) -> list[str]:
+        """Wait for ``address`` to serve, admit it as ``name``, and
+        (by default) run a repair sweep so the shards it now replicates
+        converge onto it.  Returns the shards whose replica sets
+        changed."""
+        self.wait_healthy(address, timeout=timeout)
+        moved = self.router.add_node(name, address)
+        if repair and moved:
+            self.repair()
+        return moved
+
+    def decommission(self, name: str) -> list[str]:
+        """Drain ``name`` out of the topology; returns the shards that
+        moved off it."""
+        return self.router.decommission(name)
+
+    # -------------------------- anti-entropy ------------------------ #
+
+    def repair(self) -> dict:
+        """One sweep; see :meth:`RouterIndex.repair`."""
+        report = self.router.repair()
+        with self._lock:
+            self.sweeps += 1
+            self.last_report = report
+        return report
+
+    def _sweep_loop(self) -> None:
+        while not self._stop.wait(self.repair_interval):
+            try:
+                self.repair()
+            except Exception as exc:  # noqa: BLE001 — the sweep is
+                # best-effort background hygiene; a transient cluster
+                # error must not kill the loop (the next tick retries).
+                with self._lock:
+                    self.sweep_errors += 1
+                    self.last_error = "%s: %s" % (type(exc).__name__,
+                                                  exc)
+
+    def start(self) -> None:
+        """Start the background sweep loop (``repair_interval > 0``)."""
+        if self.repair_interval <= 0:
+            raise ValueError("repair_interval must be > 0 to start "
+                             "the sweep loop")
+        if self._thread is not None:
+            raise RuntimeError("sweep loop already running")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._sweep_loop,
+            name="lshensemble-repair", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+
+    def __enter__(self) -> "Orchestrator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # --------------------------- inspection ------------------------- #
+
+    def status(self) -> dict:
+        """A point-in-time cluster summary: per-shard replica health
+        (address, epoch, key count) plus sweep counters."""
+        shards: dict = {}
+        for shard, executor in self.router.executors().items():
+            if not hasattr(executor, "replica_clients"):
+                shards[shard] = {"kind": executor.kind}
+                continue
+            replicas = {}
+            for client in executor.replica_clients():
+                try:
+                    info = client.healthz()
+                except (NodeFailure, RemoteProtocolError) as exc:
+                    replicas[client.address] = {
+                        "status": "unreachable", "error": str(exc)}
+                    continue
+                replicas[client.address] = {
+                    "status": info.get("status", "ok"),
+                    "mutation_epoch": int(
+                        info.get("mutation_epoch", 0)),
+                    "keys": int(info.get("keys", 0)),
+                }
+            shards[shard] = {"kind": executor.kind,
+                             "replicas": replicas}
+        with self._lock:
+            return {
+                "shards": shards,
+                "degraded": self.router.degraded_shards(),
+                "placement": (self.router.placement.describe()
+                              if self.router.placement is not None
+                              else None),
+                "repair": {
+                    "interval_seconds": self.repair_interval,
+                    "sweeps": self.sweeps,
+                    "sweep_errors": self.sweep_errors,
+                    "last_error": self.last_error,
+                },
+            }

@@ -38,7 +38,7 @@ from collections.abc import Mapping, Sequence
 from pathlib import Path
 
 __all__ = ["PlacementMap", "ClusterManifest", "load_manifest",
-           "parse_endpoint"]
+           "parse_endpoint", "owning_shard"]
 
 #: Ring points contributed per node: enough to keep the per-node load
 #: spread within a few percent for the cluster sizes we target (2-64
@@ -59,6 +59,22 @@ def parse_endpoint(address: str) -> tuple[str, int]:
     if not sep or not host:
         raise ValueError("endpoint %r is not host:port" % (address,))
     return host, int(port)
+
+
+def owning_shard(key, shards: Sequence[str]) -> str:
+    """The shard a *key* mutation routes to: the same placement
+    function lookups use, applied one level down.
+
+    Deterministic across processes (sha1 of ``repr(key)``, same rule
+    as the ring) so every router instance — and the repair sweep —
+    agrees on ownership with no coordination.  Keys that predate hash
+    routing may live elsewhere; removal falls back to a
+    broadcast-locate for exactly that reason.
+    """
+    if not shards:
+        raise ValueError("owning_shard needs at least one shard")
+    ordered = sorted(shards)
+    return ordered[_ring_hash("key:%r" % (key,)) % len(ordered)]
 
 
 class PlacementMap:

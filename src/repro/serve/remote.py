@@ -11,19 +11,27 @@ Two layers:
 * :class:`ShardNodeClient` — a pool of persistent keep-alive
   ``http.client`` connections to **one** shard-node server, speaking
   the node's public JSON endpoints (``/query``, ``/query_top_k``,
-  ``/signatures``, ``/healthz``, ``/stats``) plus the binary
-  ``/snapshot`` stream.  Every query response carries the node's
-  ``mutation_epoch``; the client hands it back alongside the results so
-  callers can reason about staleness per call, not per property read.
+  ``/signatures``, ``/insert``, ``/remove``, ``/healthz``, ``/stats``)
+  plus the binary ``/snapshot`` stream.  Every query response carries
+  the node's ``mutation_epoch``; the client hands it back alongside the
+  results so callers can reason about staleness per call, not per
+  property read.
 
 * :class:`RemoteShardExecutor` — one *shard* behind N replica nodes.
-  Calls go to a sticky preferred replica; a timeout, connection error,
+  Reads go to a sticky preferred replica; a timeout, connection error,
   node 5xx, or malformed response fails the attempt over to the next
   replica (the preference advances, so later calls do not re-pay a
   dead primary's timeout).  Only when every replica fails does the call
-  raise :class:`~repro.serve.executor.ShardUnavailableError`.  Counters
-  (``requests``/``retries``/``failovers``/``unavailable``) feed the
-  router's ``/stats`` and the BENCH_9 retry-rate metric.
+  raise :class:`~repro.serve.executor.ShardUnavailableError`.  Writes
+  are different: they **broadcast** to every replica and ack only when
+  a quorum applied them
+  (:class:`~repro.serve.executor.WriteQuorumError` otherwise) — a
+  replica that missed a write is repaired by the router's anti-entropy
+  sweep, not read around forever.  Counters
+  (``requests``/``retries``/``failovers``/``unavailable`` plus the
+  write-path ``writes``/``write_replica_failures``/
+  ``write_quorum_failures``) feed the router's ``/stats`` and the
+  benchmark retry-rate metrics.
 
 Failure semantics worth pinning: an HTTP **400** from a node is *not*
 retried — it is deterministic (a protocol bug), and replaying it on a
@@ -45,7 +53,11 @@ from pathlib import Path
 import numpy as np
 
 from repro.minhash.lean import LeanMinHash
-from repro.serve.executor import ShardExecutor, ShardUnavailableError
+from repro.serve.executor import (
+    ShardExecutor,
+    ShardUnavailableError,
+    WriteQuorumError,
+)
 
 __all__ = ["ShardNodeClient", "RemoteShardExecutor",
            "RemoteProtocolError", "NodeFailure", "restore_key"]
@@ -231,6 +243,36 @@ class ShardNodeClient:
             sizes[key] = int(size)
         return pool, sizes, int(data["mutation_epoch"])
 
+    def insert(self, entries: Sequence[tuple]) -> tuple[list[bool], int]:
+        """POST ``/insert``: apply ``(key, lean, size)`` entries.
+
+        Idempotent on the node — an already-present key reports
+        ``False`` in the applied-flags list — so retries and repair
+        shipping are safe.  Returns the flags plus the node's
+        post-write mutation epoch.
+        """
+        items = [{"key": _json_key(key),
+                  "signature": [int(v) for v in lean.hashvalues],
+                  "seed": int(lean.seed), "size": int(size)}
+                 for key, lean, size in entries]
+        # Chunk under the server's per-request entry bound so a large
+        # repair shipment is a sequence of valid requests, not a 400.
+        applied: list[bool] = []
+        epoch = 0
+        for start in range(0, len(items), MAX_QUERIES_PER_CHUNK):
+            data = self._json_call("POST", "/insert", {
+                "entries": items[start:start + MAX_QUERIES_PER_CHUNK]})
+            applied.extend(bool(flag) for flag in data["applied"])
+            epoch = int(data["mutation_epoch"])
+        return applied, epoch
+
+    def remove(self, keys: Sequence) -> tuple[list[bool], int]:
+        """POST ``/remove``: drop keys; absent ones report ``False``."""
+        data = self._json_call("POST", "/remove", {
+            "keys": [_json_key(key) for key in keys]})
+        return ([bool(flag) for flag in data["removed"]],
+                int(data["mutation_epoch"]))
+
     def snapshot(self, dest: str | Path) -> Path:
         """GET ``/snapshot``: download the node's packed index state
         and unpack it under ``dest``; returns the loadable path."""
@@ -274,8 +316,11 @@ class RemoteShardExecutor(ShardExecutor):
         self._preferred = 0
         self._lock = threading.Lock()
         self._last_epoch = 0
+        self._high_epoch = 0
         self.counters = {"requests": 0, "retries": 0, "failovers": 0,
-                         "unavailable": 0}
+                         "unavailable": 0, "writes": 0,
+                         "write_replica_failures": 0,
+                         "write_quorum_failures": 0}
 
     # ------------------------ replica cycling ------------------------ #
 
@@ -331,9 +376,27 @@ class RemoteShardExecutor(ShardExecutor):
             "shard %r: all %d replica(s) failed: %s"
             % (self.shard, len(self._clients), "; ".join(errors)))
 
+    def replica_clients(self) -> list[ShardNodeClient]:
+        """The current replica set (the anti-entropy sweep probes and
+        repairs replicas individually, bypassing failover)."""
+        with self._lock:
+            return list(self._clients)
+
     def _note_epoch(self, epoch: int) -> int:
+        """Record an epoch seen on the wire; returns it **raw**.
+
+        Consistency machinery (the router's ladder tracker) compares
+        raw wire epochs — a failover to a stale replica must look like
+        a mismatch, never be papered over.  Separately,
+        :attr:`mutation_epoch` tracks the monotone high-water mark,
+        which is what response staleness labels use (a floor may not
+        move backward when a read fails over).
+        """
+        epoch = int(epoch)
         with self._lock:
             self._last_epoch = epoch
+            if epoch > self._high_epoch:
+                self._high_epoch = epoch
         return epoch
 
     # ------------------------- query paths -------------------------- #
@@ -439,12 +502,78 @@ class RemoteShardExecutor(ShardExecutor):
             lambda client: client.signatures(keys))
         return pool, sizes, self._note_epoch(epoch)
 
+    # -------------------------- write path -------------------------- #
+
+    def _resolve_quorum(self, quorum: int | None, replicas: int) -> int:
+        """Required ack count: an explicit quorum (clamped into
+        ``[1, replicas]``), or a majority by default."""
+        if quorum is None:
+            return replicas // 2 + 1
+        return max(1, min(int(quorum), replicas))
+
+    def _broadcast(self, what: str, op, count: int,
+                   quorum: int | None) -> tuple[list[bool], int]:
+        """Fan a mutation to **every** replica; ack on quorum.
+
+        Per-replica applied flags are OR-merged (replicas at different
+        drift states legitimately disagree on whether a key was new),
+        and the returned epoch is the highest any acking replica
+        reported — the consistency token the caller hands back.  A
+        replica that failed transiently is simply a missed ack: the
+        anti-entropy sweep converges it later.  A deterministic 4xx
+        (:class:`RemoteProtocolError`) is *not* survivable by quorum —
+        it means the request itself is wrong and every replica would
+        refuse it.
+        """
+        clients = self.replica_clients()
+        want = self._resolve_quorum(quorum, len(clients))
+        merged = [False] * count
+        epochs: list[int] = []
+        errors: list[str] = []
+        with self._lock:
+            self.counters["writes"] += 1
+        for client in clients:
+            try:
+                flags, epoch = op(client)
+            except NodeFailure as exc:
+                errors.append(str(exc))
+                with self._lock:
+                    self.counters["write_replica_failures"] += 1
+                continue
+            if len(flags) == count:
+                merged = [a or b for a, b in zip(merged, flags)]
+            epochs.append(int(epoch))
+        if len(epochs) < want:
+            with self._lock:
+                self.counters["write_quorum_failures"] += 1
+            raise WriteQuorumError(
+                "shard %r %s: %d/%d replica(s) acked, quorum is %d: %s"
+                % (self.shard, what, len(epochs), len(clients), want,
+                   "; ".join(errors) or "no errors recorded"))
+        return merged, self._note_epoch(max(epochs))
+
+    def insert_entries(self, entries, quorum=None):
+        entries = list(entries)
+        if not entries:
+            return [], self.mutation_epoch
+        return self._broadcast(
+            "insert", lambda client: client.insert(entries),
+            len(entries), quorum)
+
+    def remove_keys(self, keys, quorum=None):
+        keys = list(keys)
+        if not keys:
+            return [], self.mutation_epoch
+        return self._broadcast(
+            "remove", lambda client: client.remove(keys),
+            len(keys), quorum)
+
     # --------------------------- plumbing --------------------------- #
 
     @property
     def mutation_epoch(self) -> int:
         with self._lock:
-            return self._last_epoch
+            return self._high_epoch
 
     def observe_epoch(self) -> int:
         """Refresh the epoch from the preferred replica's ``/healthz``

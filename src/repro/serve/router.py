@@ -43,14 +43,36 @@ unreachable shard names — explicitly trading completeness for
 availability.  The degraded set is maintained per fan-out (a shard
 leaves it as soon as it answers again); a response assembled
 concurrently with a recovery may briefly over- or under-report it,
-which is acceptable for a diagnostic flag.
+which is acceptable for a diagnostic flag.  Degraded shards are
+excluded from the response's ``mutation_epoch`` floor — a shard nobody
+heard from cannot drag the label of an answer it contributed nothing
+to — and surfaced in the ``degraded`` list instead.
+
+**The write path.**  Mutations route by key: :func:`~repro.serve
+.placement.owning_shard` picks the one shard a key belongs to (the
+same deterministic hash placement lookups use), and the write fans out
+to **all** of that shard's replicas, acking only once ``write_quorum``
+of them applied it (:class:`~repro.serve.executor.WriteQuorumError` /
+HTTP 503 otherwise).  The acked response carries the shard's post-write
+mutation epoch — the consistency token readers observe monotonically.
+Replicas a write missed (crashed mid-write, below quorum) are
+reconciled by :meth:`RouterIndex.repair`: an epoch/key-count compare
+across each shard's replicas, then delta shipping (snapshot diff →
+``/remove`` + ``/insert``) from the freshest replica to the drifted
+ones.  Removals route owner-first, then broadcast-locate: corpora
+indexed before hash routing existed may hold keys off their owning
+shard.
 """
 
 from __future__ import annotations
 
+import tempfile
 import threading
 from collections.abc import Mapping, Sequence
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
 
 from repro.core.ensemble import (
     _as_batch,
@@ -68,7 +90,12 @@ from repro.serve.executor import (
     ShardUnavailableError,
 )
 from repro.serve.placement import ClusterManifest, PlacementMap
-from repro.serve.remote import RemoteShardExecutor
+from repro.serve.placement import owning_shard as _owning_shard
+from repro.serve.remote import (
+    NodeFailure,
+    RemoteProtocolError,
+    RemoteShardExecutor,
+)
 from repro.serve.server import QueryServer
 
 __all__ = ["RouterIndex", "RouterEngine", "RouterServer"]
@@ -92,7 +119,8 @@ class RouterIndex:
     def __init__(self, executors: Mapping[str, ShardExecutor], *,
                  placement: PlacementMap | None = None,
                  partial: bool = False,
-                 max_ladder_restarts: int = 2) -> None:
+                 max_ladder_restarts: int = 2,
+                 write_quorum: int | None = None) -> None:
         if not executors:
             raise ValueError("a router needs at least one shard")
         self.shard_names = list(executors)
@@ -100,10 +128,20 @@ class RouterIndex:
         self.placement = placement
         self.partial = bool(partial)
         self.max_ladder_restarts = int(max_ladder_restarts)
+        # None = per-shard majority (the executor's default); an int is
+        # clamped to each shard's replica count by the executor.
+        self.write_quorum = write_quorum
         self._lock = threading.Lock()
         self._degraded: set[str] = set()
         self._counters = {"fanouts": 0, "ladder_restarts": 0,
-                          "partial_responses": 0}
+                          "partial_responses": 0, "writes": 0,
+                          "repair_sweeps": 0}
+        # Per-shard (address, epoch, keys) vectors recorded after each
+        # sweep: replicas legitimately stay epoch-skewed after a repair
+        # (shipping bumps the target further), so "unchanged since the
+        # sweep that verified convergence" — not "equal epochs" — is
+        # what lets the next sweep skip the snapshot diff.
+        self._repair_baselines: dict[str, tuple] = {}
         # Two concurrent fan-outs (coalescer dispatch + a direct single
         # query) must not starve each other's shard slots.
         self._fanout_pool = ThreadPoolExecutor(
@@ -124,22 +162,26 @@ class RouterIndex:
     @classmethod
     def from_manifest(cls, manifest: ClusterManifest, *,
                       timeout: float = 10.0, partial: bool = False,
-                      max_ladder_restarts: int = 2) -> "RouterIndex":
+                      max_ladder_restarts: int = 2,
+                      write_quorum: int | None = None) -> "RouterIndex":
         return cls.from_placement(manifest.shards, manifest.placement,
                                   timeout=timeout, partial=partial,
-                                  max_ladder_restarts=max_ladder_restarts)
+                                  max_ladder_restarts=max_ladder_restarts,
+                                  write_quorum=write_quorum)
 
     @classmethod
     def from_placement(cls, shards: Sequence[str],
                        placement: PlacementMap, *,
                        timeout: float = 10.0, partial: bool = False,
-                       max_ladder_restarts: int = 2) -> "RouterIndex":
+                       max_ladder_restarts: int = 2,
+                       write_quorum: int | None = None) -> "RouterIndex":
         executors = {
             shard: RemoteShardExecutor(placement.endpoints_for(shard),
                                        shard=shard, timeout=timeout)
             for shard in shards}
         return cls(executors, placement=placement, partial=partial,
-                   max_ladder_restarts=max_ladder_restarts)
+                   max_ladder_restarts=max_ladder_restarts,
+                   write_quorum=write_quorum)
 
     @classmethod
     def from_executors(cls, executors: Mapping[str, ShardExecutor],
@@ -230,9 +272,27 @@ class RouterIndex:
 
     @property
     def mutation_epoch(self) -> int:
-        """The staleness floor: minimum last-observed epoch across
-        shards (epochs are per-shard independent counters)."""
-        return min(ex.mutation_epoch for ex in self._executors.values())
+        """The staleness floor: minimum last-observed epoch across the
+        shards that are actually answering (epochs are per-shard
+        independent counters).
+
+        Degraded shards are excluded: in partial mode their answers are
+        not in the response at all, so their (frozen, possibly zero)
+        last-observed epoch must not drag the floor of answers they
+        contributed nothing to — the ``degraded`` marker carries that
+        information instead.  If *every* shard is degraded there is no
+        reachable floor; fall back to the full set rather than raise on
+        a diagnostic read.
+        """
+        with self._lock:
+            degraded = set(self._degraded)
+        live = [ex.mutation_epoch
+                for name, ex in self._executors.items()
+                if name not in degraded]
+        if not live:
+            live = [ex.mutation_epoch
+                    for ex in self._executors.values()]
+        return min(live)
 
     def __len__(self) -> int:
         with self._lock:
@@ -258,8 +318,12 @@ class RouterIndex:
         return {
             "shards": shard_stats,
             "keys_per_shard": keys,
+            "mutation_epochs": {name: ex.mutation_epoch
+                                for name, ex
+                                in self._executors.items()},
             "degraded": degraded,
             "partial_mode": self.partial,
+            "write_quorum": self.write_quorum,
             "placement": (self.placement.describe()
                           if self.placement is not None else None),
             "shard_requests": requests,
@@ -518,6 +582,219 @@ class RouterIndex:
         return [self._rank(sb[j], qs[j], candidates[j], pool, sizes, k)
                 for j in range(n)]
 
+    # -------------------------- write path -------------------------- #
+
+    def owning_shard(self, key) -> str:
+        """The shard ``key``'s mutations route to (deterministic hash
+        placement; see :func:`repro.serve.placement.owning_shard`)."""
+        return _owning_shard(key, self.shard_names)
+
+    def insert_entries(self, entries) -> tuple[list[bool], int]:
+        """Route ``(key, signature, size)`` inserts to their owning
+        shards, each write fanning to all replicas under the configured
+        quorum.  Returns per-entry applied flags (``False`` = already
+        present, the idempotent ack) and the highest post-write epoch —
+        the consistency token the caller hands back to its client.
+        """
+        entries = [(key, _as_lean(signature), int(size))
+                   for key, signature, size in entries]
+        groups: dict[str, list[int]] = {}
+        for j, (key, _, _) in enumerate(entries):
+            groups.setdefault(self.owning_shard(key), []).append(j)
+        applied = [False] * len(entries)
+        epochs: list[int] = []
+        for shard, rows in sorted(groups.items()):
+            flags, epoch = self._executors[shard].insert_entries(
+                [entries[j] for j in rows], quorum=self.write_quorum)
+            for j, flag in zip(rows, flags):
+                applied[j] = bool(flag)
+            epochs.append(int(epoch))
+            fresh = sum(1 for flag in flags if flag)
+            if fresh:
+                with self._lock:
+                    self._keys[shard] = self._keys.get(shard, 0) + fresh
+        with self._lock:
+            self._counters["writes"] += 1
+        return applied, max(epochs)
+
+    def insert(self, key, signature, size: int) -> int:
+        """Single-key insert mirroring the flat index surface (raises
+        ``ValueError`` on a duplicate); returns the new epoch."""
+        applied, epoch = self.insert_entries([(key, signature, size)])
+        if not applied[0]:
+            raise ValueError("key %r is already in the index" % (key,))
+        return epoch
+
+    def remove_keys(self, keys) -> tuple[list[bool], int]:
+        """Remove keys: owning shard first, then a broadcast-locate
+        pass over the other shards for any still-unremoved key (corpora
+        split before hash routing existed hold keys off their owner).
+        Per-key flags report whether *any* shard dropped the key."""
+        keys = list(keys)
+        removed = [False] * len(keys)
+        epochs: list[int] = []
+
+        def sweep(shard: str, rows: list[int]) -> None:
+            flags, epoch = self._executors[shard].remove_keys(
+                [keys[j] for j in rows], quorum=self.write_quorum)
+            hit = [j for j, flag in zip(rows, flags) if flag]
+            for j in hit:
+                removed[j] = True
+            epochs.append(int(epoch))
+            if hit:
+                with self._lock:
+                    self._keys[shard] = max(
+                        0, self._keys.get(shard, 0) - len(hit))
+
+        groups: dict[str, list[int]] = {}
+        for j, key in enumerate(keys):
+            groups.setdefault(self.owning_shard(key), []).append(j)
+        for shard, rows in sorted(groups.items()):
+            sweep(shard, rows)
+        if not all(removed):
+            for shard in sorted(self.shard_names):
+                rows = [j for j in range(len(keys))
+                        if not removed[j]
+                        and self.owning_shard(keys[j]) != shard]
+                if rows:
+                    sweep(shard, rows)
+        with self._lock:
+            self._counters["writes"] += 1
+        return removed, max(epochs)
+
+    def remove(self, key) -> None:
+        """Single-key removal mirroring the flat index surface (raises
+        ``KeyError`` when no shard holds the key)."""
+        removed, _ = self.remove_keys([key])
+        if not removed[0]:
+            raise KeyError(key)
+
+    # ------------------------- anti-entropy ------------------------- #
+
+    def _probe_replicas(self, clients) -> tuple[dict, list[str]]:
+        infos: dict = {}
+        unreachable: list[str] = []
+        for client in clients:
+            try:
+                infos[client.address] = client.healthz()
+            except (NodeFailure, RemoteProtocolError) as exc:
+                unreachable.append("%s: %s" % (client.address, exc))
+        return infos, unreachable
+
+    @staticmethod
+    def _replica_vector(infos: dict) -> tuple:
+        return tuple(sorted(
+            (addr, int(info.get("mutation_epoch", 0)),
+             int(info.get("keys", 0)))
+            for addr, info in infos.items()))
+
+    def repair(self) -> dict:
+        """One anti-entropy sweep over every remote shard's replicas.
+
+        Per shard: probe each replica's ``/healthz`` (epoch + key
+        count).  If the vector is uniform, single-replica, or unchanged
+        since the last sweep that verified convergence, the shard is
+        healthy.  Otherwise pick the freshest replica (max epoch, then
+        key count) as the source, snapshot-diff each other replica
+        against it, and ship the delta over the replica's own
+        ``/remove`` + ``/insert`` endpoints — idempotent, so a sweep
+        racing live writes at worst re-ships what the next sweep
+        confirms converged.  Returns a per-shard report plus aggregate
+        shipping counts.
+        """
+        report: dict = {"shards": {}, "repaired_replicas": 0,
+                        "shipped_inserts": 0, "shipped_removes": 0}
+        for shard in sorted(self.shard_names):
+            entry = self._repair_shard(shard, self._executors[shard])
+            report["shards"][shard] = entry
+            report["repaired_replicas"] += len(entry.get("repaired", []))
+            shipped = entry.get("shipped", {})
+            report["shipped_inserts"] += shipped.get("inserts", 0)
+            report["shipped_removes"] += shipped.get("removes", 0)
+        with self._lock:
+            self._counters["repair_sweeps"] += 1
+        return report
+
+    def _repair_shard(self, shard: str, executor) -> dict:
+        if not isinstance(executor, RemoteShardExecutor):
+            return {"status": "local"}
+        clients = executor.replica_clients()
+        infos, unreachable = self._probe_replicas(clients)
+        if not infos:
+            return {"status": "unreachable",
+                    "unreachable": unreachable}
+        epochs = {addr: int(info.get("mutation_epoch", 0))
+                  for addr, info in infos.items()}
+        key_counts = {addr: int(info.get("keys", 0))
+                      for addr, info in infos.items()}
+        vector = self._replica_vector(infos)
+        uniform = (len(set(epochs.values())) == 1
+                   and len(set(key_counts.values())) == 1)
+        with self._lock:
+            baseline = self._repair_baselines.get(shard)
+        if len(infos) == 1 or uniform or vector == baseline:
+            with self._lock:
+                self._repair_baselines[shard] = vector
+            return {"status": "healthy", "epochs": epochs,
+                    "unreachable": unreachable}
+
+        source_addr = max(
+            infos, key=lambda addr: (epochs[addr], key_counts[addr],
+                                     addr))
+        source_client = next(client for client in clients
+                             if client.address == source_addr)
+        repaired: list[str] = []
+        shipped = {"inserts": 0, "removes": 0}
+        from repro.persistence import load_ensemble
+
+        with tempfile.TemporaryDirectory(prefix="lshe-repair-") as tmp:
+            tmp_path = Path(tmp)
+            source = load_ensemble(
+                source_client.snapshot(tmp_path / "source"))
+            source_keys = set(source.keys())
+            for idx, client in enumerate(clients):
+                addr = client.address
+                if addr == source_addr or addr not in infos:
+                    continue
+                replica = load_ensemble(
+                    client.snapshot(tmp_path / ("replica_%d" % idx)))
+                replica_keys = set(replica.keys())
+                changed = [
+                    key for key in replica_keys & source_keys
+                    if replica.size_of(key) != source.size_of(key)
+                    or not np.array_equal(
+                        replica.get_signature(key).hashvalues,
+                        source.get_signature(key).hashvalues)]
+                removes = sorted(
+                    list(replica_keys - source_keys) + changed, key=str)
+                inserts = sorted(
+                    list(source_keys - replica_keys) + changed, key=str)
+                if not removes and not inserts:
+                    continue
+                if removes:
+                    client.remove(removes)
+                if inserts:
+                    client.insert([(key, source.get_signature(key),
+                                    source.size_of(key))
+                                   for key in inserts])
+                repaired.append(addr)
+                shipped["inserts"] += len(inserts)
+                shipped["removes"] += len(removes)
+
+        # Re-probe: the post-repair vector is the convergence baseline
+        # the next sweep compares against (and the shipping itself
+        # bumped the repaired replicas' epochs).
+        infos, post_unreachable = self._probe_replicas(clients)
+        with self._lock:
+            self._repair_baselines[shard] = self._replica_vector(infos)
+        return {"status": "repaired" if repaired else "healthy",
+                "source": source_addr,
+                "repaired": repaired,
+                "shipped": shipped,
+                "epochs": {addr: int(info.get("mutation_epoch", 0))
+                           for addr, info in infos.items()},
+                "unreachable": unreachable + post_unreachable}
+
 
 class _RouterExecutor(InProcessExecutor):
     """The router behind the standard executor interface, so the
@@ -532,6 +809,16 @@ class _RouterExecutor(InProcessExecutor):
 
     def signatures_for(self, keys):
         return self._index.signatures_for(keys)
+
+    # Writes go through the router's own placement-routed, quorum-acked
+    # path (the index-backed default probes ``key in index``, which a
+    # router does not answer locally).
+
+    def insert_entries(self, entries, quorum=None):
+        return self._index.insert_entries(entries)
+
+    def remove_keys(self, keys, quorum=None):
+        return self._index.remove_keys(keys)
 
 
 class RouterEngine(ServingEngine):

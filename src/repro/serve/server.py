@@ -29,11 +29,20 @@ Endpoints::
     POST /query_top_k  {"queries": [...], "k": 5, "min_threshold": 0.05}
     POST /signatures   {"keys": [...]} -> stored signatures + sizes
     GET  /snapshot     packed index snapshot (replica bootstrap)
+    POST /insert       {"entries": [{"key": ..., <signature|values>}]}
+    POST /remove       {"keys": [...]} -> removal flags + new epoch
 
 ``/signatures`` and ``/snapshot`` exist for the distributed tier: the
 router (:mod:`repro.serve.router`) fetches candidate signatures for
 its global top-k ranking through the former, and a new replica
 bootstraps its whole index from a peer through the latter.
+
+``/insert`` and ``/remove`` are the write path.  Both are idempotent —
+inserting a key the index already holds (or removing an absent one)
+reports ``false`` in the per-entry flags instead of failing — so
+replica retries and anti-entropy repair shipping are safe.  Responses
+carry the post-write ``mutation_epoch``, the consistency token clients
+(and the router's quorum accounting) key on.
 
 Each query is either a raw signature —
 ``{"signature": [u64...], "seed": 1, "size": 123}`` (``size`` optional,
@@ -64,6 +73,7 @@ from repro.serve.engine import ServingEngine
 from repro.serve.executor import (
     EpochConsistencyError,
     ShardUnavailableError,
+    WriteQuorumError,
 )
 
 __all__ = ["QueryServer", "ServerHandle", "start_in_thread",
@@ -406,12 +416,22 @@ class QueryServer:
                 if method != "GET":
                     return 405, {"error": "use GET"}
                 return await self._handle_snapshot()
+            if path == "/insert":
+                if method != "POST":
+                    return 405, {"error": "use POST"}
+                return await self._handle_insert(body)
+            if path == "/remove":
+                if method != "POST":
+                    return 405, {"error": "use POST"}
+                return await self._handle_remove(body)
             return 404, {"error": "no route for %s" % path}
         except RequestError as exc:
             return 400, {"error": str(exc)}
         except OverloadedError as exc:
             return 503, {"error": "overloaded", "detail": str(exc),
                          "retry_after": self.retry_after_hint()}
+        except WriteQuorumError as exc:
+            return 503, {"error": "write quorum", "detail": str(exc)}
         except ShardUnavailableError as exc:
             return 503, {"error": "shard unavailable",
                          "detail": str(exc)}
@@ -602,6 +622,100 @@ class QueryServer:
         if payload is None:
             return 404, {"error": "this topology has no snapshot"}
         return 200, payload
+
+    # ------------------------------------------------------------------ #
+    # Write path
+    # ------------------------------------------------------------------ #
+
+    def _parse_entries(self, data: dict) -> list[tuple]:
+        """Normalise the ``entries`` array to ``(key, lean, size)``."""
+        from repro.serve.remote import restore_key
+
+        entries = data.get("entries")
+        if not isinstance(entries, list) or not entries:
+            raise RequestError("entries must be a non-empty array")
+        if len(entries) > MAX_QUERIES_PER_REQUEST:
+            raise RequestError(
+                "too many entries in one request (%d > %d)"
+                % (len(entries), MAX_QUERIES_PER_REQUEST))
+        num_perm = self.engine.num_perm
+        parsed = []
+        for item in entries:
+            if not isinstance(item, dict) or "key" not in item:
+                raise RequestError(
+                    "each entry must be an object with a \"key\" field")
+            key = restore_key(item["key"])
+            if "signature" in item:
+                signature = item["signature"]
+                if (not isinstance(signature, list)
+                        or len(signature) != num_perm):
+                    raise RequestError(
+                        "signature must be an array of %d hash values"
+                        % num_perm)
+                try:
+                    row = np.asarray(signature, dtype=np.uint64)
+                except (TypeError, ValueError, OverflowError) as exc:
+                    raise RequestError("bad signature values: %s" % exc)
+                seed = item.get("seed", 1)
+                if not isinstance(seed, int) or isinstance(seed, bool):
+                    raise RequestError("seed must be an integer")
+                if int(seed) != self._factory.seed:
+                    # Stored entries share one permutation seed; an
+                    # insert under a different seed would never compare
+                    # meaningfully against the rest of the corpus.
+                    raise RequestError(
+                        "signature seed %d does not match the index "
+                        "seed %d" % (seed, self._factory.seed))
+                lean = LeanMinHash(seed=int(seed), hashvalues=row)
+                size = item.get("size")
+                if size is None:
+                    size = max(1, int(lean.count()))
+            elif "values" in item:
+                values = item["values"]
+                if not isinstance(values, list) or not values:
+                    raise RequestError("values must be a non-empty array")
+                try:
+                    distinct = set(values)
+                except TypeError:
+                    raise RequestError(
+                        "values must be hashable (strings or numbers)")
+                lean = self._factory.lean(distinct)
+                size = len(distinct)
+            else:
+                raise RequestError(
+                    "each entry needs a \"signature\" or \"values\" field")
+            if not isinstance(size, int) or isinstance(size, bool) \
+                    or size < 1:
+                raise RequestError("size must be an integer >= 1")
+            parsed.append((key, lean, int(size)))
+        return parsed
+
+    async def _handle_insert(self, body: bytes) -> tuple[int, dict]:
+        data = _parse_body(body)
+        parsed = self._parse_entries(data)
+        loop = asyncio.get_running_loop()
+        applied, epoch = await loop.run_in_executor(
+            None, self.engine.apply_inserts, parsed)
+        return 200, {"applied": [bool(flag) for flag in applied],
+                     "mutation_epoch": int(epoch)}
+
+    async def _handle_remove(self, body: bytes) -> tuple[int, dict]:
+        from repro.serve.remote import restore_key
+
+        data = _parse_body(body)
+        keys = data.get("keys")
+        if not isinstance(keys, list) or not keys:
+            raise RequestError("keys must be a non-empty array")
+        if len(keys) > MAX_KEYS_PER_REQUEST:
+            raise RequestError(
+                "too many keys in one request (%d > %d)"
+                % (len(keys), MAX_KEYS_PER_REQUEST))
+        wanted = [restore_key(key) for key in keys]
+        loop = asyncio.get_running_loop()
+        removed, epoch = await loop.run_in_executor(
+            None, self.engine.apply_removes, wanted)
+        return 200, {"removed": [bool(flag) for flag in removed],
+                     "mutation_epoch": int(epoch)}
 
 
 # --------------------------------------------------------------------- #

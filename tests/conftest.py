@@ -29,6 +29,13 @@ def pytest_configure(config):
         "markers",
         "timeout(seconds): per-test timeout (enforced by pytest-timeout"
         " when installed)")
+    config.addinivalue_line(
+        "markers",
+        "flaky(reruns=N): rerun-on-failure budget for tests whose"
+        " subject is subprocess lifecycle (enforced by"
+        " pytest-rerunfailures when installed; inert otherwise)."
+        " Reserved for real-process churn — never mark an in-process"
+        " test flaky, fix it")
 
 
 @pytest.fixture(scope="session")

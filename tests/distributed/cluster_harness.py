@@ -21,6 +21,7 @@ import re
 import subprocess
 import sys
 import threading
+import time
 from contextlib import contextmanager
 from pathlib import Path
 
@@ -29,6 +30,22 @@ from repro.core.ensemble import LSHEnsemble
 from repro.serve import start_in_thread
 from repro.serve.placement import PlacementMap
 from repro.serve.router import RouterIndex
+
+
+def wait_until(predicate, *, timeout: float = 30.0,
+               interval: float = 0.02, message: str = "condition"):
+    """Condition-poll until ``predicate()`` is truthy; returns its
+    value.  The battery's replacement for fixed sleeps: a slow CI
+    machine gets the full timeout, a fast one pays one poll tick."""
+    deadline = time.monotonic() + timeout
+    while True:
+        value = predicate()
+        if value:
+            return value
+        if time.monotonic() >= deadline:
+            raise TimeoutError("timed out after %.1fs waiting for %s"
+                               % (timeout, message))
+        time.sleep(interval)
 
 NUM_PERM = 48
 SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
@@ -93,7 +110,8 @@ def thread_cluster(shard_indexes, labels=None, **server_kwargs):
 
 
 def router_over(handles, *, timeout: float = 10.0, partial: bool = False,
-                max_ladder_restarts: int = 2) -> RouterIndex:
+                max_ladder_restarts: int = 2,
+                write_quorum: int | None = None) -> RouterIndex:
     """A router with one node per shard, pinned 1:1 (the simplest
     placement; replica topologies build their own PlacementMap)."""
     nodes = {label: "127.0.0.1:%d" % handle.port
@@ -102,7 +120,23 @@ def router_over(handles, *, timeout: float = 10.0, partial: bool = False,
     placement = PlacementMap(nodes, replication=1, pinned=pinned)
     return RouterIndex.from_placement(
         sorted(pinned), placement, timeout=timeout, partial=partial,
-        max_ladder_restarts=max_ladder_restarts)
+        max_ladder_restarts=max_ladder_restarts,
+        write_quorum=write_quorum)
+
+
+def replica_router(handles, *, shard: str = "shard_000",
+                   write_quorum: int | None = None,
+                   partial: bool = False,
+                   timeout: float = 10.0) -> RouterIndex:
+    """A router over N replicas of ONE shard (each ``handles`` entry
+    serves the same shard label); the write-path topology."""
+    nodes = {"n%d" % i: "127.0.0.1:%d" % handle.port
+             for i, (_, handle) in enumerate(handles)}
+    placement = PlacementMap(nodes, replication=len(nodes),
+                             pinned={shard: sorted(nodes)})
+    return RouterIndex.from_placement(
+        [shard], placement, timeout=timeout, partial=partial,
+        write_quorum=write_quorum)
 
 
 # --------------------------------------------------------------------- #

@@ -23,7 +23,9 @@ from cluster_harness import (
     NUM_PERM,
     make_index,
     query_rows,
+    router_over,
     split_entries,
+    thread_cluster,
 )
 from repro.minhash.generator import SignatureFactory
 from repro.serve import start_in_thread
@@ -162,3 +164,41 @@ def test_response_epoch_is_the_minimum_across_shards(entries, corpus,
                 payload = json.loads(response.read())
     assert payload["mutation_epoch"] == 0
     assert "degraded" not in payload
+
+
+def test_degraded_shards_do_not_drag_the_reported_epoch_down(
+        entries, corpus, factory):
+    """Regression: ``mutation_epoch = min`` over *all* shards let a
+    dead shard (whose executor last observed epoch 0) pin the reported
+    staleness token at 0 forever, understating every answer's
+    freshness.  Unreachable shards are excluded from the min — the
+    ``degraded`` marker carries the unavailability instead."""
+    parts = split_entries(entries, 2)
+    shard_indexes = [make_index(part) for part in parts]
+    for j in range(3):
+        _mutation(shard_indexes[1], factory, j)()
+
+    _, _, items = query_rows(corpus, n=2)
+    with thread_cluster(shard_indexes) as handles:
+        with router_over(handles, partial=True) as router:
+            # Both shards healthy: the min spans both, floor 0.
+            matrix, sizes, _ = query_rows(corpus, n=2)
+            router.query_batch(matrix, sizes=sizes, threshold=0.5)
+            assert router.mutation_epoch == 0
+
+            handles[0][1].close()  # shard_000 (epoch 0) goes dark
+            with start_in_thread(router,
+                                 server_factory=RouterServer) as handle:
+                request = urllib.request.Request(
+                    "http://127.0.0.1:%d/query" % handle.port,
+                    data=json.dumps({"queries": items,
+                                     "threshold": 0.5}).encode(),
+                    headers={"Content-Type": "application/json"},
+                    method="POST")
+                with urllib.request.urlopen(request) as response:
+                    payload = json.loads(response.read())
+            assert payload["degraded"] == ["shard_000"]
+            # The answers came from shard_001 alone; the token must say
+            # epoch 3, not the dead shard's stale 0.
+            assert payload["mutation_epoch"] == 3
+            assert router.mutation_epoch == 3

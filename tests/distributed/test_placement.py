@@ -133,3 +133,68 @@ def test_placement_properties_hold_for_arbitrary_clusters(
         assert replicas == b.replicas_for(shard)  # deterministic
         assert len(replicas) == want
         assert len(set(replicas)) == len(replicas)  # distinct
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_pins_survive_arbitrary_topology_edits_minimally(data):
+    """Pinned overrides through arbitrary ``with_node`` /
+    ``without_node`` sequences: pins are honoured verbatim until a
+    decommission drains a pinned node (then just that name drops, and
+    an emptied pin falls back to the ring), and every edit moves only
+    the ring arcs the edited node owned."""
+    names = data.draw(node_sets)
+    nodes = {name: "127.0.0.1:1" for name in names}
+    replication = data.draw(st.integers(1, 3))
+    pins = {}
+    for i in range(data.draw(st.integers(0, 3))):
+        pins["pinned_%d" % i] = data.draw(
+            st.lists(st.sampled_from(sorted(nodes)),
+                     min_size=1, max_size=len(nodes), unique=True))
+    pm = PlacementMap(nodes, replication=replication, pinned=pins)
+    expected_pins = {shard: list(assigned)
+                    for shard, assigned in pins.items()}
+    ring_shards = SHARDS[:12]
+    fresh = ("added_%d" % i for i in range(64))
+
+    for _ in range(data.draw(st.integers(1, 8))):
+        op = (data.draw(st.sampled_from(["add", "remove"]))
+              if len(pm.nodes) > 1 else "add")
+        before = {shard: pm.replicas_for(shard)
+                  for shard in ring_shards}
+        if op == "add":
+            name = next(fresh)
+            pm = pm.with_node(name, "127.0.0.1:2")
+            for shard in ring_shards:
+                after = pm.replicas_for(shard)
+                # Minimal movement: the new node may claim arcs, but
+                # the surviving replicas keep their relative order and
+                # nobody else moves in.
+                kept = [node for node in after if node != name]
+                assert kept == before[shard][:len(kept)]
+        else:
+            name = data.draw(st.sampled_from(sorted(pm.nodes)))
+            pm = pm.without_node(name)
+            expected_pins = {
+                shard: [node for node in assigned if node != name]
+                for shard, assigned in expected_pins.items()}
+            expected_pins = {shard: assigned
+                             for shard, assigned in expected_pins.items()
+                             if assigned}
+            for shard in ring_shards:
+                after = pm.replicas_for(shard)
+                assert name not in after
+                survivors = [node for node in before[shard]
+                             if node != name]
+                # Survivors stay, in order; only the freed arcs gain
+                # replacement replicas (appended at the end).
+                assert after[:len(survivors)] == survivors
+
+        assert pm.pinned == expected_pins
+        for shard, assigned in expected_pins.items():
+            assert pm.replicas_for(shard) == assigned
+        want = min(replication, len(pm.nodes))
+        for shard in ring_shards:
+            replicas = pm.replicas_for(shard)
+            assert len(replicas) == want
+            assert len(set(replicas)) == want

@@ -1,0 +1,515 @@
+"""The distributed write path: quorum-acked mutations + anti-entropy.
+
+The router is the cluster's single mutation entry point: a write
+resolves its owning shard by the placement hash, broadcasts to every
+replica of that shard, and acks only once a configurable quorum
+applied it — the returned mutation epoch is the consistency token.
+This battery pins the whole contract over real localhost HTTP:
+
+* routing — a write lands on exactly the hash-owning shard, and the
+  routed cluster stays bit-identical to one flat index applying the
+  same mutations;
+* quorum — acks require the configured replica count; a short quorum
+  surfaces as :class:`WriteQuorumError` in-process and a 503 over
+  HTTP, and the write may still land on a minority (repair's job);
+* repair — the epoch-compare sweep detects drifted replicas and
+  re-syncs them by delta shipping until they answer bit-identically;
+* nemesis — a writer, concurrent readers, and a SIGKILL fault
+  injector: no acked write is lost, reader-observed epochs stay
+  monotone, and a replacement replica converges after one sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from cluster_harness import (
+    NUM_PERM,
+    NodeProc,
+    make_index,
+    query_rows,
+    replica_router,
+    router_over,
+    split_entries,
+    thread_cluster,
+    wait_until,
+)
+from repro.minhash.generator import SignatureFactory
+from repro.persistence import save_ensemble
+from repro.serve import start_in_thread
+from repro.serve.executor import WriteQuorumError
+from repro.serve.placement import PlacementMap, owning_shard
+from repro.serve.remote import ShardNodeClient
+from repro.serve.router import RouterIndex, RouterServer
+
+
+def _post(port: int, path: str, payload: dict) -> tuple[int, dict]:
+    """POST without asserting 200 — write tests care about 503s too."""
+    request = urllib.request.Request(
+        "http://127.0.0.1:%d%s" % (port, path),
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"}, method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _factory(corpus) -> SignatureFactory:
+    _, batch = corpus
+    return SignatureFactory(num_perm=NUM_PERM, seed=batch.seed)
+
+
+def _entry_json(key: str, lean, size: int) -> dict:
+    return {"key": key, "signature": [int(v) for v in lean.hashvalues],
+            "seed": int(lean.seed), "size": int(size)}
+
+
+# --------------------------------------------------------------------- #
+# Routing + parity
+# --------------------------------------------------------------------- #
+
+
+def test_router_write_routes_to_owning_shard_and_matches_flat(
+        entries, corpus):
+    factory = _factory(corpus)
+    flat = make_index(entries)
+    shards = [make_index(part) for part in split_entries(entries, 2)]
+    by_label = {"shard_000": shards[0], "shard_001": shards[1]}
+    with thread_cluster(shards) as handles:
+        with router_over(handles) as router:
+            for i in range(6):
+                key = "written:%d" % i
+                values = {"%s:v%d" % (key, v) for v in range(24)}
+                lean = factory.lean(values)
+                epoch = router.insert(key, lean, len(values))
+                assert epoch >= 1
+                flat.insert(key, lean, len(values))
+                owner = owning_shard(key, router.shard_names)
+                for label, shard_index in by_label.items():
+                    assert (key in shard_index) == (label == owner)
+            # Duplicate insert is rejected exactly like the flat index.
+            with pytest.raises(ValueError):
+                router.insert("written:0", factory.lean({"dup"}), 1)
+
+            # Corpus keys were split round-robin, NOT by the write
+            # hash: removing one exercises the broadcast-locate path.
+            _, batch = corpus
+            victim = batch.keys[0]
+            router.remove(victim)
+            flat.remove(victim)
+            with pytest.raises(KeyError):
+                router.remove(victim)
+            with pytest.raises(KeyError):
+                router.remove("never-existed")
+
+            assert len(router) == len(flat)
+            matrix, sizes, _ = query_rows(corpus)
+            for threshold in (0.2, 0.5):
+                assert router.query_batch(
+                    matrix, sizes=sizes, threshold=threshold) \
+                    == flat.query_batch(matrix, sizes=sizes,
+                                        threshold=threshold)
+            assert router.query_top_k_batch(matrix, 5, sizes=sizes) \
+                == flat.query_top_k_batch(matrix, 5, sizes=sizes)
+            assert router.stats()["writes"] >= 8
+
+
+# --------------------------------------------------------------------- #
+# Quorum semantics
+# --------------------------------------------------------------------- #
+
+
+def test_write_quorum_acks_and_short_quorum_raises(entries, corpus):
+    factory = _factory(corpus)
+    part = split_entries(entries, 2)[0]
+    replicas = [make_index(part), make_index(part)]
+    with thread_cluster(replicas,
+                        labels=["shard_000", "shard_000"]) as handles:
+        with replica_router(handles, write_quorum=2) as router:
+            lean = factory.lean({"q2:v%d" % v for v in range(20)})
+            epoch = router.insert("q2-key", lean, 20)
+            # Both replica *objects* applied it (separate indexes, so
+            # this is replication, not aliasing).
+            assert "q2-key" in replicas[0]
+            assert "q2-key" in replicas[1]
+            assert epoch == replicas[0].mutation_epoch \
+                == replicas[1].mutation_epoch
+
+            handles[1][1].close()  # one replica down: quorum 2 of 1
+            lean_b = factory.lean({"q2b:v%d" % v for v in range(20)})
+            with pytest.raises(WriteQuorumError):
+                router.insert("q2-key-b", lean_b, 20)
+            # The unacked write may still have landed on the survivor —
+            # exactly why node writes are idempotent and repair exists.
+            assert "q2-key-b" in replicas[0]
+            assert "q2-key-b" not in replicas[1]
+
+        # quorum 1 still acks on the lone survivor.
+        with replica_router(handles, write_quorum=1) as router:
+            lean_c = factory.lean({"q1:v%d" % v for v in range(20)})
+            router.insert("q1-key", lean_c, 20)
+            assert "q1-key" in replicas[0]
+            assert "q1-key" not in replicas[1]
+
+            handles[0][1].close()  # nobody left: even quorum 1 fails
+            with pytest.raises(WriteQuorumError):
+                router.remove_keys(["q1-key"])
+
+
+def test_default_write_quorum_is_majority(entries, corpus):
+    factory = _factory(corpus)
+    part = split_entries(entries, 2)[0]
+    replicas = [make_index(part) for _ in range(3)]
+    with thread_cluster(replicas, labels=["shard_000"] * 3) as handles:
+        with replica_router(handles) as router:  # write_quorum=None
+            handles[2][1].close()  # 2 of 3 up: majority still reachable
+            lean = factory.lean({"maj:v%d" % v for v in range(20)})
+            router.insert("maj-key", lean, 20)
+            assert "maj-key" in replicas[0]
+            assert "maj-key" in replicas[1]
+            assert "maj-key" not in replicas[2]
+
+            handles[1][1].close()  # 1 of 3: majority unreachable
+            lean_b = factory.lean({"maj2:v%d" % v for v in range(20)})
+            with pytest.raises(WriteQuorumError):
+                router.insert("maj-key-2", lean_b, 20)
+
+
+# --------------------------------------------------------------------- #
+# HTTP write endpoints
+# --------------------------------------------------------------------- #
+
+
+def test_http_write_roundtrip_and_quorum_503(entries, corpus):
+    factory = _factory(corpus)
+    part = split_entries(entries, 2)[0]
+    replicas = [make_index(part), make_index(part)]
+    lean = factory.lean({"h:v%d" % v for v in range(24)})
+    entry = _entry_json("http-key", lean, 24)
+    with thread_cluster(replicas,
+                        labels=["shard_000", "shard_000"]) as handles:
+        router = replica_router(handles, write_quorum=2)
+        with router, start_in_thread(
+                router, server_factory=RouterServer) as gateway:
+            status, payload = _post(gateway.port, "/insert",
+                                    {"entries": [entry]})
+            assert (status, payload["applied"]) == (200, [True])
+            first_epoch = payload["mutation_epoch"]
+            assert first_epoch >= 1
+
+            # Idempotent: re-inserting the same key applies nowhere.
+            status, payload = _post(gateway.port, "/insert",
+                                    {"entries": [entry]})
+            assert (status, payload["applied"]) == (200, [False])
+
+            # Read-your-write through the same gateway.
+            status, payload = _post(gateway.port, "/query", {
+                "queries": [{"signature": entry["signature"],
+                             "seed": entry["seed"], "size": 24}],
+                "threshold": 0.9})
+            assert status == 200
+            assert "http-key" in payload["results"][0]
+
+            # A signature from a foreign seed is a deterministic 400,
+            # not something a quorum retry could ever fix.
+            status, payload = _post(gateway.port, "/insert", {
+                "entries": [dict(entry, key="bad-seed",
+                                 seed=entry["seed"] + 1)]})
+            assert status == 400
+
+            status, payload = _post(gateway.port, "/remove",
+                                    {"keys": ["http-key"]})
+            assert (status, payload["removed"]) == (200, [True])
+            assert payload["mutation_epoch"] > first_epoch
+            status, payload = _post(gateway.port, "/remove",
+                                    {"keys": ["http-key"]})
+            assert (status, payload["removed"]) == (200, [False])
+
+            # One replica down: quorum 2 is unreachable -> 503, the
+            # same shed/unavailable status class reads use.
+            handles[1][1].close()
+            status, payload = _post(gateway.port, "/insert", {
+                "entries": [_entry_json("http-key-2", lean, 24)]})
+            assert status == 503
+            assert payload["error"] == "write quorum"
+
+
+# --------------------------------------------------------------------- #
+# Anti-entropy repair
+# --------------------------------------------------------------------- #
+
+
+def test_repair_converges_drifted_replica(entries, corpus):
+    factory = _factory(corpus)
+    _, batch = corpus
+    part = split_entries(entries, 2)[0]
+    replicas = [make_index(part), make_index(part)]
+    with thread_cluster(replicas,
+                        labels=["shard_000", "shard_000"]) as handles:
+        with replica_router(handles) as router:
+            # Drift one replica only: a delta insert + a tombstone
+            # (the state a replica that missed quorum writes is in).
+            lean = factory.lean({"drift:v%d" % v for v in range(30)})
+            replicas[0].insert("drifted", lean, 30)
+            replicas[0].remove(batch.keys[0])  # an even key: in part 0
+
+            report = router.repair()
+            shard_report = report["shards"]["shard_000"]
+            assert shard_report["status"] == "repaired"
+            assert shard_report["shipped"] == {"inserts": 1,
+                                               "removes": 1}
+            assert report["repaired_replicas"] == 1
+            assert shard_report["unreachable"] == []
+
+            # The lagging replica is now bit-identical.
+            assert "drifted" in replicas[1]
+            assert batch.keys[0] not in replicas[1]
+            assert np.array_equal(
+                replicas[1].get_signature("drifted").hashvalues,
+                lean.hashvalues)
+            assert sorted(map(str, replicas[0].keys())) \
+                == sorted(map(str, replicas[1].keys()))
+            matrix, sizes, _ = query_rows(corpus)
+            assert replicas[0].query_batch(matrix, sizes=sizes,
+                                           threshold=0.5) \
+                == replicas[1].query_batch(matrix, sizes=sizes,
+                                           threshold=0.5)
+
+            # A second sweep finds nothing left to ship.
+            report = router.repair()
+            assert report["shards"]["shard_000"]["status"] == "healthy"
+            assert report["shipped_inserts"] == 0
+            assert report["shipped_removes"] == 0
+            assert router.stats()["repair_sweeps"] == 2
+
+
+# --------------------------------------------------------------------- #
+# Nemesis: SIGKILL mid-write
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.flaky(reruns=2)
+def test_nemesis_sigkill_mid_write_loses_no_acked_writes(
+        entries, corpus, tmp_path):
+    factory = _factory(corpus)
+    part = split_entries(entries, 2)[0]
+    part_keys = [key for key, _, _ in part]
+    seed_path = tmp_path / "shard"
+    save_ensemble(make_index(part), seed_path)
+
+    KILL_AFTER, TOTAL = 12, 40
+    nodes = [NodeProc(seed_path, "shard_000") for _ in range(3)]
+    replacement = None
+    try:
+        addresses = {"n%d" % i: node.address
+                     for i, node in enumerate(nodes)}
+        placement = PlacementMap(addresses, replication=3,
+                                 pinned={"shard_000": sorted(addresses)})
+        router = RouterIndex.from_placement(["shard_000"], placement,
+                                            write_quorum=2)
+        with router, start_in_thread(
+                router, server_factory=RouterServer) as gateway:
+            port = gateway.port
+            acked: list[tuple[str, int]] = []
+            removed: list[str] = []
+            rejected: list[str] = []
+
+            def writer() -> None:
+                for i in range(TOTAL):
+                    key = "nw:%d" % i
+                    lean = factory.lean({"%s:v%d" % (key, v)
+                                         for v in range(20)})
+                    status, payload = _post(port, "/insert", {
+                        "entries": [_entry_json(key, lean, 20)]})
+                    if status != 200 or payload["applied"] != [True]:
+                        rejected.append(key)
+                        continue
+                    acked.append((key, payload["mutation_epoch"]))
+                    if len(acked) == KILL_AFTER:
+                        nodes[2].kill()  # nemesis: SIGKILL mid-stream
+                    if i % 5 == 4:
+                        status, payload = _post(port, "/remove",
+                                                {"keys": [key]})
+                        if status == 200 \
+                                and payload["removed"] == [True]:
+                            removed.append(key)
+
+            reader_epochs: list[list[int]] = [[], []]
+            stop = threading.Event()
+            _, _, items = query_rows(corpus, n=2)
+
+            def reader(slot: int) -> None:
+                while not stop.is_set():
+                    status, payload = _post(port, "/query", {
+                        "queries": [items[0]], "threshold": 0.5})
+                    if status == 200:
+                        reader_epochs[slot].append(
+                            payload["mutation_epoch"])
+
+            readers = [threading.Thread(target=reader, args=(slot,))
+                       for slot in (0, 1)]
+            for thread in readers:
+                thread.start()
+            writing = threading.Thread(target=writer)
+            writing.start()
+            writing.join(timeout=90)
+            stop.set()
+            for thread in readers:
+                thread.join(timeout=30)
+            assert not writing.is_alive()
+
+            # Quorum 2 stays reachable on the 2 survivors: the fault
+            # cost no acks.
+            assert not rejected
+            assert len(acked) == TOTAL
+
+            # The epoch token is monotone — for the writer's acks and
+            # for what each concurrent reader observed.
+            ack_epochs = [epoch for _, epoch in acked]
+            assert ack_epochs == sorted(ack_epochs)
+            for observed in reader_epochs:
+                assert observed, "reader saw no successful responses"
+                assert observed == sorted(observed)
+
+            # No acked write lost: every acked insert that was not
+            # later removed is on at least one survivor (quorum 2 with
+            # one dead replica guarantees >= 1), and acked removes are
+            # gone from both.
+            expected = {key for key, _ in acked} - set(removed)
+            survivors = [ShardNodeClient("127.0.0.1", node.port)
+                         for node in nodes[:2]]
+            try:
+                pools = []
+                for client in survivors:
+                    pool, _, _ = client.signatures(
+                        sorted(expected) + removed)
+                    pools.append(set(pool))
+                union = set().union(*pools)
+                assert expected <= union
+                assert not (set(removed) & union)
+            finally:
+                for client in survivors:
+                    client.close()
+
+            # Replace the dead replica from the ORIGINAL (stale)
+            # snapshot; one repair sweep must converge it.
+            replacement = NodeProc(seed_path, "shard_000")
+            addresses = {"n0": nodes[0].address, "n1": nodes[1].address,
+                         "n3": replacement.address}
+            router.set_placement(PlacementMap(
+                addresses, replication=3,
+                pinned={"shard_000": sorted(addresses)}))
+            report = router.repair()
+            shard_report = report["shards"]["shard_000"]
+            assert shard_report["status"] == "repaired"
+            assert shard_report["unreachable"] == []
+
+            # Post-repair, all three replicas answer bit-identically.
+            probe = sorted({key for key, _ in acked} | set(removed)) \
+                + part_keys
+            clients = [ShardNodeClient("127.0.0.1", node.port)
+                       for node in (nodes[0], nodes[1], replacement)]
+            try:
+                views = []
+                for client in clients:
+                    pool, sizes, _ = client.signatures(probe)
+                    views.append((
+                        {key: (tuple(int(v) for v in lean.hashvalues),
+                               sizes[key])
+                         for key, lean in pool.items()},
+                        int(client.healthz()["keys"])))
+                assert views[0] == views[1] == views[2]
+                present = set(views[0][0])
+                assert expected <= present
+                assert not (set(removed) & present)
+            finally:
+                for client in clients:
+                    client.close()
+    finally:
+        for node in nodes:
+            node.terminate()
+        if replacement is not None:
+            replacement.terminate()
+
+
+# --------------------------------------------------------------------- #
+# Bootstrap racing live writes (satellite: snapshot vs write race)
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.flaky(reruns=2)
+def test_bootstrap_racing_live_writes_converges_after_one_repair(
+        entries, corpus, tmp_path):
+    factory = _factory(corpus)
+    part = split_entries(entries, 2)[0]
+    seed_path = tmp_path / "source"
+    save_ensemble(make_index(part), seed_path)
+
+    source = NodeProc(seed_path, "shard_000")
+    replica = None
+    try:
+        client = ShardNodeClient("127.0.0.1", source.port)
+        stop = threading.Event()
+        written: list[str] = []
+
+        def writer() -> None:
+            i = 0
+            while not stop.is_set():
+                key = "race:%d" % i
+                lean = factory.lean({"%s:v%d" % (key, v)
+                                     for v in range(16)})
+                applied, _ = client.insert([(key, lean, 16)])
+                if applied == [True]:
+                    written.append(key)
+                i += 1
+
+        writing = threading.Thread(target=writer)
+        writing.start()
+        try:
+            wait_until(lambda: len(written) >= 5,
+                       message="writes flowing before bootstrap")
+            replica = NodeProc(tmp_path / "replica", "shard_000",
+                               bootstrap_from=source.address)
+            replica.port  # snapshot fetched + unpacked + serving
+            mark = len(written)
+            # The snapshot cannot contain writes issued after the
+            # replica bound its port: guaranteed drift to repair.
+            wait_until(lambda: len(written) >= mark + 5,
+                       message="writes landing after bootstrap")
+        finally:
+            stop.set()
+            writing.join(timeout=60)
+            client.close()
+        assert not writing.is_alive()
+
+        addresses = {"rep": replica.address, "src": source.address}
+        placement = PlacementMap(addresses, replication=2,
+                                 pinned={"shard_000": sorted(addresses)})
+        with RouterIndex.from_placement(["shard_000"],
+                                        placement) as router:
+            report = router.repair()
+            shard_report = report["shards"]["shard_000"]
+            assert shard_report["status"] == "repaired"
+            assert shard_report["shipped"]["inserts"] >= 5
+
+            rep_client = ShardNodeClient("127.0.0.1", replica.port)
+            try:
+                pool, _, _ = rep_client.signatures(written)
+                assert set(pool) == set(written)
+            finally:
+                rep_client.close()
+
+            report = router.repair()
+            assert report["shards"]["shard_000"]["status"] == "healthy"
+    finally:
+        if replica is not None:
+            replica.terminate()
+        source.terminate()
